@@ -1,0 +1,52 @@
+"""Ablation: COP one-pass observability vs per-site EPP.
+
+COP computes every node's observability in ONE reverse pass; EPP pays one
+forward pass per site but tracks error polarity and real cone structure.
+This bench times both over all sites of the same circuit and records each
+method's accuracy against exhaustive ground truth — the cost/accuracy
+trade the paper's method occupies the middle of.
+"""
+
+from repro.core.epp import EPPEngine
+from repro.netlist.generate import random_combinational
+from repro.probability.cop import cop_observability
+from repro.sim.fault_sim import FaultInjector
+from repro.sim.vectors import exhaustive_words
+
+_CIRCUIT = random_combinational(9, 120, seed=77)
+
+
+def _truth():
+    injector = FaultInjector(_CIRCUIT)
+    words, width = exhaustive_words(_CIRCUIT.inputs)
+    good = injector.simulator.run(words, width)
+    return {
+        site: injector.detection_count(good, site, width) / width
+        for site in _CIRCUIT.gates
+    }
+
+
+_TRUTH = _truth()
+
+
+def _pct_dif(values: dict[str, float]) -> float:
+    abs_sum = sum(abs(values[s] - t) for s, t in _TRUTH.items())
+    ref_sum = sum(_TRUTH.values())
+    return round(100.0 * abs_sum / ref_sum, 2)
+
+
+def test_cop_all_sites(benchmark):
+    values = benchmark(cop_observability, _CIRCUIT)
+    benchmark.extra_info["pct_dif_vs_exhaustive"] = _pct_dif(
+        {s: values[s] for s in _CIRCUIT.gates}
+    )
+
+
+def test_epp_all_sites(benchmark):
+    engine = EPPEngine(_CIRCUIT)
+
+    def run_all():
+        return {s: engine.p_sensitized(s) for s in _CIRCUIT.gates}
+
+    values = benchmark(run_all)
+    benchmark.extra_info["pct_dif_vs_exhaustive"] = _pct_dif(values)

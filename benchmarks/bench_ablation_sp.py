@@ -1,0 +1,30 @@
+"""Ablation: signal-probability backend — runtime vs accuracy.
+
+The paper charges SP computation separately precisely because the backend
+choice is a free parameter of the flow.  This benchmark times all four
+backends on the same circuit and records each one's SP accuracy against
+the exact (global-BDD) answer in ``extra_info``.
+"""
+
+import pytest
+
+from repro.netlist.generate import random_combinational
+from repro.probability import signal_probabilities
+from repro.probability.exact import exact_signal_probabilities
+
+_CIRCUIT = random_combinational(10, 150, seed=42)
+_EXACT = exact_signal_probabilities(_CIRCUIT)
+
+_BACKENDS = [
+    ("topological", {}),
+    ("cut", {"cut_depth": 4}),
+    ("monte_carlo", {"n_vectors": 20_000}),
+    ("exact", {}),
+]
+
+
+@pytest.mark.parametrize("method,options", _BACKENDS, ids=[b[0] for b in _BACKENDS])
+def test_sp_backend(benchmark, method, options):
+    result = benchmark(signal_probabilities, _CIRCUIT, method, **options)
+    mean_abs_err = sum(abs(result[n] - _EXACT[n]) for n in _EXACT) / len(_EXACT)
+    benchmark.extra_info["mean_abs_error_vs_exact"] = round(mean_abs_err, 5)

@@ -1,0 +1,13 @@
+"""Figure 1 microbenchmark: the worked example through the full engine.
+
+Regenerates the paper's Figure 1 numbers on every round and asserts the
+golden values, so the benchmark doubles as a hot-path correctness check.
+"""
+
+from repro.experiments.figure1 import run_figure1
+
+
+def test_figure1_regeneration(benchmark):
+    result = benchmark(run_figure1)
+    assert result.matches_paper
+    benchmark.extra_info["p_sensitized"] = result.p_sensitized

@@ -1,0 +1,29 @@
+"""Scaling: EPP per-site cost tracks the cone size, not the circuit size.
+
+Paper Section 2, step 3: "Using a topological order enable us to compute
+EPP in just one pass (linear time complexity)."  ``extra_info`` records
+time-per-cone-gate; it should stay roughly flat across two decades of
+circuit size, which is the linearity claim.
+"""
+
+from benchmarks.conftest import BENCH_CIRCUITS, get_engine, sample_sites
+
+import pytest
+
+
+@pytest.mark.parametrize("circuit_name", BENCH_CIRCUITS)
+def test_epp_cost_per_cone_gate(benchmark, circuit_name):
+    engine = get_engine(circuit_name)
+    sites = sample_sites(circuit_name, 30, seed=4)
+    total_cone = sum(engine.cone(site).size for site in sites)
+
+    def run_all():
+        for site in sites:
+            engine.p_sensitized(site)
+
+    benchmark(run_all)
+    if total_cone:
+        per_gate_us = benchmark.stats["mean"] / total_cone * 1e6
+        benchmark.extra_info["us_per_cone_gate"] = round(per_gate_us, 3)
+    benchmark.extra_info["total_cone_gates"] = total_cone
+    benchmark.extra_info["n_nodes"] = engine.compiled.n

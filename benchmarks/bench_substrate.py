@@ -1,0 +1,61 @@
+"""Substrate benchmarks: the components the headline numbers rest on.
+
+Not a paper column, but regressions here silently distort SysT/SimT, so
+the suite pins them: bit-parallel simulation throughput, fault-injection
+cone cost, bench parsing, and synthetic generation.
+"""
+
+import pytest
+
+from repro.netlist.bench import parse_bench, write_bench
+from repro.netlist.generate import generate_iscas
+from repro.sim.fault_sim import FaultInjector
+from repro.sim.logic_sim import BitParallelSimulator
+from repro.sim.vectors import RandomVectorSource
+from benchmarks.conftest import get_circuit, sample_sites
+
+_WIDTH = 1024
+
+
+@pytest.mark.parametrize("circuit_name", ["s953", "s9234"])
+def test_bit_parallel_simulation(benchmark, circuit_name):
+    circuit = get_circuit(circuit_name)
+    simulator = BitParallelSimulator(circuit)
+    source = RandomVectorSource(circuit.inputs + circuit.flip_flops, seed=0)
+    words = source.next_words(_WIDTH)
+    benchmark(simulator.run, words, _WIDTH)
+    gates = len(circuit.gates)
+    patterns_per_s = gates * _WIDTH / benchmark.stats["mean"]
+    benchmark.extra_info["gate_patterns_per_second"] = f"{patterns_per_s:.3e}"
+
+
+@pytest.mark.parametrize("circuit_name", ["s953", "s9234"])
+def test_fault_injection(benchmark, circuit_name):
+    circuit = get_circuit(circuit_name)
+    injector = FaultInjector(circuit)
+    source = RandomVectorSource(circuit.inputs + circuit.flip_flops, seed=0)
+    words = source.next_words(_WIDTH)
+    good = injector.simulator.run(words, _WIDTH)
+    sites = sample_sites(circuit_name, 20, seed=6)
+    for site in sites:
+        injector.fanout_cone(site)  # cache cones: time injection itself
+
+    def inject_all():
+        for site in sites:
+            injector.detection_count(good, site, _WIDTH)
+
+    benchmark(inject_all)
+
+
+def test_bench_roundtrip(benchmark):
+    text = write_bench(get_circuit("s9234"))
+
+    def roundtrip():
+        return parse_bench(text, name="s9234")
+
+    circuit = benchmark(roundtrip)
+    assert len(circuit.gates) == 5808
+
+
+def test_generation(benchmark):
+    benchmark(generate_iscas, "s1423")

@@ -1,0 +1,36 @@
+"""Table 1 benchmark: rule evaluation throughput.
+
+Times the closed-form rules against the generic enumeration rule — the
+constant factor between them is why the engine ships closed forms for the
+common gates.
+"""
+
+import pytest
+
+from repro.core.rules import and_rule, or_rule, truth_table_rule, xor_rule
+from repro.netlist.gate_types import GateType, truth_table
+
+_INPUTS = [
+    (0.1, 0.2, 0.3, 0.4),
+    (0.0, 0.0, 0.6, 0.4),
+    (0.25, 0.25, 0.25, 0.25),
+]
+
+
+@pytest.mark.parametrize(
+    "rule_name,rule",
+    [("and", and_rule), ("or", or_rule), ("xor", xor_rule)],
+)
+def test_closed_form_rule(benchmark, rule_name, rule):
+    benchmark(rule, _INPUTS)
+
+
+def test_generic_rule_3_inputs(benchmark):
+    table = truth_table(GateType.AND, 3)
+    benchmark(truth_table_rule, table, _INPUTS)
+
+
+def test_generic_rule_maj5(benchmark):
+    table = truth_table(GateType.MAJ, 5)
+    inputs = _INPUTS + [(0.4, 0.1, 0.3, 0.2), (0.0, 0.5, 0.25, 0.25)]
+    benchmark(truth_table_rule, table, inputs)

@@ -1,0 +1,44 @@
+"""Table 2, %Dif column: EPP accuracy against the Monte Carlo reference.
+
+The timed body is the EPP side (cheap); the Monte Carlo reference is
+computed once in setup.  The %Dif lands in ``extra_info`` so a benchmark
+run regenerates the accuracy column alongside the timing columns.
+"""
+
+import pytest
+
+from repro.core.baseline import RandomSimulationEstimator
+from benchmarks.conftest import get_circuit, get_engine, get_sp, sample_sites
+
+_REFERENCE_CACHE: dict[str, dict[str, float]] = {}
+
+
+def _reference(circuit_name: str, sites: list[str]) -> dict[str, float]:
+    if circuit_name not in _REFERENCE_CACHE:
+        circuit = get_circuit(circuit_name)
+        sp = get_sp(circuit_name)
+        estimator = RandomSimulationEstimator(
+            circuit,
+            n_vectors=20_000,
+            seed=11,
+            state_weights={ff: sp[ff] for ff in circuit.flip_flops},
+        )
+        _REFERENCE_CACHE[circuit_name] = estimator.estimate(sites)
+    return _REFERENCE_CACHE[circuit_name]
+
+
+@pytest.mark.parametrize("circuit_name", ["s27", "s953", "s1423", "s9234"])
+def test_epp_accuracy_vs_reference(benchmark, circuit_name):
+    engine = get_engine(circuit_name)
+    sites = sample_sites(circuit_name, 40, seed=2)
+    reference = _reference(circuit_name, sites)
+
+    def epp_all():
+        return {site: engine.p_sensitized(site) for site in sites}
+
+    values = benchmark(epp_all)
+    abs_sum = sum(abs(values[s] - reference[s]) for s in sites)
+    ref_sum = sum(reference.values())
+    benchmark.extra_info["pct_dif"] = round(100.0 * abs_sum / ref_sum, 2)
+    benchmark.extra_info["paper_pct_dif_band"] = "3.4 - 12.6"
+    assert 100.0 * abs_sum / ref_sum < 30.0

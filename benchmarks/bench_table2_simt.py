@@ -1,0 +1,31 @@
+"""Table 2, SimT column: per-node *serial* random-simulation run time.
+
+One site, a small vector budget — serial cost is exactly linear in both,
+so the per-node per-vector time in ``extra_info`` extrapolates to any
+budget (the harness and EXPERIMENTS.md use 100k vectors as the reference).
+Only the smaller circuits are timed here; the big ones are what made the
+paper call the baseline "exorbitant", and their cost is the same slope
+times more gates.
+"""
+
+import pytest
+
+from repro.core.baseline import SerialRandomSimulationEstimator
+from benchmarks.conftest import get_circuit, sample_sites
+
+_VECTORS = 50
+
+
+@pytest.mark.parametrize("circuit_name", ["s27", "s953", "s1423"])
+def test_serial_simulation_per_node(benchmark, circuit_name):
+    circuit = get_circuit(circuit_name)
+    site = sample_sites(circuit_name, 1)[0]
+    estimator = SerialRandomSimulationEstimator(
+        circuit, n_vectors=_VECTORS, seed=7
+    )
+    benchmark(estimator.estimate, [site])
+    per_vector_s = benchmark.stats["mean"] / _VECTORS
+    benchmark.extra_info["simt_s_per_node_100k_vectors"] = round(
+        per_vector_s * 100_000, 2
+    )
+    benchmark.extra_info["vectors_timed"] = _VECTORS

@@ -1,0 +1,28 @@
+"""Table 2, SPT column: signal-probability computation time.
+
+Times the Monte Carlo SP backend (the accuracy-grade SP charged to SPT in
+the harness) and the one-pass topological SP for contrast.
+"""
+
+import pytest
+
+from repro.probability.monte_carlo import monte_carlo_signal_probabilities
+from repro.probability.signal_prob import compute_signal_probabilities
+from benchmarks.conftest import get_circuit
+
+_CIRCUITS = ["s27", "s953", "s1423", "s9234"]
+
+
+@pytest.mark.parametrize("circuit_name", _CIRCUITS)
+def test_monte_carlo_sp(benchmark, circuit_name):
+    circuit = get_circuit(circuit_name)
+    benchmark(
+        monte_carlo_signal_probabilities, circuit, n_vectors=10_000, seed=1
+    )
+    benchmark.extra_info["n_vectors"] = 10_000
+
+
+@pytest.mark.parametrize("circuit_name", _CIRCUITS)
+def test_topological_sp(benchmark, circuit_name):
+    circuit = get_circuit(circuit_name)
+    benchmark(compute_signal_probabilities, circuit)

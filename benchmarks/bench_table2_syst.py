@@ -1,0 +1,26 @@
+"""Table 2, SysT column: per-node EPP run time.
+
+The timed body analyzes a fixed sample of error sites with the EPP engine;
+``extra_info`` records the per-node time in milliseconds (the paper's SysT
+unit) and the measured mean cone size (the per-site work).
+"""
+
+from benchmarks.conftest import get_engine, sample_sites
+
+
+def test_epp_per_node(benchmark, circuit_name):
+    engine = get_engine(circuit_name)
+    sites = sample_sites(circuit_name, 50)
+    engine.p_sensitized(sites[0])  # warm the cone cache code paths
+
+    def run_all():
+        for site in sites:
+            engine.p_sensitized(site)
+
+    benchmark(run_all)
+    per_node_ms = benchmark.stats["mean"] / len(sites) * 1e3
+    benchmark.extra_info["syst_ms_per_node"] = round(per_node_ms, 4)
+    benchmark.extra_info["n_sites"] = len(sites)
+    benchmark.extra_info["mean_cone_size"] = round(
+        sum(engine.cone(site).size for site in sites) / len(sites), 1
+    )

@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark suite.
+
+Circuits and signal-probability maps are built once per session; the timed
+bodies then measure exactly the quantity named by the paper's column
+(per-node EPP time, per-node serial simulation time, SP computation time).
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.epp import EPPEngine
+from repro.netlist.generate import generate_iscas
+from repro.netlist.library import s27 as make_s27
+from repro.probability.monte_carlo import monte_carlo_signal_probabilities
+
+#: The circuits benchmarked per size class.  The full Table 2 roster is
+#: exercised by ``python -m repro table2``; the pytest-benchmark suite uses
+#: a ladder of sizes to keep wall time reasonable while covering 10..22k
+#: gates.
+BENCH_CIRCUITS = ["s27", "s953", "s1423", "s9234", "s15850", "s38417"]
+
+_cache: dict[str, object] = {}
+
+
+def get_circuit(name: str):
+    key = f"circuit:{name}"
+    if key not in _cache:
+        _cache[key] = make_s27() if name == "s27" else generate_iscas(name)
+    return _cache[key]
+
+
+def get_sp(name: str, n_vectors: int = 20_000):
+    key = f"sp:{name}:{n_vectors}"
+    if key not in _cache:
+        _cache[key] = monte_carlo_signal_probabilities(
+            get_circuit(name), n_vectors=n_vectors, seed=1
+        )
+    return _cache[key]
+
+
+def get_engine(name: str) -> EPPEngine:
+    key = f"engine:{name}"
+    if key not in _cache:
+        _cache[key] = EPPEngine(get_circuit(name), signal_probs=get_sp(name))
+    return _cache[key]
+
+
+def sample_sites(name: str, count: int, seed: int = 0) -> list[str]:
+    circuit = get_circuit(name)
+    sites = circuit.gates
+    if count >= len(sites):
+        return list(sites)
+    return random.Random(seed).sample(sites, count)
+
+
+@pytest.fixture(params=BENCH_CIRCUITS)
+def circuit_name(request):
+    return request.param

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Format interop and the estimator ladder on one circuit.
+
+Takes the synthetic c880 (ISCAS'85 profile), round-trips it through both
+interchange formats (ISCAS .bench and structural Verilog), then runs the
+full ladder of P_sensitized estimators on the same sites:
+
+    COP observability    one reverse pass for ALL nodes   (coarsest)
+    EPP (the paper)      one forward pass PER node        (paper's point)
+    Monte Carlo          bit-parallel fault injection     (statistical truth)
+
+printing accuracy (vs Monte Carlo) and runtime per method — the
+cost/accuracy ladder the paper positions EPP on.
+
+Run:  python examples/interop_and_baselines.py
+"""
+
+import random
+import time
+
+from repro import EPPEngine, RandomSimulationEstimator
+from repro.netlist.bench import parse_bench, write_bench
+from repro.netlist.generate import generate_iscas
+from repro.netlist.verilog import parse_verilog, write_verilog
+from repro.probability.cop import cop_observability
+
+
+def main() -> None:
+    circuit = generate_iscas("c880")
+    print(f"circuit: {circuit}")
+
+    # --- interop: .bench and .v round trips preserve the netlist --------
+    from_bench = parse_bench(write_bench(circuit), name=circuit.name)
+    from_verilog = parse_verilog(write_verilog(circuit), name=circuit.name)
+    assert len(from_bench) == len(circuit) == len(from_verilog)
+    print("round-trips: .bench OK, .v OK\n")
+
+    sites = random.Random(1).sample(circuit.gates, 40)
+
+    # --- estimator ladder ------------------------------------------------
+    t0 = time.perf_counter()
+    reference = RandomSimulationEstimator(circuit, n_vectors=30_000, seed=2).estimate(
+        sites
+    )
+    t_mc = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    cop_all = cop_observability(circuit)
+    t_cop = time.perf_counter() - t0
+    cop_values = {site: cop_all[site] for site in sites}
+
+    engine = EPPEngine(circuit)
+    t0 = time.perf_counter()
+    epp_values = {site: engine.p_sensitized(site) for site in sites}
+    t_epp = time.perf_counter() - t0
+
+    def pct_dif(values):
+        abs_sum = sum(abs(values[s] - reference[s]) for s in sites)
+        return 100.0 * abs_sum / sum(reference.values())
+
+    print(f"{'method':<28} {'time':>10} {'%Dif vs MC':>12}")
+    print(f"{'COP (all nodes, 1 pass)':<28} {t_cop*1e3:>8.1f}ms {pct_dif(cop_values):>11.1f}%")
+    print(f"{'EPP (paper, per node)':<28} {t_epp*1e3:>8.1f}ms {pct_dif(epp_values):>11.1f}%")
+    print(f"{'Monte Carlo 30k (reference)':<28} {t_mc*1e3:>8.1f}ms {'—':>12}")
+
+    print(
+        "\nBoth analytical methods land within single-digit percent of the"
+        "\nMonte Carlo reference at a fraction of its cost; which one is"
+        "\ncloser varies per circuit (both share the independence bias)."
+        "\nWhat EPP buys over COP is not raw average accuracy but (a) exact"
+        "\nhandling of error polarity — COP is unboundedly wrong on"
+        "\ninverting reconvergence like AND(x, NOT x) — and (b) the full"
+        "\nfour-valued vector at every reachable output, which the SER"
+        "\nmodel needs for per-sink latching and multi-cycle analysis."
+    )
+
+
+if __name__ == "__main__":
+    main()

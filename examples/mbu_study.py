@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Multi-bit upsets: when one particle flips two adjacent nodes.
+
+Single-SEU analysis (the paper's model) underpins most SER flows, but
+scaled technologies collect charge across neighbouring cells.  This study
+asks, on the carry-lookahead adder: *how does a double flip compare to the
+two single flips it is made of?*
+
+1. group same-level gates as a physical-adjacency proxy;
+2. for each pair, measure exact MBU ``P_sensitized`` by union-cone fault
+   injection and compare against the independence combination of the
+   per-site EPP values;
+3. find a concrete witness vector for the worst pair.
+
+Run:  python examples/mbu_study.py
+"""
+
+from repro.core.epp import EPPEngine
+from repro.core.mbu import (
+    level_adjacent_groups,
+    mbu_independence_estimate,
+    mbu_p_sensitized,
+)
+from repro.core.witness import find_sensitizing_vector
+from repro.netlist.blocks import carry_lookahead_adder
+
+
+def main() -> None:
+    circuit = carry_lookahead_adder(6)
+    print(f"circuit: {circuit}\n")
+
+    engine = EPPEngine(circuit)
+    groups = level_adjacent_groups(circuit, group_size=2, max_groups=10)
+
+    print(f"{'pair':<24} {'exact MBU':>10} {'indep est':>10} {'gap':>8}")
+    worst_pair = None
+    worst_value = -1.0
+    for pair in groups:
+        exact = mbu_p_sensitized(circuit, pair, n_vectors=20_000, seed=11)
+        estimate = mbu_independence_estimate(engine, pair)
+        print(
+            f"{'+'.join(pair):<24} {exact:>10.4f} {estimate:>10.4f} "
+            f"{abs(exact - estimate):>8.4f}"
+        )
+        if exact > worst_value:
+            worst_value = exact
+            worst_pair = pair
+
+    print(
+        "\nthe independence estimate ignores flip interaction (it can land"
+        "\non either side of the exact value); signoff uses the simulated"
+        "\nnumber, screening uses the cheap estimate."
+    )
+
+    single_a = engine.p_sensitized(worst_pair[0])
+    single_b = engine.p_sensitized(worst_pair[1])
+    print(
+        f"\nworst pair {worst_pair}: joint {worst_value:.4f} "
+        f"vs singles {single_a:.4f} / {single_b:.4f}"
+    )
+    witness = find_sensitizing_vector(circuit, worst_pair[0])
+    print(f"a vector sensitizing {worst_pair[0]}: {witness}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Triple modular redundancy — and an honest look at where EPP breaks.
+
+TMR triplicates the logic and votes on the outputs, masking any single
+SEU inside one replica.  This example:
+
+1. TMRs the c17 benchmark with the netlist transform;
+2. verifies by *fault injection* that single-replica SEUs are fully
+   masked (P_sensitized drops to 0);
+3. shows that the EPP method CANNOT see this — the two untouched replicas
+   reconverge with the faulty one at the voter, and EPP's independence
+   assumption treats them as uncorrelated off-path signals.
+
+The library documents this as the method's known failure mode (it is the
+same independence assumption behind the paper's ~5% average error, pushed
+to its worst case).  Use fault injection for validating redundancy
+schemes; use EPP for ranking and fast estimation in ordinary logic.
+
+Run:  python examples/tmr_hardening.py
+"""
+
+from repro.netlist.library import c17
+from repro.netlist.stats import circuit_stats
+from repro.netlist.transform import triplicate
+from repro.ser.hardening import evaluate_tmr
+
+
+def main() -> None:
+    original = c17()
+    tmr = triplicate(original)
+    print("original:", circuit_stats(original).format(), sep="\n")
+    print("\nTMR:", circuit_stats(tmr).format(), sep="\n")
+
+    comparison = evaluate_tmr(original, n_vectors=8192, seed=7)
+    print(
+        f"\nmean P_sensitized over {comparison.n_sites} gate sites"
+        f" (SEU in one replica):"
+    )
+    print(f"  original circuit (fault injection): {comparison.original_mean_p_sens:.4f}")
+    print(f"  TMR circuit     (fault injection): {comparison.injection_mean_p_sens:.4f}")
+    print(f"  TMR circuit     (EPP estimate)   : {comparison.epp_mean_p_sens_tmr:.4f}")
+
+    print(
+        "\nfault injection confirms complete masking; EPP overestimates"
+        "\nbecause the voter's other two inputs are *correlated* copies of"
+        "\nthe correct value, which the off-path independence assumption"
+        "\ncannot represent. This is the documented boundary of the method."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517`` (and plain ``python setup.py develop``)
+work in offline environments that lack the ``wheel`` package needed for
+PEP 660 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>`` or ``repro-ser``.
+
+Commands
+--------
+* ``figure1`` — regenerate the paper's Figure 1 worked example.
+* ``table1``  — verify/print the paper's Table 1 propagation rules.
+* ``table2``  — regenerate the paper's Table 2 comparison.
+* ``analyze`` — SER-analyze a circuit (``.bench`` file, library name, or
+  ISCAS'89 profile name) and print the vulnerability ranking.
+* ``stats``   — print circuit statistics.
+* ``generate`` — emit a synthetic ISCAS'89-profile circuit as ``.bench``.
+* ``list``    — list embedded circuits and known profiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.netlist.bench import parse_bench_file, write_bench
+from repro.netlist.circuit import Circuit
+from repro.netlist.generate import (
+    ISCAS85_PROFILES,
+    ISCAS89_PROFILES,
+    generate_iscas,
+)
+from repro.netlist.library import get_circuit, list_circuits
+from repro.netlist.stats import circuit_stats
+from repro.netlist.verilog import parse_verilog_file
+
+__all__ = ["main", "build_parser", "resolve_circuit"]
+
+
+def resolve_circuit(spec: str) -> Circuit:
+    """Interpret a circuit argument: file path, library name, or profile name.
+
+    Files ending in ``.v`` parse as structural Verilog, everything else
+    file-like as ISCAS ``.bench``.
+    """
+    path = Path(spec)
+    if path.suffix == ".v":
+        return parse_verilog_file(path)
+    if path.suffix == ".bench" or path.exists():
+        return parse_bench_file(path)
+    if spec in list_circuits():
+        return get_circuit(spec)
+    if spec in ISCAS89_PROFILES or spec in ISCAS85_PROFILES:
+        return generate_iscas(spec)
+    raise ReproError(
+        f"cannot resolve circuit {spec!r}: not a file, not one of the library "
+        f"circuits ({', '.join(list_circuits())}), and not an ISCAS profile"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ser",
+        description="EPP-based SER estimation (Asadi & Tahoori, DATE 2005 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("figure1", help="regenerate the Figure 1 worked example")
+
+    table1 = commands.add_parser("table1", help="verify the Table 1 EPP rules")
+    table1.add_argument("--steps", type=int, default=3, help="simplex grid resolution")
+
+    table2 = commands.add_parser("table2", help="regenerate the Table 2 comparison")
+    table2.add_argument(
+        "--mode",
+        choices=("quick", "default", "full"),
+        default="quick",
+        help="budget preset (quick: 4 small circuits; default/full: whole roster)",
+    )
+    table2.add_argument("--circuits", nargs="*", help="override the circuit roster")
+    table2.add_argument("--csv", help="write measured rows to a CSV file")
+    table2.add_argument("--json", help="write measured rows to a JSON file")
+
+    analyze = commands.add_parser("analyze", help="SER-analyze a circuit")
+    analyze.add_argument("circuit", help=".bench file, library name, or profile name")
+    analyze.add_argument("--top", type=int, default=10, help="ranking rows to print")
+    analyze.add_argument("--sample", type=int, help="analyze a random sample of sites")
+    analyze.add_argument(
+        "--sp-method",
+        default="topological",
+        choices=("topological", "cut", "monte_carlo", "exact"),
+        help="signal-probability backend",
+    )
+    analyze.add_argument(
+        "--multi-cycle",
+        type=int,
+        metavar="CYCLES",
+        help="also report multi-cycle observability of the top node",
+    )
+    analyze.add_argument("--csv", help="write the per-node SER rows to a CSV file")
+
+    stats = commands.add_parser("stats", help="print circuit statistics")
+    stats.add_argument("circuit", help=".bench file, library name, or profile name")
+
+    generate = commands.add_parser("generate", help="emit a synthetic profile circuit")
+    generate.add_argument("profile", help="ISCAS'89 profile name (e.g. s9234)")
+    generate.add_argument("-o", "--output", help="output .bench path (default stdout)")
+    generate.add_argument("--seed", type=int, help="override the deterministic seed")
+
+    ablations = commands.add_parser(
+        "ablations", help="run the design-decision ablation studies"
+    )
+    ablations.add_argument("--full", action="store_true", help="more circuits/vectors")
+    ablations.add_argument("--seed", type=int, default=0)
+
+    commands.add_parser("list", help="list embedded circuits and profiles")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "figure1":
+        from repro.experiments.figure1 import run_figure1
+
+        result = run_figure1()
+        print(result.format())
+        return 0 if result.matches_paper else 1
+
+    if args.command == "table1":
+        from repro.experiments.table1 import run_table1
+
+        result = run_table1(steps=args.steps)
+        print(result.format())
+        return 0 if result.all_match else 1
+
+    if args.command == "table2":
+        from repro.experiments.reporting import rows_to_csv, rows_to_json
+        from repro.experiments.table2 import Table2Config, format_table2, run_table2
+
+        if args.mode == "quick":
+            config = Table2Config.quick(args.circuits)
+        elif args.mode == "full":
+            config = Table2Config.full()
+        else:
+            config = Table2Config()
+        if args.circuits and args.mode != "quick":
+            config = Table2Config(
+                **{**config.__dict__, "circuits": tuple(args.circuits)}
+            )
+        rows = run_table2(config, verbose=True)
+        print()
+        print(format_table2(rows))
+        if args.csv:
+            rows_to_csv(rows, args.csv)
+        if args.json:
+            rows_to_json(rows, args.json)
+        return 0
+
+    if args.command == "analyze":
+        from repro.core.analysis import SERAnalyzer
+
+        circuit = resolve_circuit(args.circuit)
+        analyzer = SERAnalyzer(circuit, sp_method=args.sp_method)
+        report = analyzer.analyze(sample=args.sample)
+        print(report.format_table(top=args.top))
+        if args.csv:
+            from repro.experiments.reporting import rows_to_csv
+
+            rows_to_csv(report.ranked(), args.csv)
+            print(f"wrote {args.csv}")
+        if args.multi_cycle:
+            top_node = report.ranked(1)[0].node
+            value = analyzer.multi_cycle_observability(top_node, cycles=args.multi_cycle)
+            print(
+                f"multi-cycle observability of {top_node} over "
+                f"{args.multi_cycle} cycles: {value:.4f}"
+            )
+        return 0
+
+    if args.command == "stats":
+        circuit = resolve_circuit(args.circuit)
+        print(circuit_stats(circuit).format())
+        return 0
+
+    if args.command == "generate":
+        circuit = generate_iscas(args.profile, seed=args.seed)
+        text = write_bench(circuit, args.output)
+        if not args.output:
+            print(text, end="")
+        else:
+            print(f"wrote {args.output}")
+        return 0
+
+    if args.command == "ablations":
+        from repro.experiments.ablations import run_ablations
+
+        report = run_ablations(seed=args.seed, quick=not args.full)
+        print(report.format())
+        return 0
+
+    if args.command == "list":
+        print("library circuits: " + ", ".join(list_circuits()))
+        print("ISCAS'89 profiles: " + ", ".join(sorted(ISCAS89_PROFILES)))
+        print("ISCAS'85 profiles: " + ", ".join(sorted(ISCAS85_PROFILES)))
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""The paper's core contribution: EPP-based soft-error analysis.
+
+* :mod:`repro.core.fourvalue` — the four-valued probability vector
+  ``(Pa, Pā, P0, P1)`` attached to every on-path signal.
+* :mod:`repro.core.rules` — per-gate propagation rules (paper Table 1 plus
+  derived and generic rules).
+* :mod:`repro.core.cone` — on-path cone extraction (paper steps 1 & 2).
+* :mod:`repro.core.epp` — the one-pass EPP engine (paper step 3) and
+  ``P_sensitized`` computation.
+* :mod:`repro.core.baseline` — the random fault-injection estimator the
+  paper compares against.
+* :mod:`repro.core.analysis` — full SER analysis combining EPP with the
+  R_SEU and latching models.
+"""
+
+from repro.core.fourvalue import EPPValue
+from repro.core.epp import EPPEngine, EPPResult
+from repro.core.baseline import RandomSimulationEstimator
+from repro.core.sensitization import combine_sensitization
+from repro.core.analysis import SERAnalyzer, NodeSER, CircuitSERReport
+
+__all__ = [
+    "EPPValue",
+    "EPPEngine",
+    "EPPResult",
+    "RandomSimulationEstimator",
+    "combine_sensitization",
+    "SERAnalyzer",
+    "NodeSER",
+    "CircuitSERReport",
+]

@@ -1,0 +1,99 @@
+"""SEU-site equivalence collapsing.
+
+Classic fault collapsing, adapted from stuck-at ATPG to SEU analysis: if
+node ``u``'s *only* fanout is a BUF or NOT gate ``v`` and ``u`` is not
+itself observable (not a primary output or flip-flop D driver), then a
+flip at ``u`` produces exactly the flip at ``v`` (a single non-blocking
+gate always transmits a single input change), so
+``P_sensitized(u) == P_sensitized(v)``.
+
+Chains of buffers/inverters — ubiquitous in mapped netlists — therefore
+collapse to a single EPP analysis per chain.  ``R_SEU`` and the SER
+product remain per-node (an inverter and the buffer it drives have
+different raw rates); only the propagation analysis is shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+
+__all__ = ["SiteEquivalence", "collapse_seu_sites"]
+
+
+@dataclass
+class SiteEquivalence:
+    """Equivalence classes of SEU sites with identical ``P_sensitized``.
+
+    ``representative[name]`` maps every node to its class representative
+    (the most-downstream member, whose cone analysis covers the class);
+    ``classes`` lists the nontrivial classes (size >= 2), members in
+    topological order.
+    """
+
+    representative: dict[str, str] = field(default_factory=dict)
+    classes: list[list[str]] = field(default_factory=list)
+
+    @property
+    def n_saved_analyses(self) -> int:
+        """EPP passes avoided by analyzing one representative per class."""
+        return sum(len(members) - 1 for members in self.classes)
+
+    def members_of(self, name: str) -> list[str]:
+        """All nodes sharing ``name``'s class (including itself)."""
+        rep = self.representative.get(name, name)
+        for members in self.classes:
+            if members[-1] == rep:
+                return list(members)
+        return [name]
+
+
+def collapse_seu_sites(circuit: Circuit) -> SiteEquivalence:
+    """Compute SEU-site equivalence classes for ``circuit``.
+
+    Only the provably exact rule is applied (single fanout into BUF/NOT,
+    driver not directly observable); everything else stays in its own
+    class.
+    """
+    compiled = circuit.compiled()
+    sink_set = set(compiled.sink_ids)
+
+    # next_hop[u] = v when flip(u) == flip(v) by the chain rule.
+    next_hop: dict[int, int] = {}
+    for u in range(compiled.n):
+        if u in sink_set:
+            continue
+        fanout = compiled.fanout(u)
+        if len(fanout) != 1:
+            continue
+        v = fanout[0]
+        if compiled.gate_type(v) in (GateType.BUF, GateType.NOT):
+            # v must be driven only by u (BUF/NOT are unary, so it is).
+            next_hop[u] = v
+
+    # Follow chains to their most-downstream member.
+    def find_rep(u: int) -> int:
+        seen = set()
+        while u in next_hop and u not in seen:
+            seen.add(u)
+            u = next_hop[u]
+        return u
+
+    groups: dict[int, list[int]] = {}
+    for u in range(compiled.n):
+        rep = find_rep(u)
+        groups.setdefault(rep, []).append(u)
+
+    topo_position = {node_id: k for k, node_id in enumerate(compiled.topo)}
+    result = SiteEquivalence()
+    for rep, members in groups.items():
+        members.sort(key=topo_position.__getitem__)
+        rep_name = compiled.names[rep]
+        for member in members:
+            result.representative[compiled.names[member]] = rep_name
+        if len(members) >= 2:
+            result.classes.append([compiled.names[m] for m in members])
+    result.classes.sort(key=lambda members: members[-1])
+    return result

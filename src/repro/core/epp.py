@@ -1,0 +1,322 @@
+"""The EPP engine — step 3 of the paper's algorithm.
+
+Given an error site, the engine walks the site's on-path cone **once** in
+topological order.  Each on-path gate combines:
+
+* the four-valued vectors of its on-path fanins (computed earlier in the
+  pass), and
+* the plain signal probabilities of its off-path fanins
+  (``(0, 0, 1-SP, SP)``),
+
+through the per-gate rules of :mod:`repro.core.rules`.  After the pass the
+four-valued vector at every reachable output is known, and
+
+``P_sensitized = 1 - prod_j (1 - (Pa(PO_j) + Pā(PO_j)))``
+
+over the reachable outputs (primary outputs and flip-flop D pins).
+
+Complexity: linear in the cone size per site — the paper's headline
+speedup over random simulation, which costs ``n_vectors`` circuit
+evaluations per site instead.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.core.cone import ConeExtractor, OnPathCone
+from repro.core.fourvalue import EPPValue
+from repro.core.rules import merge_polarity, rule_for_code, _RULES_BY_CODE
+from repro.core.sensitization import combine_sensitization
+from repro.netlist.circuit import Circuit, CompiledCircuit
+from repro.probability import signal_probabilities
+
+__all__ = ["EPPEngine", "EPPResult"]
+
+
+@dataclass(frozen=True)
+class EPPResult:
+    """EPP analysis of one error site.
+
+    ``sink_values`` holds the four-valued vector at every reachable
+    observable sink (by node name); ``p_sensitized`` combines them per the
+    paper's formula.  ``cone_size`` is the number of on-path gates visited —
+    the per-site work — kept for the scaling benchmarks.
+    """
+
+    site: str
+    p_sensitized: float
+    sink_values: dict[str, EPPValue] = field(default_factory=dict)
+    cone_size: int = 0
+
+    @property
+    def n_reachable_outputs(self) -> int:
+        return len(self.sink_values)
+
+
+class EPPEngine:
+    """Error-propagation-probability engine bound to one circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit under analysis (combinational or sequential).
+    signal_probs:
+        Precomputed signal probabilities (node name -> P(1)).  When omitted
+        they are computed with ``sp_method`` / ``sp_options`` — the paper
+        treats SP computation as a separately-charged preprocessing step,
+        which is why the engine accepts it as an input.
+    sp_method / sp_options:
+        Backend for on-demand SP computation (see
+        :func:`repro.probability.signal_probabilities`).
+    track_polarity:
+        ``False`` collapses ``ā`` into ``a`` after every gate — the
+        polarity-blind ablation (reconvergent cancellation is lost).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        signal_probs: Mapping[str, float] | None = None,
+        sp_method: str = "topological",
+        sp_options: Mapping | None = None,
+        track_polarity: bool = True,
+    ):
+        self.circuit = circuit
+        self.compiled: CompiledCircuit = circuit.compiled()
+        self.track_polarity = track_polarity
+        if signal_probs is None:
+            signal_probs = signal_probabilities(
+                circuit, method=sp_method, **(dict(sp_options) if sp_options else {})
+            )
+        self._sp: list[float] = [0.0] * self.compiled.n
+        for node_id in range(self.compiled.n):
+            name = self.compiled.names[node_id]
+            try:
+                p = float(signal_probs[name])
+            except KeyError:
+                raise AnalysisError(
+                    f"signal_probs is missing node {name!r}; "
+                    "pass a complete SP map or let the engine compute one"
+                ) from None
+            if not 0.0 <= p <= 1.0:
+                raise AnalysisError(f"signal probability for {name!r} out of [0,1]: {p}")
+            self._sp[node_id] = p
+
+        self._cones = ConeExtractor(self.compiled)
+        n = self.compiled.n
+        # Scratch state for the pass: four parallel float arrays plus a
+        # generation-stamped on-path mark (no O(n) clearing between sites).
+        self._pa = [0.0] * n
+        self._pa_bar = [0.0] * n
+        self._p0 = [0.0] * n
+        self._p1 = [0.0] * n
+        self._mark = [0] * n
+        self._generation = 0
+        self._rules = dict(_RULES_BY_CODE)
+
+    # ----------------------------------------------------------------- sites
+
+    def default_sites(
+        self, include_inputs: bool = False, include_state: bool = False
+    ) -> list[str]:
+        """The error sites analyzed by default: combinational gate outputs.
+
+        ``include_inputs`` adds primary inputs (SEUs on input pads);
+        ``include_state`` adds flip-flop outputs (SEUs in the storage cell
+        observed through the next-cycle logic).
+        """
+        compiled = self.compiled
+        sites = [
+            compiled.names[i]
+            for i in range(compiled.n)
+            if compiled.gate_type(i).is_combinational
+        ]
+        if include_inputs:
+            sites += [compiled.names[i] for i in compiled.input_ids]
+        if include_state:
+            sites += [compiled.names[i] for i in compiled.dff_ids]
+        return sites
+
+    def cone(self, site: int | str) -> OnPathCone:
+        """The (cached) on-path cone of a site."""
+        return self._cones.cone(site)
+
+    # ------------------------------------------------------------------- EPP
+
+    def node_epp(self, site: int | str) -> EPPResult:
+        """Full EPP analysis of one error site (per-sink vectors included)."""
+        site_id = self._cones.resolve(site)
+        cone = self._cones.cone(site_id)
+        self._propagate(site_id, cone)
+        compiled = self.compiled
+        sink_values: dict[str, EPPValue] = {}
+        error_probs: list[float] = []
+        for sink in cone.sinks:
+            value = EPPValue.clamped(
+                self._pa[sink], self._pa_bar[sink], self._p0[sink], self._p1[sink]
+            )
+            sink_values[compiled.names[sink]] = value
+            error_probs.append(value.error_probability)
+        return EPPResult(
+            site=compiled.names[site_id],
+            p_sensitized=combine_sensitization(error_probs),
+            sink_values=sink_values,
+            cone_size=cone.size,
+        )
+
+    def p_sensitized(self, site: int | str) -> float:
+        """``P_sensitized`` only — the fast path used by the benchmarks."""
+        site_id = self._cones.resolve(site)
+        cone = self._cones.cone(site_id)
+        self._propagate(site_id, cone)
+        pa = self._pa
+        pa_bar = self._pa_bar
+        survive_none = 1.0
+        for sink in cone.sinks:
+            survive_none *= 1.0 - (pa[sink] + pa_bar[sink])
+        return 1.0 - survive_none
+
+    def _propagate(self, site_id: int, cone: OnPathCone) -> None:
+        """One topological pass over the cone (paper step 3)."""
+        compiled = self.compiled
+        self._generation += 1
+        generation = self._generation
+        mark = self._mark
+        pa = self._pa
+        pa_bar = self._pa_bar
+        p0 = self._p0
+        p1 = self._p1
+        sp = self._sp
+        code = compiled.code
+        rules = self._rules
+        track_polarity = self.track_polarity
+
+        # The error site carries the erroneous value with certainty: 1(a).
+        pa[site_id] = 1.0
+        pa_bar[site_id] = 0.0
+        p0[site_id] = 0.0
+        p1[site_id] = 0.0
+        mark[site_id] = generation
+
+        for gate in cone.gate_order:
+            pins = compiled.fanin(gate)
+            values = []
+            for pin in pins:
+                if mark[pin] == generation:  # on-path fanin
+                    values.append((pa[pin], pa_bar[pin], p0[pin], p1[pin]))
+                else:  # off-path fanin: plain signal probability
+                    p = sp[pin]
+                    values.append((0.0, 0.0, 1.0 - p, p))
+            result = rules[code[gate]](values)
+            if not track_polarity:
+                result = merge_polarity(result)
+            pa[gate], pa_bar[gate], p0[gate], p1[gate] = result
+            mark[gate] = generation
+
+    # -------------------------------------------------------------- analysis
+
+    def analyze(
+        self,
+        sites: Sequence[int | str] | None = None,
+        sample: int | None = None,
+        seed: int = 0,
+        collapse: bool = False,
+    ) -> dict[str, EPPResult]:
+        """EPP for many sites (default: every combinational gate output).
+
+        ``sample`` draws a deterministic random subset — the treatment the
+        paper applies to its larger circuits ("a limited number of gates of
+        the circuits are simulated").  ``collapse=True`` shares one analysis
+        across provably equivalent sites (buffer/inverter chains; see
+        :mod:`repro.core.collapse`), which changes nothing in the results
+        and skips redundant passes.
+        """
+        if sites is None:
+            sites = self.default_sites()
+        sites = list(sites)
+        if sample is not None and sample < len(sites):
+            sites = random.Random(seed).sample(sites, sample)
+
+        if not collapse:
+            results: dict[str, EPPResult] = {}
+            for site in sites:
+                result = self.node_epp(site)
+                results[result.site] = result
+            return results
+
+        from repro.core.collapse import collapse_seu_sites
+
+        equivalence = collapse_seu_sites(self.circuit)
+        site_names = [
+            site if isinstance(site, str) else self.compiled.names[site]
+            for site in sites
+        ]
+        by_representative: dict[str, list[str]] = {}
+        for name in site_names:
+            rep = equivalence.representative.get(name, name)
+            by_representative.setdefault(rep, []).append(name)
+        results = {}
+        for rep, members in by_representative.items():
+            rep_result = self.node_epp(rep)
+            for member in members:
+                results[member] = EPPResult(
+                    site=member,
+                    p_sensitized=rep_result.p_sensitized,
+                    sink_values=rep_result.sink_values,
+                    cone_size=rep_result.cone_size,
+                )
+        return results
+
+    def dominant_path(self, site: int | str, sink: str | None = None) -> list[tuple[str, float]]:
+        """The highest-probability error path from ``site`` to a sink.
+
+        Greedy backward walk: starting at the chosen sink (default: the
+        reachable sink with the largest surviving error probability), at
+        every gate follow the on-path fanin whose vector carries the most
+        error.  Returns ``[(node_name, error_probability), ...]`` from the
+        site to the sink — the diagnostic a designer reads to see *where*
+        a vulnerable node's error escapes.
+        """
+        site_id = self._cones.resolve(site)
+        cone = self._cones.cone(site_id)
+        self._propagate(site_id, cone)
+        compiled = self.compiled
+        generation = self._generation
+        mark = self._mark
+        pa = self._pa
+        pa_bar = self._pa_bar
+
+        if sink is not None:
+            sink_id = self._cones.resolve(sink)
+            if sink_id not in cone.sinks:
+                raise AnalysisError(
+                    f"{compiled.names[sink_id]!r} is not a reachable sink of "
+                    f"{compiled.names[site_id]!r}"
+                )
+        else:
+            if not cone.sinks:
+                return []
+            sink_id = max(cone.sinks, key=lambda s: pa[s] + pa_bar[s])
+
+        path = [(compiled.names[sink_id], pa[sink_id] + pa_bar[sink_id])]
+        current = sink_id
+        while current != site_id:
+            best = None
+            best_error = -1.0
+            for pin in compiled.fanin(current):
+                if mark[pin] != generation:
+                    continue  # off-path
+                error = pa[pin] + pa_bar[pin]
+                if error > best_error:
+                    best_error = error
+                    best = pin
+            if best is None:
+                break  # degenerate: error created only by polarity algebra
+            path.append((compiled.names[best], best_error))
+            current = best
+        path.reverse()
+        return path

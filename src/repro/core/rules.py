@@ -1,0 +1,280 @@
+"""EPP propagation rules — paper Table 1 plus derived and generic rules.
+
+Internally every rule works on plain 4-tuples ``(pa, pa_bar, p0, p1)``
+(aliased ``Prob4``) because the EPP engine's hot loop calls these functions
+once per on-path gate.  The public wrapper :func:`propagate_values` accepts
+and returns :class:`~repro.core.fourvalue.EPPValue`.
+
+Rule provenance
+---------------
+``AND``, ``OR`` and ``NOT`` are implemented *verbatim* from the paper's
+Table 1; ``NAND``/``NOR``/``BUF``/``XNOR`` follow by composing with the NOT
+rule; ``XOR`` is derived in closed form as a group convolution over
+``Z2 x Z2`` (constant-bit, error-parity); :func:`truth_table_rule` handles
+any other cell (MUX, MAJ, ...) by exhaustive enumeration of input states.
+
+The generic rule also *defines* the semantics the closed forms must match:
+each input state is a pair of values ``(v|a=0, v|a=1)`` — ``0 -> (0,0)``,
+``1 -> (1,1)``, ``a -> (0,1)``, ``ā -> (1,0)`` — and the gate function is
+evaluated under both substitutions; the output pair maps back to a state.
+Assuming input independence, the output probability of each state is the
+sum of joint input-state probabilities producing it.  The property-based
+tests assert closed form == generic rule for all gate types.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import AnalysisError
+from repro.core.fourvalue import EPPValue
+from repro.netlist.gate_types import (
+    CODE_AND,
+    CODE_BUF,
+    CODE_MAJ,
+    CODE_MUX,
+    CODE_NAND,
+    CODE_NOR,
+    CODE_NOT,
+    CODE_OR,
+    CODE_XNOR,
+    CODE_XOR,
+    GateType,
+    truth_table,
+)
+
+__all__ = [
+    "Prob4",
+    "and_rule",
+    "nand_rule",
+    "or_rule",
+    "nor_rule",
+    "not_rule",
+    "buf_rule",
+    "xor_rule",
+    "xnor_rule",
+    "truth_table_rule",
+    "rule_for_code",
+    "propagate_values",
+    "merge_polarity",
+]
+
+#: ``(pa, pa_bar, p0, p1)``
+Prob4 = tuple[float, float, float, float]
+
+
+# --------------------------------------------------------------------------
+# Closed forms (Table 1 and derivations)
+# --------------------------------------------------------------------------
+
+
+def and_rule(inputs: Sequence[Prob4]) -> Prob4:
+    """Paper Table 1, AND row.
+
+    ``P1 = prod P1(Xi)``;
+    ``Pa = prod [P1(Xi) + Pa(Xi)] - P1``;
+    ``Pā = prod [P1(Xi) + Pā(Xi)] - P1``;
+    ``P0 = 1 - (P1 + Pa + Pā)``.
+    """
+    p1 = 1.0
+    one_or_a = 1.0
+    one_or_abar = 1.0
+    for pa, pa_bar, p0, p1_i in inputs:
+        p1 *= p1_i
+        one_or_a *= p1_i + pa
+        one_or_abar *= p1_i + pa_bar
+    pa_out = one_or_a - p1
+    pa_bar_out = one_or_abar - p1
+    if pa_out < 0.0:
+        pa_out = 0.0
+    if pa_bar_out < 0.0:
+        pa_bar_out = 0.0
+    p0_out = 1.0 - (p1 + pa_out + pa_bar_out)
+    if p0_out < 0.0:
+        p0_out = 0.0
+    return (pa_out, pa_bar_out, p0_out, p1)
+
+
+def or_rule(inputs: Sequence[Prob4]) -> Prob4:
+    """Paper Table 1, OR row (dual of AND with the roles of 0 and 1 swapped)."""
+    p0 = 1.0
+    zero_or_a = 1.0
+    zero_or_abar = 1.0
+    for pa, pa_bar, p0_i, p1_i in inputs:
+        p0 *= p0_i
+        zero_or_a *= p0_i + pa
+        zero_or_abar *= p0_i + pa_bar
+    pa_out = zero_or_a - p0
+    pa_bar_out = zero_or_abar - p0
+    if pa_out < 0.0:
+        pa_out = 0.0
+    if pa_bar_out < 0.0:
+        pa_bar_out = 0.0
+    p1_out = 1.0 - (p0 + pa_out + pa_bar_out)
+    if p1_out < 0.0:
+        p1_out = 0.0
+    return (pa_out, pa_bar_out, p0, p1_out)
+
+
+def not_rule(inputs: Sequence[Prob4]) -> Prob4:
+    """Paper Table 1, NOT row: polarities swap, constants swap."""
+    pa, pa_bar, p0, p1 = inputs[0]
+    return (pa_bar, pa, p1, p0)
+
+
+def buf_rule(inputs: Sequence[Prob4]) -> Prob4:
+    return inputs[0]
+
+
+def nand_rule(inputs: Sequence[Prob4]) -> Prob4:
+    pa, pa_bar, p0, p1 = and_rule(inputs)
+    return (pa_bar, pa, p1, p0)
+
+
+def nor_rule(inputs: Sequence[Prob4]) -> Prob4:
+    pa, pa_bar, p0, p1 = or_rule(inputs)
+    return (pa_bar, pa, p1, p0)
+
+
+def xor_rule(inputs: Sequence[Prob4]) -> Prob4:
+    """Closed-form XOR rule (derived; not in the paper's Table 1).
+
+    Encode each state as ``(c, e)`` with signal value ``c XOR (e AND a)``:
+    ``0 -> (0,0)``, ``1 -> (1,0)``, ``a -> (0,1)``, ``ā -> (1,1)``.  XOR adds
+    both components in GF(2), so the output distribution is the convolution
+    of the input distributions over the group ``Z2 x Z2``.  Note the
+    cancellation this encodes: two error-carrying inputs of *any* polarity
+    make the output error-free (``a XOR a = 0``, ``a XOR ā = 1``).
+    """
+    # dist = (P[c=0,e=0], P[c=1,e=0], P[c=0,e=1], P[c=1,e=1])
+    acc = (1.0, 0.0, 0.0, 0.0)
+    for pa, pa_bar, p0, p1 in inputs:
+        d00, d10, d01, d11 = acc
+        x00, x10, x01, x11 = p0, p1, pa, pa_bar
+        acc = (
+            d00 * x00 + d10 * x10 + d01 * x01 + d11 * x11,
+            d00 * x10 + d10 * x00 + d01 * x11 + d11 * x01,
+            d00 * x01 + d10 * x11 + d01 * x00 + d11 * x10,
+            d00 * x11 + d10 * x01 + d01 * x10 + d11 * x00,
+        )
+    d00, d10, d01, d11 = acc
+    return (d01, d11, d00, d10)
+
+
+def xnor_rule(inputs: Sequence[Prob4]) -> Prob4:
+    pa, pa_bar, p0, p1 = xor_rule(inputs)
+    return (pa_bar, pa, p1, p0)
+
+
+# --------------------------------------------------------------------------
+# Generic rule
+# --------------------------------------------------------------------------
+
+# State order used by the generic rule: index -> (value|a=0, value|a=1).
+_STATE_VALUES = ((0, 0), (1, 1), (0, 1), (1, 0))  # 0, 1, a, ā
+
+
+def truth_table_rule(table: Sequence[int], inputs: Sequence[Prob4]) -> Prob4:
+    """Exact-under-independence rule for an arbitrary gate function.
+
+    ``table`` is the gate truth table (LSB-first indexing as produced by
+    :func:`repro.netlist.gate_types.truth_table`).  Enumerates all joint
+    input states (4^n terms, pruned on zero probability).
+    """
+    n = len(inputs)
+    if len(table) != (1 << n):
+        raise AnalysisError(
+            f"truth table has {len(table)} rows but the gate has {n} inputs"
+        )
+    out = [0.0, 0.0, 0.0, 0.0]  # indexed by state: 0, 1, a, ā
+    probs = [
+        (p0, p1, pa, pa_bar) for (pa, pa_bar, p0, p1) in inputs
+    ]  # reorder to state indexing 0,1,a,ā
+
+    def recurse(position: int, weight: float, index0: int, index1: int) -> None:
+        if weight == 0.0:
+            return
+        if position == n:
+            v0 = table[index0]
+            v1 = table[index1]
+            if v0 == v1:
+                out[v0] += weight  # blocked at constant v0
+            elif v1 == 1:
+                out[2] += weight  # (0,1) = a
+            else:
+                out[3] += weight  # (1,0) = ā
+            return
+        p_states = probs[position]
+        bit = 1 << position
+        for state, p in enumerate(p_states):
+            if p == 0.0:
+                continue
+            v0, v1 = _STATE_VALUES[state]
+            recurse(
+                position + 1,
+                weight * p,
+                index0 | (bit if v0 else 0),
+                index1 | (bit if v1 else 0),
+            )
+
+    recurse(0, 1.0, 0, 0)
+    return (out[2], out[3], out[0], out[1])
+
+
+def _mux_rule(inputs: Sequence[Prob4]) -> Prob4:
+    return truth_table_rule(truth_table(GateType.MUX, 3), inputs)
+
+
+def _maj_rule(inputs: Sequence[Prob4]) -> Prob4:
+    return truth_table_rule(truth_table(GateType.MAJ, len(inputs)), inputs)
+
+
+_RULES_BY_CODE = {
+    CODE_AND: and_rule,
+    CODE_NAND: nand_rule,
+    CODE_OR: or_rule,
+    CODE_NOR: nor_rule,
+    CODE_XOR: xor_rule,
+    CODE_XNOR: xnor_rule,
+    CODE_NOT: not_rule,
+    CODE_BUF: buf_rule,
+    CODE_MUX: _mux_rule,
+    CODE_MAJ: _maj_rule,
+}
+
+
+def rule_for_code(code: int):
+    """The rule function for an integer gate code (engine dispatch)."""
+    try:
+        return _RULES_BY_CODE[code]
+    except KeyError:
+        raise AnalysisError(
+            f"no EPP propagation rule for gate code {code}; "
+            "is a non-combinational node being propagated?"
+        ) from None
+
+
+def merge_polarity(value: Prob4) -> Prob4:
+    """Collapse ``ā`` into ``a`` — the polarity-blind ablation.
+
+    With polarity merged the algebra can no longer cancel reconverging
+    errors of opposite parity; the ablation benchmark quantifies how much
+    accuracy the paper's polarity tracking buys.
+    """
+    pa, pa_bar, p0, p1 = value
+    return (pa + pa_bar, 0.0, p0, p1)
+
+
+def propagate_values(
+    gate_type: GateType, inputs: Sequence[EPPValue]
+) -> EPPValue:
+    """Public, friendly wrapper: propagate :class:`EPPValue`\\ s through a gate."""
+    if not gate_type.is_combinational:
+        raise AnalysisError(
+            f"cannot propagate through non-combinational node kind {gate_type.value}"
+        )
+    from repro.netlist.gate_types import GATE_CODES
+
+    rule = rule_for_code(GATE_CODES[gate_type])
+    result = rule([value.as_tuple() for value in inputs])
+    return EPPValue.clamped(*result)

@@ -1,0 +1,40 @@
+"""Combining per-output error probabilities into ``P_sensitized``.
+
+Paper Section 2::
+
+    P_sensitized(n_i) = 1 - prod_{j=1..k} (1 - (Pa(PO_j) + Pā(PO_j)))
+
+i.e. the error is *sensitized* if it survives to at least one reachable
+output, treating the per-output survival events as independent.  The same
+independence caveat as everywhere else in the method applies; the Table 2
+%Dif column measures its end-to-end effect.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import AnalysisError
+
+__all__ = ["combine_sensitization"]
+
+
+def combine_sensitization(error_probabilities: Iterable[float]) -> float:
+    """``1 - prod(1 - p_j)`` over per-output error probabilities.
+
+    Values are validated into [0, 1] (allowing tiny floating-point
+    excursions, which are clamped).  An empty iterable yields 0.0 — a site
+    with no reachable output can never be sensitized.
+    """
+    survive_none = 1.0
+    for p in error_probabilities:
+        if p < 0.0:
+            if p < -1e-9:
+                raise AnalysisError(f"error probability out of range: {p!r}")
+            p = 0.0
+        elif p > 1.0:
+            if p > 1.0 + 1e-9:
+                raise AnalysisError(f"error probability out of range: {p!r}")
+            p = 1.0
+        survive_none *= 1.0 - p
+    return 1.0 - survive_none

@@ -1,0 +1,63 @@
+"""Witness extraction: a concrete vector that sensitizes an error site.
+
+``P_sensitized`` says *how often* an SEU escapes; a designer debugging a
+vulnerable node also wants one concrete input (and state) assignment that
+demonstrates the escape.  :func:`find_sensitizing_vector` searches the
+bit-parallel detection words and unpacks the first sensitizing pattern;
+for small circuits it falls back to exhaustive enumeration, making the
+"no witness exists" answer definitive.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+from repro.netlist.circuit import Circuit
+from repro.sim.fault_sim import FaultInjector
+from repro.sim.vectors import RandomVectorSource, exhaustive_words
+
+__all__ = ["find_sensitizing_vector"]
+
+_EXHAUSTIVE_LIMIT = 20  # inputs+state bits; 1M patterns in one pass
+
+
+def find_sensitizing_vector(
+    circuit: Circuit,
+    site: str,
+    n_vectors: int = 100_000,
+    seed: int = 0,
+    word_width: int = 4096,
+) -> dict[str, int] | None:
+    """A source assignment under which flipping ``site`` reaches a sink.
+
+    Returns ``{source_name: 0/1}`` covering primary inputs and (for
+    sequential circuits) flip-flop outputs, or ``None`` if no sensitizing
+    vector was found.  With at most 20 source bits the search is
+    exhaustive, so ``None`` is then a proof of untestability; beyond that
+    it is a seeded random search over ``n_vectors`` patterns.
+    """
+    injector = FaultInjector(circuit)
+    if site not in injector.compiled.index:
+        raise AnalysisError(f"unknown error site {site!r}")
+    sources = circuit.inputs + circuit.flip_flops
+
+    if len(sources) <= _EXHAUSTIVE_LIMIT:
+        words, width = exhaustive_words(sources)
+        good = injector.simulator.run(words, width)
+        detect = injector.detection_word(good, site, width)
+        if detect == 0:
+            return None
+        pattern = (detect & -detect).bit_length() - 1  # lowest set bit
+        return {name: (words[name] >> pattern) & 1 for name in sources}
+
+    source = RandomVectorSource(sources, seed=seed)
+    remaining = n_vectors
+    while remaining > 0:
+        width = min(word_width, remaining)
+        words = source.next_words(width)
+        good = injector.simulator.run(words, width)
+        detect = injector.detection_word(good, site, width)
+        if detect:
+            pattern = (detect & -detect).bit_length() - 1
+            return {name: (words[name] >> pattern) & 1 for name in sources}
+        remaining -= width
+    return None

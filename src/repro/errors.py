@@ -1,0 +1,65 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  Subsystems raise the most specific subclass that applies; the
+messages always name the offending circuit object (node, net, file) because
+netlist debugging without names is hopeless.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a circuit (bad arity, duplicate node, cycle...)."""
+
+
+class ParseError(NetlistError):
+    """Malformed ``.bench`` (or other netlist format) input.
+
+    Attributes
+    ----------
+    line_number:
+        1-based line where the problem was found, or ``None`` if unknown.
+    """
+
+    def __init__(self, message: str, line_number: int | None = None):
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class ValidationError(NetlistError):
+    """A circuit failed structural validation.
+
+    Carries the full list of individual problems so tools can report them
+    all at once instead of one per run.
+    """
+
+    def __init__(self, problems: list[str]):
+        self.problems = list(problems)
+        summary = "; ".join(self.problems[:5])
+        extra = len(self.problems) - 5
+        if extra > 0:
+            summary += f"; ... and {extra} more"
+        super().__init__(f"{len(self.problems)} validation problem(s): {summary}")
+
+
+class SimulationError(ReproError):
+    """Logic/fault simulation was asked to do something inconsistent."""
+
+
+class ProbabilityError(ReproError):
+    """Signal-probability computation failure (bad inputs, no convergence...)."""
+
+
+class AnalysisError(ReproError):
+    """EPP / SER analysis failure (unknown node, missing SP, bad model...)."""
+
+
+class ConfigError(ReproError):
+    """Invalid model or experiment configuration values."""

@@ -1,0 +1,29 @@
+"""Regeneration harnesses for every figure and table in the paper.
+
+* :mod:`repro.experiments.figure1` — the Figure 1 worked example.
+* :mod:`repro.experiments.table1`  — Table 1 rule verification.
+* :mod:`repro.experiments.table2`  — the Table 2 benchmark comparison.
+* :mod:`repro.experiments.profiles` — the Table 2 circuit roster and the
+  paper's published reference numbers.
+* :mod:`repro.experiments.reporting` — ASCII/CSV/JSON emitters.
+
+Each harness is importable (returns structured results for tests and
+benchmarks) and runnable through the CLI (``python -m repro table2``).
+"""
+
+from repro.experiments.figure1 import run_figure1, Figure1Result
+from repro.experiments.table1 import run_table1, Table1Result
+from repro.experiments.table2 import run_table2, Table2Config, Table2Row
+from repro.experiments.profiles import TABLE2_CIRCUITS, PAPER_TABLE2
+
+__all__ = [
+    "run_figure1",
+    "Figure1Result",
+    "run_table1",
+    "Table1Result",
+    "run_table2",
+    "Table2Config",
+    "Table2Row",
+    "TABLE2_CIRCUITS",
+    "PAPER_TABLE2",
+]

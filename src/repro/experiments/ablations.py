@@ -1,0 +1,152 @@
+"""Runnable ablation suite — regenerates the EXPERIMENTS.md ablation tables.
+
+Four studies, each isolating one design decision of the reproduction:
+
+* ``polarity``  — the a/ā split on reconvergent circuits (accuracy).
+* ``baseline``  — 2005 serial vs modern bit-parallel fault simulation
+  (runtime; how much of the paper's speedup is baseline implementation).
+* ``sp``        — signal-probability backend accuracy/runtime trade.
+* ``cop``       — COP one-pass observability vs per-site EPP.
+
+Each study returns structured rows and a formatted table; the CLI command
+``python -m repro ablations`` prints all four.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.baseline import (
+    RandomSimulationEstimator,
+    SerialRandomSimulationEstimator,
+)
+from repro.core.epp import EPPEngine
+from repro.netlist.generate import random_combinational
+from repro.probability import signal_probabilities
+from repro.probability.cop import cop_observability
+from repro.probability.exact import exact_signal_probabilities
+from repro.sim.fault_sim import FaultInjector
+from repro.sim.vectors import exhaustive_words
+
+__all__ = ["AblationReport", "run_ablations"]
+
+
+@dataclass
+class AblationReport:
+    """All four studies' rows: ``{study: [(label, metrics dict), ...]}``."""
+
+    studies: dict[str, list[tuple[str, dict[str, float]]]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        lines = []
+        for study, rows in self.studies.items():
+            lines.append(f"== ablation: {study} ==")
+            for label, metrics in rows:
+                rendered = "  ".join(f"{k}={v:.4g}" for k, v in metrics.items())
+                lines.append(f"  {label:<24} {rendered}")
+            lines.append("")
+        return "\n".join(lines)
+
+
+def _ground_truth(circuit):
+    injector = FaultInjector(circuit)
+    words, width = exhaustive_words(circuit.inputs)
+    good = injector.simulator.run(words, width)
+    return {
+        site: injector.detection_count(good, site, width) / width
+        for site in circuit.gates
+    }
+
+
+def _pct_dif(values, truth):
+    abs_sum = sum(abs(values[s] - t) for s, t in truth.items())
+    return 100.0 * abs_sum / max(1e-12, sum(truth.values()))
+
+
+def run_ablations(seed: int = 0, quick: bool = True) -> AblationReport:
+    """Run all four ablation studies (deterministic given ``seed``)."""
+    report = AblationReport()
+    n_circuits = 2 if quick else 5
+    circuits = [
+        random_combinational(8, 60, seed=seed + k) for k in range(n_circuits)
+    ]
+    truths = [_ground_truth(c) for c in circuits]
+
+    # -- polarity ---------------------------------------------------------
+    rows = []
+    for label, track in (("tracked (paper)", True), ("polarity-blind", False)):
+        t0 = time.perf_counter()
+        total_dif = 0.0
+        for circuit, truth in zip(circuits, truths):
+            engine = EPPEngine(circuit, track_polarity=track)
+            values = {s: engine.p_sensitized(s) for s in circuit.gates}
+            total_dif += _pct_dif(values, truth)
+        rows.append(
+            (label, {
+                "pct_dif": total_dif / len(circuits),
+                "time_ms": (time.perf_counter() - t0) * 1e3,
+            })
+        )
+    report.studies["polarity"] = rows
+
+    # -- baseline implementation -------------------------------------------
+    circuit = circuits[0]
+    sites = circuit.gates[:5]
+    vectors = 200 if quick else 1000
+    rows = []
+    serial = SerialRandomSimulationEstimator(circuit, n_vectors=vectors, seed=seed)
+    t0 = time.perf_counter()
+    serial.estimate(sites)
+    rows.append(("serial (2005-style)", {"time_ms": (time.perf_counter() - t0) * 1e3}))
+    fast = RandomSimulationEstimator(circuit, n_vectors=vectors, seed=seed)
+    t0 = time.perf_counter()
+    fast.estimate(sites)
+    rows.append(("bit-parallel + cone", {"time_ms": (time.perf_counter() - t0) * 1e3}))
+    engine = EPPEngine(circuit)
+    t0 = time.perf_counter()
+    for site in sites:
+        engine.p_sensitized(site)
+    rows.append(("EPP (paper)", {"time_ms": (time.perf_counter() - t0) * 1e3}))
+    report.studies["baseline"] = rows
+
+    # -- SP backend ---------------------------------------------------------
+    circuit = random_combinational(10, 150, seed=seed + 42)
+    exact = exact_signal_probabilities(circuit)
+    rows = []
+    for method, options in (
+        ("topological", {}),
+        ("cut", {"cut_depth": 4}),
+        ("monte_carlo", {"n_vectors": 20_000}),
+        ("exact", {}),
+    ):
+        t0 = time.perf_counter()
+        sp = signal_probabilities(circuit, method, **options)
+        elapsed = (time.perf_counter() - t0) * 1e3
+        error = sum(abs(sp[n] - exact[n]) for n in exact) / len(exact)
+        rows.append((method, {"time_ms": elapsed, "mean_abs_err": error}))
+    report.studies["sp"] = rows
+
+    # -- COP vs EPP ----------------------------------------------------------
+    circuit = circuits[0]
+    truth = truths[0]
+    rows = []
+    t0 = time.perf_counter()
+    cop = cop_observability(circuit)
+    rows.append(
+        ("COP (all nodes, 1 pass)", {
+            "time_ms": (time.perf_counter() - t0) * 1e3,
+            "pct_dif": _pct_dif({s: cop[s] for s in circuit.gates}, truth),
+        })
+    )
+    engine = EPPEngine(circuit)
+    t0 = time.perf_counter()
+    epp_values = {s: engine.p_sensitized(s) for s in circuit.gates}
+    rows.append(
+        ("EPP (per node)", {
+            "time_ms": (time.perf_counter() - t0) * 1e3,
+            "pct_dif": _pct_dif(epp_values, truth),
+        })
+    )
+    report.studies["cop"] = rows
+    return report

@@ -1,0 +1,56 @@
+"""Table 2 circuit roster and the paper's published reference numbers.
+
+``PAPER_TABLE2`` transcribes the paper's Table 2 verbatim so reports can
+print paper-vs-measured side by side.  Column meanings (per the paper):
+
+* ``syst_ms`` — EPP ("our approach") run time per node, milliseconds;
+* ``simt_s`` — random-simulation run time per node, seconds;
+* ``pct_dif`` — difference between the two estimates, percent;
+* ``spt_s``  — signal-probability computation time, seconds;
+* ``isp`` / ``esp`` — speedup including / excluding SP time.
+
+The published per-node times satisfy
+``ESP = SimT / SysT`` and ``ISP = (SimT * k) / (SysT * k + SPT)`` with
+``k`` the circuit's node count — which the harness uses to recompute the
+same ratios from its own measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PaperTable2Row", "PAPER_TABLE2", "TABLE2_CIRCUITS"]
+
+
+@dataclass(frozen=True)
+class PaperTable2Row:
+    """One row of the paper's Table 2 (verbatim transcription)."""
+
+    circuit: str
+    syst_ms: float
+    simt_s: float
+    pct_dif: float
+    spt_s: float
+    isp: float
+    esp: float
+
+
+PAPER_TABLE2: dict[str, PaperTable2Row] = {
+    row.circuit: row
+    for row in [
+        PaperTable2Row("s953", 0.354, 28.3, 4.3, 150, 74.4, 79950),
+        PaperTable2Row("s1196", 0.750, 54.6, 3.6, 313, 92.2, 72800),
+        PaperTable2Row("s1238", 0.532, 36.9, 3.4, 207, 90.3, 69510),
+        PaperTable2Row("s1423", 2.230, 53.1, 3.9, 250, 138.5, 23810),
+        PaperTable2Row("s1488", 0.425, 7.3, 4.4, 14, 316.3, 17220),
+        PaperTable2Row("s1494", 0.704, 10.8, 4.4, 22, 303.7, 15480),
+        PaperTable2Row("s9234", 9.368, 817.2, 11.3, 4659, 970.8, 87230),
+        PaperTable2Row("s15850", 34.18, 972.1, 12.6, 5270, 1695, 28440),
+        PaperTable2Row("s35932", 7.020, 1904, 4.5, 9648, 3133, 271240),
+        PaperTable2Row("s38584", 13.860, 2317, 7.1, 12833, 3405, 167180),
+        PaperTable2Row("s38417", 14.180, 2412, 6.0, 12951, 3480, 170126),
+    ]
+}
+
+#: The circuits of Table 2, in the paper's order.
+TABLE2_CIRCUITS: list[str] = list(PAPER_TABLE2)

@@ -1,0 +1,60 @@
+"""Report emitters shared by the experiment harnesses and the CLI."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections.abc import Mapping, Sequence
+from dataclasses import asdict, is_dataclass
+
+__all__ = ["rows_to_csv", "rows_to_json", "format_columns"]
+
+
+def _as_dict(row) -> dict:
+    if is_dataclass(row) and not isinstance(row, type):
+        return asdict(row)
+    if isinstance(row, Mapping):
+        return dict(row)
+    raise TypeError(f"cannot serialize row of type {type(row).__name__}")
+
+
+def rows_to_csv(rows: Sequence, path: str | None = None) -> str:
+    """Serialize dataclass/mapping rows to CSV text (optionally to a file)."""
+    dicts = [_as_dict(row) for row in rows]
+    buffer = io.StringIO()
+    if dicts:
+        writer = csv.DictWriter(buffer, fieldnames=list(dicts[0]))
+        writer.writeheader()
+        writer.writerows(dicts)
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            handle.write(text)
+    return text
+
+
+def rows_to_json(rows: Sequence, path: str | None = None) -> str:
+    """Serialize dataclass/mapping rows to a JSON array (optionally to a file)."""
+    text = json.dumps([_as_dict(row) for row in rows], indent=2, default=str)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text
+
+
+def format_columns(
+    header: Sequence[str], rows: Sequence[Sequence], min_width: int = 6
+) -> str:
+    """Simple aligned-column ASCII table."""
+    table = [list(map(str, header))] + [list(map(str, row)) for row in rows]
+    widths = [
+        max(min_width, max(len(row[i]) for row in table))
+        for i in range(len(header))
+    ]
+    lines = []
+    for row_number, row in enumerate(table):
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        if row_number == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    return "\n".join(lines)

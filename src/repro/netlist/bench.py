@@ -1,0 +1,174 @@
+"""Reader/writer for the ISCAS ``.bench`` netlist format.
+
+The format (as used by the ISCAS'85/'89 distributions) is line oriented::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G5 = DFF(G10)
+    G8 = AND(G14, G6)
+
+Accepted gate keywords are case-insensitive: AND, NAND, OR, NOR, XOR, XNOR,
+NOT, BUF/BUFF, DFF, MUX, MAJ, plus the constant aliases GND/CONST0 and
+VCC/CONST1.  Output declarations may precede the definition of the node they
+name; gates may reference drivers defined later in the file.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from pathlib import Path
+
+from repro.errors import ParseError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+
+__all__ = ["parse_bench", "parse_bench_file", "write_bench"]
+
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^()\s]+)\s*\)$", re.IGNORECASE)
+_ASSIGN_RE = re.compile(
+    r"^([^=\s]+)\s*=\s*([A-Za-z0-9_]+)\s*\(\s*(.*?)\s*\)$"
+)
+
+_TYPE_ALIASES: dict[str, GateType] = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "DFF": GateType.DFF,
+    "MUX": GateType.MUX,
+    "MAJ": GateType.MAJ,
+    "GND": GateType.CONST0,
+    "CONST0": GateType.CONST0,
+    "VCC": GateType.CONST1,
+    "CONST1": GateType.CONST1,
+}
+
+_BENCH_NAMES: dict[GateType, str] = {
+    GateType.AND: "AND",
+    GateType.NAND: "NAND",
+    GateType.OR: "OR",
+    GateType.NOR: "NOR",
+    GateType.XOR: "XOR",
+    GateType.XNOR: "XNOR",
+    GateType.NOT: "NOT",
+    GateType.BUF: "BUFF",
+    GateType.DFF: "DFF",
+    GateType.MUX: "MUX",
+    GateType.MAJ: "MAJ",
+    GateType.CONST0: "CONST0",
+    GateType.CONST1: "CONST1",
+}
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` source text into a :class:`Circuit`.
+
+    Raises :class:`~repro.errors.ParseError` with a line number on malformed
+    input, and :class:`~repro.errors.NetlistError` on structural problems
+    (duplicate definitions, unknown drivers) discovered while building.
+    """
+    circuit = Circuit(name)
+    outputs: list[tuple[str, int]] = []
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        decl = _DECL_RE.match(line)
+        if decl:
+            keyword, signal = decl.group(1).upper(), decl.group(2)
+            if keyword == "INPUT":
+                if signal in circuit:
+                    raise ParseError(f"duplicate INPUT({signal})", line_number)
+                circuit.add_input(signal)
+            else:
+                outputs.append((signal, line_number))
+            continue
+
+        assign = _ASSIGN_RE.match(line)
+        if assign:
+            target, keyword, arg_text = assign.groups()
+            gate_type = _TYPE_ALIASES.get(keyword.upper())
+            if gate_type is None:
+                raise ParseError(f"unknown gate type {keyword!r}", line_number)
+            args = [a.strip() for a in arg_text.split(",")] if arg_text.strip() else []
+            args = [a for a in args if a]
+            try:
+                if gate_type is GateType.DFF:
+                    if len(args) != 1:
+                        raise ParseError(
+                            f"DFF takes exactly one input, got {len(args)}", line_number
+                        )
+                    circuit.add_dff(target, args[0])
+                elif gate_type in (GateType.CONST0, GateType.CONST1):
+                    if args:
+                        raise ParseError("constants take no inputs", line_number)
+                    circuit.add_const(target, 1 if gate_type is GateType.CONST1 else 0)
+                else:
+                    circuit.add_gate(target, gate_type, args)
+            except ParseError:
+                raise
+            except Exception as exc:  # NetlistError with line context
+                raise ParseError(str(exc), line_number) from exc
+            continue
+
+        raise ParseError(f"unrecognized statement: {line!r}", line_number)
+
+    for signal, line_number in outputs:
+        if signal not in circuit:
+            raise ParseError(f"OUTPUT({signal}) names an undefined signal", line_number)
+        circuit.mark_output(signal)
+
+    # Force driver resolution now so a broken file fails at parse time.
+    try:
+        circuit.compiled()
+    except ParseError:
+        raise
+    except Exception as exc:
+        raise ParseError(str(exc)) from exc
+    return circuit
+
+
+def parse_bench_file(path: str | Path, name: str | None = None) -> Circuit:
+    """Parse a ``.bench`` file; the circuit name defaults to the file stem."""
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return parse_bench(text, name=name if name is not None else path.stem)
+
+
+def write_bench(circuit: Circuit, path: str | Path | None = None) -> str:
+    """Serialize a circuit to ``.bench`` text; optionally also write ``path``.
+
+    Round-trips with :func:`parse_bench` (modulo comment lines).
+    """
+    buffer = io.StringIO()
+    buffer.write(f"# {circuit.name}\n")
+    buffer.write(
+        f"# {len(circuit.inputs)} inputs, {len(circuit.outputs)} outputs, "
+        f"{len(circuit.flip_flops)} flip-flops, {len(circuit.gates)} gates\n"
+    )
+    for name in circuit.inputs:
+        buffer.write(f"INPUT({name})\n")
+    for name in circuit.outputs:
+        buffer.write(f"OUTPUT({name})\n")
+    buffer.write("\n")
+    for node in circuit:
+        if node.gate_type is GateType.INPUT:
+            continue
+        keyword = _BENCH_NAMES[node.gate_type]
+        buffer.write(f"{node.name} = {keyword}({', '.join(node.fanin)})\n")
+    text = buffer.getvalue()
+    if path is not None:
+        with open(Path(path), "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text

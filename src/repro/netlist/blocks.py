@@ -1,0 +1,212 @@
+"""Parametric structured blocks: datapath and sequential building blocks.
+
+Complements :mod:`repro.netlist.library` (tiny fixed circuits) with
+generators for the shapes real designs — and SER studies — are made of:
+
+* :func:`carry_lookahead_adder` — two-level carry logic (wide AND/OR
+  terms, heavy reconvergence: a stress test for the EPP independence
+  assumption);
+* :func:`array_multiplier` — grade-school partial-product array with
+  full-adder rows (deep, massively reconvergent, the c6288 shape);
+* :func:`lfsr` — Fibonacci linear-feedback shift register (sequential,
+  XOR feedback);
+* :func:`shift_register` — serial-in shift chain;
+* :func:`johnson_counter` — twisted-ring counter.
+
+Every block's function is independently checkable (integer arithmetic,
+known periods), which the test suite exploits.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import NetlistError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+
+__all__ = [
+    "carry_lookahead_adder",
+    "array_multiplier",
+    "lfsr",
+    "shift_register",
+    "johnson_counter",
+]
+
+
+def carry_lookahead_adder(width: int) -> Circuit:
+    """``width``-bit adder with fully expanded two-level carry lookahead.
+
+    Inputs ``a{i}``, ``b{i}``; outputs ``s{i}`` and ``cout``.  Carry
+    ``c_{i+1} = OR_{j<=i} (g_j AND p_{j+1} AND ... AND p_i)`` — wide gates
+    whose shared generate/propagate terms reconverge at every sum bit.
+    """
+    if width < 1:
+        raise NetlistError(f"adder width must be >= 1, got {width}")
+    circuit = Circuit(f"cla{width}")
+    for i in range(width):
+        circuit.add_input(f"a{i}")
+        circuit.add_input(f"b{i}")
+        circuit.add_gate(f"g{i}", GateType.AND, [f"a{i}", f"b{i}"])
+        circuit.add_gate(f"p{i}", GateType.XOR, [f"a{i}", f"b{i}"])
+
+    carry: list[str | None] = [None] * (width + 1)  # carry[i] into bit i
+    for i in range(1, width + 1):
+        terms = []
+        for j in range(i):
+            # g_j propagated through p_{j+1}..p_{i-1}
+            chain = [f"g{j}"] + [f"p{k}" for k in range(j + 1, i)]
+            if len(chain) == 1:
+                terms.append(chain[0])
+            else:
+                name = f"t{i}_{j}"
+                circuit.add_gate(name, GateType.AND, chain)
+                terms.append(name)
+        if len(terms) == 1:
+            circuit.add_gate(f"c{i}", GateType.BUF, terms)
+        else:
+            circuit.add_gate(f"c{i}", GateType.OR, terms)
+
+    for i in range(width):
+        if i == 0:
+            circuit.add_gate("s0", GateType.BUF, ["p0"])
+        else:
+            circuit.add_gate(f"s{i}", GateType.XOR, [f"p{i}", f"c{i}"])
+        circuit.mark_output(f"s{i}")
+    circuit.add_gate("cout", GateType.BUF, [f"c{width}"])
+    circuit.mark_output("cout")
+    circuit.compiled()
+    return circuit
+
+
+def array_multiplier(width: int) -> Circuit:
+    """``width x width`` unsigned array multiplier (grade-school rows).
+
+    Inputs ``a{i}``, ``b{j}``; outputs ``m0 .. m{2*width-1}``.  Built from
+    AND partial products and ripple rows of full-adder cells — the same
+    structure that makes c6288 the classic hard case for analysis tools.
+    """
+    if width < 1:
+        raise NetlistError(f"multiplier width must be >= 1, got {width}")
+    circuit = Circuit(f"mult{width}")
+    for i in range(width):
+        circuit.add_input(f"a{i}")
+    for j in range(width):
+        circuit.add_input(f"b{j}")
+    for i in range(width):
+        for j in range(width):
+            circuit.add_gate(f"pp{i}_{j}", GateType.AND, [f"a{i}", f"b{j}"])
+
+    def full_adder_cell(name: str, x: str, y: str, z: str) -> tuple[str, str]:
+        """Returns (sum, carry) net names."""
+        circuit.add_gate(f"{name}_x", GateType.XOR, [x, y])
+        circuit.add_gate(f"{name}_s", GateType.XOR, [f"{name}_x", z])
+        circuit.add_gate(f"{name}_c1", GateType.AND, [x, y])
+        circuit.add_gate(f"{name}_c2", GateType.AND, [f"{name}_x", z])
+        circuit.add_gate(f"{name}_c", GateType.OR, [f"{name}_c1", f"{name}_c2"])
+        return f"{name}_s", f"{name}_c"
+
+    def half_adder_cell(name: str, x: str, y: str) -> tuple[str, str]:
+        circuit.add_gate(f"{name}_s", GateType.XOR, [x, y])
+        circuit.add_gate(f"{name}_c", GateType.AND, [x, y])
+        return f"{name}_s", f"{name}_c"
+
+    # Row 0 is just the partial products of b0.
+    row = [f"pp{i}_0" for i in range(width)]
+    outputs = [row[0]]  # m0
+    row = row[1:]
+
+    for j in range(1, width):
+        incoming = [f"pp{i}_{j}" for i in range(width)]
+        next_row: list[str] = []
+        carry: str | None = None
+        for position in range(width):
+            partial = incoming[position]
+            accumulated = row[position] if position < len(row) else None
+            operands = [s for s in (partial, accumulated, carry) if s is not None]
+            cell = f"r{j}_{position}"
+            if len(operands) == 1:
+                next_row.append(operands[0])
+                carry = None
+            elif len(operands) == 2:
+                total, carry = half_adder_cell(cell, *operands)
+                next_row.append(total)
+            else:
+                total, carry = full_adder_cell(cell, *operands)
+                next_row.append(total)
+        if carry is not None:
+            next_row.append(carry)
+        outputs.append(next_row[0])  # bit j of the product
+        row = next_row[1:]
+
+    outputs.extend(row)  # the remaining high bits
+    while len(outputs) < 2 * width:  # width=1: the high product bit is 0
+        pad = f"const0_{len(outputs)}"
+        circuit.add_const(pad, 0)
+        outputs.append(pad)
+    for bit, net in enumerate(outputs):
+        alias = f"m{bit}"
+        if net != alias:
+            circuit.add_gate(alias, GateType.BUF, [net])
+        circuit.mark_output(alias)
+    circuit.compiled()
+    return circuit
+
+
+def lfsr(width: int, taps: Sequence[int] | None = None) -> Circuit:
+    """Fibonacci LFSR: shift chain ``q0 <- q1 <- ... <- feedback``.
+
+    ``taps`` lists the 1-based stages XORed into the feedback bit that
+    enters at ``q{width-1}``.  The default ``(1, 2)`` is maximal-period
+    (``2^width - 1``) for widths 3, 4 and 6 in this orientation; pass the
+    appropriate taps for other widths.  Output is every state bit.  Note
+    the all-zero state is a fixed point, as in hardware.
+    """
+    if width < 2:
+        raise NetlistError(f"lfsr width must be >= 2, got {width}")
+    taps = tuple(taps) if taps is not None else (1, 2)
+    if any(not 1 <= t <= width for t in taps) or len(set(taps)) < 2:
+        raise NetlistError(f"taps must be >= 2 distinct stages in 1..{width}")
+    circuit = Circuit(f"lfsr{width}")
+    circuit.add_input("en")  # enables observation of a running register
+    tap_nets = [f"q{t - 1}" for t in taps]
+    circuit.add_gate("fb", GateType.XOR, tap_nets)
+    for i in range(width):
+        source = f"q{i + 1}" if i + 1 < width else "fb"
+        circuit.add_gate(f"d{i}", GateType.BUF, [source])
+        circuit.add_dff(f"q{i}", f"d{i}")
+        circuit.add_gate(f"o{i}", GateType.AND, [f"q{i}", "en"])
+        circuit.mark_output(f"o{i}")
+    circuit.compiled()
+    return circuit
+
+
+def shift_register(width: int) -> Circuit:
+    """Serial-in parallel-out shift register (``sin`` shifts toward q0)."""
+    if width < 1:
+        raise NetlistError(f"shift register width must be >= 1, got {width}")
+    circuit = Circuit(f"shift{width}")
+    circuit.add_input("sin")
+    previous = "sin"
+    for i in range(width - 1, -1, -1):
+        circuit.add_dff(f"q{i}", previous)
+        previous = f"q{i}"
+    for i in range(width):
+        circuit.mark_output(f"q{i}")
+    circuit.compiled()
+    return circuit
+
+
+def johnson_counter(width: int) -> Circuit:
+    """Twisted-ring (Johnson) counter: period ``2*width`` from reset."""
+    if width < 1:
+        raise NetlistError(f"johnson width must be >= 1, got {width}")
+    circuit = Circuit(f"johnson{width}")
+    circuit.add_gate("nq_last", GateType.NOT, [f"q{width - 1}"])
+    circuit.add_dff("q0", "nq_last")
+    for i in range(1, width):
+        circuit.add_dff(f"q{i}", f"q{i - 1}")
+    for i in range(width):
+        circuit.mark_output(f"q{i}")
+    circuit.compiled()
+    return circuit

@@ -1,0 +1,339 @@
+"""Embedded reference circuits.
+
+Real benchmark circuits that are small enough to reproduce exactly from the
+literature are embedded as ``.bench`` text:
+
+* ``s27``  — the smallest ISCAS'89 sequential benchmark (4 PI, 1 PO, 3 DFF,
+  10 gates including the two inverters).
+* ``c17``  — the smallest ISCAS'85 combinational benchmark (5 PI, 2 PO,
+  6 NAND gates).
+
+The paper's **Figure 1** example circuit is provided by
+:func:`figure1_circuit` together with the signal probabilities used in the
+worked example; the golden numbers it must reproduce live in
+:data:`FIGURE1_EXPECTED`.
+
+A set of parametric teaching circuits (adders, parity trees, mux trees,
+decoders, a sequential counter) rounds out the library; they are used by the
+unit tests, the property-based tests and the examples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import NetlistError
+from repro.netlist.bench import parse_bench
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+
+__all__ = [
+    "S27_BENCH",
+    "C17_BENCH",
+    "FIGURE1_SIGNAL_PROBS",
+    "FIGURE1_EXPECTED",
+    "s27",
+    "c17",
+    "figure1_circuit",
+    "half_adder",
+    "full_adder",
+    "ripple_carry_adder",
+    "parity_tree",
+    "mux_tree",
+    "decoder",
+    "equality_comparator",
+    "counter",
+    "list_circuits",
+    "get_circuit",
+]
+
+S27_BENCH = """\
+# s27 — ISCAS'89
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+C17_BENCH = """\
+# c17 — ISCAS'85
+INPUT(N1)
+INPUT(N2)
+INPUT(N3)
+INPUT(N6)
+INPUT(N7)
+OUTPUT(N22)
+OUTPUT(N23)
+N10 = NAND(N1, N3)
+N11 = NAND(N3, N6)
+N16 = NAND(N2, N11)
+N19 = NAND(N11, N7)
+N22 = NAND(N10, N16)
+N23 = NAND(N16, N19)
+"""
+
+
+def s27() -> Circuit:
+    """The ISCAS'89 s27 benchmark (sequential)."""
+    return parse_bench(S27_BENCH, name="s27")
+
+
+def c17() -> Circuit:
+    """The ISCAS'85 c17 benchmark (combinational)."""
+    return parse_bench(C17_BENCH, name="c17")
+
+
+# --------------------------------------------------------------------------
+# Paper Figure 1 example
+# --------------------------------------------------------------------------
+
+#: Off-path signal probabilities used by the paper's Figure 1 walkthrough.
+FIGURE1_SIGNAL_PROBS: dict[str, float] = {"B": 0.2, "C": 0.3, "F": 0.7}
+
+#: Golden EPP vector at node H for an SEU at gate A (paper Section 2):
+#: P(H) = 0.042(a) + 0.392(a_bar) + 0.168(0) + 0.398(1).
+FIGURE1_EXPECTED: dict[str, float] = {
+    "pa": 0.042,
+    "pa_bar": 0.392,
+    "p0": 0.168,
+    "p1": 0.398,
+    "p_sensitized": 0.042 + 0.392,
+}
+
+
+def figure1_circuit() -> Circuit:
+    """The reconvergent example circuit of the paper's Figure 1.
+
+    Structure (reconstructed from the worked numbers in Section 2):
+
+    * ``A`` is the error-site gate output (modeled as a primary input here —
+      the SEU analysis places the erroneous value on it directly);
+    * ``E = NOT(A)`` — so ``P(E) = 1(a_bar)``;
+    * ``D = AND(A, B)`` with off-path ``SP_B = 0.2`` — ``P(D) = 0.2(a) + 0.8(0)``;
+    * ``G = AND(E, F)`` with off-path ``SP_F = 0.7`` — ``P(G) = 0.7(a_bar) + 0.3(0)``;
+    * ``H = OR(C, D, G)`` with off-path ``SP_C = 0.3`` — the reconvergent gate;
+    * ``H`` is the primary output.
+
+    The two paths A→D→H and A→E→G→H reconverge at H with opposite error
+    polarities, which is exactly what the four-valued rules must handle.
+    """
+    circuit = Circuit("figure1")
+    for name in ("A", "B", "C", "F"):
+        circuit.add_input(name)
+    circuit.add_gate("E", GateType.NOT, ["A"])
+    circuit.add_gate("D", GateType.AND, ["A", "B"])
+    circuit.add_gate("G", GateType.AND, ["E", "F"])
+    circuit.add_gate("H", GateType.OR, ["C", "D", "G"])
+    circuit.mark_output("H")
+    circuit.compiled()
+    return circuit
+
+
+# --------------------------------------------------------------------------
+# Parametric teaching circuits
+# --------------------------------------------------------------------------
+
+
+def half_adder() -> Circuit:
+    """2-input half adder: sum = a XOR b, carry = a AND b."""
+    circuit = Circuit("half_adder")
+    circuit.add_input("a")
+    circuit.add_input("b")
+    circuit.add_gate("sum", GateType.XOR, ["a", "b"])
+    circuit.add_gate("carry", GateType.AND, ["a", "b"])
+    circuit.mark_output("sum")
+    circuit.mark_output("carry")
+    return circuit
+
+
+def full_adder(name: str = "full_adder") -> Circuit:
+    """1-bit full adder built from two half adders and an OR."""
+    circuit = Circuit(name)
+    for pin in ("a", "b", "cin"):
+        circuit.add_input(pin)
+    circuit.add_gate("s1", GateType.XOR, ["a", "b"])
+    circuit.add_gate("c1", GateType.AND, ["a", "b"])
+    circuit.add_gate("sum", GateType.XOR, ["s1", "cin"])
+    circuit.add_gate("c2", GateType.AND, ["s1", "cin"])
+    circuit.add_gate("cout", GateType.OR, ["c1", "c2"])
+    circuit.mark_output("sum")
+    circuit.mark_output("cout")
+    return circuit
+
+
+def ripple_carry_adder(width: int) -> Circuit:
+    """``width``-bit ripple-carry adder (a[i], b[i] -> s[i], final cout)."""
+    if width < 1:
+        raise NetlistError(f"adder width must be >= 1, got {width}")
+    circuit = Circuit(f"rca{width}")
+    carry = None
+    for i in range(width):
+        a, b = f"a{i}", f"b{i}"
+        circuit.add_input(a)
+        circuit.add_input(b)
+        if carry is None:
+            circuit.add_gate(f"s{i}", GateType.XOR, [a, b])
+            circuit.add_gate(f"c{i}", GateType.AND, [a, b])
+        else:
+            circuit.add_gate(f"x{i}", GateType.XOR, [a, b])
+            circuit.add_gate(f"s{i}", GateType.XOR, [f"x{i}", carry])
+            circuit.add_gate(f"g{i}", GateType.AND, [a, b])
+            circuit.add_gate(f"p{i}", GateType.AND, [f"x{i}", carry])
+            circuit.add_gate(f"c{i}", GateType.OR, [f"g{i}", f"p{i}"])
+        circuit.mark_output(f"s{i}")
+        carry = f"c{i}"
+    circuit.mark_output(carry)
+    return circuit
+
+
+def parity_tree(width: int) -> Circuit:
+    """Balanced XOR tree computing the parity of ``width`` inputs."""
+    if width < 1:
+        raise NetlistError(f"parity width must be >= 1, got {width}")
+    circuit = Circuit(f"parity{width}")
+    layer = [circuit.add_input(f"x{i}") for i in range(width)]
+    level = 0
+    while len(layer) > 1:
+        next_layer = []
+        for i in range(0, len(layer) - 1, 2):
+            name = f"p{level}_{i // 2}"
+            circuit.add_gate(name, GateType.XOR, [layer[i], layer[i + 1]])
+            next_layer.append(name)
+        if len(layer) % 2:
+            next_layer.append(layer[-1])
+        layer = next_layer
+        level += 1
+    if circuit.node(layer[0]).gate_type is GateType.INPUT:
+        circuit.add_gate("parity", GateType.BUF, [layer[0]])
+        circuit.mark_output("parity")
+    else:
+        circuit.mark_output(layer[0])
+    return circuit
+
+
+def mux_tree(select_bits: int) -> Circuit:
+    """A ``2**select_bits``-to-1 multiplexer built from 2:1 MUX cells."""
+    if select_bits < 1:
+        raise NetlistError(f"mux tree needs >= 1 select bit, got {select_bits}")
+    circuit = Circuit(f"mux{1 << select_bits}")
+    selects = [circuit.add_input(f"s{i}") for i in range(select_bits)]
+    layer = [circuit.add_input(f"d{i}") for i in range(1 << select_bits)]
+    for level, select in enumerate(selects):
+        next_layer = []
+        for i in range(0, len(layer), 2):
+            name = f"m{level}_{i // 2}"
+            circuit.add_gate(name, GateType.MUX, [select, layer[i], layer[i + 1]])
+            next_layer.append(name)
+        layer = next_layer
+    circuit.mark_output(layer[0])
+    return circuit
+
+
+def decoder(address_bits: int) -> Circuit:
+    """``address_bits``-to-``2**address_bits`` one-hot decoder."""
+    if address_bits < 1:
+        raise NetlistError(f"decoder needs >= 1 address bit, got {address_bits}")
+    circuit = Circuit(f"dec{address_bits}")
+    addresses = [circuit.add_input(f"a{i}") for i in range(address_bits)]
+    inverted = []
+    for i, addr in enumerate(addresses):
+        inv = f"n{i}"
+        circuit.add_gate(inv, GateType.NOT, [addr])
+        inverted.append(inv)
+    for row in range(1 << address_bits):
+        terms = [
+            addresses[bit] if (row >> bit) & 1 else inverted[bit]
+            for bit in range(address_bits)
+        ]
+        name = f"y{row}"
+        circuit.add_gate(name, GateType.AND, terms)
+        circuit.mark_output(name)
+    return circuit
+
+
+def equality_comparator(width: int) -> Circuit:
+    """``width``-bit equality comparator: eq = AND of per-bit XNORs."""
+    if width < 1:
+        raise NetlistError(f"comparator width must be >= 1, got {width}")
+    circuit = Circuit(f"eq{width}")
+    bits = []
+    for i in range(width):
+        a, b = f"a{i}", f"b{i}"
+        circuit.add_input(a)
+        circuit.add_input(b)
+        name = f"e{i}"
+        circuit.add_gate(name, GateType.XNOR, [a, b])
+        bits.append(name)
+    circuit.add_gate("eq", GateType.AND, bits)
+    circuit.mark_output("eq")
+    return circuit
+
+
+def counter(width: int) -> Circuit:
+    """``width``-bit synchronous binary up-counter with enable (sequential).
+
+    State bit i toggles when enable and all lower bits are 1.
+    """
+    if width < 1:
+        raise NetlistError(f"counter width must be >= 1, got {width}")
+    circuit = Circuit(f"counter{width}")
+    enable = circuit.add_input("en")
+    carry = enable
+    for i in range(width):
+        q = f"q{i}"
+        d = f"d{i}"
+        circuit.add_gate(d, GateType.XOR, [q, carry])
+        circuit.add_dff(q, d)
+        circuit.mark_output(q)
+        if i + 1 < width:
+            nxt = f"cy{i}"
+            circuit.add_gate(nxt, GateType.AND, [carry, q])
+            carry = nxt
+    return circuit
+
+
+_REGISTRY: dict[str, Callable[[], Circuit]] = {
+    "s27": s27,
+    "c17": c17,
+    "figure1": figure1_circuit,
+    "half_adder": half_adder,
+    "full_adder": full_adder,
+    "rca8": lambda: ripple_carry_adder(8),
+    "rca16": lambda: ripple_carry_adder(16),
+    "parity8": lambda: parity_tree(8),
+    "parity16": lambda: parity_tree(16),
+    "mux8": lambda: mux_tree(3),
+    "dec3": lambda: decoder(3),
+    "eq8": lambda: equality_comparator(8),
+    "counter4": lambda: counter(4),
+}
+
+
+def list_circuits() -> list[str]:
+    """Names accepted by :func:`get_circuit`."""
+    return sorted(_REGISTRY)
+
+
+def get_circuit(name: str) -> Circuit:
+    """Build a library circuit by name (fresh instance each call)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise NetlistError(
+            f"unknown library circuit {name!r}; available: {', '.join(list_circuits())}"
+        ) from None
+    return factory()

@@ -1,0 +1,100 @@
+"""Structural lint for circuits.
+
+:func:`validate_circuit` collects *all* problems instead of stopping at the
+first, so a tool run reports everything wrong with a netlist at once.
+Checks performed:
+
+* every fanin reference resolves to a defined node;
+* no combinational cycles (DFF boundaries legitimately break cycles);
+* gate arities are legal (also enforced at construction, re-checked here);
+* every primary output names a defined node;
+* no dangling combinational nodes (drive nothing and are not outputs) —
+  reported as warnings, not errors, since dead logic is legal;
+* at least one observable sink exists (PO or DFF), otherwise every analysis
+  would be trivially zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NetlistError, ValidationError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType, check_arity
+
+__all__ = ["ValidationReport", "validate_circuit"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_circuit`.
+
+    ``errors`` make a circuit unusable; ``warnings`` are suspicious but legal
+    constructs (dead logic, unused inputs).
+    """
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_failed(self) -> None:
+        if self.errors:
+            raise ValidationError(self.errors)
+
+
+def validate_circuit(circuit: Circuit, strict: bool = False) -> ValidationReport:
+    """Run all structural checks on ``circuit``.
+
+    With ``strict=True`` a failing report raises
+    :class:`~repro.errors.ValidationError` immediately.
+    """
+    report = ValidationReport()
+
+    defined = set(circuit.node_names())
+    for node in circuit:
+        for driver in node.fanin:
+            if driver not in defined:
+                report.errors.append(
+                    f"node {node.name!r} references undefined driver {driver!r}"
+                )
+        try:
+            check_arity(node.gate_type, len(node.fanin), node.name)
+        except NetlistError as exc:
+            report.errors.append(str(exc))
+
+    for output in circuit.outputs:
+        if output not in defined:
+            report.errors.append(f"OUTPUT marker names undefined node {output!r}")
+
+    if not report.errors:
+        try:
+            circuit.compiled()
+        except NetlistError as exc:
+            report.errors.append(str(exc))
+
+    if not report.errors:
+        compiled = circuit.compiled()
+        output_set = set(compiled.output_ids)
+        for node_id in range(compiled.n):
+            gate_type = compiled.gate_type(node_id)
+            has_users = bool(compiled.fanout(node_id))
+            if node_id in output_set or has_users:
+                continue
+            if gate_type is GateType.INPUT:
+                report.warnings.append(f"unused primary input {compiled.names[node_id]!r}")
+            elif gate_type.is_combinational or gate_type is GateType.DFF:
+                report.warnings.append(
+                    f"dead node {compiled.names[node_id]!r} "
+                    f"({gate_type.value}): drives nothing and is not an output"
+                )
+        if not compiled.sink_ids:
+            report.errors.append(
+                "circuit has no observable sinks (no primary outputs and no flip-flops)"
+            )
+
+    if strict:
+        report.raise_if_failed()
+    return report

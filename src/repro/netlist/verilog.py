@@ -1,0 +1,273 @@
+"""Structural Verilog reader/writer (gate-level subset).
+
+Gate-level SER flows live in two interchange formats: ISCAS ``.bench`` and
+structural Verilog netlists built from primitive gates (the form the
+ISCAS'89 circuits are distributed in by several benchmark mirrors).  This
+module supports the structural subset those netlists use:
+
+* one ``module``/``endmodule`` per source;
+* ``input`` / ``output`` / ``wire`` declarations (comma lists, repeated
+  declarations, multi-line statements);
+* primitive gate instantiations with positional ports, output first:
+  ``nand g1 (out, in1, in2);`` for ``and/nand/or/nor/xor/xnor/not/buf``;
+* flip-flops as ``dff`` instances, positional ``(Q, D)`` or named
+  ``(.Q(q), .D(d))`` ports (both appear in the wild);
+* extended cells ``mux s a b`` (``mux m (out, sel, a, b);``) and odd-arity
+  ``maj``, matching this library's gate alphabet;
+* continuous assigns limited to aliases and constants:
+  ``assign a = b;``, ``assign a = 1'b0;``.
+
+Out of scope (rejected with a :class:`~repro.errors.ParseError` naming the
+line): vectors/buses, expressions in ``assign``, parameters, hierarchy.
+
+The writer emits exactly this subset, so write→parse round-trips.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from pathlib import Path
+
+from repro.errors import ParseError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+
+__all__ = ["parse_verilog", "parse_verilog_file", "write_verilog"]
+
+_PRIMITIVES: dict[str, GateType] = {
+    "and": GateType.AND,
+    "nand": GateType.NAND,
+    "or": GateType.OR,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.NOT,
+    "buf": GateType.BUF,
+    "mux": GateType.MUX,
+    "maj": GateType.MAJ,
+    "dff": GateType.DFF,
+}
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_$]*"
+_MODULE_RE = re.compile(rf"^module\s+({_IDENT})\s*(?:\((.*?)\))?\s*$", re.DOTALL)
+_DECL_RE = re.compile(r"^(input|output|wire)\s+(.+)$", re.DOTALL)
+_INST_RE = re.compile(rf"^({_IDENT})\s+({_IDENT})\s*\((.*)\)$", re.DOTALL)
+_ASSIGN_RE = re.compile(rf"^assign\s+({_IDENT})\s*=\s*(.+)$", re.DOTALL)
+_NAMED_PORT_RE = re.compile(rf"^\.({_IDENT})\s*\(\s*({_IDENT})\s*\)$")
+_CONST_RE = re.compile(r"^1'b([01])$")
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def _statements(text: str) -> list[tuple[str, int]]:
+    """Split on ';' / 'endmodule', keeping the starting line of each statement."""
+    statements: list[tuple[str, int]] = []
+    buffer: list[str] = []
+    start_line = 1
+    line = 1
+    for char in text:
+        if char == "\n":
+            line += 1
+        if char == ";":
+            statement = "".join(buffer).strip()
+            if statement:
+                statements.append((statement, start_line))
+            buffer = []
+            start_line = line
+            continue
+        buffer.append(char)
+    tail = "".join(buffer).strip()
+    if tail:
+        statements.append((tail, start_line))
+    return statements
+
+
+def parse_verilog(text: str, name: str | None = None) -> Circuit:
+    """Parse a structural Verilog module into a :class:`Circuit`.
+
+    ``name`` overrides the module name for the returned circuit.
+    """
+    source = _strip_comments(text)
+    statements = _statements(source)
+    if not statements:
+        raise ParseError("empty Verilog source")
+
+    circuit: Circuit | None = None
+    outputs: list[str] = []
+    instance_count = 0
+    ended = False
+
+    for statement, line in statements:
+        statement = re.sub(r"\s+", " ", statement).strip()
+        if not statement:
+            continue
+        # 'endmodule' has no terminating ';', so it may share a statement
+        # with whatever follows it.
+        if statement.startswith("endmodule"):
+            ended = True
+            statement = statement[len("endmodule"):].strip()
+            if not statement:
+                continue
+        if ended:
+            raise ParseError("statements after endmodule", line)
+
+        module = _MODULE_RE.match(statement)
+        if module:
+            if circuit is not None:
+                raise ParseError("only one module per source is supported", line)
+            circuit = Circuit(name if name is not None else module.group(1))
+            continue
+        if circuit is None:
+            raise ParseError("statement before module header", line)
+
+        declaration = _DECL_RE.match(statement)
+        if declaration:
+            kind, names_text = declaration.groups()
+            if "[" in names_text:
+                raise ParseError("vector/bus declarations are not supported", line)
+            names = [n.strip() for n in names_text.split(",") if n.strip()]
+            for signal in names:
+                if not re.fullmatch(_IDENT, signal):
+                    raise ParseError(f"bad identifier {signal!r}", line)
+                if kind == "input":
+                    if signal not in circuit:
+                        circuit.add_input(signal)
+                elif kind == "output":
+                    outputs.append(signal)
+                # 'wire' declarations carry no structure; drivers define nodes.
+            continue
+
+        assign = _ASSIGN_RE.match(statement)
+        if assign:
+            target, expression = assign.groups()
+            expression = expression.strip()
+            constant = _CONST_RE.match(expression)
+            try:
+                if constant:
+                    circuit.add_const(target, int(constant.group(1)))
+                elif re.fullmatch(_IDENT, expression):
+                    circuit.add_gate(target, GateType.BUF, [expression])
+                else:
+                    raise ParseError(
+                        f"only alias/constant assigns are supported, got {expression!r}",
+                        line,
+                    )
+            except ParseError:
+                raise
+            except Exception as exc:
+                raise ParseError(str(exc), line) from exc
+            continue
+
+        instance = _INST_RE.match(statement)
+        if instance:
+            keyword, _instance_name, ports_text = instance.groups()
+            gate_type = _PRIMITIVES.get(keyword.lower())
+            if gate_type is None:
+                raise ParseError(f"unknown primitive {keyword!r}", line)
+            ports = [p.strip() for p in ports_text.split(",") if p.strip()]
+            if not ports:
+                raise ParseError(f"instance {keyword} has no ports", line)
+            instance_count += 1
+            try:
+                _add_instance(circuit, gate_type, ports, line)
+            except ParseError:
+                raise
+            except Exception as exc:
+                raise ParseError(str(exc), line) from exc
+            continue
+
+        raise ParseError(f"unrecognized statement: {statement[:60]!r}", line)
+
+    if circuit is None:
+        raise ParseError("no module found")
+    if not ended:
+        raise ParseError("missing endmodule")
+    for signal in outputs:
+        if signal not in circuit:
+            raise ParseError(f"output {signal!r} is never driven")
+        circuit.mark_output(signal)
+    try:
+        circuit.compiled()
+    except Exception as exc:
+        raise ParseError(str(exc)) from exc
+    return circuit
+
+
+def _add_instance(circuit: Circuit, gate_type: GateType, ports: list[str], line: int) -> None:
+    named = [_NAMED_PORT_RE.match(port) for port in ports]
+    if any(named):
+        if not all(named):
+            raise ParseError("cannot mix named and positional ports", line)
+        if gate_type is not GateType.DFF:
+            raise ParseError("named ports are only supported on dff instances", line)
+        by_name = {m.group(1).upper(): m.group(2) for m in named}
+        missing = {"Q", "D"} - set(by_name)
+        if missing:
+            raise ParseError(f"dff instance missing port(s) {sorted(missing)}", line)
+        circuit.add_dff(by_name["Q"], by_name["D"])
+        return
+    out, *fanin = ports
+    if gate_type is GateType.DFF:
+        if len(fanin) != 1:
+            raise ParseError("dff takes exactly (Q, D)", line)
+        circuit.add_dff(out, fanin[0])
+    else:
+        circuit.add_gate(out, gate_type, fanin)
+
+
+def parse_verilog_file(path: str | Path, name: str | None = None) -> Circuit:
+    """Parse a structural Verilog file (circuit name defaults to the module's)."""
+    with open(Path(path), "r", encoding="utf-8") as handle:
+        return parse_verilog(handle.read(), name=name)
+
+
+def write_verilog(circuit: Circuit, path: str | Path | None = None) -> str:
+    """Serialize a circuit as a structural Verilog module.
+
+    Round-trips with :func:`parse_verilog` (constants become assigns; MUX
+    and MAJ use the extended ``mux``/``maj`` primitives).
+    """
+    buffer = io.StringIO()
+    module_name = re.sub(r"[^A-Za-z0-9_$]", "_", circuit.name) or "top"
+    if not re.match(r"[A-Za-z_]", module_name):
+        module_name = "m_" + module_name
+    port_list = circuit.inputs + circuit.outputs
+    buffer.write(f"// generated by repro.netlist.verilog\n")
+    buffer.write(f"module {module_name} ({', '.join(port_list)});\n")
+    if circuit.inputs:
+        buffer.write(f"  input {', '.join(circuit.inputs)};\n")
+    if circuit.outputs:
+        buffer.write(f"  output {', '.join(circuit.outputs)};\n")
+    interior = [
+        node.name
+        for node in circuit
+        if node.gate_type is not GateType.INPUT and node.name not in circuit.outputs
+    ]
+    if interior:
+        buffer.write(f"  wire {', '.join(interior)};\n")
+    buffer.write("\n")
+
+    index = 0
+    for node in circuit:
+        if node.gate_type is GateType.INPUT:
+            continue
+        if node.gate_type is GateType.CONST0:
+            buffer.write(f"  assign {node.name} = 1'b0;\n")
+            continue
+        if node.gate_type is GateType.CONST1:
+            buffer.write(f"  assign {node.name} = 1'b1;\n")
+            continue
+        keyword = node.gate_type.value.lower()
+        ports = ", ".join((node.name,) + node.fanin)
+        buffer.write(f"  {keyword} U{index} ({ports});\n")
+        index += 1
+    buffer.write("endmodule\n")
+    text = buffer.getvalue()
+    if path is not None:
+        with open(Path(path), "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text

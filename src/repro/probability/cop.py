@@ -1,0 +1,126 @@
+"""COP-style observability — the classic one-pass baseline EPP refines.
+
+The controllability/observability program (COP, Brglez 1984) estimates a
+node's observability — the probability a value change at the node changes
+an observable output — with a single *reverse* topological pass:
+
+* a sink (primary output or flip-flop D driver) has observability 1;
+* input pin ``x_i`` of a gate is observable iff the gate output is
+  observable and the other inputs sit at non-controlling values, all
+  probabilities multiplied under independence;
+* a fanout stem combines its branch observabilities as
+  ``1 - prod(1 - O_branch)``.
+
+This is exactly the quantity the paper's ``P_sensitized`` measures, but
+computed without error-polarity tracking and with an extra independence
+assumption *between fanout branches*.  The paper's EPP can be read as
+COP's observability made reconvergence-aware; the ablation benchmark
+(``bench_ablation_cop``) quantifies the accuracy the refinement buys and
+the cost it pays (COP covers **all** nodes in one pass; EPP does one pass
+*per node*).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import ProbabilityError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType, truth_table
+from repro.probability.signal_prob import compute_signal_probabilities
+
+__all__ = ["cop_observability"]
+
+
+def cop_observability(
+    circuit: Circuit,
+    signal_probs: Mapping[str, float] | None = None,
+) -> dict[str, float]:
+    """Per-node observability by the one-pass COP recurrence.
+
+    ``signal_probs`` supplies line probabilities (computed topologically
+    when omitted).  Returns observability for every node; nodes that reach
+    no sink get 0.
+    """
+    compiled = circuit.compiled()
+    if signal_probs is None:
+        signal_probs = compute_signal_probabilities(circuit)
+    sp = [0.0] * compiled.n
+    for node_id in range(compiled.n):
+        name = compiled.names[node_id]
+        try:
+            sp[node_id] = float(signal_probs[name])
+        except KeyError:
+            raise ProbabilityError(f"signal_probs is missing node {name!r}") from None
+
+    # Observability accumulates per node over its fanout pins:
+    # O(n) = 1 - prod_pins (1 - O_pin); we keep the running product.
+    survive = [1.0] * compiled.n  # prod(1 - O_pin)
+    sink_set = set(compiled.sink_ids)
+    for sink in sink_set:
+        survive[sink] = 0.0  # sinks are directly observable
+
+    # Reverse topological: users are finalized before their drivers.
+    for node_id in reversed(compiled.topo):
+        gate_type = compiled.gate_type(node_id)
+        if not gate_type.is_combinational:
+            continue
+        out_obs = 1.0 - survive[node_id]
+        if out_obs == 0.0:
+            continue
+        pins = compiled.fanin(node_id)
+        pin_obs = _pin_observabilities(gate_type, pins, sp, out_obs)
+        for pin, obs in zip(pins, pin_obs):
+            if obs > 0.0:
+                survive[pin] *= 1.0 - obs
+
+    return {
+        compiled.names[node_id]: 1.0 - survive[node_id]
+        for node_id in range(compiled.n)
+    }
+
+
+def _pin_observabilities(
+    gate_type: GateType, pins: list[int], sp: list[float], out_obs: float
+) -> list[float]:
+    """Observability of each input pin given the gate output observability."""
+    probs = [sp[p] for p in pins]
+    if gate_type in (GateType.AND, GateType.NAND):
+        return [out_obs * _product_except(probs, i) for i in range(len(pins))]
+    if gate_type in (GateType.OR, GateType.NOR):
+        complements = [1.0 - p for p in probs]
+        return [out_obs * _product_except(complements, i) for i in range(len(pins))]
+    if gate_type in (GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF):
+        return [out_obs] * len(pins)
+    if gate_type is GateType.MUX:
+        s, a, b = probs
+        data_differ = a * (1.0 - b) + b * (1.0 - a)
+        return [out_obs * data_differ, out_obs * (1.0 - s), out_obs * s]
+    # Generic (MAJ, future cells): pin i is observable when flipping it
+    # flips the output, marginalized over the other pins' probabilities.
+    table = truth_table(gate_type, len(pins))
+    sensitivities = []
+    for i in range(len(pins)):
+        total = 0.0
+        for assignment in range(1 << len(pins)):
+            if (assignment >> i) & 1:
+                continue  # count each pair once (pin at 0 vs pin at 1)
+            flipped = assignment | (1 << i)
+            if table[assignment] == table[flipped]:
+                continue
+            weight = 1.0
+            for k, p in enumerate(probs):
+                if k == i:
+                    continue
+                weight *= p if (assignment >> k) & 1 else (1.0 - p)
+            total += weight
+        sensitivities.append(out_obs * total)
+    return sensitivities
+
+
+def _product_except(values: list[float], skip: int) -> float:
+    product = 1.0
+    for index, value in enumerate(values):
+        if index != skip:
+            product *= value
+    return product

@@ -1,0 +1,232 @@
+"""Topological signal-probability computation (Parker–McCluskey style).
+
+One pass in topological order computes every node's probability of being 1
+from its fanin probabilities, assuming fanin independence.  The assumption
+is exact on trees and biased wherever reconvergent fanout correlates fanins
+— the standard, fast baseline the paper builds on (reference [5]).
+
+Sequential circuits are handled by fixed-point iteration across the
+flip-flop boundary: DFF outputs start at SP 0.5, each pass recomputes the
+D-driver SPs, and the state SPs are updated (with optional damping) until
+the largest change falls below tolerance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import ProbabilityError
+from repro.netlist.circuit import Circuit, CompiledCircuit
+from repro.netlist.gate_types import (
+    CODE_AND,
+    CODE_BUF,
+    CODE_CONST0,
+    CODE_CONST1,
+    CODE_DFF,
+    CODE_INPUT,
+    CODE_MAJ,
+    CODE_MUX,
+    CODE_NAND,
+    CODE_NOR,
+    CODE_NOT,
+    CODE_OR,
+    CODE_XNOR,
+    CODE_XOR,
+    GateType,
+    truth_table,
+)
+
+__all__ = [
+    "compute_signal_probabilities",
+    "gate_output_probability",
+    "SequentialConvergence",
+]
+
+
+def gate_output_probability(gate_type: GateType, input_probs: Sequence[float]) -> float:
+    """Probability the gate outputs 1 given independent fanin 1-probabilities."""
+    code_dispatch = {
+        GateType.AND: _p_and,
+        GateType.NAND: lambda ps: 1.0 - _p_and(ps),
+        GateType.OR: _p_or,
+        GateType.NOR: lambda ps: 1.0 - _p_or(ps),
+        GateType.XOR: _p_xor,
+        GateType.XNOR: lambda ps: 1.0 - _p_xor(ps),
+        GateType.NOT: lambda ps: 1.0 - ps[0],
+        GateType.BUF: lambda ps: ps[0],
+        GateType.CONST0: lambda ps: 0.0,
+        GateType.CONST1: lambda ps: 1.0,
+        GateType.MUX: lambda ps: (1.0 - ps[0]) * ps[1] + ps[0] * ps[2],
+    }
+    handler = code_dispatch.get(gate_type)
+    if handler is not None:
+        return handler(list(input_probs))
+    # Generic truth-table fallback (MAJ and future cells).
+    return _p_truth_table(gate_type, list(input_probs))
+
+
+def _p_and(probs: list[float]) -> float:
+    acc = 1.0
+    for p in probs:
+        acc *= p
+    return acc
+
+
+def _p_or(probs: list[float]) -> float:
+    acc = 1.0
+    for p in probs:
+        acc *= 1.0 - p
+    return 1.0 - acc
+
+
+def _p_xor(probs: list[float]) -> float:
+    odd = 0.0
+    for p in probs:
+        odd = odd * (1.0 - p) + (1.0 - odd) * p
+    return odd
+
+
+def _p_truth_table(gate_type: GateType, probs: list[float]) -> float:
+    table = truth_table(gate_type, len(probs))
+    total = 0.0
+    for assignment, out in enumerate(table):
+        if not out:
+            continue
+        term = 1.0
+        for k, p in enumerate(probs):
+            term *= p if (assignment >> k) & 1 else (1.0 - p)
+        total += term
+    return total
+
+
+class SequentialConvergence:
+    """Record of the fixed-point iteration over flip-flop probabilities."""
+
+    def __init__(self) -> None:
+        self.iterations = 0
+        self.final_delta = 0.0
+        self.converged = False
+
+
+def compute_signal_probabilities(
+    circuit: Circuit | CompiledCircuit,
+    input_probs: Mapping[str, float] | None = None,
+    state_probs: Mapping[str, float] | None = None,
+    max_iterations: int = 50,
+    tolerance: float = 1e-9,
+    damping: float = 0.0,
+    convergence: SequentialConvergence | None = None,
+) -> dict[str, float]:
+    """Topological SP for every node; fixed-point over DFFs if sequential.
+
+    Parameters
+    ----------
+    input_probs:
+        Per-primary-input probability of 1 (default 0.5).  Probabilities
+        outside [0, 1] raise :class:`~repro.errors.ProbabilityError`.
+    state_probs:
+        Initial flip-flop-output probabilities (default 0.5).
+    max_iterations, tolerance, damping:
+        Fixed-point controls for sequential circuits; ``damping`` blends the
+        new state SP with the previous one (0 = no damping) which helps
+        oscillating feedback structures converge.
+    convergence:
+        Optional out-parameter collecting iteration count and final delta.
+    """
+    compiled = circuit.compiled() if isinstance(circuit, Circuit) else circuit
+    probs = [0.0] * compiled.n
+    code = compiled.code
+
+    fixed: dict[int, float] = {}
+    for name, p in (input_probs or {}).items():
+        node_id = compiled.index.get(name)
+        if node_id is None:
+            raise ProbabilityError(f"input_probs names unknown node {name!r}")
+        if not 0.0 <= p <= 1.0:
+            raise ProbabilityError(f"probability for {name!r} out of [0,1]: {p}")
+        fixed[node_id] = float(p)
+
+    state: dict[int, float] = {dff: 0.5 for dff in compiled.dff_ids}
+    for name, p in (state_probs or {}).items():
+        node_id = compiled.index.get(name)
+        if node_id is None or compiled.gate_type(node_id) is not GateType.DFF:
+            raise ProbabilityError(f"state_probs names non-DFF node {name!r}")
+        if not 0.0 <= p <= 1.0:
+            raise ProbabilityError(f"probability for {name!r} out of [0,1]: {p}")
+        state[node_id] = float(p)
+
+    d_driver = {dff: compiled.fanin(dff)[0] for dff in compiled.dff_ids}
+    record = convergence if convergence is not None else SequentialConvergence()
+
+    iterations = max_iterations if compiled.dff_ids else 1
+    for iteration in range(max(1, iterations)):
+        _one_pass(compiled, probs, fixed, state)
+        if not compiled.dff_ids:
+            record.converged = True
+            break
+        delta = 0.0
+        new_state: dict[int, float] = {}
+        for dff, driver in d_driver.items():
+            target = probs[driver]
+            blended = damping * state[dff] + (1.0 - damping) * target
+            delta = max(delta, abs(blended - state[dff]))
+            new_state[dff] = blended
+        state = new_state
+        record.iterations = iteration + 1
+        record.final_delta = delta
+        if delta < tolerance:
+            record.converged = True
+            # One final pass so interior nodes reflect the converged state.
+            _one_pass(compiled, probs, fixed, state)
+            break
+
+    return {compiled.names[i]: probs[i] for i in range(compiled.n)}
+
+
+def _one_pass(
+    compiled: CompiledCircuit,
+    probs: list[float],
+    fixed: dict[int, float],
+    state: dict[int, float],
+) -> None:
+    """One topological SP propagation with the given source probabilities."""
+    code = compiled.code
+    for node_id in compiled.topo:
+        gate_code = code[node_id]
+        if gate_code == CODE_INPUT:
+            probs[node_id] = fixed.get(node_id, 0.5)
+        elif gate_code == CODE_DFF:
+            probs[node_id] = state[node_id]
+        elif gate_code == CODE_CONST0:
+            probs[node_id] = 0.0
+        elif gate_code == CODE_CONST1:
+            probs[node_id] = 1.0
+        else:
+            pins = compiled.fanin(node_id)
+            if gate_code == CODE_AND or gate_code == CODE_NAND:
+                acc = 1.0
+                for pin in pins:
+                    acc *= probs[pin]
+                probs[node_id] = acc if gate_code == CODE_AND else 1.0 - acc
+            elif gate_code == CODE_OR or gate_code == CODE_NOR:
+                acc = 1.0
+                for pin in pins:
+                    acc *= 1.0 - probs[pin]
+                probs[node_id] = 1.0 - acc if gate_code == CODE_OR else acc
+            elif gate_code == CODE_NOT:
+                probs[node_id] = 1.0 - probs[pins[0]]
+            elif gate_code == CODE_BUF:
+                probs[node_id] = probs[pins[0]]
+            elif gate_code == CODE_XOR or gate_code == CODE_XNOR:
+                odd = 0.0
+                for pin in pins:
+                    p = probs[pin]
+                    odd = odd * (1.0 - p) + (1.0 - odd) * p
+                probs[node_id] = odd if gate_code == CODE_XOR else 1.0 - odd
+            elif gate_code == CODE_MUX:
+                s, a, b = (probs[p] for p in pins)
+                probs[node_id] = (1.0 - s) * a + s * b
+            else:
+                probs[node_id] = _p_truth_table(
+                    compiled.gate_type(node_id), [probs[p] for p in pins]
+                )

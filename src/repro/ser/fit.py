@@ -1,0 +1,51 @@
+"""FIT unit handling and aggregation.
+
+FIT (Failures In Time) is the reliability community's unit for soft error
+rates: failures per 10^9 device-hours.  Per-node rates computed as
+``R_SEU x P_latched x P_sensitized`` are in failures/second; these helpers
+convert and combine them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import ConfigError
+
+__all__ = ["per_second_to_fit", "fit_to_per_second", "fit_to_mtbf_years", "combine_fit"]
+
+_SECONDS_PER_1E9_HOURS = 3600.0 * 1.0e9
+
+
+def per_second_to_fit(rate_per_second: float) -> float:
+    """failures/second -> FIT (failures per 1e9 device-hours)."""
+    if rate_per_second < 0:
+        raise ConfigError(f"rate must be >= 0, got {rate_per_second}")
+    return rate_per_second * _SECONDS_PER_1E9_HOURS
+
+
+def fit_to_per_second(fit: float) -> float:
+    """FIT -> failures/second."""
+    if fit < 0:
+        raise ConfigError(f"FIT must be >= 0, got {fit}")
+    return fit / _SECONDS_PER_1E9_HOURS
+
+
+def fit_to_mtbf_years(fit: float) -> float:
+    """FIT -> mean time between failures in years (inf for 0 FIT)."""
+    if fit < 0:
+        raise ConfigError(f"FIT must be >= 0, got {fit}")
+    if fit == 0:
+        return float("inf")
+    hours = 1.0e9 / fit
+    return hours / (24.0 * 365.25)
+
+
+def combine_fit(node_fits: Iterable[float]) -> float:
+    """Circuit-level FIT: rates of rare independent upsets add linearly."""
+    total = 0.0
+    for fit in node_fits:
+        if fit < 0:
+            raise ConfigError(f"FIT must be >= 0, got {fit}")
+        total += fit
+    return total

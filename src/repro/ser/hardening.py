@@ -1,0 +1,167 @@
+"""Hardening flows: selective gate hardening and TMR evaluation.
+
+The paper's conclusion motivates EPP as the tool "to identify the most
+vulnerable components to be protected by soft error hardening techniques".
+This module implements the two classic responses:
+
+* **Selective hardening** (gate upsizing, after Mohanram & Touba [3]):
+  harden the top-k SER contributors.  Upsizing by factor ``s`` divides the
+  node's sensitive cross section — hence its R_SEU and FIT — by ``s`` while
+  leaving the logic (and therefore ``P_sensitized``) unchanged, so the
+  whole cost/benefit curve falls out of a single analysis report.
+
+* **TMR** (:func:`evaluate_tmr`): triplicate-and-vote.  Evaluated with
+  *fault injection* rather than EPP, deliberately: a single-replica error
+  reconverges with the two untouched replicas at the voter, and the EPP
+  independence assumption cannot see that the other replicas carry the
+  correct value with certainty.  The function reports both numbers, making
+  it the library's canonical demonstration of where the EPP approximation
+  breaks (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.core.analysis import CircuitSERReport, SERAnalyzer
+from repro.core.baseline import RandomSimulationEstimator
+from repro.core.epp import EPPEngine
+from repro.netlist.circuit import Circuit
+from repro.netlist.transform import triplicate
+
+__all__ = [
+    "HardeningStep",
+    "HardeningCurve",
+    "selective_hardening_curve",
+    "TMRComparison",
+    "evaluate_tmr",
+]
+
+
+@dataclass(frozen=True)
+class HardeningStep:
+    """One point on the selective-hardening curve."""
+
+    n_hardened: int
+    hardened_nodes: tuple[str, ...]
+    total_fit: float
+    fit_reduction_pct: float
+    area_cost: float  # sum of (strength_factor - 1) over hardened nodes
+
+
+@dataclass
+class HardeningCurve:
+    """FIT-vs-cost curve for greedy selective hardening."""
+
+    circuit_name: str
+    strength_factor: float
+    baseline_fit: float
+    steps: list[HardeningStep] = field(default_factory=list)
+
+    def step_for_budget(self, max_nodes: int) -> HardeningStep:
+        """The deepest step within a node budget."""
+        eligible = [s for s in self.steps if s.n_hardened <= max_nodes]
+        if not eligible:
+            raise ConfigError(f"no hardening step within budget {max_nodes}")
+        return eligible[-1]
+
+    def nodes_for_target(self, target_reduction_pct: float) -> HardeningStep | None:
+        """The cheapest step achieving a target FIT reduction (None if unreachable)."""
+        for step in self.steps:
+            if step.fit_reduction_pct >= target_reduction_pct:
+                return step
+        return None
+
+
+def selective_hardening_curve(
+    report: CircuitSERReport,
+    strength_factor: float = 10.0,
+    max_nodes: int | None = None,
+) -> HardeningCurve:
+    """Greedy selective-hardening curve from an SER report.
+
+    Nodes are hardened in decreasing order of SER contribution; each step
+    divides the hardened node's FIT by ``strength_factor``.  Because
+    upsizing does not alter the logic, no re-analysis is needed — the curve
+    is exact given the report.
+    """
+    if strength_factor <= 1.0:
+        raise ConfigError(f"strength_factor must be > 1, got {strength_factor}")
+    ranked = report.ranked()
+    if max_nodes is not None:
+        ranked = ranked[:max_nodes]
+    baseline = report.total_fit
+    curve = HardeningCurve(report.circuit_name, strength_factor, baseline)
+
+    hardened: list[str] = []
+    current = baseline
+    for entry in ranked:
+        hardened.append(entry.node)
+        current -= entry.fit * (1.0 - 1.0 / strength_factor)
+        reduction = 0.0 if baseline == 0.0 else 100.0 * (baseline - current) / baseline
+        curve.steps.append(
+            HardeningStep(
+                n_hardened=len(hardened),
+                hardened_nodes=tuple(hardened),
+                total_fit=current,
+                fit_reduction_pct=reduction,
+                area_cost=len(hardened) * (strength_factor - 1.0),
+            )
+        )
+    return curve
+
+
+@dataclass(frozen=True)
+class TMRComparison:
+    """Original-vs-TMR soft-error masking, by fault injection and by EPP.
+
+    ``injection_mean_p_sens`` is averaged over the *replica copies* of the
+    original gate sites; for proper TMR it collapses to (near) zero.
+    ``epp_mean_p_sens_tmr`` will NOT collapse — the EPP independence
+    assumption cannot represent cross-replica correlation at the voter —
+    and the gap is the documented limitation of the method.
+    """
+
+    circuit_name: str
+    original_mean_p_sens: float
+    injection_mean_p_sens: float
+    epp_mean_p_sens_tmr: float
+    n_sites: int
+
+
+def evaluate_tmr(
+    circuit: Circuit,
+    n_vectors: int = 4096,
+    seed: int = 7,
+    max_sites: int | None = 64,
+) -> TMRComparison:
+    """Quantify TMR masking on replica-interior error sites.
+
+    Compares mean ``P_sensitized`` over the original circuit's gate sites
+    against (a) fault injection and (b) EPP on the corresponding replica-0
+    sites of the TMR'd circuit.
+    """
+    tmr = triplicate(circuit)
+    sites = [g for g in circuit.gates]
+    if max_sites is not None:
+        sites = sites[:max_sites]
+    tmr_sites = [f"{site}__r0" for site in sites]
+
+    original = RandomSimulationEstimator(circuit, n_vectors=n_vectors, seed=seed)
+    originals = original.estimate(sites)
+
+    injected = RandomSimulationEstimator(tmr, n_vectors=n_vectors, seed=seed)
+    injections = injected.estimate(tmr_sites)
+
+    epp = EPPEngine(tmr)
+    epp_values = [epp.p_sensitized(site) for site in tmr_sites]
+
+    n = len(sites)
+    return TMRComparison(
+        circuit_name=circuit.name,
+        original_mean_p_sens=sum(originals.values()) / n,
+        injection_mean_p_sens=sum(injections.values()) / n,
+        epp_mean_p_sens_tmr=sum(epp_values) / n,
+        n_sites=n,
+    )

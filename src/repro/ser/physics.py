@@ -1,0 +1,341 @@
+"""Physics-based derivation of ``R_SEU`` (charge collection to upset rate).
+
+The paper takes ``R_SEU(n_i)`` as an input "depending on the particle
+flux, the energy of the particle, type and size of the gate, and the
+device characteristics".  This module supplies that input from standard
+first-order radiation-effects models, so the parametric
+:class:`~repro.ser.seu_rate.SEURateModel` can be *derived* instead of
+asserted:
+
+* **Messenger current pulse** — the classic double-exponential transient
+  injected by a particle strike:
+  ``I(t) = Q/(τα-τβ) · (exp(-t/τα) - exp(-t/τβ))``.
+* **Critical charge** — ``Q_crit = C_node · V_dd / 2``: the charge needed
+  to flip a node, with node capacitance estimated from gate type and
+  fanout.
+* **SET pulse width** — the usual logarithmic model
+  ``w = τα · ln(Q/Q_crit)`` for ``Q > Q_crit`` (0 otherwise), which feeds
+  the latching-window model a physically grounded ``nominal_pulse_width``.
+* **Weibull cross section** — ``σ(L) = σ_sat (1 - exp(-((L-L₀)/W)^s))``
+  above threshold LET ``L₀``.
+* **Environments** — a sea-level-like neutron environment (total flux with
+  exponential altitude scaling) and a space-like heavy-ion environment
+  with a Heinrich-style integral LET spectrum ``F(>L) = k·L^-γ``.
+* **Rate integration** — ``R = ∫ σ(L) |dF/dL| dL`` on a log grid.
+
+All constants are order-of-magnitude placeholders in line with the 2005
+literature and are documented as such; every relative result in the
+library is insensitive to them (see ser/seu_rate.py's module docstring).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.netlist.gate_types import GateType
+from repro.ser.seu_rate import SEURateModel
+
+__all__ = [
+    "MessengerPulse",
+    "CriticalCharge",
+    "set_pulse_width",
+    "WeibullCrossSection",
+    "HeavyIonEnvironment",
+    "NeutronEnvironment",
+    "upset_rate",
+    "seu_rate_model_from_physics",
+]
+
+
+@dataclass(frozen=True)
+class MessengerPulse:
+    """Double-exponential charge-collection current pulse.
+
+    Parameters (seconds, coulombs): ``tau_alpha`` is the collection time
+    constant, ``tau_beta`` the track-establishment constant
+    (``tau_beta < tau_alpha``), ``charge`` the total collected charge.
+    """
+
+    charge: float
+    tau_alpha: float = 2.0e-10
+    tau_beta: float = 5.0e-11
+
+    def __post_init__(self) -> None:
+        if self.charge < 0:
+            raise ConfigError(f"charge must be >= 0, got {self.charge}")
+        if not 0 < self.tau_beta < self.tau_alpha:
+            raise ConfigError(
+                f"need 0 < tau_beta < tau_alpha, got {self.tau_beta}, {self.tau_alpha}"
+            )
+
+    def current(self, t: float) -> float:
+        """Instantaneous current in amperes (0 for t < 0)."""
+        if t < 0:
+            return 0.0
+        scale = self.charge / (self.tau_alpha - self.tau_beta)
+        return scale * (math.exp(-t / self.tau_alpha) - math.exp(-t / self.tau_beta))
+
+    @property
+    def peak_current(self) -> float:
+        """Maximum of the double exponential (at the analytic peak time)."""
+        return self.current(self.peak_time)
+
+    @property
+    def peak_time(self) -> float:
+        ratio = self.tau_alpha / self.tau_beta
+        return (
+            (self.tau_alpha * self.tau_beta)
+            / (self.tau_alpha - self.tau_beta)
+            * math.log(ratio)
+        )
+
+    def collected_charge(self, until: float | None = None) -> float:
+        """Integral of the current (total equals ``charge`` as t → ∞)."""
+        if until is None:
+            return self.charge
+        if until < 0:
+            return 0.0
+        scale = self.charge / (self.tau_alpha - self.tau_beta)
+        return scale * (
+            self.tau_alpha * (1.0 - math.exp(-until / self.tau_alpha))
+            - self.tau_beta * (1.0 - math.exp(-until / self.tau_beta))
+        )
+
+
+#: Relative node capacitance per gate type (unit = one reference inverter
+#: input).  Tracks transistor count / diffusion area to first order.
+_RELATIVE_CAPACITANCE: dict[GateType, float] = {
+    GateType.NOT: 1.0,
+    GateType.BUF: 1.2,
+    GateType.AND: 2.0,
+    GateType.NAND: 1.6,
+    GateType.OR: 2.0,
+    GateType.NOR: 1.6,
+    GateType.XOR: 3.0,
+    GateType.XNOR: 3.0,
+    GateType.MUX: 2.8,
+    GateType.MAJ: 3.6,
+    GateType.DFF: 4.0,
+}
+
+
+@dataclass(frozen=True)
+class CriticalCharge:
+    """``Q_crit`` estimation: ``C_node * V_dd / 2`` with a fanout term.
+
+    ``unit_capacitance`` is the reference inverter-input capacitance in
+    farads (default 2 fF, a ~130 nm-era value); each fanout load adds
+    ``fanout_fraction`` of a unit.
+    """
+
+    vdd: float = 1.2
+    unit_capacitance: float = 2.0e-15
+    fanout_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ConfigError(f"vdd must be > 0, got {self.vdd}")
+        if self.unit_capacitance <= 0:
+            raise ConfigError(
+                f"unit_capacitance must be > 0, got {self.unit_capacitance}"
+            )
+        if self.fanout_fraction < 0:
+            raise ConfigError(
+                f"fanout_fraction must be >= 0, got {self.fanout_fraction}"
+            )
+
+    def node_capacitance(self, gate_type: GateType, fanout: int = 1) -> float:
+        weight = _RELATIVE_CAPACITANCE.get(gate_type)
+        if weight is None:
+            raise ConfigError(f"no capacitance model for {gate_type.value}")
+        loads = max(0, fanout) * self.fanout_fraction
+        return self.unit_capacitance * (weight + loads)
+
+    def q_crit(self, gate_type: GateType, fanout: int = 1) -> float:
+        """Critical charge in coulombs."""
+        return self.node_capacitance(gate_type, fanout) * self.vdd / 2.0
+
+
+def set_pulse_width(
+    charge: float, q_crit: float, tau_alpha: float = 2.0e-10
+) -> float:
+    """SET pulse width: ``τα·ln(Q/Q_crit)`` above threshold, else 0."""
+    if q_crit <= 0:
+        raise ConfigError(f"q_crit must be > 0, got {q_crit}")
+    if charge < 0:
+        raise ConfigError(f"charge must be >= 0, got {charge}")
+    if charge <= q_crit:
+        return 0.0
+    return tau_alpha * math.log(charge / q_crit)
+
+
+@dataclass(frozen=True)
+class WeibullCrossSection:
+    """Upset cross section vs LET: the standard Weibull fit.
+
+    ``sigma_sat`` in cm², LETs in MeV·cm²/mg.
+    """
+
+    sigma_sat: float = 1.0e-14
+    let_threshold: float = 1.0
+    width: float = 10.0
+    shape: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.sigma_sat < 0:
+            raise ConfigError(f"sigma_sat must be >= 0, got {self.sigma_sat}")
+        if self.let_threshold < 0:
+            raise ConfigError(f"let_threshold must be >= 0, got {self.let_threshold}")
+        if self.width <= 0 or self.shape <= 0:
+            raise ConfigError("width and shape must be > 0")
+
+    def sigma(self, let: float) -> float:
+        """Cross section (cm²) at a given LET."""
+        if let <= self.let_threshold:
+            return 0.0
+        x = (let - self.let_threshold) / self.width
+        return self.sigma_sat * (1.0 - math.exp(-(x**self.shape)))
+
+    def scaled(self, factor: float) -> "WeibullCrossSection":
+        """Same curve with the saturation cross-section scaled (area term)."""
+        if factor < 0:
+            raise ConfigError(f"factor must be >= 0, got {factor}")
+        return WeibullCrossSection(
+            self.sigma_sat * factor, self.let_threshold, self.width, self.shape
+        )
+
+
+@dataclass(frozen=True)
+class HeavyIonEnvironment:
+    """Heinrich-style integral LET spectrum: ``F(>L) = k · L^-gamma``.
+
+    ``k`` in particles/cm²/s at L = 1 MeV·cm²/mg; valid over
+    ``[let_min, let_max]``.  An illustrative geosynchronous-orbit shape.
+    """
+
+    k: float = 1.0e-4
+    gamma: float = 2.0
+    let_min: float = 0.5
+    let_max: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ConfigError(f"k must be >= 0, got {self.k}")
+        if self.gamma <= 0:
+            raise ConfigError(f"gamma must be > 0, got {self.gamma}")
+        if not 0 < self.let_min < self.let_max:
+            raise ConfigError("need 0 < let_min < let_max")
+
+    def integral_flux(self, let: float) -> float:
+        """Particles/cm²/s with LET above the given value."""
+        if let >= self.let_max:
+            return 0.0
+        let = max(let, self.let_min)
+        return self.k * let ** (-self.gamma)
+
+    def differential_flux(self, let: float) -> float:
+        """|dF/dL| (particles/cm²/s per LET unit)."""
+        if not self.let_min <= let <= self.let_max:
+            return 0.0
+        return self.k * self.gamma * let ** (-self.gamma - 1.0)
+
+
+@dataclass(frozen=True)
+class NeutronEnvironment:
+    """Terrestrial neutron environment: total flux with altitude scaling.
+
+    ``ground_flux`` is the >10 MeV flux at sea level (particles/cm²/s,
+    default the canonical 5.65e-3 ≙ 56.5 n/m²/s); flux grows by e every
+    ``attenuation_length`` meters of altitude (first-order barometric
+    model, ≈ e-folding every ~1.4 km at mid latitudes).
+    """
+
+    ground_flux: float = 5.65e-3
+    attenuation_length: float = 1400.0
+
+    def __post_init__(self) -> None:
+        if self.ground_flux < 0:
+            raise ConfigError(f"ground_flux must be >= 0, got {self.ground_flux}")
+        if self.attenuation_length <= 0:
+            raise ConfigError(
+                f"attenuation_length must be > 0, got {self.attenuation_length}"
+            )
+
+    def flux(self, altitude_m: float = 0.0) -> float:
+        """Total >10 MeV neutron flux at an altitude in meters."""
+        if altitude_m < 0:
+            raise ConfigError(f"altitude must be >= 0, got {altitude_m}")
+        return self.ground_flux * math.exp(altitude_m / self.attenuation_length)
+
+    def upset_rate(self, sigma_effective_cm2: float, altitude_m: float = 0.0) -> float:
+        """Upsets/second for an effective (energy-folded) cross section."""
+        if sigma_effective_cm2 < 0:
+            raise ConfigError("cross section must be >= 0")
+        return self.flux(altitude_m) * sigma_effective_cm2
+
+
+def upset_rate(
+    cross_section: WeibullCrossSection,
+    environment: HeavyIonEnvironment,
+    n_points: int = 512,
+) -> float:
+    """Heavy-ion upset rate ``∫ σ(L)·|dF/dL| dL`` on a log-spaced grid."""
+    if n_points < 8:
+        raise ConfigError(f"n_points must be >= 8, got {n_points}")
+    lo = max(environment.let_min, cross_section.let_threshold * (1.0 + 1e-9))
+    hi = environment.let_max
+    if lo >= hi:
+        return 0.0
+    grid = np.logspace(math.log10(lo), math.log10(hi), n_points)
+    sigma = np.array([cross_section.sigma(float(l)) for l in grid])
+    dflux = np.array([environment.differential_flux(float(l)) for l in grid])
+    return float(np.trapezoid(sigma * dflux, grid))
+
+
+def seu_rate_model_from_physics(
+    charge_model: CriticalCharge | None = None,
+    cross_section: WeibullCrossSection | None = None,
+    environment: HeavyIonEnvironment | NeutronEnvironment | None = None,
+    altitude_m: float = 0.0,
+) -> SEURateModel:
+    """Derive a :class:`SEURateModel` from the physics models.
+
+    Per-type sensitivity follows each cell's sensitive area (the relative
+    capacitance weight) while the absolute scale comes from integrating
+    the cross section against the environment.  The returned model plugs
+    directly into :class:`~repro.core.analysis.SERAnalyzer`.
+    """
+    charge_model = charge_model if charge_model is not None else CriticalCharge()
+    cross_section = (
+        cross_section if cross_section is not None else WeibullCrossSection()
+    )
+    if environment is None:
+        environment = NeutronEnvironment()
+
+    if isinstance(environment, NeutronEnvironment):
+        reference_rate = environment.upset_rate(cross_section.sigma_sat, altitude_m)
+        flux = environment.flux(altitude_m)
+    else:
+        reference_rate = upset_rate(cross_section, environment)
+        flux = environment.integral_flux(environment.let_min)
+    if flux <= 0.0:
+        raise ConfigError("environment has zero flux; no upsets to model")
+
+    # SEURateModel computes rate = flux * xsection * weight.  Normalize so
+    # that a reference AND gate's rate equals the physics-derived rate and
+    # other cells scale by their sensitive-area (capacitance) ratio.
+    base_xsection = reference_rate / flux
+    reference_weight = _RELATIVE_CAPACITANCE[GateType.AND]
+    type_weights = {
+        gate_type.value: _RELATIVE_CAPACITANCE.get(gate_type, 0.0) / reference_weight
+        for gate_type in GateType
+    }
+    return SEURateModel(
+        flux=flux,
+        base_cross_section_cm2=base_xsection,
+        type_weights=type_weights,
+    )

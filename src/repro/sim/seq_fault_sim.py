@@ -1,0 +1,138 @@
+"""Multi-cycle SEU fault simulation (sequential ground truth).
+
+The single-cycle injector (:mod:`repro.sim.fault_sim`) stops at the
+flip-flop boundary: an error captured into state is counted as observable.
+The multi-cycle simulator follows the story further — the corrupted state
+propagates through subsequent cycles and may (or may not) eventually reach
+a primary output.  It is the ground truth against which
+:meth:`repro.core.analysis.SERAnalyzer.multi_cycle_observability`'s
+independence-based dynamic program is validated.
+
+Semantics: at cycle 0 the SEU flips ``site`` for the current evaluation
+(transient — the flip is not re-applied afterwards).  Good and faulty
+circuits then run in lockstep with identical inputs for ``cycles`` clock
+cycles; the SEU is *observed* in a pattern if any primary output differs
+in any simulated cycle.  Flip-flop divergence alone does not count —
+that is exactly the latent-error case the multi-cycle analysis handles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.sim.logic_sim import BitParallelSimulator
+from repro.sim.vectors import RandomVectorSource
+
+__all__ = ["MultiCycleFaultSimulator"]
+
+
+class MultiCycleFaultSimulator:
+    """Lockstep good/faulty sequential simulation with one injected SEU.
+
+    Parameters
+    ----------
+    circuit:
+        Sequential (or combinational) circuit under analysis.
+    seed:
+        Seed for the input and initial-state streams.
+    input_weights / state_weights:
+        Per-signal probability of 1 for primary inputs and the *initial*
+        flip-flop state (both default 0.5) — match these to the SP map
+        used by the analytical model for an apples-to-apples comparison.
+    word_width:
+        Patterns simulated per bit-parallel pass.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        seed: int = 0,
+        input_weights: Mapping[str, float] | None = None,
+        state_weights: Mapping[str, float] | None = None,
+        word_width: int = 256,
+    ):
+        if word_width < 1:
+            raise SimulationError(f"word_width must be >= 1, got {word_width}")
+        self.circuit = circuit
+        self.seed = seed
+        self.word_width = word_width
+        self.simulator = BitParallelSimulator(circuit)
+        self.compiled = self.simulator.compiled
+        self._eval_order = self.simulator._eval_order
+        self._order_position = {
+            node_id: position for position, node_id in enumerate(self._eval_order)
+        }
+        self._input_weights = dict(input_weights or {})
+        self._state_weights = dict(state_weights or {})
+        self._d_driver = {
+            self.compiled.names[dff]: self.compiled.fanin(dff)[0]
+            for dff in self.compiled.dff_ids
+        }
+
+    def p_observed(self, site: str, cycles: int, n_vectors: int = 4096) -> float:
+        """P(SEU at ``site`` reaches a primary output within ``cycles``)."""
+        if cycles < 1:
+            raise SimulationError(f"cycles must be >= 1, got {cycles}")
+        if n_vectors < 1:
+            raise SimulationError(f"n_vectors must be >= 1, got {n_vectors}")
+        compiled = self.compiled
+        if site not in compiled.index:
+            raise SimulationError(f"unknown error site {site!r}")
+        site_id = compiled.index[site]
+
+        input_source = RandomVectorSource(
+            self.circuit.inputs, seed=self.seed, weights=self._input_weights
+        )
+        state_source = RandomVectorSource(
+            self.circuit.flip_flops, seed=self.seed ^ 0xABCD, weights=self._state_weights
+        )
+        output_ids = compiled.output_ids
+
+        detected_total = 0
+        remaining = n_vectors
+        while remaining > 0:
+            width = min(self.word_width, remaining)
+            mask = (1 << width) - 1
+            state_good = state_source.next_words(width)
+            state_faulty = dict(state_good)
+            detect = 0
+            for cycle in range(cycles):
+                inputs = input_source.next_words(width)
+                good_sources = {**state_good, **inputs}
+                faulty_sources = {**state_faulty, **inputs}
+                good = self.simulator.run(good_sources, width)
+                if cycle == 0:
+                    faulty = self._run_with_flip(faulty_sources, site_id, width, mask)
+                else:
+                    faulty = self.simulator.run(faulty_sources, width)
+                for output_id in output_ids:
+                    detect |= (good[output_id] ^ faulty[output_id]) & mask
+                if detect == mask:
+                    break  # every pattern already detected
+                state_good = {
+                    name: good[driver] for name, driver in self._d_driver.items()
+                }
+                state_faulty = {
+                    name: faulty[driver] for name, driver in self._d_driver.items()
+                }
+            detected_total += detect.bit_count()
+            remaining -= width
+        return detected_total / n_vectors
+
+    def _run_with_flip(
+        self, sources: Mapping[str, int], site_id: int, width: int, mask: int
+    ) -> list[int]:
+        """Full evaluation with the site's word flipped as it is produced."""
+        compiled = self.compiled
+        if not compiled.gate_type(site_id).is_combinational:
+            flipped = dict(sources)
+            name = compiled.names[site_id]
+            flipped[name] = (flipped.get(name, 0) ^ mask) & mask
+            return self.simulator.run(flipped, width)
+        values = self.simulator.run(sources, width)
+        position = self._order_position[site_id]
+        values[site_id] ^= mask
+        self.simulator.run_into(values, mask, self._eval_order[position + 1 :])
+        return values

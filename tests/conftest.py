@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite (helpers live in tests/helpers.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.library import c17, figure1_circuit, s27
+
+
+@pytest.fixture
+def fig1():
+    return figure1_circuit()
+
+
+@pytest.fixture
+def s27_circuit():
+    return s27()
+
+
+@pytest.fixture
+def c17_circuit():
+    return c17()

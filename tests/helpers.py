@@ -1,0 +1,54 @@
+"""Ground-truth helpers shared across test modules."""
+
+from __future__ import annotations
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+from repro.sim.fault_sim import FaultInjector
+from repro.sim.vectors import exhaustive_words
+
+
+def exhaustive_p_sensitized(circuit: Circuit, site: str) -> float:
+    """Ground-truth P_sensitized by enumerating every input vector.
+
+    Only valid for combinational circuits with <= 24 inputs.  Counts the
+    fraction of vectors for which flipping ``site`` changes at least one
+    observable sink — the definition the EPP method approximates.
+    """
+    injector = FaultInjector(circuit)
+    words, width = exhaustive_words(circuit.inputs)
+    good = injector.simulator.run(words, width)
+    return injector.detection_count(good, site, width) / width
+
+
+def exhaustive_all_sites(circuit: Circuit) -> dict[str, float]:
+    """Ground-truth P_sensitized for every combinational gate site."""
+    injector = FaultInjector(circuit)
+    words, width = exhaustive_words(circuit.inputs)
+    good = injector.simulator.run(words, width)
+    return {
+        site: injector.detection_count(good, site, width) / width
+        for site in circuit.gates
+    }
+
+
+def build_chain(gate_types: list[GateType], name: str = "chain") -> Circuit:
+    """A single path x -> g1 -> g2 -> ... -> PO (fanout-free).
+
+    Multi-input gate types get a dedicated primary input as their side pin,
+    keeping the chain free of reconvergence.
+    """
+    circuit = Circuit(name)
+    circuit.add_input("x")
+    previous = "x"
+    for index, gate_type in enumerate(gate_types):
+        node = f"n{index}"
+        if gate_type in (GateType.NOT, GateType.BUF):
+            circuit.add_gate(node, gate_type, [previous])
+        else:
+            side = f"s{index}"
+            circuit.add_input(side)
+            circuit.add_gate(node, gate_type, [previous, side])
+        previous = node
+    circuit.mark_output(previous)
+    return circuit

@@ -1,0 +1,52 @@
+"""The runnable ablation suite."""
+
+import pytest
+
+from repro.experiments.ablations import run_ablations
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_ablations(seed=0, quick=True)
+
+
+def test_all_four_studies_present(report):
+    assert set(report.studies) == {"polarity", "baseline", "sp", "cop"}
+
+
+def test_polarity_tracking_is_at_least_as_accurate(report):
+    rows = dict(report.studies["polarity"])
+    assert rows["tracked (paper)"]["pct_dif"] <= rows["polarity-blind"]["pct_dif"]
+
+
+def test_serial_baseline_is_the_slow_one(report):
+    rows = dict(report.studies["baseline"])
+    assert rows["serial (2005-style)"]["time_ms"] > rows["bit-parallel + cone"]["time_ms"]
+    assert rows["serial (2005-style)"]["time_ms"] > rows["EPP (paper)"]["time_ms"]
+
+
+def test_sp_backend_accuracy_ordering(report):
+    rows = dict(report.studies["sp"])
+    assert rows["exact"]["mean_abs_err"] == pytest.approx(0.0, abs=1e-12)
+    assert rows["cut"]["mean_abs_err"] <= rows["topological"]["mean_abs_err"]
+    assert rows["monte_carlo"]["mean_abs_err"] < rows["topological"]["mean_abs_err"]
+
+
+def test_cop_study_has_both_methods(report):
+    labels = [label for label, _ in report.studies["cop"]]
+    assert any("COP" in label for label in labels)
+    assert any("EPP" in label for label in labels)
+
+
+def test_format_renders_everything(report):
+    text = report.format()
+    for study in ("polarity", "baseline", "sp", "cop"):
+        assert f"ablation: {study}" in text
+
+
+def test_deterministic_accuracy_metrics():
+    a = run_ablations(seed=3, quick=True)
+    b = run_ablations(seed=3, quick=True)
+    pa = dict(a.studies["polarity"])["tracked (paper)"]["pct_dif"]
+    pb = dict(b.studies["polarity"])["tracked (paper)"]["pct_dif"]
+    assert pa == pb

@@ -1,0 +1,122 @@
+""".bench format reader/writer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.netlist.bench import parse_bench, parse_bench_file, write_bench
+from repro.netlist.gate_types import GateType
+from repro.netlist.library import (
+    C17_BENCH,
+    S27_BENCH,
+    c17,
+    counter,
+    figure1_circuit,
+    mux_tree,
+    ripple_carry_adder,
+    s27,
+)
+
+
+class TestParse:
+    def test_s27_shape(self):
+        circuit = parse_bench(S27_BENCH, name="s27")
+        assert circuit.inputs == ["G0", "G1", "G2", "G3"]
+        assert circuit.outputs == ["G17"]
+        assert circuit.flip_flops == ["G5", "G6", "G7"]
+        assert len(circuit.gates) == 10
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\n\nINPUT(a)\n  # indented comment\nOUTPUT(b)\nb = NOT(a)  # trailing\n"
+        circuit = parse_bench(text)
+        assert circuit.node("b").gate_type is GateType.NOT
+
+    def test_case_insensitive_keywords(self):
+        text = "input(a)\noutput(b)\nb = nand(a, a)\n"
+        circuit = parse_bench(text)
+        assert circuit.node("b").gate_type is GateType.NAND
+
+    def test_aliases(self):
+        text = (
+            "INPUT(a)\nOUTPUT(y)\n"
+            "b = BUFF(a)\nc = INV(b)\ng = GND()\nv = VCC()\n"
+            "y = OR(c, g, v)\n"
+        )
+        circuit = parse_bench(text)
+        assert circuit.node("b").gate_type is GateType.BUF
+        assert circuit.node("c").gate_type is GateType.NOT
+        assert circuit.node("g").gate_type is GateType.CONST0
+        assert circuit.node("v").gate_type is GateType.CONST1
+
+    def test_output_before_definition(self):
+        text = "OUTPUT(y)\nINPUT(a)\ny = NOT(a)\n"
+        assert parse_bench(text).outputs == ["y"]
+
+    def test_unknown_gate_type_with_line_number(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse_bench("INPUT(a)\nb = FROB(a)\n")
+
+    def test_duplicate_input_rejected(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_bench("INPUT(a)\nINPUT(a)\n")
+
+    def test_undefined_output_rejected(self):
+        with pytest.raises(ParseError, match="undefined"):
+            parse_bench("INPUT(a)\nOUTPUT(ghost)\nb = NOT(a)\n")
+
+    def test_dff_arity_enforced(self):
+        with pytest.raises(ParseError, match="DFF"):
+            parse_bench("INPUT(a)\nINPUT(b)\nq = DFF(a, b)\nOUTPUT(q)\n")
+
+    def test_garbage_statement_rejected(self):
+        with pytest.raises(ParseError, match="unrecognized"):
+            parse_bench("INPUT(a)\nwibble wobble\n")
+
+    def test_unknown_driver_rejected_at_parse_time(self):
+        with pytest.raises(ParseError, match="ghost"):
+            parse_bench("INPUT(a)\nOUTPUT(b)\nb = AND(a, ghost)\n")
+
+    def test_duplicate_definition_rejected(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_bench("INPUT(a)\nb = NOT(a)\nb = BUF(a)\nOUTPUT(b)\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [s27, c17, figure1_circuit, lambda: ripple_carry_adder(4),
+         lambda: counter(3), lambda: mux_tree(2)],
+    )
+    def test_write_then_parse_preserves_structure(self, factory):
+        original = factory()
+        reparsed = parse_bench(write_bench(original), name=original.name)
+        assert reparsed.inputs == original.inputs
+        assert reparsed.outputs == original.outputs
+        assert reparsed.flip_flops == original.flip_flops
+        assert len(reparsed) == len(original)
+        for node in original:
+            copy = reparsed.node(node.name)
+            assert copy.gate_type is node.gate_type
+            assert copy.fanin == node.fanin
+
+    def test_roundtrip_preserves_behaviour(self):
+        original = c17()
+        reparsed = parse_bench(write_bench(original))
+        for pattern in range(32):
+            assignment = {
+                name: (pattern >> k) & 1 for k, name in enumerate(original.inputs)
+            }
+            assert original.evaluate(assignment) == reparsed.evaluate(assignment)
+
+
+class TestFileIO:
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "c17.bench"
+        write_bench(c17(), path)
+        circuit = parse_bench_file(path)
+        assert circuit.name == "c17"
+        assert len(circuit.gates) == 6
+
+    def test_default_name_is_file_stem(self, tmp_path):
+        path = tmp_path / "mydesign.bench"
+        write_bench(c17(), path)
+        assert parse_bench_file(path).name == "mydesign"

@@ -1,0 +1,100 @@
+"""CLI commands (exercised in-process through cli.main)."""
+
+import pytest
+
+from repro.cli import main, resolve_circuit
+from repro.errors import ReproError
+from repro.netlist.bench import write_bench
+from repro.netlist.library import c17
+
+
+class TestResolve:
+    def test_library_name(self):
+        assert resolve_circuit("c17").name == "c17"
+
+    def test_profile_name(self):
+        circuit = resolve_circuit("s953")
+        assert len(circuit.gates) == 424
+
+    def test_bench_file(self, tmp_path):
+        path = tmp_path / "mine.bench"
+        write_bench(c17(), path)
+        assert resolve_circuit(str(path)).name == "mine"
+
+    def test_unresolvable(self):
+        with pytest.raises(ReproError, match="cannot resolve"):
+            resolve_circuit("definitely_not_a_circuit")
+
+
+class TestCommands:
+    def test_figure1_succeeds(self, capsys):
+        assert main(["figure1"]) == 0
+        assert "[MATCH]" in capsys.readouterr().out
+
+    def test_table1_succeeds(self, capsys):
+        assert main(["table1", "--steps", "2"]) == 0
+        assert "ALL RULES MATCH" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "c17" in out and "s38417" in out
+
+    def test_stats(self, capsys):
+        assert main(["stats", "c17"]) == 0
+        assert "NAND=6" in capsys.readouterr().out
+
+    def test_analyze_with_sample(self, capsys):
+        assert main(["analyze", "s27", "--top", "3", "--sample", "5"]) == 0
+        assert "FIT" in capsys.readouterr().out
+
+    def test_analyze_multi_cycle(self, capsys):
+        assert main(["analyze", "s27", "--multi-cycle", "2"]) == 0
+        assert "multi-cycle observability" in capsys.readouterr().out
+
+    def test_analyze_csv_export(self, tmp_path, capsys):
+        out = tmp_path / "report.csv"
+        assert main(["analyze", "s27", "--csv", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("node,")
+        assert "G9" in text
+
+    def test_analyze_verilog_file(self, tmp_path, capsys):
+        from repro.netlist.verilog import write_verilog
+
+        path = tmp_path / "mine.v"
+        write_verilog(c17(), path)
+        assert main(["analyze", str(path), "--top", "3"]) == 0
+        assert "FIT" in capsys.readouterr().out
+
+    def test_ablations_quick(self, capsys):
+        assert main(["ablations"]) == 0
+        out = capsys.readouterr().out
+        assert "ablation: polarity" in out
+        assert "ablation: cop" in out
+
+    def test_analyze_unknown_circuit_fails_cleanly(self, capsys):
+        assert main(["analyze", "no_such_thing"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_generate_to_file(self, tmp_path, capsys):
+        out = tmp_path / "s953.bench"
+        assert main(["generate", "s953", "-o", str(out)]) == 0
+        assert out.exists()
+        assert resolve_circuit(str(out)).gates  # parses back
+
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "s27"]) == 0
+        assert "INPUT(" in capsys.readouterr().out
+
+    def test_generate_unknown_profile(self, capsys):
+        assert main(["generate", "b19"]) == 1
+
+    def test_table2_tiny(self, capsys, tmp_path):
+        csv_path = tmp_path / "t2.csv"
+        code = main(
+            ["table2", "--mode", "quick", "--circuits", "s27", "--csv", str(csv_path)]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        assert "paper avg" in capsys.readouterr().out

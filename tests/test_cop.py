@@ -1,0 +1,117 @@
+"""COP observability baseline, and its relationship to EPP."""
+
+import statistics
+
+import pytest
+
+from repro.core.epp import EPPEngine
+from repro.errors import ProbabilityError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+from repro.netlist.generate import random_combinational
+from repro.netlist.library import c17, parity_tree, s27
+from repro.probability.cop import cop_observability
+
+from tests.helpers import exhaustive_all_sites
+
+
+class TestBasics:
+    def test_sinks_have_observability_one(self, c17_circuit):
+        obs = cop_observability(c17_circuit)
+        assert obs["N22"] == 1.0
+        assert obs["N23"] == 1.0
+
+    def test_dff_d_driver_is_a_sink(self, s27_circuit):
+        obs = cop_observability(s27_circuit)
+        assert obs["G10"] == 1.0  # drives DFF G5 only
+
+    def test_unreachable_node_is_zero(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_gate("dead", GateType.NOT, ["b"])
+        circuit.add_gate("po", GateType.BUF, ["a"])
+        circuit.mark_output("po")
+        obs = cop_observability(circuit)
+        assert obs["dead"] == 0.0
+        assert obs["b"] == 0.0
+
+    def test_values_are_probabilities(self, s27_circuit):
+        obs = cop_observability(s27_circuit)
+        assert all(0.0 <= value <= 1.0 for value in obs.values())
+
+    def test_missing_signal_probs_rejected(self, c17_circuit):
+        with pytest.raises(ProbabilityError, match="missing node"):
+            cop_observability(c17_circuit, signal_probs={"N1": 0.5})
+
+
+class TestAgainstGroundTruth:
+    def test_exact_on_fanout_free_tree(self):
+        """Without fanout, COP's independence assumptions all hold."""
+        circuit = parity_tree(8)
+        truth = exhaustive_all_sites(circuit)
+        obs = cop_observability(circuit)
+        for site, value in truth.items():
+            assert obs[site] == pytest.approx(value, abs=1e-12), site
+
+    def test_exact_on_single_and_chain(self):
+        circuit = Circuit()
+        circuit.add_input("x")
+        circuit.add_input("s0")
+        circuit.add_input("s1")
+        circuit.add_gate("g0", GateType.AND, ["x", "s0"])
+        circuit.add_gate("g1", GateType.OR, ["g0", "s1"])
+        circuit.mark_output("g1")
+        truth = exhaustive_all_sites(circuit)
+        obs = cop_observability(circuit)
+        for site in circuit.gates:
+            assert obs[site] == pytest.approx(truth[site], abs=1e-12)
+
+    def test_epp_is_at_least_as_accurate_on_average(self):
+        """EPP = COP + polarity + per-site structural awareness; over a
+        batch of reconvergent circuits it must not lose to COP."""
+        cop_errors = []
+        epp_errors = []
+        for seed in range(6):
+            circuit = random_combinational(7, 40, seed=300 + seed)
+            truth = exhaustive_all_sites(circuit)
+            obs = cop_observability(circuit)
+            engine = EPPEngine(circuit)
+            for site, value in truth.items():
+                cop_errors.append(abs(obs[site] - value))
+                epp_errors.append(abs(engine.p_sensitized(site) - value))
+        assert statistics.mean(epp_errors) <= statistics.mean(cop_errors) + 0.005
+
+    def test_mux_pin_formulas(self):
+        circuit = Circuit()
+        for name in ("s", "a", "b"):
+            circuit.add_input(name)
+        circuit.add_gate("m", GateType.MUX, ["s", "a", "b"])
+        circuit.mark_output("m")
+        truth = {
+            site: value
+            for site, value in (
+                ("s", exhaustive_all_sites_input(circuit, "s")),
+                ("a", exhaustive_all_sites_input(circuit, "a")),
+                ("b", exhaustive_all_sites_input(circuit, "b")),
+            )
+        }
+        obs = cop_observability(circuit)
+        for site, value in truth.items():
+            assert obs[site] == pytest.approx(value, abs=1e-12), site
+
+    def test_maj_generic_pin_formula(self):
+        circuit = Circuit()
+        for name in ("a", "b", "c"):
+            circuit.add_input(name)
+        circuit.add_gate("m", GateType.MAJ, ["a", "b", "c"])
+        circuit.mark_output("m")
+        obs = cop_observability(circuit)
+        # Pin a of MAJ3 is decisive iff b != c: probability 1/2.
+        assert obs["a"] == pytest.approx(0.5)
+
+
+def exhaustive_all_sites_input(circuit, site):
+    from tests.helpers import exhaustive_p_sensitized
+
+    return exhaustive_p_sensitized(circuit, site)

@@ -1,0 +1,72 @@
+"""EPP accuracy against exhaustive-vector ground truth.
+
+On circuits *with* reconvergent fanout the EPP method is an approximation;
+these tests bound its error on small random circuits where the exact
+answer is enumerable.  The bounds are intentionally loose enough to be
+stable across seeds yet tight enough that a broken rule or traversal fails
+immediately (a broken engine typically shows errors of 0.3+).
+"""
+
+import statistics
+
+import pytest
+
+from repro.core.epp import EPPEngine
+from repro.netlist.generate import random_combinational
+from repro.probability.exact import exact_signal_probabilities
+
+from tests.helpers import exhaustive_all_sites
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_mean_error_small_on_random_circuits(seed):
+    circuit = random_combinational(7, 35, seed=seed)
+    truth = exhaustive_all_sites(circuit)
+    engine = EPPEngine(circuit)
+    errors = [
+        abs(engine.p_sensitized(site) - truth[site]) for site in circuit.gates
+    ]
+    assert statistics.mean(errors) < 0.08, statistics.mean(errors)
+    assert max(errors) < 0.45, max(errors)
+
+
+def test_aggregate_relative_difference_in_paper_band():
+    """Across a batch of circuits the aggregate %Dif lands near the paper's
+    single-digit range (their Table 2 average is 5.4%)."""
+    total_abs = 0.0
+    total_ref = 0.0
+    for seed in range(8):
+        circuit = random_combinational(8, 40, seed=100 + seed)
+        truth = exhaustive_all_sites(circuit)
+        engine = EPPEngine(circuit)
+        for site in circuit.gates:
+            total_abs += abs(engine.p_sensitized(site) - truth[site])
+            total_ref += truth[site]
+    pct_dif = 100.0 * total_abs / total_ref
+    assert pct_dif < 15.0, pct_dif
+
+
+def test_exact_signal_probs_tighten_or_match_accuracy():
+    """Using exact (BDD) SPs for off-path signals shouldn't hurt on average."""
+    deltas = []
+    for seed in range(4):
+        circuit = random_combinational(6, 30, seed=seed)
+        truth = exhaustive_all_sites(circuit)
+        default_engine = EPPEngine(circuit)
+        exact_engine = EPPEngine(
+            circuit, signal_probs=exact_signal_probabilities(circuit)
+        )
+        for site in circuit.gates:
+            default_error = abs(default_engine.p_sensitized(site) - truth[site])
+            exact_error = abs(exact_engine.p_sensitized(site) - truth[site])
+            deltas.append(default_error - exact_error)
+    assert statistics.mean(deltas) > -0.01  # exact SP at least as good on average
+
+
+def test_epp_bounds_are_probabilities():
+    for seed in range(4):
+        circuit = random_combinational(6, 50, seed=200 + seed)
+        engine = EPPEngine(circuit)
+        for site in circuit.gates:
+            value = engine.p_sensitized(site)
+            assert -1e-9 <= value <= 1.0 + 1e-9

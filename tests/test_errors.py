@@ -1,0 +1,59 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    ConfigError,
+    NetlistError,
+    ParseError,
+    ProbabilityError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            NetlistError,
+            ParseError,
+            ValidationError,
+            SimulationError,
+            ProbabilityError,
+            AnalysisError,
+            ConfigError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_parse_and_validation_are_netlist_errors(self):
+        assert issubclass(ParseError, NetlistError)
+        assert issubclass(ValidationError, NetlistError)
+
+    def test_one_except_clause_catches_everything(self):
+        with pytest.raises(ReproError):
+            raise ParseError("bad line", 3)
+
+
+class TestParseError:
+    def test_line_number_in_message(self):
+        error = ParseError("unexpected token", line_number=42)
+        assert "line 42" in str(error)
+        assert error.line_number == 42
+
+    def test_no_line_number(self):
+        error = ParseError("general problem")
+        assert error.line_number is None
+        assert "line" not in str(error)
+
+
+class TestValidationError:
+    def test_collects_problems(self):
+        error = ValidationError(["a is bad", "b is bad"])
+        assert error.problems == ["a is bad", "b is bad"]
+        assert "2 validation problem(s)" in str(error)
+
+    def test_long_lists_are_summarized(self):
+        error = ValidationError([f"problem {i}" for i in range(9)])
+        assert "and 4 more" in str(error)

@@ -1,0 +1,121 @@
+"""Event-driven simulator vs the levelized reference."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+from repro.netlist.generate import random_combinational
+from repro.netlist.library import c17
+from repro.sim.event_sim import EventDrivenSimulator
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_full_reevaluation_on_random_walks(self, seed):
+        circuit = random_combinational(8, 50, seed=seed)
+        simulator = EventDrivenSimulator(circuit)
+        rng = random.Random(seed)
+        assignment = {name: rng.randint(0, 1) for name in circuit.inputs}
+        simulator.initialize(assignment)
+        for _ in range(30):
+            flip = rng.choice(circuit.inputs)
+            assignment[flip] ^= 1
+            simulator.apply({flip: assignment[flip]})
+            assert simulator.values() == circuit.evaluate(assignment)
+
+    def test_multi_signal_change(self, c17_circuit):
+        simulator = EventDrivenSimulator(c17_circuit)
+        assignment = {name: 0 for name in c17_circuit.inputs}
+        simulator.initialize(assignment)
+        new_assignment = {name: 1 for name in c17_circuit.inputs}
+        simulator.apply(new_assignment)
+        assert simulator.values() == c17_circuit.evaluate(new_assignment)
+
+
+class TestEventSemantics:
+    def test_no_change_no_events(self, c17_circuit):
+        simulator = EventDrivenSimulator(c17_circuit)
+        assignment = {name: 1 for name in c17_circuit.inputs}
+        simulator.initialize(assignment)
+        before = simulator.events_processed
+        toggled = simulator.apply(assignment)  # identical values
+        assert toggled == set()
+        assert simulator.events_processed == before
+
+    def test_events_die_at_controlled_gates(self):
+        # b change cannot pass the AND while a = 0.
+        circuit = Circuit("ctrl")
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_gate("g", GateType.AND, ["a", "b"])
+        circuit.add_gate("h", GateType.NOT, ["g"])
+        circuit.mark_output("h")
+        simulator = EventDrivenSimulator(circuit)
+        simulator.initialize({"a": 0, "b": 0})
+        toggled = simulator.apply({"b": 1})
+        assert toggled == {"b"}  # the event died at g
+
+    def test_toggle_counting(self):
+        circuit = Circuit("t")
+        circuit.add_input("x")
+        circuit.add_gate("inv", GateType.NOT, ["x"])
+        circuit.mark_output("inv")
+        simulator = EventDrivenSimulator(circuit)
+        simulator.initialize({"x": 0})
+        for value in (1, 0, 1):
+            simulator.apply({"x": value})
+        assert simulator.activity["x"] == 3
+        assert simulator.activity["inv"] == 3
+
+    def test_run_stimuli_rates(self, c17_circuit):
+        simulator = EventDrivenSimulator(c17_circuit)
+        rng = random.Random(1)
+        stimuli = [
+            {name: rng.randint(0, 1) for name in c17_circuit.inputs}
+            for _ in range(50)
+        ]
+        rates = simulator.run_stimuli(
+            {name: 0 for name in c17_circuit.inputs}, stimuli
+        )
+        assert all(0.0 <= rate <= 1.0 for rate in rates.values())
+        # Inputs toggle at ~0.5 under uniform random stimuli.
+        assert 0.2 < rates["N1"] < 0.8
+
+
+class TestValidation:
+    def test_apply_before_initialize(self, c17_circuit):
+        with pytest.raises(SimulationError, match="initialize"):
+            EventDrivenSimulator(c17_circuit).apply({"N1": 1})
+
+    def test_gate_changes_rejected(self, c17_circuit):
+        simulator = EventDrivenSimulator(c17_circuit)
+        simulator.initialize({name: 0 for name in c17_circuit.inputs})
+        with pytest.raises(SimulationError, match="source"):
+            simulator.apply({"N10": 1})
+
+    def test_unknown_source(self, c17_circuit):
+        simulator = EventDrivenSimulator(c17_circuit)
+        simulator.initialize({name: 0 for name in c17_circuit.inputs})
+        with pytest.raises(SimulationError, match="unknown"):
+            simulator.apply({"ghost": 1})
+
+    def test_non_binary_rejected(self, c17_circuit):
+        simulator = EventDrivenSimulator(c17_circuit)
+        simulator.initialize({name: 0 for name in c17_circuit.inputs})
+        with pytest.raises(SimulationError, match="0/1"):
+            simulator.apply({"N1": 2})
+
+    def test_sequential_state_as_source(self):
+        from repro.netlist.library import s27
+
+        circuit = s27()
+        simulator = EventDrivenSimulator(circuit)
+        assignment = {name: 0 for name in circuit.inputs + circuit.flip_flops}
+        simulator.initialize(assignment)
+        toggled = simulator.apply({"G5": 1})
+        assert "G5" in toggled
+        full = dict(assignment, G5=1)
+        assert simulator.values() == circuit.evaluate(full)

@@ -1,0 +1,124 @@
+"""SEU injection: cones, detection words, ground-truth agreement."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType, eval_gate_bool
+from repro.netlist.library import c17, s27
+from repro.sim.fault_sim import FaultInjector
+from repro.sim.vectors import RandomVectorSource, exhaustive_words
+
+
+class TestCones:
+    def test_po_driver_cone(self, c17_circuit):
+        injector = FaultInjector(c17_circuit)
+        cone = injector.fanout_cone("N22")
+        assert cone.eval_order == ()  # N22 drives nothing
+        assert cone.sinks == (injector.compiled.index["N22"],)
+
+    def test_cone_members_downstream_only(self, c17_circuit):
+        injector = FaultInjector(c17_circuit)
+        cone = injector.fanout_cone("N11")
+        names = {injector.compiled.names[i] for i in cone.members}
+        assert names == {"N16", "N19", "N22", "N23"}
+
+    def test_cone_stops_at_dff(self, s27_circuit):
+        injector = FaultInjector(s27_circuit)
+        cone = injector.fanout_cone("G10")  # G10 only feeds DFF G5
+        assert cone.eval_order == ()
+        sink_names = {injector.compiled.names[i] for i in cone.sinks}
+        assert sink_names == {"G10"}  # observable as a D driver
+
+    def test_cone_cached(self, c17_circuit):
+        injector = FaultInjector(c17_circuit)
+        assert injector.fanout_cone("N11") is injector.fanout_cone("N11")
+
+    def test_unknown_site(self, c17_circuit):
+        injector = FaultInjector(c17_circuit)
+        with pytest.raises(SimulationError):
+            injector.fanout_cone("nope")
+        with pytest.raises(SimulationError):
+            injector.fanout_cone(10_000)
+
+
+class TestDetection:
+    def test_po_flip_always_detected(self, c17_circuit):
+        injector = FaultInjector(c17_circuit)
+        words = RandomVectorSource(c17_circuit.inputs, seed=0).next_words(128)
+        good = injector.simulator.run(words, 128)
+        assert injector.detection_count(good, "N22", 128) == 128
+
+    def test_good_values_restored_after_injection(self, c17_circuit):
+        injector = FaultInjector(c17_circuit)
+        words = RandomVectorSource(c17_circuit.inputs, seed=0).next_words(64)
+        good = injector.simulator.run(words, 64)
+        snapshot = list(good)
+        injector.detection_word(good, "N11", 64)
+        assert good == snapshot
+
+    def test_matches_bruteforce_on_c17(self, c17_circuit):
+        injector = FaultInjector(c17_circuit)
+        words, width = exhaustive_words(c17_circuit.inputs)
+        good = injector.simulator.run(words, width)
+        compiled = injector.compiled
+        for site in c17_circuit.gates + c17_circuit.inputs:
+            detect = injector.detection_word(good, site, width)
+            for pattern in range(width):
+                assignment = {
+                    name: (words[name] >> pattern) & 1 for name in c17_circuit.inputs
+                }
+                reference = c17_circuit.evaluate(assignment)
+                flipped = _evaluate_with_flip(c17_circuit, assignment, site)
+                expected = any(
+                    flipped[o] != reference[o] for o in c17_circuit.outputs
+                )
+                assert ((detect >> pattern) & 1) == int(expected), (site, pattern)
+
+    def test_per_sink_words_disjoint_union(self, c17_circuit):
+        injector = FaultInjector(c17_circuit)
+        words, width = exhaustive_words(c17_circuit.inputs)
+        good = injector.simulator.run(words, width)
+        per_sink = injector.sink_detection_words(good, "N11", width)
+        union = 0
+        for word in per_sink.values():
+            union |= word
+        assert union == injector.detection_word(good, "N11", width)
+
+    def test_masked_site_has_zero_detection(self):
+        # g = AND(x, 0-const) blocks everything from x's other branch.
+        circuit = Circuit()
+        circuit.add_input("x")
+        circuit.add_const("zero", 0)
+        circuit.add_gate("blocked", GateType.AND, ["x", "zero"])
+        circuit.add_gate("po", GateType.BUF, ["blocked"])
+        circuit.mark_output("po")
+        injector = FaultInjector(circuit)
+        good = injector.simulator.run({"x": 0b01}, 2)
+        assert injector.detection_count(good, "x", 2) == 0
+
+    def test_dff_state_flip_observable_through_logic(self, s27_circuit):
+        injector = FaultInjector(s27_circuit)
+        sources = s27_circuit.inputs + s27_circuit.flip_flops
+        words = RandomVectorSource(sources, seed=1).next_words(256)
+        good = injector.simulator.run(words, 256)
+        # G11 drives the PO inverter G17 -> always observable.
+        assert injector.detection_count(good, "G11", 256) == 256
+
+
+def _evaluate_with_flip(circuit, assignment, site):
+    """Reference faulty evaluation: flip the site's value mid-evaluation."""
+    compiled = circuit.compiled()
+    values = [0] * compiled.n
+    for node_id in compiled.topo:
+        gate_type = compiled.gate_type(node_id)
+        name = compiled.names[node_id]
+        if gate_type is GateType.INPUT:
+            values[node_id] = assignment[name]
+        else:
+            values[node_id] = eval_gate_bool(
+                gate_type, [values[p] for p in compiled.fanin(node_id)]
+            )
+        if name == site:
+            values[node_id] ^= 1
+    return {compiled.names[i]: values[i] for i in range(compiled.n)}

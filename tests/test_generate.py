@@ -1,0 +1,114 @@
+"""Synthetic benchmark generator: determinism, profile fidelity, validity."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netlist.bench import write_bench
+from repro.netlist.gate_types import GateType
+from repro.netlist.generate import (
+    ISCAS89_PROFILES,
+    GenerationProfile,
+    generate_circuit,
+    generate_iscas,
+    random_combinational,
+)
+from repro.netlist.stats import circuit_stats
+from repro.netlist.validate import validate_circuit
+
+
+class TestDeterminism:
+    def test_same_name_same_netlist(self):
+        a = write_bench(generate_iscas("s953"))
+        b = write_bench(generate_iscas("s953"))
+        assert a == b
+
+    def test_explicit_seed_changes_netlist(self):
+        a = write_bench(generate_iscas("s953"))
+        b = write_bench(generate_iscas("s953", seed=123))
+        assert a != b
+
+    def test_different_circuits_differ(self):
+        assert write_bench(generate_iscas("s1196")) != write_bench(generate_iscas("s1238"))
+
+
+class TestProfileFidelity:
+    @pytest.mark.parametrize("name", ["s953", "s1196", "s1423", "s1488"])
+    def test_interface_counts_exact(self, name):
+        profile = ISCAS89_PROFILES[name]
+        circuit = generate_iscas(name)
+        assert len(circuit.inputs) == profile.n_inputs
+        assert len(circuit.outputs) == profile.n_outputs
+        assert len(circuit.flip_flops) == profile.n_flip_flops
+        assert len(circuit.gates) == profile.n_gates
+
+    @pytest.mark.parametrize("name", ["s953", "s1423"])
+    def test_depth_close_to_target(self, name):
+        profile = ISCAS89_PROFILES[name]
+        depth = generate_iscas(name).depth()
+        assert abs(depth - profile.depth) <= max(2, profile.depth // 10)
+
+    @pytest.mark.parametrize("name", ["s953", "s1196"])
+    def test_valid_and_reconvergent(self, name):
+        circuit = generate_iscas(name)
+        assert validate_circuit(circuit).ok
+        stats = circuit_stats(circuit, reconvergence_limit=100)
+        assert stats.n_reconvergent_stems > 0  # realistic structure
+
+    def test_gate_mix_roughly_respected(self):
+        circuit = generate_iscas("s9234")
+        histogram = circuit_stats(circuit, reconvergence_limit=0).gate_histogram
+        total = sum(histogram.values())
+        # NAND configured at 21%: allow a generous band.
+        assert 0.10 < histogram.get("NAND", 0) / total < 0.35
+
+    def test_unknown_profile(self):
+        with pytest.raises(ConfigError, match="profile"):
+            generate_iscas("b17")
+
+    def test_iscas85_names_resolve(self):
+        circuit = generate_iscas("c6288")
+        assert not circuit.is_sequential
+
+
+class TestProfileValidation:
+    def test_rejects_zero_inputs(self):
+        with pytest.raises(ConfigError):
+            GenerationProfile("bad", 0, 1, 0, 10, 3)
+
+    def test_rejects_no_sinks(self):
+        with pytest.raises(ConfigError):
+            GenerationProfile("bad", 2, 0, 0, 10, 3)
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ConfigError):
+            GenerationProfile("bad", 2, 1, 0, 10, 0)
+
+
+class TestRandomCombinational:
+    def test_no_flip_flops(self):
+        circuit = random_combinational(5, 30, seed=1)
+        assert not circuit.is_sequential
+        assert validate_circuit(circuit).ok
+
+    def test_determinism_by_seed(self):
+        a = write_bench(random_combinational(5, 30, seed=9))
+        b = write_bench(random_combinational(5, 30, seed=9))
+        assert a == b
+
+    def test_size(self):
+        circuit = random_combinational(6, 40, seed=2)
+        assert len(circuit.gates) == 40
+        assert len(circuit.inputs) == 6
+
+    def test_custom_gate_mix(self):
+        circuit = random_combinational(
+            4, 20, seed=3, gate_mix={GateType.NAND: 1.0}
+        )
+        histogram = circuit_stats(circuit, reconvergence_limit=0).gate_histogram
+        assert set(histogram) == {"NAND"}
+
+    def test_tiny_profile_single_gate(self):
+        profile = GenerationProfile("one", 2, 1, 0, 1, 1)
+        circuit = generate_circuit(profile, seed=0)
+        assert len(circuit.gates) == 1
+        assert validate_circuit(circuit).ok

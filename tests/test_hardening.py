@@ -1,0 +1,89 @@
+"""Hardening flows: selective hardening curves and TMR evaluation."""
+
+import pytest
+
+from repro.core.analysis import SERAnalyzer
+from repro.errors import ConfigError
+from repro.netlist.library import c17, s27
+from repro.ser.hardening import (
+    evaluate_tmr,
+    selective_hardening_curve,
+)
+
+
+@pytest.fixture(scope="module")
+def s27_report():
+    return SERAnalyzer(s27()).analyze()
+
+
+class TestSelectiveHardening:
+    def test_fit_decreases_monotonically(self, s27_report):
+        curve = selective_hardening_curve(s27_report, strength_factor=10.0)
+        fits = [step.total_fit for step in curve.steps]
+        assert fits == sorted(fits, reverse=True)
+        assert curve.baseline_fit >= fits[0]
+
+    def test_greedy_order_matches_ranking(self, s27_report):
+        curve = selective_hardening_curve(s27_report)
+        ranked = [entry.node for entry in s27_report.ranked()]
+        assert list(curve.steps[2].hardened_nodes) == ranked[:3]
+
+    def test_full_hardening_limit(self, s27_report):
+        curve = selective_hardening_curve(s27_report, strength_factor=10.0)
+        final = curve.steps[-1]
+        assert final.total_fit == pytest.approx(curve.baseline_fit / 10.0)
+        assert final.fit_reduction_pct == pytest.approx(90.0)
+
+    def test_reduction_percentages_consistent(self, s27_report):
+        curve = selective_hardening_curve(s27_report, strength_factor=4.0)
+        for step in curve.steps:
+            expected = 100.0 * (curve.baseline_fit - step.total_fit) / curve.baseline_fit
+            assert step.fit_reduction_pct == pytest.approx(expected)
+
+    def test_pareto_shape_front_loaded(self, s27_report):
+        """Hardening the top node cuts more FIT than hardening the last one."""
+        curve = selective_hardening_curve(s27_report)
+        gains = [curve.baseline_fit - curve.steps[0].total_fit]
+        for previous, current in zip(curve.steps, curve.steps[1:]):
+            gains.append(previous.total_fit - current.total_fit)
+        assert gains[0] >= gains[-1]
+
+    def test_budget_and_target_queries(self, s27_report):
+        curve = selective_hardening_curve(s27_report, strength_factor=10.0)
+        assert curve.step_for_budget(3).n_hardened == 3
+        step = curve.nodes_for_target(50.0)
+        assert step is not None
+        assert step.fit_reduction_pct >= 50.0
+        assert curve.nodes_for_target(99.9) is None  # 10x hardening caps at 90%
+
+    def test_budget_of_zero_rejected(self, s27_report):
+        curve = selective_hardening_curve(s27_report)
+        with pytest.raises(ConfigError):
+            curve.step_for_budget(0)
+
+    def test_max_nodes_truncates(self, s27_report):
+        curve = selective_hardening_curve(s27_report, max_nodes=2)
+        assert len(curve.steps) == 2
+
+    def test_strength_validation(self, s27_report):
+        with pytest.raises(ConfigError):
+            selective_hardening_curve(s27_report, strength_factor=1.0)
+
+
+class TestTMR:
+    def test_tmr_masks_interior_faults(self):
+        comparison = evaluate_tmr(c17(), n_vectors=2048, seed=3)
+        # Fault injection shows (near-)total masking of single-replica SEUs.
+        assert comparison.injection_mean_p_sens == pytest.approx(0.0, abs=1e-9)
+        assert comparison.original_mean_p_sens > 0.3
+
+    def test_epp_cannot_see_cross_replica_correlation(self):
+        """Documented limitation: EPP treats the other replicas as
+        independent off-path signals and wrongly reports vulnerability."""
+        comparison = evaluate_tmr(c17(), n_vectors=1024, seed=3)
+        assert comparison.epp_mean_p_sens_tmr > 0.1
+        assert comparison.epp_mean_p_sens_tmr > comparison.injection_mean_p_sens
+
+    def test_site_cap(self):
+        comparison = evaluate_tmr(c17(), n_vectors=256, seed=1, max_sites=2)
+        assert comparison.n_sites == 2

@@ -1,0 +1,94 @@
+"""End-to-end integration: the full flow a user of the library would run."""
+
+import pytest
+
+from repro import (
+    EPPEngine,
+    RandomSimulationEstimator,
+    SERAnalyzer,
+    parse_bench,
+    validate_circuit,
+    write_bench,
+)
+from repro.netlist.generate import generate_iscas, random_combinational
+from repro.netlist.library import s27
+from repro.probability.monte_carlo import monte_carlo_signal_probabilities
+from repro.ser.hardening import selective_hardening_curve
+
+
+class TestFullFlow:
+    def test_parse_validate_analyze_harden(self, tmp_path):
+        """The README quickstart flow, end to end through the file system."""
+        path = tmp_path / "design.bench"
+        write_bench(generate_iscas("s953"), path)
+        circuit = parse_bench(path.read_text(), name="design")
+        assert validate_circuit(circuit).ok
+
+        analyzer = SERAnalyzer(circuit)
+        report = analyzer.analyze(sample=40, seed=1)
+        assert len(report.nodes) == 40
+        assert report.total_fit > 0
+
+        curve = selective_hardening_curve(report, strength_factor=10.0)
+        half = curve.steps[len(curve.steps) // 2]
+        assert half.total_fit < curve.baseline_fit
+
+    def test_epp_tracks_monte_carlo_at_scale(self):
+        """On a Table 2-sized circuit, EPP stays near the MC reference —
+        the substance of the paper's %Dif column."""
+        circuit = generate_iscas("s953")
+        sp = monte_carlo_signal_probabilities(circuit, n_vectors=20_000, seed=4)
+        engine = EPPEngine(circuit, signal_probs=sp)
+        sites = engine.analyze(sample=30, seed=5)
+        reference = RandomSimulationEstimator(
+            circuit,
+            n_vectors=20_000,
+            seed=6,
+            state_weights={ff: sp[ff] for ff in circuit.flip_flops},
+        ).estimate(list(sites))
+        abs_sum = sum(
+            abs(result.p_sensitized - reference[site])
+            for site, result in sites.items()
+        )
+        ref_sum = sum(reference.values())
+        pct_dif = 100.0 * abs_sum / ref_sum
+        assert pct_dif < 20.0, pct_dif
+
+    def test_epp_vs_mc_on_sequential_s27_all_sites(self):
+        """s27 is tiny and heavily reconvergent, so individual sites can be
+        well off (G8's two same-polarity paths reconverge at G9); the
+        paper's accuracy claim is about the average, which must hold."""
+        circuit = s27()
+        sp = monte_carlo_signal_probabilities(circuit, n_vectors=50_000, seed=7)
+        engine = EPPEngine(circuit, signal_probs=sp)
+        reference = RandomSimulationEstimator(
+            circuit,
+            n_vectors=50_000,
+            seed=8,
+            state_weights={ff: sp[ff] for ff in circuit.flip_flops},
+        ).estimate(circuit.gates)
+        errors = [
+            abs(engine.p_sensitized(site) - reference[site])
+            for site in circuit.gates
+        ]
+        # Measured: mean ~0.13, max ~0.32 (G8/G9/G15/G16 form a dense
+        # reconvergent cluster and the state bits correlate with the
+        # off-path signals).  Large circuits average much lower — see
+        # test_epp_tracks_monte_carlo_at_scale and the Table 2 harness.
+        assert sum(errors) / len(errors) < 0.16, errors
+        assert max(errors) < 0.40, errors
+
+    def test_linear_cone_cost_claim(self):
+        """Paper step 3: EPP work is one visit per on-path gate."""
+        circuit = random_combinational(10, 300, seed=9)
+        engine = EPPEngine(circuit)
+        for site in circuit.gates[:20]:
+            result = engine.node_epp(site)
+            assert result.cone_size <= len(circuit.gates)
+            assert result.cone_size == engine.cone(site).size
+
+    def test_public_api_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

@@ -1,0 +1,170 @@
+"""Embedded reference circuits behave as documented."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.gate_types import GateType
+from repro.netlist.library import (
+    FIGURE1_EXPECTED,
+    FIGURE1_SIGNAL_PROBS,
+    counter,
+    decoder,
+    equality_comparator,
+    figure1_circuit,
+    full_adder,
+    get_circuit,
+    half_adder,
+    list_circuits,
+    mux_tree,
+    parity_tree,
+    ripple_carry_adder,
+    s27,
+)
+from repro.netlist.validate import validate_circuit
+from repro.sim.logic_sim import simulate_sequential
+
+
+class TestRegistry:
+    def test_every_listed_circuit_builds_and_validates(self):
+        for name in list_circuits():
+            circuit = get_circuit(name)
+            assert validate_circuit(circuit).ok, name
+
+    def test_fresh_instances(self):
+        assert get_circuit("c17") is not get_circuit("c17")
+
+    def test_unknown_name(self):
+        with pytest.raises(NetlistError, match="available"):
+            get_circuit("s99999")
+
+
+class TestFigure1:
+    def test_structure(self):
+        circuit = figure1_circuit()
+        assert circuit.node("E").gate_type is GateType.NOT
+        assert circuit.node("H").fanin == ("C", "D", "G")
+        assert circuit.outputs == ["H"]
+
+    def test_expected_constants_are_consistent(self):
+        total = (
+            FIGURE1_EXPECTED["pa"]
+            + FIGURE1_EXPECTED["pa_bar"]
+            + FIGURE1_EXPECTED["p0"]
+            + FIGURE1_EXPECTED["p1"]
+        )
+        assert abs(total - 1.0) < 1e-12
+        assert set(FIGURE1_SIGNAL_PROBS) == {"B", "C", "F"}
+
+
+class TestArithmetic:
+    def test_half_adder_truth(self):
+        circuit = half_adder()
+        for a in (0, 1):
+            for b in (0, 1):
+                values = circuit.evaluate({"a": a, "b": b})
+                assert values["sum"] == (a + b) % 2
+                assert values["carry"] == (a + b) // 2
+
+    def test_full_adder_truth(self):
+        circuit = full_adder()
+        for pattern in range(8):
+            a, b, cin = pattern & 1, (pattern >> 1) & 1, (pattern >> 2) & 1
+            values = circuit.evaluate({"a": a, "b": b, "cin": cin})
+            assert values["sum"] == (a + b + cin) % 2
+            assert values["cout"] == (a + b + cin) // 2
+
+    @pytest.mark.parametrize("width", [1, 3, 4])
+    def test_ripple_adder_adds(self, width):
+        circuit = ripple_carry_adder(width)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                assignment = {}
+                for i in range(width):
+                    assignment[f"a{i}"] = (a >> i) & 1
+                    assignment[f"b{i}"] = (b >> i) & 1
+                values = circuit.evaluate(assignment)
+                total = sum(values[f"s{i}"] << i for i in range(width))
+                total += values[f"c{width-1}"] << width
+                assert total == a + b, (a, b)
+
+    def test_adder_rejects_zero_width(self):
+        with pytest.raises(NetlistError):
+            ripple_carry_adder(0)
+
+
+class TestCombinationalBlocks:
+    @pytest.mark.parametrize("width", [1, 2, 5, 8])
+    def test_parity(self, width):
+        circuit = parity_tree(width)
+        for pattern in range(1 << width):
+            assignment = {f"x{i}": (pattern >> i) & 1 for i in range(width)}
+            expected = bin(pattern).count("1") & 1
+            assert circuit.evaluate(assignment)[circuit.outputs[0]] == expected
+
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_mux_tree_selects(self, bits):
+        circuit = mux_tree(bits)
+        n_data = 1 << bits
+        for select in range(n_data):
+            for hot in range(n_data):
+                assignment = {f"s{i}": (select >> i) & 1 for i in range(bits)}
+                assignment.update({f"d{i}": int(i == hot) for i in range(n_data)})
+                out = circuit.evaluate(assignment)[circuit.outputs[0]]
+                assert out == int(select == hot)
+
+    def test_decoder_one_hot(self):
+        circuit = decoder(3)
+        for address in range(8):
+            assignment = {f"a{i}": (address >> i) & 1 for i in range(3)}
+            values = circuit.evaluate(assignment)
+            for row in range(8):
+                assert values[f"y{row}"] == int(row == address)
+
+    def test_equality_comparator(self):
+        circuit = equality_comparator(4)
+        for a in range(16):
+            for b in (a, (a + 5) % 16):
+                assignment = {}
+                for i in range(4):
+                    assignment[f"a{i}"] = (a >> i) & 1
+                    assignment[f"b{i}"] = (b >> i) & 1
+                assert circuit.evaluate(assignment)["eq"] == int(a == b)
+
+
+class TestCounter:
+    def test_counts_with_enable(self):
+        circuit = counter(3)
+        trace = simulate_sequential(
+            circuit, lambda cycle: {"en": 1 if cycle != 3 else 0}, cycles=6, width=1
+        )
+        values = []
+        for t in range(6):
+            values.append(sum(trace.word(t, f"q{i}") << i for i in range(3)))
+        # stalls at cycle 3 (enable low), then resumes
+        assert values == [0, 1, 2, 3, 3, 4]
+
+    def test_wraps(self):
+        circuit = counter(2)
+        trace = simulate_sequential(circuit, lambda _: {"en": 1}, cycles=6, width=1)
+        values = [
+            sum(trace.word(t, f"q{i}") << i for i in range(2)) for t in range(6)
+        ]
+        assert values == [0, 1, 2, 3, 0, 1]
+
+    def test_s27_next_state_spot_check(self):
+        # One hand-computed transition: all-zero state, all-zero inputs.
+        circuit = s27()
+        values = circuit.evaluate(
+            {"G0": 0, "G1": 0, "G2": 0, "G3": 0, "G5": 0, "G6": 0, "G7": 0}
+        )
+        # G14 = NOT(G0) = 1 -> G10 = NOR(G14, G11); G12 = NOR(G1,G7) = 1
+        assert values["G14"] == 1
+        assert values["G12"] == 1
+        assert values["G13"] == 0  # NOR(G2=0, G12=1)
+        assert values["G8"] == 0  # AND(G14=1, G6=0)
+        assert values["G15"] == 1  # OR(G12=1, G8=0)
+        assert values["G16"] == 0  # OR(G3=0, G8=0)
+        assert values["G9"] == 1  # NAND(G16=0, G15=1)
+        assert values["G11"] == 0  # NOR(G5=0, G9=1)
+        assert values["G17"] == 1  # NOT(G11)
+        assert values["G10"] == 0  # NOR(G14=1, G11=0)

@@ -1,0 +1,181 @@
+"""Physics-based R_SEU derivation."""
+
+import math
+
+import pytest
+
+from repro.core.analysis import SERAnalyzer
+from repro.errors import ConfigError
+from repro.netlist.gate_types import GateType
+from repro.netlist.library import s27
+from repro.ser.physics import (
+    CriticalCharge,
+    HeavyIonEnvironment,
+    MessengerPulse,
+    NeutronEnvironment,
+    WeibullCrossSection,
+    set_pulse_width,
+    seu_rate_model_from_physics,
+    upset_rate,
+)
+
+
+class TestMessengerPulse:
+    def test_total_charge_is_conserved(self):
+        pulse = MessengerPulse(charge=100e-15)
+        assert pulse.collected_charge(1e-6) == pytest.approx(100e-15, rel=1e-6)
+
+    def test_charge_accumulates_monotonically(self):
+        pulse = MessengerPulse(charge=50e-15)
+        times = [1e-11 * k for k in range(1, 60)]
+        values = [pulse.collected_charge(t) for t in times]
+        assert values == sorted(values)
+
+    def test_current_zero_before_strike(self):
+        assert MessengerPulse(charge=1e-14).current(-1e-12) == 0.0
+
+    def test_peak_is_the_maximum(self):
+        pulse = MessengerPulse(charge=1e-13)
+        peak = pulse.peak_current
+        for t in (pulse.peak_time * f for f in (0.5, 0.9, 1.1, 2.0)):
+            assert pulse.current(t) <= peak + 1e-18
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MessengerPulse(charge=-1e-15)
+        with pytest.raises(ConfigError):
+            MessengerPulse(charge=1e-15, tau_alpha=1e-11, tau_beta=2e-11)
+
+
+class TestCriticalCharge:
+    def test_qcrit_formula(self):
+        model = CriticalCharge(vdd=1.0, unit_capacitance=2e-15, fanout_fraction=0.0)
+        assert model.q_crit(GateType.NOT) == pytest.approx(1e-15)
+
+    def test_bigger_cells_need_more_charge(self):
+        model = CriticalCharge()
+        assert model.q_crit(GateType.DFF) > model.q_crit(GateType.NOT)
+
+    def test_fanout_increases_qcrit(self):
+        model = CriticalCharge()
+        assert model.q_crit(GateType.AND, fanout=4) > model.q_crit(GateType.AND, fanout=1)
+
+    def test_unmodeled_type_rejected(self):
+        with pytest.raises(ConfigError):
+            CriticalCharge().q_crit(GateType.INPUT)
+
+
+class TestPulseWidth:
+    def test_below_threshold_no_pulse(self):
+        assert set_pulse_width(1e-15, q_crit=2e-15) == 0.0
+        assert set_pulse_width(2e-15, q_crit=2e-15) == 0.0
+
+    def test_log_growth(self):
+        q_crit = 1e-15
+        w2 = set_pulse_width(2e-15, q_crit)
+        w4 = set_pulse_width(4e-15, q_crit)
+        assert w4 == pytest.approx(w2 * 2.0)  # ln(4)/ln(2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            set_pulse_width(1e-15, q_crit=0.0)
+
+
+class TestWeibull:
+    def test_zero_below_threshold(self):
+        xsection = WeibullCrossSection(let_threshold=5.0)
+        assert xsection.sigma(4.9) == 0.0
+        assert xsection.sigma(5.0) == 0.0
+
+    def test_saturates(self):
+        xsection = WeibullCrossSection(sigma_sat=1e-14, let_threshold=1.0, width=5.0)
+        assert xsection.sigma(1e6) == pytest.approx(1e-14, rel=1e-6)
+
+    def test_monotone(self):
+        xsection = WeibullCrossSection()
+        lets = [1.5 + 0.5 * k for k in range(40)]
+        sigmas = [xsection.sigma(l) for l in lets]
+        assert sigmas == sorted(sigmas)
+
+    def test_scaled(self):
+        xsection = WeibullCrossSection(sigma_sat=1e-14)
+        assert xsection.scaled(2.0).sigma(1e6) == pytest.approx(2e-14, rel=1e-6)
+
+
+class TestEnvironments:
+    def test_neutron_altitude_scaling(self):
+        env = NeutronEnvironment()
+        sea = env.flux(0.0)
+        cruise = env.flux(12_000.0)  # airliner altitude
+        assert cruise / sea == pytest.approx(math.exp(12_000 / 1400), rel=1e-9)
+        assert cruise / sea > 100  # the well-known ~300x at cruise
+
+    def test_heavy_ion_spectrum_decreasing(self):
+        env = HeavyIonEnvironment()
+        assert env.integral_flux(1.0) > env.integral_flux(10.0)
+        assert env.integral_flux(1e9) == 0.0
+
+    def test_differential_consistent_with_integral(self):
+        env = HeavyIonEnvironment(k=1e-4, gamma=2.0)
+        # numeric derivative of F(>L)
+        l, dl = 5.0, 1e-4
+        numeric = (env.integral_flux(l - dl) - env.integral_flux(l + dl)) / (2 * dl)
+        assert env.differential_flux(l) == pytest.approx(numeric, rel=1e-4)
+
+
+class TestRateIntegration:
+    def test_step_cross_section_closed_form(self):
+        """With a sharp Weibull (≈ step at L0), rate ≈ sigma_sat * F(>L0)."""
+        xsection = WeibullCrossSection(
+            sigma_sat=1e-14, let_threshold=5.0, width=0.01, shape=1.0
+        )
+        env = HeavyIonEnvironment(k=1e-4, gamma=2.0, let_min=0.5, let_max=500.0)
+        rate = upset_rate(xsection, env, n_points=4096)
+        expected = 1e-14 * env.integral_flux(5.0)
+        assert rate == pytest.approx(expected, rel=0.05)
+
+    def test_higher_threshold_lower_rate(self):
+        env = HeavyIonEnvironment()
+        low = upset_rate(WeibullCrossSection(let_threshold=1.0), env)
+        high = upset_rate(WeibullCrossSection(let_threshold=20.0), env)
+        assert high < low
+
+    def test_no_overlap_is_zero(self):
+        env = HeavyIonEnvironment(let_max=5.0)
+        xsection = WeibullCrossSection(let_threshold=10.0)
+        assert upset_rate(xsection, env) == 0.0
+
+
+class TestDerivedModel:
+    def test_produces_usable_model(self):
+        model = seu_rate_model_from_physics()
+        rate = model.rate(GateType.AND)
+        assert rate > 0
+        # AND gate matches the physics-derived reference rate exactly.
+        env = NeutronEnvironment()
+        assert rate == pytest.approx(
+            env.upset_rate(WeibullCrossSection().sigma_sat), rel=1e-9
+        )
+
+    def test_type_ordering_follows_capacitance(self):
+        model = seu_rate_model_from_physics()
+        assert model.rate(GateType.DFF) > model.rate(GateType.AND) > model.rate(GateType.NOT)
+
+    def test_sources_are_immune(self):
+        model = seu_rate_model_from_physics()
+        assert model.rate(GateType.INPUT) == 0.0
+
+    def test_heavy_ion_environment_variant(self):
+        model = seu_rate_model_from_physics(environment=HeavyIonEnvironment())
+        assert model.rate(GateType.NAND) > 0
+
+    def test_altitude_scales_rates(self):
+        ground = seu_rate_model_from_physics(altitude_m=0.0)
+        cruise = seu_rate_model_from_physics(altitude_m=12_000.0)
+        ratio = cruise.rate(GateType.AND) / ground.rate(GateType.AND)
+        assert ratio == pytest.approx(math.exp(12_000 / 1400), rel=1e-6)
+
+    def test_end_to_end_with_analyzer(self):
+        model = seu_rate_model_from_physics()
+        report = SERAnalyzer(s27(), seu_model=model).analyze()
+        assert report.total_fit > 0

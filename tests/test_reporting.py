@@ -1,0 +1,58 @@
+"""Report emitters."""
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.reporting import format_columns, rows_to_csv, rows_to_json
+
+
+@dataclass
+class Row:
+    name: str
+    value: float
+
+
+class TestCsv:
+    def test_dataclass_rows(self):
+        text = rows_to_csv([Row("a", 1.5), Row("b", 2.0)])
+        lines = text.strip().splitlines()
+        assert lines[0] == "name,value"
+        assert lines[1] == "a,1.5"
+
+    def test_mapping_rows(self):
+        text = rows_to_csv([{"x": 1, "y": 2}])
+        assert "x,y" in text
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "out.csv"
+        rows_to_csv([Row("a", 1.0)], path=str(path))
+        assert path.read_text().startswith("name,value")
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(TypeError):
+            rows_to_csv([object()])
+
+
+class TestJson:
+    def test_round_trips(self):
+        rows = [Row("a", 1.5)]
+        decoded = json.loads(rows_to_json(rows))
+        assert decoded == [{"name": "a", "value": 1.5}]
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "out.json"
+        rows_to_json([{"k": "v"}], path=str(path))
+        assert json.loads(path.read_text()) == [{"k": "v"}]
+
+
+class TestColumns:
+    def test_alignment(self):
+        text = format_columns(["name", "fit"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len(set(len(line) for line in lines)) == 1  # equal width

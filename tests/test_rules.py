@@ -1,0 +1,174 @@
+"""EPP propagation rules: Table 1 closed forms and the generic rule."""
+
+import itertools
+
+import pytest
+
+from repro.core.fourvalue import EPPValue
+from repro.core.rules import (
+    and_rule,
+    buf_rule,
+    merge_polarity,
+    nand_rule,
+    nor_rule,
+    not_rule,
+    or_rule,
+    propagate_values,
+    rule_for_code,
+    truth_table_rule,
+    xnor_rule,
+    xor_rule,
+)
+from repro.errors import AnalysisError
+from repro.netlist.gate_types import (
+    CODE_AND,
+    CODE_DFF,
+    GateType,
+    truth_table,
+)
+
+ERROR = (1.0, 0.0, 0.0, 0.0)  # pure a
+ERROR_BAR = (0.0, 1.0, 0.0, 0.0)  # pure ā
+
+
+def off(p1):
+    return (0.0, 0.0, 1.0 - p1, p1)
+
+
+class TestPaperWorkedValues:
+    """Every intermediate value of the paper's Figure 1 example, rule by rule."""
+
+    def test_not_gate_E(self):
+        assert not_rule([ERROR]) == (0.0, 1.0, 0.0, 0.0)
+
+    def test_and_gate_D(self):
+        pa, pa_bar, p0, p1 = and_rule([ERROR, off(0.2)])
+        assert pa == pytest.approx(0.2)
+        assert pa_bar == pytest.approx(0.0)
+        assert p0 == pytest.approx(0.8)
+        assert p1 == pytest.approx(0.0)
+
+    def test_and_gate_G(self):
+        pa, pa_bar, p0, p1 = and_rule([ERROR_BAR, off(0.7)])
+        assert pa_bar == pytest.approx(0.7)
+        assert p0 == pytest.approx(0.3)
+
+    def test_or_gate_H(self):
+        d = (0.2, 0.0, 0.8, 0.0)
+        g = (0.0, 0.7, 0.3, 0.0)
+        pa, pa_bar, p0, p1 = or_rule([off(0.3), d, g])
+        assert p0 == pytest.approx(0.168)
+        assert pa == pytest.approx(0.042)
+        assert pa_bar == pytest.approx(0.392)
+        assert p1 == pytest.approx(0.398)
+
+
+class TestClosedVsGeneric:
+    GRID = [
+        (1.0, 0.0, 0.0, 0.0),
+        (0.0, 1.0, 0.0, 0.0),
+        (0.0, 0.0, 1.0, 0.0),
+        (0.0, 0.0, 0.0, 1.0),
+        (0.25, 0.25, 0.25, 0.25),
+        (0.5, 0.0, 0.3, 0.2),
+        (0.0, 0.6, 0.1, 0.3),
+        (0.1, 0.2, 0.3, 0.4),
+    ]
+
+    @pytest.mark.parametrize(
+        "gate_type,rule",
+        [
+            (GateType.AND, and_rule),
+            (GateType.OR, or_rule),
+            (GateType.NAND, nand_rule),
+            (GateType.NOR, nor_rule),
+            (GateType.XOR, xor_rule),
+            (GateType.XNOR, xnor_rule),
+        ],
+    )
+    def test_two_and_three_input_gates(self, gate_type, rule):
+        for arity in (2, 3):
+            table = truth_table(gate_type, arity)
+            for combo in itertools.product(self.GRID, repeat=arity):
+                expected = truth_table_rule(table, combo)
+                got = rule(combo)
+                for e, g in zip(expected, got):
+                    assert g == pytest.approx(e, abs=1e-12), (gate_type, combo)
+
+    @pytest.mark.parametrize(
+        "gate_type,rule", [(GateType.NOT, not_rule), (GateType.BUF, buf_rule)]
+    )
+    def test_unary_gates(self, gate_type, rule):
+        table = truth_table(gate_type, 1)
+        for value in self.GRID:
+            assert truth_table_rule(table, [value]) == pytest.approx(rule([value]))
+
+
+class TestSemantics:
+    def test_xor_cancels_same_polarity_errors(self):
+        # a XOR a = 0: the error disappears, output is a constant.
+        pa, pa_bar, p0, p1 = xor_rule([ERROR, ERROR])
+        assert (pa, pa_bar) == (0.0, 0.0)
+        assert p0 == pytest.approx(1.0)
+
+    def test_xor_opposite_polarities_make_constant_one(self):
+        pa, pa_bar, p0, p1 = xor_rule([ERROR, ERROR_BAR])
+        assert p1 == pytest.approx(1.0)
+
+    def test_and_blocks_on_controlling_zero(self):
+        pa, pa_bar, p0, p1 = and_rule([ERROR, off(0.0)])
+        assert p0 == pytest.approx(1.0)
+
+    def test_or_blocks_on_controlling_one(self):
+        pa, pa_bar, p0, p1 = or_rule([ERROR, off(1.0)])
+        assert p1 == pytest.approx(1.0)
+
+    def test_and_of_a_and_abar_is_zero(self):
+        pa, pa_bar, p0, p1 = and_rule([ERROR, ERROR_BAR])
+        assert p0 == pytest.approx(1.0)
+
+    def test_off_path_inputs_never_create_error(self):
+        for rule in (and_rule, or_rule, xor_rule, nand_rule, nor_rule):
+            pa, pa_bar, p0, p1 = rule([off(0.3), off(0.8)])
+            assert pa == 0.0 and pa_bar == 0.0
+            assert p0 + p1 == pytest.approx(1.0)
+
+    def test_nand_is_not_of_and(self):
+        inputs = [(0.3, 0.1, 0.4, 0.2), off(0.6)]
+        assert nand_rule(inputs) == pytest.approx(not_rule([and_rule(inputs)]))
+
+    def test_mux_generic_rule(self):
+        # Error on the select line with equal data SPs still propagates
+        # whenever the two data inputs differ.
+        table = truth_table(GateType.MUX, 3)
+        pa, pa_bar, p0, p1 = truth_table_rule(table, [ERROR, off(0.5), off(0.5)])
+        assert pa + pa_bar == pytest.approx(0.5)  # P(data differ) = 0.5
+
+    def test_merge_polarity(self):
+        assert merge_polarity((0.1, 0.2, 0.3, 0.4)) == (
+            pytest.approx(0.3), 0.0, 0.3, 0.4,
+        )
+
+
+class TestDispatch:
+    def test_rule_for_code(self):
+        assert rule_for_code(CODE_AND) is and_rule
+
+    def test_non_combinational_code_rejected(self):
+        with pytest.raises(AnalysisError):
+            rule_for_code(CODE_DFF)
+
+    def test_propagate_values_wrapper(self):
+        result = propagate_values(
+            GateType.AND, [EPPValue.error_site(), EPPValue.off_path(0.2)]
+        )
+        assert result.pa == pytest.approx(0.2)
+        assert result.p0 == pytest.approx(0.8)
+
+    def test_propagate_values_rejects_dff(self):
+        with pytest.raises(AnalysisError):
+            propagate_values(GateType.DFF, [EPPValue.error_site()])
+
+    def test_truth_table_size_mismatch(self):
+        with pytest.raises(AnalysisError):
+            truth_table_rule((0, 1), [ERROR, ERROR])

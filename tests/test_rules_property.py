@@ -1,0 +1,124 @@
+"""Property-based tests for the EPP rule algebra (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rules import (
+    and_rule,
+    nand_rule,
+    nor_rule,
+    not_rule,
+    or_rule,
+    truth_table_rule,
+    xnor_rule,
+    xor_rule,
+)
+from repro.netlist.gate_types import GateType, truth_table
+
+
+@st.composite
+def prob4(draw):
+    """A random valid four-valued vector (components sum to 1)."""
+    raw = [draw(st.floats(min_value=0.0, max_value=1.0)) for _ in range(4)]
+    total = sum(raw)
+    if total == 0.0:
+        return (1.0, 0.0, 0.0, 0.0)
+    return tuple(component / total for component in raw)
+
+
+_CLOSED = {
+    GateType.AND: and_rule,
+    GateType.OR: or_rule,
+    GateType.NAND: nand_rule,
+    GateType.NOR: nor_rule,
+    GateType.XOR: xor_rule,
+    GateType.XNOR: xnor_rule,
+}
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    gate_type=st.sampled_from(sorted(_CLOSED, key=lambda g: g.value)),
+    inputs=st.lists(prob4(), min_size=1, max_size=4),
+)
+def test_closed_form_equals_generic_rule(gate_type, inputs):
+    """The paper's closed forms agree with exhaustive state enumeration."""
+    table = truth_table(gate_type, len(inputs))
+    expected = truth_table_rule(table, inputs)
+    got = _CLOSED[gate_type](inputs)
+    for e, g in zip(expected, got):
+        assert math.isclose(e, g, abs_tol=1e-9)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    gate_type=st.sampled_from(sorted(_CLOSED, key=lambda g: g.value)),
+    inputs=st.lists(prob4(), min_size=1, max_size=4),
+)
+def test_output_is_a_probability_vector(gate_type, inputs):
+    result = _CLOSED[gate_type](inputs)
+    assert all(-1e-9 <= component <= 1.0 + 1e-9 for component in result)
+    assert math.isclose(sum(result), 1.0, abs_tol=1e-6)
+
+
+@settings(max_examples=100, deadline=None)
+@given(value=prob4())
+def test_not_is_an_involution(value):
+    assert not_rule([not_rule([value])]) == value
+
+
+@settings(max_examples=100, deadline=None)
+@given(inputs=st.lists(prob4(), min_size=2, max_size=4))
+def test_and_error_bounded_by_input_error(inputs):
+    """AND can only block or pass an error, never amplify it beyond the
+    probability that *some* input carried it."""
+    pa, pa_bar, p0, p1 = and_rule(inputs)
+    p_any_error = 1.0 - math.prod(1.0 - (x[0] + x[1]) for x in inputs)
+    assert pa + pa_bar <= p_any_error + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(inputs=st.lists(prob4(), min_size=2, max_size=3))
+def test_demorgan_and_nand(inputs):
+    """NAND == NOT(AND) as distributions."""
+    lhs = nand_rule(inputs)
+    rhs = not_rule([and_rule(inputs)])
+    for l, r in zip(lhs, rhs):
+        assert math.isclose(l, r, abs_tol=1e-12)
+
+
+@settings(max_examples=100, deadline=None)
+@given(inputs=st.lists(prob4(), min_size=2, max_size=3), data=st.data())
+def test_xor_is_commutative(inputs, data):
+    permutation = data.draw(st.permutations(inputs))
+    lhs = xor_rule(inputs)
+    rhs = xor_rule(permutation)
+    for l, r in zip(lhs, rhs):
+        assert math.isclose(l, r, abs_tol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    off_probs=st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=3
+    )
+)
+def test_off_path_only_inputs_stay_off_path(off_probs):
+    """A gate whose inputs carry no error can never output one."""
+    inputs = [(0.0, 0.0, 1.0 - p, p) for p in off_probs]
+    for gate_type, rule in _CLOSED.items():
+        pa, pa_bar, p0, p1 = rule(inputs)
+        assert pa == 0.0 and pa_bar == 0.0, gate_type
+
+
+@settings(max_examples=60, deadline=None)
+@given(inputs=st.lists(prob4(), min_size=3, max_size=3))
+def test_generic_rule_matches_maj_semantics(inputs):
+    """Generic MAJ rule output is a valid distribution and error-consistent."""
+    table = truth_table(GateType.MAJ, 3)
+    pa, pa_bar, p0, p1 = truth_table_rule(table, inputs)
+    assert math.isclose(pa + pa_bar + p0 + p1, 1.0, abs_tol=1e-9)
+    p_any_error = 1.0 - math.prod(1.0 - (x[0] + x[1]) for x in inputs)
+    assert pa + pa_bar <= p_any_error + 1e-9

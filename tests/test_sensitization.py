@@ -1,0 +1,51 @@
+"""P_sensitized combination across reachable outputs."""
+
+import pytest
+
+from repro.core.sensitization import combine_sensitization
+from repro.errors import AnalysisError
+
+
+def test_empty_is_zero():
+    assert combine_sensitization([]) == 0.0
+
+
+def test_single_output_passthrough():
+    assert combine_sensitization([0.434]) == pytest.approx(0.434)
+
+
+def test_two_outputs():
+    assert combine_sensitization([0.5, 0.5]) == pytest.approx(0.75)
+
+
+def test_certain_output_dominates():
+    assert combine_sensitization([1.0, 0.1, 0.0]) == pytest.approx(1.0)
+
+
+def test_zeros_contribute_nothing():
+    assert combine_sensitization([0.0, 0.0, 0.3]) == pytest.approx(0.3)
+
+
+def test_matches_product_formula():
+    probs = [0.1, 0.25, 0.6]
+    expected = 1 - (0.9 * 0.75 * 0.4)
+    assert combine_sensitization(probs) == pytest.approx(expected)
+
+
+def test_tiny_float_excursions_clamped():
+    assert combine_sensitization([-1e-12]) == pytest.approx(0.0)
+    assert combine_sensitization([1.0 + 1e-12]) == pytest.approx(1.0)
+
+
+def test_real_violations_raise():
+    with pytest.raises(AnalysisError):
+        combine_sensitization([-0.2])
+    with pytest.raises(AnalysisError):
+        combine_sensitization([1.2])
+
+
+def test_order_independent():
+    probs = [0.3, 0.7, 0.05]
+    assert combine_sensitization(probs) == pytest.approx(
+        combine_sensitization(list(reversed(probs)))
+    )

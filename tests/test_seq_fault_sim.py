@@ -1,0 +1,108 @@
+"""Multi-cycle fault simulation, and validation of the analytical DP."""
+
+import pytest
+
+from repro.core.analysis import SERAnalyzer
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+from repro.netlist.library import c17, counter, s27
+from repro.ser.latching import LatchingModel
+from repro.sim.seq_fault_sim import MultiCycleFaultSimulator
+
+from tests.helpers import exhaustive_p_sensitized
+
+
+class TestSingleCycle:
+    def test_combinational_matches_exhaustive(self, c17_circuit):
+        simulator = MultiCycleFaultSimulator(c17_circuit, seed=1)
+        for site in ("N10", "N11", "N16"):
+            truth = exhaustive_p_sensitized(c17_circuit, site)
+            estimate = simulator.p_observed(site, cycles=1, n_vectors=30_000)
+            assert estimate == pytest.approx(truth, abs=0.02), site
+
+    def test_extra_cycles_change_nothing_for_combinational(self, c17_circuit):
+        # Single batch (n_vectors == word_width) so both runs inject against
+        # the same cycle-0 vectors; extra cycles then cannot add detections
+        # in a circuit without state.
+        simulator = MultiCycleFaultSimulator(c17_circuit, seed=2, word_width=256)
+        one = simulator.p_observed("N11", cycles=1, n_vectors=256)
+        simulator2 = MultiCycleFaultSimulator(c17_circuit, seed=2, word_width=256)
+        three = simulator2.p_observed("N11", cycles=3, n_vectors=256)
+        assert one == pytest.approx(three, abs=1e-12)
+
+    def test_ff_divergence_alone_is_not_detection(self):
+        """A site feeding only a flip-flop is invisible within one cycle."""
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_gate("g", GateType.NOT, ["a"])
+        circuit.add_dff("q", "g")
+        circuit.add_gate("po", GateType.BUF, ["q"])
+        circuit.mark_output("po")
+        simulator = MultiCycleFaultSimulator(circuit, seed=3)
+        assert simulator.p_observed("g", cycles=1, n_vectors=512) == 0.0
+        # ... but the corrupted state surfaces the very next cycle.
+        assert simulator.p_observed("g", cycles=2, n_vectors=512) == 1.0
+
+
+class TestMultiCycle:
+    def test_monotone_in_cycles(self, s27_circuit):
+        simulator = MultiCycleFaultSimulator(s27_circuit, seed=4)
+        values = [
+            simulator.p_observed("G12", cycles=c, n_vectors=4096) for c in (1, 2, 3, 4)
+        ]
+        for earlier, later in zip(values, values[1:]):
+            assert later >= earlier - 0.02  # MC noise allowance
+
+    def test_state_site_injection(self, s27_circuit):
+        simulator = MultiCycleFaultSimulator(s27_circuit, seed=5)
+        # G5 is a DFF output: flipping the state bit at cycle 0.
+        value = simulator.p_observed("G5", cycles=3, n_vectors=4096)
+        assert 0.0 < value <= 1.0
+
+    def test_validates_arguments(self, s27_circuit):
+        simulator = MultiCycleFaultSimulator(s27_circuit, seed=0)
+        with pytest.raises(SimulationError):
+            simulator.p_observed("G12", cycles=0)
+        with pytest.raises(SimulationError):
+            simulator.p_observed("ghost", cycles=1)
+        with pytest.raises(SimulationError):
+            simulator.p_observed("G12", cycles=1, n_vectors=0)
+        with pytest.raises(SimulationError):
+            MultiCycleFaultSimulator(s27_circuit, word_width=0)
+
+
+class TestAnalyticalModelValidation:
+    """The SERAnalyzer multi-cycle DP against simulation ground truth.
+
+    The DP assumes perfect capture (compare with p_latched=1), independent
+    captures and single-cycle persistence; agreement is approximate but
+    must be in the same band and ordered the same way.
+    """
+
+    def test_dp_tracks_simulation_on_s27(self, s27_circuit):
+        analyzer = SERAnalyzer(
+            s27_circuit, latching_model=LatchingModel(
+                clock_period=1e-9, window=0.0, nominal_pulse_width=1e-9
+            )
+        )  # p_latched == 1: every captured error persists
+        simulator = MultiCycleFaultSimulator(s27_circuit, seed=6)
+        for site in ("G9", "G12", "G14"):
+            dp = analyzer.multi_cycle_observability(site, cycles=3)
+            mc = simulator.p_observed(site, cycles=3, n_vectors=8192)
+            assert dp == pytest.approx(mc, abs=0.2), site
+
+    def test_dp_and_simulation_agree_on_zero(self):
+        """A site that can never reach a PO is zero in both views."""
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_gate("dead_src", GateType.NOT, ["a"])
+        circuit.add_dff("dead_q", "dead_src")
+        circuit.add_gate("sink_gate", GateType.BUF, ["dead_q"])
+        circuit.add_dff("dead_q2", "sink_gate")  # state loop, never a PO
+        circuit.add_gate("po", GateType.BUF, ["a"])
+        circuit.mark_output("po")
+        analyzer = SERAnalyzer(circuit)
+        simulator = MultiCycleFaultSimulator(circuit, seed=7)
+        assert analyzer.multi_cycle_observability("dead_src", cycles=4) == 0.0
+        assert simulator.p_observed("dead_src", cycles=4, n_vectors=256) == 0.0

@@ -1,0 +1,131 @@
+"""SER component models: R_SEU, latching window, electrical masking, FIT."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netlist.gate_types import GateType
+from repro.ser.electrical import ElectricalMaskingModel
+from repro.ser.fit import (
+    combine_fit,
+    fit_to_mtbf_years,
+    fit_to_per_second,
+    per_second_to_fit,
+)
+from repro.ser.latching import LatchingModel
+from repro.ser.seu_rate import TECHNOLOGY_PRESETS, SEURateModel
+
+
+class TestSEURate:
+    def test_rate_is_flux_times_cross_section(self):
+        model = SEURateModel(flux=1.0, base_cross_section_cm2=2.0)
+        assert model.rate(GateType.AND) == pytest.approx(2.0)
+
+    def test_type_weights_differentiate_cells(self):
+        model = SEURateModel()
+        assert model.rate(GateType.XOR) > model.rate(GateType.NOT)
+        assert model.rate(GateType.DFF) > model.rate(GateType.NAND)
+
+    def test_sources_have_zero_rate(self):
+        model = SEURateModel()
+        assert model.rate(GateType.INPUT) == 0.0
+        assert model.rate(GateType.CONST0) == 0.0
+
+    def test_drive_strength_divides_rate(self):
+        model = SEURateModel(drive_strength={"big_gate": 4.0})
+        weak = model.rate(GateType.AND, "normal_gate")
+        strong = model.rate(GateType.AND, "big_gate")
+        assert strong == pytest.approx(weak / 4.0)
+
+    def test_with_drive_strength_is_functional_update(self):
+        base = SEURateModel()
+        hardened = base.with_drive_strength({"g": 10.0})
+        assert base.rate(GateType.AND, "g") == pytest.approx(
+            10.0 * hardened.rate(GateType.AND, "g")
+        )
+        assert base.drive_strength == {}
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SEURateModel(flux=-1.0)
+        with pytest.raises(ConfigError):
+            SEURateModel(base_cross_section_cm2=-1e-15)
+        with pytest.raises(ConfigError):
+            SEURateModel(drive_strength={"g": 0.0})
+
+    def test_presets_exist_and_scale(self):
+        sea = TECHNOLOGY_PRESETS["sea-level-130nm"]
+        avionics = TECHNOLOGY_PRESETS["avionics-130nm"]
+        assert avionics.rate(GateType.AND) > 100 * sea.rate(GateType.AND)
+
+
+class TestLatching:
+    def test_window_formula(self):
+        model = LatchingModel(clock_period=1e-9, window=5e-11, nominal_pulse_width=1.5e-10)
+        assert model.p_latched() == pytest.approx((1.5e-10 - 5e-11) / 1e-9)
+
+    def test_narrow_pulse_never_latches(self):
+        model = LatchingModel(window=5e-11)
+        assert model.p_latched(pulse_width=4e-11) == 0.0
+
+    def test_wide_pulse_always_latches(self):
+        model = LatchingModel(clock_period=1e-9)
+        assert model.p_latched(pulse_width=2e-9) == 1.0
+
+    def test_monotone_in_pulse_width(self):
+        model = LatchingModel()
+        widths = [1e-11 * k for k in range(1, 30)]
+        values = [model.p_latched(w) for w in widths]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LatchingModel(clock_period=0.0)
+        with pytest.raises(ConfigError):
+            LatchingModel(window=-1.0)
+        with pytest.raises(ConfigError):
+            LatchingModel().p_latched(pulse_width=-1e-12)
+
+
+class TestElectrical:
+    def test_linear_attenuation(self):
+        model = ElectricalMaskingModel(attenuation_per_level=1e-11, cutoff_width=2e-11)
+        assert model.width_after(1.5e-10, 0) == pytest.approx(1.5e-10)
+        assert model.width_after(1.5e-10, 5) == pytest.approx(1.0e-10)
+
+    def test_cutoff_masks_completely(self):
+        model = ElectricalMaskingModel(attenuation_per_level=1e-11, cutoff_width=2e-11)
+        assert model.width_after(1.5e-10, 14) == 0.0
+        assert model.width_after(1.5e-10, 100) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ElectricalMaskingModel(attenuation_per_level=-1.0)
+        with pytest.raises(ConfigError):
+            ElectricalMaskingModel().width_after(1e-10, -1)
+
+
+class TestFit:
+    def test_per_second_round_trip(self):
+        rate = 2.5e-16
+        assert fit_to_per_second(per_second_to_fit(rate)) == pytest.approx(rate)
+
+    def test_one_fit_is_one_failure_per_1e9_hours(self):
+        assert per_second_to_fit(1.0 / (3600.0 * 1e9)) == pytest.approx(1.0)
+
+    def test_mtbf(self):
+        # 1e9 FIT -> 1 hour MTBF.
+        assert fit_to_mtbf_years(1e9) == pytest.approx(1 / (24 * 365.25))
+        assert math.isinf(fit_to_mtbf_years(0.0))
+
+    def test_combine_adds(self):
+        assert combine_fit([1.0, 2.0, 3.5]) == pytest.approx(6.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            per_second_to_fit(-1.0)
+        with pytest.raises(ConfigError):
+            combine_fit([1.0, -2.0])
+        with pytest.raises(ConfigError):
+            fit_to_mtbf_years(-5.0)

@@ -1,0 +1,200 @@
+"""Netlist transforms: sequential cut, constant folding, buffer sweep, cone, TMR."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+from repro.netlist.generate import random_combinational
+from repro.netlist.library import c17, counter, s27
+from repro.netlist.transform import (
+    extract_cone,
+    propagate_constants,
+    sweep_buffers,
+    to_combinational,
+    triplicate,
+)
+from repro.sim.fault_sim import FaultInjector
+from repro.sim.vectors import RandomVectorSource
+
+
+class TestToCombinational:
+    def test_identity_for_combinational(self):
+        view = to_combinational(c17())
+        assert view.is_identity
+        assert view.circuit.inputs == c17().inputs
+
+    def test_s27_cut_shape(self):
+        view = to_combinational(s27())
+        cut = view.circuit
+        assert not cut.is_sequential
+        assert set(cut.inputs) == {"G0", "G1", "G2", "G3", "G5", "G6", "G7"}
+        # original PO plus the three D drivers
+        assert set(cut.outputs) == {"G17", "G10", "G11", "G13"}
+        assert set(view.state_inputs) == {"G5", "G6", "G7"}
+
+    def test_cut_matches_sequential_evaluation(self):
+        original = s27()
+        view = to_combinational(original)
+        assignment = {"G0": 1, "G1": 0, "G2": 1, "G3": 0, "G5": 1, "G6": 0, "G7": 1}
+        assert original.evaluate(assignment) == view.circuit.evaluate(assignment)
+
+    def test_shared_d_driver_maps_to_both_ffs(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_gate("g", GateType.NOT, ["a"])
+        circuit.add_dff("q1", "g")
+        circuit.add_dff("q2", "g")
+        circuit.mark_output("q1")
+        view = to_combinational(circuit)
+        assert sorted(view.state_outputs["g"]) == ["q1", "q2"]
+
+
+class TestPropagateConstants:
+    def test_folds_constant_cone(self):
+        circuit = Circuit()
+        circuit.add_const("zero", 0)
+        circuit.add_input("a")
+        circuit.add_gate("g", GateType.AND, ["a", "zero"])
+        circuit.add_gate("h", GateType.OR, ["g", "a"])
+        circuit.mark_output("h")
+        folded = propagate_constants(circuit)
+        assert folded.node("g").gate_type is GateType.CONST0
+
+    def test_drops_noncontrolling_constants(self):
+        circuit = Circuit()
+        circuit.add_const("one", 1)
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_gate("g", GateType.AND, ["a", "one", "b"])
+        circuit.mark_output("g")
+        folded = propagate_constants(circuit)
+        assert folded.node("g").fanin == ("a", "b")
+
+    def test_preserves_behaviour(self):
+        base = random_combinational(5, 25, seed=3)
+        circuit = base.copy()
+        # splice constants into the netlist
+        circuit.add_const("c0", 0)
+        circuit.add_const("c1", 1)
+        circuit.add_gate("mixed", GateType.OR, [circuit.gates[0], "c0", "c1"])
+        circuit.mark_output("mixed")
+        folded = propagate_constants(circuit)
+        for pattern in range(32):
+            assignment = {
+                name: (pattern >> k) & 1 for k, name in enumerate(circuit.inputs)
+            }
+            original_values = circuit.evaluate(assignment)
+            folded_values = folded.evaluate(assignment)
+            for output in circuit.outputs:
+                assert original_values[output] == folded_values[output]
+
+
+class TestSweepBuffers:
+    def test_removes_interior_buffers(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_gate("b1", GateType.BUF, ["a"])
+        circuit.add_gate("b2", GateType.BUF, ["b1"])
+        circuit.add_gate("g", GateType.NOT, ["b2"])
+        circuit.mark_output("g")
+        swept = sweep_buffers(circuit)
+        assert "b1" not in swept and "b2" not in swept
+        assert swept.node("g").fanin == ("a",)
+
+    def test_keeps_output_buffers(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_gate("ob", GateType.BUF, ["a"])
+        circuit.mark_output("ob")
+        swept = sweep_buffers(circuit)
+        assert "ob" in swept
+
+    def test_preserves_behaviour(self):
+        circuit = s27()
+        swept = sweep_buffers(circuit)
+        assignment = {"G0": 1, "G1": 1, "G2": 0, "G3": 1, "G5": 0, "G6": 1, "G7": 0}
+        original = circuit.evaluate(assignment)
+        after = swept.evaluate(assignment)
+        assert original["G17"] == after["G17"]
+
+
+class TestExtractCone:
+    def test_cone_of_c17_output(self):
+        cone = extract_cone(c17(), ["N22"])
+        assert set(cone.outputs) == {"N22"}
+        assert "N19" not in cone  # feeds only N23
+        assert "N7" not in cone
+
+    def test_cone_evaluation_matches(self):
+        circuit = c17()
+        cone = extract_cone(circuit, ["N23"])
+        for pattern in range(32):
+            assignment = {
+                name: (pattern >> k) & 1 for k, name in enumerate(circuit.inputs)
+            }
+            cone_assignment = {k: v for k, v in assignment.items() if k in cone.inputs}
+            assert (
+                circuit.evaluate(assignment)["N23"]
+                == cone.evaluate(cone_assignment)["N23"]
+            )
+
+    def test_dff_becomes_cone_input(self):
+        cone = extract_cone(s27(), ["G17"])
+        assert not cone.is_sequential
+        assert "G5" in cone.inputs or "G5" not in cone  # DFFs in cone are inputs
+        for name in cone.inputs:
+            assert cone.node(name).gate_type is GateType.INPUT
+
+    def test_through_dff_keeps_state(self):
+        cone = extract_cone(s27(), ["G17"], through_dff=True)
+        assert cone.is_sequential
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(NetlistError):
+            extract_cone(c17(), ["nope"])
+
+
+class TestTriplicate:
+    def test_shape(self):
+        tmr = triplicate(c17())
+        assert len(tmr.gates) == 3 * 6 + 2  # replicas + two voters
+        assert tmr.inputs == c17().inputs
+        assert tmr.outputs == c17().outputs
+
+    def test_functional_equivalence(self):
+        original = c17()
+        tmr = triplicate(original)
+        for pattern in range(32):
+            assignment = {
+                name: (pattern >> k) & 1 for k, name in enumerate(original.inputs)
+            }
+            expected = original.evaluate(assignment)
+            got = tmr.evaluate(assignment)
+            for output in original.outputs:
+                assert expected[output] == got[output]
+
+    def test_single_replica_fault_is_masked(self):
+        original = c17()
+        tmr = triplicate(original)
+        injector = FaultInjector(tmr)
+        words = RandomVectorSource(tmr.inputs, seed=5).next_words(512)
+        good = injector.simulator.run(words, 512)
+        for gate in original.gates:
+            assert injector.detection_count(good, f"{gate}__r0", 512) == 0
+
+    def test_voter_fault_is_not_masked(self):
+        tmr = triplicate(c17())
+        injector = FaultInjector(tmr)
+        words = RandomVectorSource(tmr.inputs, seed=5).next_words(512)
+        good = injector.simulator.run(words, 512)
+        # The voter output IS the primary output: always detected.
+        assert injector.detection_count(good, "N22", 512) == 512
+
+    def test_sequential_circuits_triplicate(self):
+        tmr = triplicate(counter(3))
+        assert len(tmr.flip_flops) == 9
+
+    def test_duplicate_suffixes_rejected(self):
+        with pytest.raises(NetlistError):
+            triplicate(c17(), suffixes=("_a", "_a", "_b"))

@@ -1,0 +1,80 @@
+"""Structural validation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+from repro.netlist.library import c17, counter, s27
+from repro.netlist.validate import validate_circuit
+
+
+class TestCleanCircuits:
+    @pytest.mark.parametrize("factory", [c17, s27, lambda: counter(3)])
+    def test_library_circuits_validate(self, factory):
+        report = validate_circuit(factory())
+        assert report.ok
+        assert report.errors == []
+
+
+class TestErrors:
+    def test_undefined_driver(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_gate("g", GateType.AND, ["a", "ghost"])
+        circuit.mark_output("g")
+        report = validate_circuit(circuit)
+        assert not report.ok
+        assert any("ghost" in e for e in report.errors)
+
+    def test_no_observable_sink(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_gate("g", GateType.NOT, ["a"])
+        report = validate_circuit(circuit)
+        assert any("no observable sinks" in e for e in report.errors)
+
+    def test_combinational_cycle(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_gate("p", GateType.AND, ["a", "q"])
+        circuit.add_gate("q", GateType.OR, ["p", "a"])
+        circuit.mark_output("q")
+        report = validate_circuit(circuit)
+        assert any("cycle" in e for e in report.errors)
+
+    def test_strict_mode_raises(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        with pytest.raises(ValidationError):
+            validate_circuit(circuit, strict=True)
+
+
+class TestWarnings:
+    def test_dead_gate_is_warning_not_error(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_gate("used", GateType.NOT, ["a"])
+        circuit.add_gate("dead", GateType.BUF, ["a"])
+        circuit.mark_output("used")
+        report = validate_circuit(circuit)
+        assert report.ok
+        assert any("dead" in w for w in report.warnings)
+
+    def test_unused_input_warning(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_input("unused")
+        circuit.add_gate("g", GateType.NOT, ["a"])
+        circuit.mark_output("g")
+        report = validate_circuit(circuit)
+        assert report.ok
+        assert any("unused" in w for w in report.warnings)
+
+    def test_output_node_is_not_dead(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_gate("g", GateType.NOT, ["a"])
+        circuit.mark_output("g")
+        report = validate_circuit(circuit)
+        assert report.warnings == []

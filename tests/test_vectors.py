@@ -1,0 +1,87 @@
+"""Pattern sources: packing, exhaustive enumeration, weighted randomness."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.vectors import (
+    RandomVectorSource,
+    exhaustive_words,
+    pack_patterns,
+    popcount,
+    unpack_word,
+)
+
+
+class TestPacking:
+    def test_pack_unpack_roundtrip(self):
+        patterns = [{"a": 1, "b": 0}, {"a": 0, "b": 0}, {"a": 1, "b": 1}]
+        words = pack_patterns(patterns, ["a", "b"])
+        assert unpack_word(words["a"], 3) == [1, 0, 1]
+        assert unpack_word(words["b"], 3) == [0, 0, 1]
+
+    def test_pack_rejects_non_binary(self):
+        with pytest.raises(SimulationError):
+            pack_patterns([{"a": 2}], ["a"])
+
+    def test_popcount(self):
+        assert popcount(0b101101) == 4
+
+
+class TestExhaustive:
+    def test_columns_follow_truth_table_convention(self):
+        words, width = exhaustive_words(["x0", "x1"])
+        assert width == 4
+        # pattern p assigns bit (p >> k) & 1 to signal k
+        assert unpack_word(words["x0"], 4) == [0, 1, 0, 1]
+        assert unpack_word(words["x1"], 4) == [0, 0, 1, 1]
+
+    def test_all_patterns_distinct(self):
+        signals = ["a", "b", "c"]
+        words, width = exhaustive_words(signals)
+        seen = set()
+        for p in range(width):
+            seen.add(tuple((words[s] >> p) & 1 for s in signals))
+        assert len(seen) == 8
+
+    def test_limit_guard(self):
+        with pytest.raises(SimulationError, match="not tractable"):
+            exhaustive_words([f"x{i}" for i in range(25)])
+
+
+class TestRandomSource:
+    def test_deterministic_stream(self):
+        a = RandomVectorSource(["x", "y"], seed=42).next_words(128)
+        b = RandomVectorSource(["x", "y"], seed=42).next_words(128)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = RandomVectorSource(["x"], seed=1).next_words(256)
+        b = RandomVectorSource(["x"], seed=2).next_words(256)
+        assert a != b
+
+    def test_weighted_extremes(self):
+        source = RandomVectorSource(["lo", "hi"], seed=0, weights={"lo": 0.0, "hi": 1.0})
+        words = source.next_words(64)
+        assert words["lo"] == 0
+        assert words["hi"] == (1 << 64) - 1
+
+    def test_weighted_statistics(self):
+        source = RandomVectorSource(["x"], seed=7, weights={"x": 0.2})
+        total = sum(source.next_words(1024)["x"].bit_count() for _ in range(8))
+        fraction = total / (8 * 1024)
+        assert 0.15 < fraction < 0.25
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(SimulationError):
+            RandomVectorSource(["x"], weights={"x": 1.5})
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(SimulationError):
+            RandomVectorSource(["x"]).next_words(0)
+
+    def test_stream_yields_fresh_words(self):
+        source = RandomVectorSource(["x"], seed=3)
+        stream = source.stream(64)
+        first = next(stream)["x"]
+        second = next(stream)["x"]
+        assert first != second

@@ -1,0 +1,174 @@
+"""Structural Verilog reader/writer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.netlist.gate_types import GateType
+from repro.netlist.library import (
+    c17,
+    counter,
+    figure1_circuit,
+    mux_tree,
+    ripple_carry_adder,
+    s27,
+)
+from repro.netlist.verilog import parse_verilog, parse_verilog_file, write_verilog
+
+S27_VERILOG = """\
+// s27 hand-written in the common mirror style
+module s27 (G0, G1, G2, G3, G17);
+  input G0, G1, G2, G3;
+  output G17;
+  wire G5, G6, G7, G8, G9, G10, G11, G12, G13, G14, G15, G16;
+
+  dff DFF_0 (.Q(G5), .D(G10));
+  dff DFF_1 (.Q(G6), .D(G11));
+  dff DFF_2 (.Q(G7), .D(G13));
+  not NOT_0 (G14, G0);
+  not NOT_1 (G17, G11);
+  and AND2_0 (G8, G14, G6);
+  or  OR2_0  (G15, G12, G8);
+  or  OR2_1  (G16, G3, G8);
+  nand NAND2_0 (G9, G16, G15);
+  nor NOR2_0 (G10, G14, G11);
+  nor NOR2_1 (G11, G5, G9);
+  nor NOR2_2 (G12, G1, G7);
+  nor NOR2_3 (G13, G2, G12);
+endmodule
+"""
+
+
+class TestParse:
+    def test_s27_structure_matches_bench_version(self):
+        from_verilog = parse_verilog(S27_VERILOG)
+        reference = s27()
+        assert from_verilog.inputs == reference.inputs
+        assert from_verilog.outputs == reference.outputs
+        assert set(from_verilog.flip_flops) == set(reference.flip_flops)
+        for node in reference:
+            copy = from_verilog.node(node.name)
+            assert copy.gate_type is node.gate_type
+            assert set(copy.fanin) == set(node.fanin)
+
+    def test_s27_behaviour_matches(self):
+        from_verilog = parse_verilog(S27_VERILOG)
+        reference = s27()
+        assignment = {"G0": 1, "G1": 0, "G2": 1, "G3": 0, "G5": 0, "G6": 1, "G7": 0}
+        assert from_verilog.evaluate(assignment) == reference.evaluate(assignment)
+
+    def test_positional_dff(self):
+        text = "module m (a, q);\n input a;\n output q;\n dff D0 (q, a);\nendmodule\n"
+        circuit = parse_verilog(text)
+        assert circuit.node("q").gate_type is GateType.DFF
+
+    def test_assign_alias_and_constants(self):
+        text = (
+            "module m (a, y);\n input a;\n output y;\n wire t, z1, z0;\n"
+            "assign t = a;\n assign z1 = 1'b1;\n assign z0 = 1'b0;\n"
+            "and A0 (y, t, z1);\nendmodule\n"
+        )
+        circuit = parse_verilog(text)
+        assert circuit.node("t").gate_type is GateType.BUF
+        assert circuit.node("z1").gate_type is GateType.CONST1
+        assert circuit.node("z0").gate_type is GateType.CONST0
+
+    def test_block_and_line_comments_ignored(self):
+        text = (
+            "/* header\n spanning lines */\n"
+            "module m (a, y); // ports\n input a;\n output y;\n"
+            "not N (y, a); // inverter\nendmodule\n"
+        )
+        assert parse_verilog(text).node("y").gate_type is GateType.NOT
+
+    def test_module_name_used(self):
+        text = "module widget (a, y);\n input a;\n output y;\n buf B (y, a);\nendmodule\n"
+        assert parse_verilog(text).name == "widget"
+
+
+class TestParseErrors:
+    def test_vector_declarations_rejected(self):
+        text = "module m (a, y);\n input [3:0] a;\n output y;\nendmodule\n"
+        with pytest.raises(ParseError, match="vector"):
+            parse_verilog(text)
+
+    def test_expression_assign_rejected(self):
+        text = (
+            "module m (a, b, y);\n input a, b;\n output y;\n"
+            "assign y = a & b;\nendmodule\n"
+        )
+        with pytest.raises(ParseError, match="alias/constant"):
+            parse_verilog(text)
+
+    def test_unknown_primitive(self):
+        text = "module m (a, y);\n input a;\n output y;\n latch L (y, a);\nendmodule\n"
+        with pytest.raises(ParseError, match="unknown primitive"):
+            parse_verilog(text)
+
+    def test_missing_endmodule(self):
+        with pytest.raises(ParseError, match="endmodule"):
+            parse_verilog("module m (a);\n input a;\n")
+
+    def test_undriven_output(self):
+        text = "module m (a, y);\n input a;\n output y;\nendmodule\n"
+        with pytest.raises(ParseError, match="never driven"):
+            parse_verilog(text)
+
+    def test_mixed_port_styles_rejected(self):
+        text = (
+            "module m (a, q);\n input a;\n output q;\n"
+            "dff D (.Q(q), a);\nendmodule\n"
+        )
+        with pytest.raises(ParseError, match="mix"):
+            parse_verilog(text)
+
+    def test_named_ports_on_gates_rejected(self):
+        text = (
+            "module m (a, y);\n input a;\n output y;\n"
+            "not N (.Q(y), .D(a));\nendmodule\n"
+        )
+        with pytest.raises(ParseError, match="dff"):
+            parse_verilog(text)
+
+    def test_two_modules_rejected(self):
+        text = (
+            "module m (a, y);\n input a;\n output y;\n buf B (y, a);\nendmodule\n"
+            "module n (b, z);\n input b;\n output z;\n buf C (z, b);\nendmodule\n"
+        )
+        with pytest.raises(ParseError, match="after endmodule|one module"):
+            parse_verilog(text)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [c17, s27, figure1_circuit, lambda: ripple_carry_adder(4),
+         lambda: counter(3), lambda: mux_tree(2)],
+    )
+    def test_write_then_parse_preserves_structure(self, factory):
+        original = factory()
+        text = write_verilog(original)
+        reparsed = parse_verilog(text, name=original.name)
+        assert reparsed.inputs == original.inputs
+        assert reparsed.outputs == original.outputs
+        assert set(reparsed.flip_flops) == set(original.flip_flops)
+        for node in original:
+            copy = reparsed.node(node.name)
+            assert copy.gate_type is node.gate_type
+            assert copy.fanin == node.fanin
+
+    def test_roundtrip_with_constants(self):
+        from repro.netlist.circuit import Circuit
+
+        circuit = Circuit("with_consts")
+        circuit.add_input("a")
+        circuit.add_const("one", 1)
+        circuit.add_gate("y", GateType.AND, ["a", "one"])
+        circuit.mark_output("y")
+        reparsed = parse_verilog(write_verilog(circuit))
+        assert reparsed.node("one").gate_type is GateType.CONST1
+
+    def test_file_io(self, tmp_path):
+        path = tmp_path / "c17.v"
+        write_verilog(c17(), path)
+        circuit = parse_verilog_file(path)
+        assert len(circuit.gates) == 6
