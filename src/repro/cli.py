@@ -76,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
     table2.add_argument("--circuits", nargs="*", help="override the circuit roster")
     table2.add_argument("--csv", help="write measured rows to a CSV file")
     table2.add_argument("--json", help="write measured rows to a JSON file")
+    table2.add_argument(
+        "--backend",
+        choices=("scalar", "vector"),
+        default="scalar",
+        help="EPP backend for the SysT column (scalar keeps the paper's "
+        "per-cone accounting; vector times the batched NumPy sweep)",
+    )
 
     analyze = commands.add_parser("analyze", help="SER-analyze a circuit")
     analyze.add_argument("circuit", help=".bench file, library name, or profile name")
@@ -86,6 +93,17 @@ def build_parser() -> argparse.ArgumentParser:
         default="topological",
         choices=("topological", "cut", "monte_carlo", "exact"),
         help="signal-probability backend",
+    )
+    analyze.add_argument(
+        "--backend",
+        choices=("auto", "scalar", "vector"),
+        default="auto",
+        help="EPP propagation backend (auto: vector when NumPy is available)",
+    )
+    analyze.add_argument(
+        "--batch-size",
+        type=int,
+        help="sites per chunk for the vector backend (default: cache-sized)",
     )
     analyze.add_argument(
         "--multi-cycle",
@@ -147,10 +165,13 @@ def _dispatch(args: argparse.Namespace) -> int:
             config = Table2Config.full()
         else:
             config = Table2Config()
+        overrides = {}
         if args.circuits and args.mode != "quick":
-            config = Table2Config(
-                **{**config.__dict__, "circuits": tuple(args.circuits)}
-            )
+            overrides["circuits"] = tuple(args.circuits)
+        if args.backend != config.backend:
+            overrides["backend"] = args.backend
+        if overrides:
+            config = Table2Config(**{**config.__dict__, **overrides})
         rows = run_table2(config, verbose=True)
         print()
         print(format_table2(rows))
@@ -165,7 +186,10 @@ def _dispatch(args: argparse.Namespace) -> int:
 
         circuit = resolve_circuit(args.circuit)
         analyzer = SERAnalyzer(circuit, sp_method=args.sp_method)
-        report = analyzer.analyze(sample=args.sample)
+        backend = None if args.backend == "auto" else args.backend
+        report = analyzer.analyze(
+            sample=args.sample, backend=backend, batch_size=args.batch_size
+        )
         print(report.format_table(top=args.top))
         if args.csv:
             from repro.experiments.reporting import rows_to_csv

@@ -6,7 +6,10 @@
   derived and generic rules).
 * :mod:`repro.core.cone` — on-path cone extraction (paper steps 1 & 2).
 * :mod:`repro.core.epp` — the one-pass EPP engine (paper step 3) and
-  ``P_sensitized`` computation.
+  ``P_sensitized`` computation (scalar reference backend).
+* :mod:`repro.core.rules_vec` / :mod:`repro.core.epp_batch` — the
+  vectorized rule kernels and the batched level-parallel NumPy backend
+  (``EPPEngine.analyze(backend="vector")``).
 * :mod:`repro.core.baseline` — the random fault-injection estimator the
   paper compares against.
 * :mod:`repro.core.analysis` — full SER analysis combining EPP with the
@@ -14,7 +17,12 @@
 """
 
 from repro.core.fourvalue import EPPValue
-from repro.core.epp import EPPEngine, EPPResult
+from repro.core.epp import (
+    EPPEngine,
+    EPPResult,
+    available_backends,
+    default_backend,
+)
 from repro.core.baseline import RandomSimulationEstimator
 from repro.core.sensitization import combine_sensitization
 from repro.core.analysis import SERAnalyzer, NodeSER, CircuitSERReport
@@ -23,6 +31,8 @@ __all__ = [
     "EPPValue",
     "EPPEngine",
     "EPPResult",
+    "available_backends",
+    "default_backend",
     "RandomSimulationEstimator",
     "combine_sensitization",
     "SERAnalyzer",

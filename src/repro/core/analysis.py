@@ -181,9 +181,20 @@ class SERAnalyzer:
         sites: Sequence[str] | None = None,
         sample: int | None = None,
         seed: int = 0,
+        backend: str | None = None,
+        batch_size: int | None = None,
     ) -> CircuitSERReport:
-        """Analyze many sites (default: every combinational gate output)."""
-        results = self.engine.analyze(sites=sites, sample=sample, seed=seed)
+        """Analyze many sites (default: every combinational gate output).
+
+        ``backend``/``batch_size`` are forwarded to
+        :meth:`EPPEngine.analyze` — ``"scalar"`` for the per-site reference
+        path, ``"vector"`` for the batched NumPy backend (the default when
+        NumPy is available).
+        """
+        results = self.engine.analyze(
+            sites=sites, sample=sample, seed=seed,
+            backend=backend, batch_size=batch_size,
+        )
         report = CircuitSERReport(self.circuit.name)
         for site, result in results.items():
             report.nodes[site] = self._assemble(site, result)

@@ -29,12 +29,37 @@ from dataclasses import dataclass, field
 from repro.errors import AnalysisError
 from repro.core.cone import ConeExtractor, OnPathCone
 from repro.core.fourvalue import EPPValue
-from repro.core.rules import merge_polarity, rule_for_code, _RULES_BY_CODE
+from repro.core.rules import merge_polarity, truth_table_rule, _RULES_BY_CODE
 from repro.core.sensitization import combine_sensitization
 from repro.netlist.circuit import Circuit, CompiledCircuit
+from repro.netlist.gate_types import CODE_MAJ, CODE_MUX, truth_table
 from repro.probability import signal_probabilities
 
-__all__ = ["EPPEngine", "EPPResult"]
+__all__ = ["EPPEngine", "EPPResult", "available_backends", "default_backend"]
+
+#: The engine's propagation backends: ``scalar`` is the per-site reference
+#: oracle (pure Python, one cone walk per site); ``vector`` is the batched
+#: NumPy backend (:mod:`repro.core.epp_batch`) that sweeps every site of a
+#: chunk through one level-parallel pass.
+BACKENDS = ("scalar", "vector")
+
+
+def _vector_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def available_backends() -> tuple[str, ...]:
+    """The analyze() backends usable in this environment."""
+    return BACKENDS if _vector_available() else ("scalar",)
+
+
+def default_backend() -> str:
+    """``vector`` when NumPy is importable, else ``scalar``."""
+    return "vector" if _vector_available() else "scalar"
 
 
 @dataclass(frozen=True)
@@ -116,7 +141,29 @@ class EPPEngine:
         self._p1 = [0.0] * n
         self._mark = [0] * n
         self._generation = 0
-        self._rules = dict(_RULES_BY_CODE)
+        # Per-gate dispatch tables: fanin tuples and rule callables resolved
+        # once at construction, so the hot loop skips the CSR slice and the
+        # code->rule dict lookup per gate per site.  MUX/MAJ (and any future
+        # cell without a closed form) get their truth table bound here too.
+        self._fanin_by_gate: list[tuple[int, ...]] = [
+            tuple(self.compiled.fanin(i)) for i in range(n)
+        ]
+        self._rule_by_gate: list = [None] * n
+        for node_id in range(n):
+            if not self.compiled.gate_type(node_id).is_combinational:
+                continue
+            code = self.compiled.code[node_id]
+            if code in (CODE_MUX, CODE_MAJ) or code not in _RULES_BY_CODE:
+                table = truth_table(
+                    self.compiled.gate_type(node_id),
+                    len(self._fanin_by_gate[node_id]),
+                )
+                self._rule_by_gate[node_id] = (
+                    lambda values, _table=table: truth_table_rule(_table, values)
+                )
+            else:
+                self._rule_by_gate[node_id] = _RULES_BY_CODE[code]
+        self._vector_backend = None
 
     # ----------------------------------------------------------------- sites
 
@@ -191,8 +238,8 @@ class EPPEngine:
         p0 = self._p0
         p1 = self._p1
         sp = self._sp
-        code = compiled.code
-        rules = self._rules
+        fanin_by_gate = self._fanin_by_gate
+        rule_by_gate = self._rule_by_gate
         track_polarity = self.track_polarity
 
         # The error site carries the erroneous value with certainty: 1(a).
@@ -203,15 +250,14 @@ class EPPEngine:
         mark[site_id] = generation
 
         for gate in cone.gate_order:
-            pins = compiled.fanin(gate)
             values = []
-            for pin in pins:
+            for pin in fanin_by_gate[gate]:
                 if mark[pin] == generation:  # on-path fanin
                     values.append((pa[pin], pa_bar[pin], p0[pin], p1[pin]))
                 else:  # off-path fanin: plain signal probability
                     p = sp[pin]
                     values.append((0.0, 0.0, 1.0 - p, p))
-            result = rules[code[gate]](values)
+            result = rule_by_gate[gate](values)
             if not track_polarity:
                 result = merge_polarity(result)
             pa[gate], pa_bar[gate], p0[gate], p1[gate] = result
@@ -219,12 +265,72 @@ class EPPEngine:
 
     # -------------------------------------------------------------- analysis
 
+    def _resolve_backend(self, backend: str | None) -> str:
+        if backend is None:
+            return default_backend()
+        if backend not in BACKENDS:
+            raise AnalysisError(
+                f"unknown EPP backend {backend!r}; choose from {BACKENDS}"
+            )
+        if backend == "vector" and not _vector_available():
+            raise AnalysisError(
+                "the 'vector' EPP backend requires NumPy, which is not installed"
+            )
+        return backend
+
+    def _get_vector_backend(self, batch_size: int | None):
+        from repro.core.epp_batch import BatchEPPBackend, default_batch_size
+
+        # Cache keyed by the *effective* chunk width: a one-off explicit
+        # batch_size must not stick to later default-width calls.
+        effective = (
+            batch_size if batch_size is not None
+            else default_batch_size(self.compiled.n)
+        )
+        backend = self._vector_backend
+        if backend is None or backend.batch_size != effective:
+            backend = BatchEPPBackend(
+                self.compiled,
+                self._sp,
+                track_polarity=self.track_polarity,
+                batch_size=batch_size,
+                scalar_fallback=self.node_epp,
+            )
+            self._vector_backend = backend
+        return backend
+
+    def vector_backend(self, batch_size: int | None = None):
+        """The batched NumPy backend bound to this engine (public access).
+
+        Exposes the backend's bulk queries (``p_sensitized_many``,
+        ``analyze_sites``) and tuning knobs (``min_vector_work``) without
+        reaching into engine internals; raises
+        :class:`~repro.errors.AnalysisError` when NumPy is unavailable.
+        The instance is cached per effective batch size.
+        """
+        self._resolve_backend("vector")
+        return self._get_vector_backend(batch_size)
+
+    def _analyze_sites(
+        self, sites: Sequence[int | str], backend: str, batch_size: int | None
+    ) -> dict[str, EPPResult]:
+        if backend == "vector":
+            site_ids = [self._cones.resolve(site) for site in sites]
+            return self._get_vector_backend(batch_size).analyze_sites(site_ids)
+        results: dict[str, EPPResult] = {}
+        for site in sites:
+            result = self.node_epp(site)
+            results[result.site] = result
+        return results
+
     def analyze(
         self,
         sites: Sequence[int | str] | None = None,
         sample: int | None = None,
         seed: int = 0,
         collapse: bool = False,
+        backend: str | None = None,
+        batch_size: int | None = None,
     ) -> dict[str, EPPResult]:
         """EPP for many sites (default: every combinational gate output).
 
@@ -234,19 +340,24 @@ class EPPEngine:
         across provably equivalent sites (buffer/inverter chains; see
         :mod:`repro.core.collapse`), which changes nothing in the results
         and skips redundant passes.
+
+        ``backend`` selects the propagation kernel: ``"scalar"`` walks one
+        cone per site (the reference oracle), ``"vector"`` runs the batched
+        level-parallel NumPy sweep of :mod:`repro.core.epp_batch`; the
+        default (``None``) picks ``vector`` when NumPy is available.  The
+        two agree to 1e-9 (floating-point reassociation only).
+        ``batch_size`` bounds the vector backend's per-chunk site count
+        (default: sized to keep the state matrix in cache).
         """
         if sites is None:
             sites = self.default_sites()
         sites = list(sites)
         if sample is not None and sample < len(sites):
             sites = random.Random(seed).sample(sites, sample)
+        backend = self._resolve_backend(backend)
 
         if not collapse:
-            results: dict[str, EPPResult] = {}
-            for site in sites:
-                result = self.node_epp(site)
-                results[result.site] = result
-            return results
+            return self._analyze_sites(sites, backend, batch_size)
 
         from repro.core.collapse import collapse_seu_sites
 
@@ -259,14 +370,20 @@ class EPPEngine:
         for name in site_names:
             rep = equivalence.representative.get(name, name)
             by_representative.setdefault(rep, []).append(name)
+        rep_results = self._analyze_sites(
+            list(by_representative), backend, batch_size
+        )
         results = {}
         for rep, members in by_representative.items():
-            rep_result = self.node_epp(rep)
+            rep_result = rep_results[rep]
             for member in members:
+                # Each member gets its own sink_values dict: sharing the
+                # representative's would let a caller mutating one result
+                # corrupt every collapsed sibling.
                 results[member] = EPPResult(
                     site=member,
                     p_sensitized=rep_result.p_sensitized,
-                    sink_values=rep_result.sink_values,
+                    sink_values=dict(rep_result.sink_values),
                     cone_size=rep_result.cone_size,
                 )
         return results

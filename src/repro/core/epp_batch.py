@@ -1,0 +1,387 @@
+"""Batch EPP backend: every error site analyzed in level-parallel sweeps.
+
+The scalar engine (:mod:`repro.core.epp`) walks one cone per site and pays
+Python-interpreter overhead for every gate of every cone.  This backend
+flips the loop structure: per-node state becomes a ``(4, s)`` float64
+matrix (``pa``, ``pā``, ``p0``, ``p1`` columns, one per active site) and
+one *level-synchronized* sweep over the whole circuit propagates **all**
+sites of a chunk at once:
+
+* gates are pre-grouped by ``(level, gate code, arity)`` into rectangular
+  index blocks (the :class:`BatchPlan`), so each group is a single call
+  into the vectorized kernels of :mod:`repro.core.rules_vec` over a
+  ``(g, k, 4, s)`` tensor;
+* an on-path membership bitmask per node row tracks, per site column,
+  whether the node lies on some path from that site — off-path columns
+  keep the broadcast signal-probability constant ``(0, 0, 1-SP, SP)``,
+  exactly as the scalar engine reads off-path fanins;
+* sites are processed in chunks (``batch_size`` columns at a time) so the
+  ``(n_nodes, 4, batch_size)`` state matrix stays memory-bounded on
+  20k+-gate circuits, and on multi-core hosts the NumPy sweep of the next
+  chunk overlaps the Python-side result packaging of the previous one.
+
+Results are bit-compatible with the scalar engine up to floating-point
+reassociation (the per-sink survival product and per-group reductions run
+in a different order); the backend-equivalence tests pin agreement to
+1e-9.  Tiny workloads — where array dispatch overhead would exceed the
+interpreter time it saves — are routed to the scalar per-site kernel by a
+crossover guard (``min_vector_work``), mirroring how BLAS libraries pick
+small-matrix kernels; pass ``min_vector_work=0`` to force the vectorized
+sweep everywhere (the equivalence tests do).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from itertools import islice, starmap
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.core.fourvalue import EPPValue
+from repro.core.rules_vec import gather_rule_for
+from repro.netlist.circuit import CompiledCircuit
+from repro.netlist.gate_types import (
+    CODE_AND,
+    CODE_NAND,
+    CODE_NOR,
+    CODE_OR,
+    CODE_XNOR,
+    CODE_XOR,
+)
+
+__all__ = ["BatchPlan", "BatchEPPBackend", "default_batch_size"]
+
+#: Target footprint of the per-chunk state matrix (bytes).  Wide chunks
+#: amortize per-group dispatch; the per-group operands (a handful of
+#: ``(g, batch)`` rows) stay cache-resident regardless of this total.  The
+#: backend's resident set is ~3x this figure (template + double-buffered
+#: state) — bounded and explicit; pass ``batch_size`` to shrink it on
+#: memory-constrained hosts.
+_STATE_BYTES_TARGET = 256 << 20
+
+#: Below this ``n_nodes * n_sites`` product the vectorized sweep cannot
+#: amortize NumPy call overhead; the backend falls through to the scalar
+#: kernel (same results, no array dispatch cost).
+_MIN_VECTOR_WORK = 50_000
+
+
+def default_batch_size(n_nodes: int) -> int:
+    """Chunk width sized so ``n_nodes * 4 * batch * 8`` bytes stays bounded."""
+    width = _STATE_BYTES_TARGET // (max(n_nodes, 1) * 32)
+    return int(max(32, min(512, width)))
+
+
+class _Group:
+    """One rectangular gate block: same level, gate code and arity."""
+
+    __slots__ = ("out_ids", "fanin", "rule")
+
+    def __init__(self, out_ids: np.ndarray, fanin: np.ndarray, rule):
+        self.out_ids = out_ids  # (g,)
+        self.fanin = fanin  # (g, k)
+        self.rule = rule
+
+
+#: Codes whose kernels have an exact neutral input, letting mixed-arity
+#: gates share one group (see ``CompiledCircuit.level_gate_groups``): the
+#: AND family is padded with the constant-1 sentinel, OR/XOR families with
+#: constant 0.  The SP pass (:mod:`repro.probability.signal_prob`) shares
+#: these sets — its kernels have the same neutral elements.
+_PADDABLE_CODES = frozenset(
+    (CODE_AND, CODE_NAND, CODE_OR, CODE_NOR, CODE_XOR, CODE_XNOR)
+)
+_PAD_ONE_CODES = frozenset((CODE_AND, CODE_NAND))
+
+
+class BatchPlan:
+    """Level-grouped execution plan for one compiled circuit.
+
+    Built once per :class:`~repro.netlist.circuit.CompiledCircuit` (and
+    cached on it): combinational gates bucketed by gate code per level —
+    mixed arities of the paddable families share a group via sentinel
+    padding; truth-table gates group by exact arity — with fanin ids packed
+    into rectangular index arrays, plus the sink id vector the
+    sensitization product reads.  Sentinel ids: ``n`` holds constant 1,
+    ``n + 1`` constant 0 (two extra rows in the backend's state matrix).
+    """
+
+    def __init__(self, compiled: CompiledCircuit):
+        self.n = compiled.n
+        levels: dict[int, list[_Group]] = {}
+        for level, code, outs, fins, width in compiled.level_gate_groups(
+            _PADDABLE_CODES, _PAD_ONE_CODES
+        ):
+            levels.setdefault(level, []).append(
+                _Group(
+                    np.asarray(outs, dtype=np.intp),
+                    np.asarray(fins, dtype=np.intp),
+                    gather_rule_for(code, width),
+                )
+            )
+        self.levels: list[list[_Group]] = [levels[k] for k in sorted(levels)]
+        self.sink_ids = np.asarray(compiled.sink_ids, dtype=np.intp)
+        self.sink_names = [compiled.names[s] for s in compiled.sink_ids]
+
+    @staticmethod
+    def for_compiled(compiled: CompiledCircuit) -> "BatchPlan":
+        """The cached plan for a compiled circuit (built on first use)."""
+        plan = getattr(compiled, "_batch_epp_plan", None)
+        if plan is None:
+            plan = BatchPlan(compiled)
+            compiled._batch_epp_plan = plan
+        return plan
+
+
+class BatchEPPBackend:
+    """Vectorized many-site EPP bound to one engine's circuit and SP map.
+
+    Parameters
+    ----------
+    compiled:
+        The compiled circuit (shared with the scalar engine).
+    signal_probs:
+        Per-node P(1), indexed by node id — the same validated vector the
+        scalar engine holds.
+    track_polarity:
+        Mirrors the engine flag; ``False`` merges ``ā`` into ``a`` after
+        every gate group (the polarity-blind ablation).
+    batch_size:
+        Site columns per chunk; default sized by :func:`default_batch_size`.
+    min_vector_work:
+        Crossover threshold on ``n_nodes * n_sites`` below which chunks are
+        delegated to ``scalar_fallback``; 0 forces the vectorized sweep.
+    scalar_fallback:
+        ``callable(site_id) -> EPPResult`` used below the crossover
+        (normally ``EPPEngine.node_epp``).
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledCircuit,
+        signal_probs: Sequence[float],
+        track_polarity: bool = True,
+        batch_size: int | None = None,
+        min_vector_work: int = _MIN_VECTOR_WORK,
+        scalar_fallback=None,
+    ):
+        self.compiled = compiled
+        self.plan = BatchPlan.for_compiled(compiled)
+        self.sp = np.asarray(signal_probs, dtype=np.float64)
+        self.track_polarity = track_polarity
+        if batch_size is not None and int(batch_size) < 1:
+            raise AnalysisError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = (
+            int(batch_size) if batch_size is not None
+            else default_batch_size(compiled.n)
+        )
+        self.min_vector_work = min_vector_work
+        self.scalar_fallback = scalar_fallback
+        self._rows = compiled.n + 2
+        # The big state arrays are built lazily on the first sweep: a
+        # backend whose every call crosses over to the scalar fallback
+        # (small site sets on a large circuit) never pays for them.
+        self._template: np.ndarray | None = None
+        self._const: np.ndarray | None = None
+        self._sink_names_arr = np.asarray(self.plan.sink_names, dtype=object)
+        self._buffer_slots: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def _ensure_state_arrays(self) -> None:
+        if self._template is not None:
+            return
+        # Two sentinel rows extend the node axis: constant 1 (id n) and
+        # constant 0 (id n + 1), the padding inputs of mixed-arity groups.
+        # Expressed as SPs, that is simply sp = 1.0 and sp = 0.0.
+        sp_ext = np.concatenate((self.sp, (1.0, 0.0)))
+        # Contiguous off-path template, memcpy'd to seed every chunk's
+        # state matrix: (rows, 4, batch_size) with (0, 0, 1-SP, SP) per node.
+        template = np.zeros((self._rows, 4, self.batch_size))
+        template[:, 2, :] = (1.0 - sp_ext)[:, None]
+        template[:, 3, :] = sp_ext[:, None]
+        self._template = template
+        # Per-node off-path constants, (rows, 4): broadcast into np.where as
+        # the else-branch so the sweep never gathers the previous output
+        # state.
+        const = np.zeros((self._rows, 4))
+        const[:, 2] = 1.0 - sp_ext
+        const[:, 3] = sp_ext
+        self._const = const
+
+    # ------------------------------------------------------------------ sweep
+
+    def _buffers(self, s: int, slot: int) -> tuple[np.ndarray, np.ndarray]:
+        """Reusable (state, mask) buffers; ``slot`` double-buffers the
+        pipeline so a sweep can fill one pair while the collector reads the
+        other.  Narrow final chunks reuse a full-width buffer's prefix."""
+        pair = self._buffer_slots.get(slot)
+        if pair is None:
+            pair = (
+                np.empty((self._rows, 4, self.batch_size)),
+                np.empty((self._rows, self.batch_size), dtype=bool),
+            )
+            self._buffer_slots[slot] = pair
+        return pair[0][:, :, :s], pair[1][:, :s]
+
+    def _sweep(self, site_ids: np.ndarray, slot: int = 0) -> tuple[np.ndarray, np.ndarray]:
+        """One level-synchronized pass for a chunk of sites.
+
+        Returns ``(state, mask)``: the ``(n + 2, 4, s)`` four-valued state
+        (two trailing sentinel rows) and the ``(n + 2, s)`` on-path
+        membership bitmask.
+        """
+        s = len(site_ids)
+        self._ensure_state_arrays()
+        state, mask = self._buffers(s, slot)
+        np.copyto(state, self._template[:, :, :s])
+        mask[:] = False
+        cols = np.arange(s)
+        # The error site carries the erroneous value with certainty: 1(a).
+        state[site_ids, :, cols] = (1.0, 0.0, 0.0, 0.0)
+        mask[site_ids, cols] = True
+        # Columns to re-inject when a group's output node is itself a site
+        # in this chunk (the scatter writes SP constants over them).
+        site_cols: dict[int, list[int]] = {}
+        for col, site_id in enumerate(site_ids.tolist()):
+            site_cols.setdefault(site_id, []).append(col)
+
+        track_polarity = self.track_polarity
+        const = self._const
+        for groups in self.plan.levels:
+            for group in groups:
+                out_mask = mask[group.fanin].any(axis=1)  # (g, s)
+                if not out_mask.any():
+                    continue  # whole group off-path: SP constants already hold
+                result = group.rule(state, group.fanin)  # (g, 4, s)
+                if not track_polarity:
+                    result[:, 0, :] += result[:, 1, :]
+                    result[:, 1, :] = 0.0
+                if out_mask.all():
+                    # Fully on-path group (can hold no injected site column:
+                    # a site is never on-path for itself) — assign directly.
+                    state[group.out_ids] = result
+                    mask[group.out_ids] = True
+                    continue
+                # Off-path columns take their broadcast SP constant — cheaper
+                # than gathering the previous output state back out.
+                state[group.out_ids] = np.where(
+                    out_mask[:, None, :], result, const[group.out_ids][:, :, None]
+                )
+                mask[group.out_ids] = out_mask
+                for node_id in group.out_ids.tolist():
+                    columns = site_cols.get(node_id)
+                    if columns is None:
+                        continue
+                    # Restore the injected 1(a) the scatter just overwrote
+                    # (a site is never on-path for its own column).
+                    for col in columns:
+                        state[node_id, 0, col] = 1.0
+                        state[node_id, 1, col] = 0.0
+                        state[node_id, 2, col] = 0.0
+                        state[node_id, 3, col] = 0.0
+                        mask[node_id, col] = True
+        return state, mask
+
+    # ---------------------------------------------------------------- queries
+
+    def p_sensitized_many(self, site_ids: Sequence[int]) -> np.ndarray:
+        """``P_sensitized`` for many sites, aligned with ``site_ids``."""
+        site_ids = np.asarray(site_ids, dtype=np.intp)
+        out = np.empty(len(site_ids))
+        for start in range(0, len(site_ids), self.batch_size):
+            chunk = site_ids[start : start + self.batch_size]
+            state, _ = self._sweep(chunk)
+            err = state[self.plan.sink_ids, 0, :] + state[self.plan.sink_ids, 1, :]
+            out[start : start + len(chunk)] = 1.0 - (1.0 - err).prod(axis=0)
+        return out
+
+    def analyze_sites(self, site_ids: Sequence[int]):
+        """Full per-site results (sink vectors included) for many sites.
+
+        Returns ``{site_name: EPPResult}`` in input order, matching
+        ``EPPEngine.node_epp`` per site to floating-point reassociation.
+        """
+        from repro.core.epp import EPPResult
+
+        site_ids = list(site_ids)
+        results: dict[str, EPPResult] = {}
+        use_scalar = (
+            self.scalar_fallback is not None
+            and self.compiled.n * len(site_ids) < self.min_vector_work
+        )
+        if use_scalar:
+            for site_id in site_ids:
+                result = self.scalar_fallback(site_id)
+                results[result.site] = result
+            return results
+        ids = np.asarray(site_ids, dtype=np.intp)
+        chunks = [
+            ids[start : start + self.batch_size]
+            for start in range(0, len(ids), self.batch_size)
+        ]
+        if not chunks:
+            return results
+        if len(chunks) == 1:
+            state, mask = self._sweep(chunks[0])
+            self._collect(chunks[0], state, mask, results)
+            return results
+        # Two-stage pipeline: the NumPy sweep of chunk i+1 (GIL released
+        # inside the array kernels) overlaps the Python-side result
+        # packaging of chunk i.  Double buffering keeps the stages on
+        # disjoint state matrices; results stay in input order.
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=1) as sweeper:
+            future = sweeper.submit(self._sweep, chunks[0], 0)
+            for index, chunk in enumerate(chunks):
+                state, mask = future.result()
+                if index + 1 < len(chunks):
+                    future = sweeper.submit(
+                        self._sweep, chunks[index + 1], (index + 1) % 2
+                    )
+                self._collect(chunk, state, mask, results)
+        return results
+
+    def _collect(self, chunk, state, mask, results) -> None:
+        """Assemble per-site EPPResults from one chunk's sweep.
+
+        All numeric work happens in bulk: the on-path (site, sink) pairs are
+        selected with one boolean pick, clamped with one ``np.maximum``, and
+        the per-site survival products run through ``multiply.reduceat`` —
+        the Python loop only packages dicts and dataclasses.
+        """
+        from repro.core.epp import EPPResult
+
+        names = self.compiled.names
+        sink_names = self._sink_names_arr
+        sink_state = state[self.plan.sink_ids]  # (ns, 4, s)
+        sink_mask = mask[self.plan.sink_ids].T  # (s, ns)
+        # Site-major selection of every on-path (site, sink) pair: the
+        # boolean pick over (s, ns, ...) walks sites first, sinks second.
+        selected = sink_state.transpose(2, 0, 1)[sink_mask]  # (m, 4)
+        np.maximum(selected, 0.0, out=selected)  # EPPValue.clamped, in bulk
+        # P_sensitized = 1 - prod(1 - (pa + pā)) over each site's own pairs.
+        error = np.minimum(selected[:, 0] + selected[:, 1], 1.0)
+        counts = sink_mask.sum(axis=1)  # pairs per site
+        p_sens = np.zeros(len(chunk))
+        occupied = counts > 0
+        if occupied.any():
+            # Segment starts for the non-empty sites only: consecutive starts
+            # then delimit exactly each site's own pairs (empty sites add no
+            # elements), so reduceat never sees a degenerate slice.
+            starts = (np.cumsum(counts) - counts)[occupied]
+            p_sens[occupied] = 1.0 - np.multiply.reduceat(1.0 - error, starts)
+        p_sens = p_sens.tolist()
+        pair_names = sink_names[np.nonzero(sink_mask)[1]].tolist()
+        pair_values = starmap(EPPValue._unchecked, selected.tolist())
+        pairs = zip(pair_names, pair_values)
+        counts = counts.tolist()
+        cone_sizes = (mask.sum(axis=0) - 1).tolist()  # mask includes the site
+
+        for column, site_id in enumerate(chunk.tolist()):
+            site_name = names[site_id]
+            results[site_name] = EPPResult(
+                site=site_name,
+                p_sensitized=p_sens[column],
+                sink_values=dict(islice(pairs, counts[column])),
+                cone_size=cone_sizes[column],
+            )

@@ -28,7 +28,7 @@ __all__ = ["EPPValue"]
 _SUM_TOLERANCE = 1e-6
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EPPValue:
     """Immutable four-valued probability vector ``(pa, pa_bar, p0, p1)``.
 
@@ -36,6 +36,9 @@ class EPPValue:
     :meth:`blocked` for the three common shapes.  ``validate`` (default on)
     checks ranges and unit sum; engines that clamp tiny negative rounding
     residues construct with ``validate=False`` via :meth:`clamped`.
+    (``slots=True`` both shrinks the footprint and speeds construction —
+    full-circuit batch analyses build one instance per on-path sink per
+    site, hundreds of thousands on Table 2-sized circuits.)
     """
 
     pa: float
@@ -85,6 +88,23 @@ class EPPValue:
             p0 if p0 > 0.0 else 0.0,
             p1 if p1 > 0.0 else 0.0,
         )
+
+    @staticmethod
+    def _unchecked(pa: float, pa_bar: float, p0: float, p1: float) -> "EPPValue":
+        """Construct without range/sum validation.
+
+        Reserved for engine hot paths whose components are already clamped
+        and normalized in bulk (the batch backend builds hundreds of
+        thousands of sink vectors per full-circuit analyze; re-validating
+        each would dominate the run).
+        """
+        value = object.__new__(EPPValue)
+        _setattr = object.__setattr__
+        _setattr(value, "pa", pa)
+        _setattr(value, "pa_bar", pa_bar)
+        _setattr(value, "p0", p0)
+        _setattr(value, "p1", p1)
+        return value
 
     # ------------------------------------------------------------ properties
 

@@ -1,0 +1,286 @@
+"""Vectorized EPP propagation kernels — paper Table 1 lifted to arrays.
+
+Array counterpart of :mod:`repro.core.rules`, used by the batch backend
+(:mod:`repro.core.epp_batch`).  Every kernel consumes one *gate group*: a
+set of same-type, same-arity gates at one topological level, with the
+four-valued state of their fanins stacked into a single tensor
+
+    ``x`` of shape ``(g, k, 4, s)``
+
+where ``g`` is the number of gates in the group, ``k`` the gate arity, the
+third axis holds ``(pa, pa_bar, p0, p1)`` and ``s`` is the error-site
+(batch) axis.  Kernels return the output state as ``(g, 4, s)``.
+
+The closed forms are transcribed from the scalar rules term by term —
+including the ``max(..., 0.0)`` clamps on the subtraction residues — so a
+batched sweep agrees with the scalar engine to floating-point rounding
+(the backend-equivalence tests assert 1e-9 agreement end to end).  MUX,
+MAJ and any future cell fall back to :func:`truth_table_vec`, the
+vectorized form of the generic exhaustive-enumeration rule (4^k joint
+input states; fine for the small arities these cells have).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.netlist.gate_types import (
+    CODE_AND,
+    CODE_BUF,
+    CODE_NAND,
+    CODE_NOR,
+    CODE_NOT,
+    CODE_OR,
+    CODE_XNOR,
+    CODE_XOR,
+    GATE_CODES,
+    truth_table,
+)
+
+__all__ = [
+    "and_vec",
+    "nand_vec",
+    "or_vec",
+    "nor_vec",
+    "not_vec",
+    "buf_vec",
+    "xor_vec",
+    "xnor_vec",
+    "truth_table_vec",
+    "vec_rule_for",
+    "gather_rule_for",
+]
+
+# Index aliases into the state axis.
+_PA, _PAB, _P0, _P1 = 0, 1, 2, 3
+
+# State order used by the generic rule, matching rules._STATE_VALUES:
+# index -> (value | a=0, value | a=1) for the states 0, 1, a, ā.
+_STATE_VALUES = ((0, 0), (1, 1), (0, 1), (1, 0))
+# Map from generic-rule state index (0, 1, a, ā) to the state-axis slot.
+_STATE_SLOT = (_P0, _P1, _PA, _PAB)
+
+
+def _and_like_planes(
+    p_pass: np.ndarray,
+    p_a: np.ndarray,
+    p_ab: np.ndarray,
+    blocking: int,
+    invert: bool = False,
+) -> np.ndarray:
+    """Shared AND/OR/NAND/NOR body over ``(g, k, s)`` probability planes.
+
+    ``p_pass`` is the plane of the *non*-controlling constant (P1 for the
+    AND family, P0 for the OR family); ``blocking`` names the controlling
+    value.  The incremental products run across the pin axis in pin order —
+    the same association order as the scalar rules — and the residue clamps
+    are transcribed verbatim.  ``invert`` writes the NOT-composed result
+    (polarities and constants swapped) directly into the output slots, so
+    NAND/NOR cost no extra pass.
+    """
+    g, k, s = p_pass.shape
+    passing = p_pass[:, 0, :].copy()
+    pass_or_a = passing + p_a[:, 0, :]
+    pass_or_abar = passing + p_ab[:, 0, :]
+    for i in range(1, k):
+        passing *= p_pass[:, i, :]
+        pass_or_a *= p_pass[:, i, :] + p_a[:, i, :]
+        pass_or_abar *= p_pass[:, i, :] + p_ab[:, i, :]
+    slot_pa, slot_pab = (_PAB, _PA) if invert else (_PA, _PAB)
+    pass_plane = _P1 if blocking == 0 else _P0
+    blocked_plane = _P0 if blocking == 0 else _P1
+    if invert:
+        pass_plane, blocked_plane = blocked_plane, pass_plane
+    out = np.empty((g, 4, s))
+    pa = np.subtract(pass_or_a, passing, out=out[:, slot_pa, :])
+    np.maximum(pa, 0.0, out=pa)
+    pa_bar = np.subtract(pass_or_abar, passing, out=out[:, slot_pab, :])
+    np.maximum(pa_bar, 0.0, out=pa_bar)
+    blocked = np.add(passing, pa, out=out[:, blocked_plane, :])
+    blocked += pa_bar
+    np.subtract(1.0, blocked, out=blocked)
+    np.maximum(blocked, 0.0, out=blocked)
+    out[:, pass_plane, :] = passing
+    return out
+
+
+def and_vec(x: np.ndarray) -> np.ndarray:
+    """Paper Table 1, AND row, over a ``(g, k, 4, s)`` group tensor."""
+    return _and_like_planes(
+        x[:, :, _P1, :], x[:, :, _PA, :], x[:, :, _PAB, :], blocking=0
+    )
+
+
+def or_vec(x: np.ndarray) -> np.ndarray:
+    """Paper Table 1, OR row (dual of AND with 0 and 1 swapped)."""
+    return _and_like_planes(
+        x[:, :, _P0, :], x[:, :, _PA, :], x[:, :, _PAB, :], blocking=1
+    )
+
+
+def _invert(out: np.ndarray) -> np.ndarray:
+    """NOT applied to a ``(g, 4, s)`` result: polarities and constants swap."""
+    return out[:, (_PAB, _PA, _P1, _P0), :]
+
+
+def not_vec(x: np.ndarray) -> np.ndarray:
+    return x[:, 0, (_PAB, _PA, _P1, _P0), :]
+
+
+def buf_vec(x: np.ndarray) -> np.ndarray:
+    return x[:, 0, :, :]
+
+
+def nand_vec(x: np.ndarray) -> np.ndarray:
+    return _and_like_planes(
+        x[:, :, _P1, :], x[:, :, _PA, :], x[:, :, _PAB, :], blocking=0, invert=True
+    )
+
+
+def nor_vec(x: np.ndarray) -> np.ndarray:
+    return _and_like_planes(
+        x[:, :, _P0, :], x[:, :, _PA, :], x[:, :, _PAB, :], blocking=1, invert=True
+    )
+
+
+def xor_vec(x: np.ndarray) -> np.ndarray:
+    """Group convolution over ``Z2 x Z2`` (see the scalar ``xor_rule``).
+
+    ``d[c][e]`` accumulates P[constant-bit = c, error-parity = e] across the
+    pin axis; the iteration order matches the scalar rule exactly.
+    """
+    g, k, _, s = x.shape
+    d00 = np.ones((g, s))
+    d10 = np.zeros((g, s))
+    d01 = np.zeros((g, s))
+    d11 = np.zeros((g, s))
+    for i in range(k):
+        x00 = x[:, i, _P0, :]
+        x10 = x[:, i, _P1, :]
+        x01 = x[:, i, _PA, :]
+        x11 = x[:, i, _PAB, :]
+        d00, d10, d01, d11 = (
+            d00 * x00 + d10 * x10 + d01 * x01 + d11 * x11,
+            d00 * x10 + d10 * x00 + d01 * x11 + d11 * x01,
+            d00 * x01 + d10 * x11 + d01 * x00 + d11 * x10,
+            d00 * x11 + d10 * x01 + d01 * x10 + d11 * x00,
+        )
+    return np.stack((d01, d11, d00, d10), axis=1)
+
+
+def xnor_vec(x: np.ndarray) -> np.ndarray:
+    return _invert(xor_vec(x))
+
+
+def truth_table_vec(table, x: np.ndarray) -> np.ndarray:
+    """Vectorized generic rule for an arbitrary gate truth table.
+
+    Enumerates all ``4^k`` joint input states; each contributes its joint
+    probability (a ``(g, s)`` array) to the output state determined by
+    evaluating the gate under both ``a = 0`` and ``a = 1`` substitutions —
+    identical semantics to the scalar ``truth_table_rule``.
+    """
+    g, k, _, s = x.shape
+    if len(table) != (1 << k):
+        raise AnalysisError(
+            f"truth table has {len(table)} rows but the gate group has {k} inputs"
+        )
+    out = [np.zeros((g, s)) for _ in range(4)]  # states 0, 1, a, ā
+    for states in product(range(4), repeat=k):
+        weight = x[:, 0, _STATE_SLOT[states[0]], :]
+        index0 = _STATE_VALUES[states[0]][0]
+        index1 = _STATE_VALUES[states[0]][1]
+        for position in range(1, k):
+            state = states[position]
+            weight = weight * x[:, position, _STATE_SLOT[state], :]
+            v0, v1 = _STATE_VALUES[state]
+            index0 |= v0 << position
+            index1 |= v1 << position
+        v0 = table[index0]
+        v1 = table[index1]
+        if v0 == v1:
+            out[v0] += weight  # blocked at constant v0
+        elif v1 == 1:
+            out[2] += weight  # (0, 1) = a
+        else:
+            out[3] += weight  # (1, 0) = ā
+    return np.stack((out[2], out[3], out[0], out[1]), axis=1)
+
+
+_VEC_RULES_BY_CODE = {
+    CODE_AND: and_vec,
+    CODE_NAND: nand_vec,
+    CODE_OR: or_vec,
+    CODE_NOR: nor_vec,
+    CODE_XOR: xor_vec,
+    CODE_XNOR: xnor_vec,
+    CODE_NOT: not_vec,
+    CODE_BUF: buf_vec,
+}
+
+_TYPE_BY_CODE = {code: gate_type for gate_type, code in GATE_CODES.items()}
+
+
+def vec_rule_for(code: int, arity: int):
+    """The vectorized kernel for a ``(gate code, arity)`` group.
+
+    Closed-form kernels where they exist; everything else (MUX, MAJ, future
+    cells) gets the generic truth-table kernel with the table bound at plan
+    build time so the sweep pays no per-call table construction.
+    """
+    kernel = _VEC_RULES_BY_CODE.get(code)
+    if kernel is not None:
+        return kernel
+    gate_type = _TYPE_BY_CODE.get(code)
+    if gate_type is None or not gate_type.is_combinational:
+        raise AnalysisError(
+            f"no vectorized EPP rule for gate code {code}; "
+            "is a non-combinational node being propagated?"
+        )
+    table = truth_table(gate_type, arity)
+    return lambda x, _table=table: truth_table_vec(_table, x)
+
+
+# --------------------------------------------------------------------------
+# Gather-aware group rules (the batch sweep's dispatch targets)
+# --------------------------------------------------------------------------
+
+
+def _and_family_gather(state, fanin, pass_plane, blocking, invert):
+    return _and_like_planes(
+        state[fanin, pass_plane, :],
+        state[fanin, _PA, :],
+        state[fanin, _PAB, :],
+        blocking=blocking,
+        invert=invert,
+    )
+
+
+def gather_rule_for(code: int, arity: int):
+    """A ``rule(state, fanin) -> (g, 4, s)`` kernel for a gate group.
+
+    Variant of :func:`vec_rule_for` that performs its own fanin gathers
+    from the full ``(n, 4, s)`` state matrix.  The AND/OR families gather
+    only the three probability planes they read (25% less index traffic
+    than a full four-plane gather, and the gathered planes are contiguous
+    for the pin-axis products); NAND/NOR write their inverted output slots
+    directly instead of composing with a NOT pass.  Everything else falls
+    back to a full gather in front of the corresponding tensor kernel.
+    """
+    if code == CODE_AND:
+        return lambda state, fanin: _and_family_gather(state, fanin, _P1, 0, False)
+    if code == CODE_NAND:
+        return lambda state, fanin: _and_family_gather(state, fanin, _P1, 0, True)
+    if code == CODE_OR:
+        return lambda state, fanin: _and_family_gather(state, fanin, _P0, 1, False)
+    if code == CODE_NOR:
+        return lambda state, fanin: _and_family_gather(state, fanin, _P0, 1, True)
+    if code == CODE_BUF:
+        return lambda state, fanin: state[fanin[:, 0]]
+    if code == CODE_NOT:
+        return lambda state, fanin: state[fanin[:, 0]][:, (_PAB, _PA, _P1, _P0), :]
+    kernel = vec_rule_for(code, arity)
+    return lambda state, fanin, _kernel=kernel: _kernel(state[fanin])

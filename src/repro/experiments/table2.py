@@ -3,7 +3,10 @@
 For every circuit the harness measures, mirroring the paper's columns:
 
 * **SysT** — mean EPP run time per node (milliseconds).  Measured over a
-  deterministic sample of sites (cone extraction included).
+  deterministic sample of sites (cone extraction included).  With
+  ``Table2Config(backend="vector")`` the sample runs through the batched
+  NumPy backend instead and SysT reports the amortized per-node cost of
+  the level-parallel sweep (``--backend vector`` on the CLI).
 * **SimT** — mean *serial* random-simulation run time per node (seconds),
   the 2005-methodology baseline
   (:class:`~repro.core.baseline.SerialRandomSimulationEstimator`).
@@ -71,12 +74,22 @@ class Table2Config:
     #: sites timed with the EPP engine (per-node SysT average)
     epp_sites: int = 200
     seed: int = 2005
+    #: EPP propagation backend for the SysT column: ``scalar`` preserves the
+    #: paper's one-cone-per-site accounting (the reference oracle);
+    #: ``vector`` times the batched NumPy backend, so SysT becomes the
+    #: *amortized* per-node cost of a level-parallel sweep.
+    backend: str = "scalar"
 
     def __post_init__(self) -> None:
         for name in ("sim_vectors", "sim_sites", "accuracy_sites",
                      "reference_vectors", "sp_vectors", "epp_sites"):
             if getattr(self, name) < 1:
                 raise ConfigError(f"Table2Config.{name} must be >= 1")
+        if self.backend not in ("scalar", "vector"):
+            raise ConfigError(
+                f"Table2Config.backend must be 'scalar' or 'vector', "
+                f"got {self.backend!r}"
+            )
         unknown = [c for c in self.circuits if c not in ISCAS89_PROFILES]
         if unknown:
             raise ConfigError(f"unknown Table 2 circuits: {unknown}")
@@ -182,10 +195,22 @@ def run_table2_circuit(name: str, config: Table2Config) -> Table2Row:
         if config.epp_sites < k
         else list(sites_all)
     )
-    t0 = time.perf_counter()
-    for site in epp_sites:
-        engine.p_sensitized(site)
-    syst_ms = (time.perf_counter() - t0) / len(epp_sites) * 1e3
+    if config.backend == "vector":
+        # Amortized per-node cost of the batched level-parallel sweep,
+        # through p_sensitized_many — the exact vector twin of the scalar
+        # p_sensitized fast path below (no per-sink dict assembly in
+        # either column, and no small-workload crossover guard), so the
+        # two backends' SysT numbers measure the same quantity.
+        backend = engine.vector_backend()
+        site_ids = [engine.compiled.index[site] for site in epp_sites]
+        t0 = time.perf_counter()
+        backend.p_sensitized_many(site_ids)
+        syst_ms = (time.perf_counter() - t0) / len(epp_sites) * 1e3
+    else:
+        t0 = time.perf_counter()
+        for site in epp_sites:
+            engine.p_sensitized(site)
+        syst_ms = (time.perf_counter() - t0) / len(epp_sites) * 1e3
 
     # ---- %Dif: EPP vs tight Monte Carlo reference ----
     accuracy_sites = (

@@ -371,6 +371,46 @@ class CompiledCircuit:
 
     # -- topology -----------------------------------------------------------
 
+    def level_gate_groups(
+        self,
+        merge_codes: frozenset[int] | set[int],
+        pad_one_codes: frozenset[int] | set[int],
+    ) -> list[tuple[int, int, list[int], list[list[int]], int]]:
+        """Combinational gates bucketed into rectangular per-level blocks.
+
+        The common execution-plan shape of the vectorized engines (the
+        batch EPP backend and the level-parallel SP pass): gates grouped by
+        ``(level, gate code)`` — per exact arity normally, with mixed
+        arities of ``merge_codes`` sharing one block via sentinel padding.
+        Short fanin rows of merged blocks are padded to the block width
+        with sentinel node id ``n`` (a constant-1 input, for codes in
+        ``pad_one_codes``) or ``n + 1`` (constant 0); padding with a
+        kernel's exact neutral element is a float identity, so consumers
+        lose no precision.  Returns ``(level, code, out_ids, fanin_rows,
+        width)`` tuples sorted by level; ``fanin_rows`` is rectangular.
+        """
+        one_id, zero_id = self.n, self.n + 1
+        buckets: dict[tuple, tuple[list[int], list[list[int]]]] = {}
+        for node_id in range(self.n):
+            if not self.gate_type(node_id).is_combinational:
+                continue
+            pins = self.fanin(node_id)
+            code = self.code[node_id]
+            arity = -1 if code in merge_codes else len(pins)
+            outs, fins = buckets.setdefault(
+                (self.level[node_id], code, arity), ([], [])
+            )
+            outs.append(node_id)
+            fins.append(pins)
+        groups = []
+        for (level, code, arity), (outs, fins) in sorted(buckets.items()):
+            width = max(len(pins) for pins in fins)
+            if arity == -1 and any(len(pins) != width for pins in fins):
+                pad = one_id if code in pad_one_codes else zero_id
+                fins = [pins + [pad] * (width - len(pins)) for pins in fins]
+            groups.append((level, code, outs, fins, width))
+        return groups
+
     def _toposort(self, nodes: list[Node]) -> tuple[list[int], list[int]]:
         """Kahn's algorithm over combinational edges.
 

@@ -48,6 +48,17 @@ class TestCommands:
         assert main(["analyze", "s27", "--top", "3", "--sample", "5"]) == 0
         assert "FIT" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("backend", ["scalar", "vector", "auto"])
+    def test_analyze_backend_flag(self, backend, capsys):
+        assert main(["analyze", "s27", "--top", "2", "--backend", backend]) == 0
+        assert "FIT" in capsys.readouterr().out
+
+    def test_analyze_backend_flag_with_batch_size(self, capsys):
+        assert main(
+            ["analyze", "s27", "--backend", "vector", "--batch-size", "4"]
+        ) == 0
+        assert "FIT" in capsys.readouterr().out
+
     def test_analyze_multi_cycle(self, capsys):
         assert main(["analyze", "s27", "--multi-cycle", "2"]) == 0
         assert "multi-cycle observability" in capsys.readouterr().out

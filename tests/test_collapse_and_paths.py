@@ -85,6 +85,17 @@ class TestCollapse:
         equivalence = collapse_seu_sites(chain_circuit())
         assert equivalence.n_saved_analyses >= 3
 
+    def test_collapsed_members_own_their_sink_values(self):
+        """Regression: collapsed members used to share one sink_values dict
+        with their representative, so mutating one result corrupted every
+        sibling in the equivalence class."""
+        engine = EPPEngine(chain_circuit())
+        results = engine.analyze(collapse=True)
+        assert results["buf1"].sink_values  # chain reaches the PO
+        assert results["buf1"].sink_values is not results["inv1"].sink_values
+        results["buf1"].sink_values.clear()
+        assert results["inv1"].sink_values, "sibling result was corrupted"
+
     def test_members_of(self):
         equivalence = collapse_seu_sites(chain_circuit())
         assert equivalence.members_of("buf1") == ["a", "inv1", "buf1", "inv2"]

@@ -1,0 +1,163 @@
+"""Scalar vs vector EPP backend equivalence (golden 1e-9 agreement).
+
+The scalar engine is the reference oracle; the batched NumPy backend must
+reproduce its ``P_sensitized``, per-sink four-valued vectors and cone
+sizes to 1e-9 on every circuit, every gate type (including MUX/MAJ via the
+vectorized truth-table kernel), with polarity tracking on and off, and
+through ``collapse=True``.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.epp import EPPEngine, available_backends, default_backend
+from repro.errors import AnalysisError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+from repro.netlist.generate import generate_iscas
+from repro.netlist.library import s27
+
+TOL = 1e-9
+
+
+def gate_zoo() -> Circuit:
+    """Every combinational gate type, reconvergence, a DFF boundary."""
+    circuit = Circuit("zoo")
+    for name in ("i0", "i1", "i2", "i3"):
+        circuit.add_input(name)
+    circuit.add_gate("and2", GateType.AND, ["i0", "i1"])
+    circuit.add_gate("and3", GateType.AND, ["i0", "i1", "i2"])
+    circuit.add_gate("nand2", GateType.NAND, ["i1", "i2"])
+    circuit.add_gate("or2", GateType.OR, ["i2", "i3"])
+    circuit.add_gate("nor2", GateType.NOR, ["i0", "i3"])
+    circuit.add_gate("xor2", GateType.XOR, ["and2", "or2"])
+    circuit.add_gate("xnor2", GateType.XNOR, ["nand2", "nor2"])
+    circuit.add_gate("inv", GateType.NOT, ["xor2"])
+    circuit.add_gate("buf", GateType.BUF, ["xnor2"])
+    circuit.add_gate("mux", GateType.MUX, ["inv", "buf", "and3"])
+    circuit.add_gate("maj3", GateType.MAJ, ["mux", "xor2", "i3"])
+    circuit.add_gate("maj5", GateType.MAJ, ["mux", "xor2", "nor2", "i0", "i1"])
+    circuit.add_dff("q", "xor2")
+    circuit.add_gate("fromq", GateType.AND, ["q", "i0"])
+    for out in ("mux", "maj3", "maj5", "fromq"):
+        circuit.mark_output(out)
+    return circuit
+
+
+def build_circuit(name: str) -> Circuit:
+    if name == "zoo":
+        return gate_zoo()
+    if name == "s27":
+        return s27()
+    return generate_iscas(name)
+
+
+def force_vector(engine: EPPEngine, batch_size: int | None = None):
+    """A vector backend with the small-workload crossover disabled, so the
+    vectorized kernels themselves are exercised even on tiny circuits."""
+    backend = engine.vector_backend(batch_size)
+    backend.min_vector_work = 0
+    return backend
+
+
+def assert_backends_agree(circuit: Circuit, track_polarity: bool = True,
+                          batch_size: int | None = None, collapse: bool = False):
+    engine = EPPEngine(circuit, track_polarity=track_polarity)
+    force_vector(engine, batch_size)
+    scalar = engine.analyze(backend="scalar", collapse=collapse)
+    vector = engine.analyze(backend="vector", collapse=collapse,
+                            batch_size=batch_size)
+    assert list(scalar) == list(vector)  # same sites, same order
+    for site, expected in scalar.items():
+        got = vector[site]
+        assert got.p_sensitized == pytest.approx(expected.p_sensitized, abs=TOL)
+        assert got.cone_size == expected.cone_size
+        assert set(got.sink_values) == set(expected.sink_values)
+        for sink, value in expected.sink_values.items():
+            assert got.sink_values[sink].isclose(value, tolerance=TOL), (
+                site, sink, value, got.sink_values[sink])
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("circuit_name", ["zoo", "s27", "s953", "s1423"])
+    @pytest.mark.parametrize("track_polarity", [True, False])
+    def test_full_analyze_agrees(self, circuit_name, track_polarity):
+        assert_backends_agree(build_circuit(circuit_name), track_polarity)
+
+    @pytest.mark.parametrize("circuit_name", ["zoo", "s27", "s953"])
+    def test_collapse_agrees(self, circuit_name):
+        assert_backends_agree(build_circuit(circuit_name), collapse=True)
+
+    def test_tiny_batches_chunk_correctly(self):
+        """batch_size smaller than the site count exercises the chunk loop
+        (including the narrow final chunk) on the real vector kernels."""
+        assert_backends_agree(build_circuit("zoo"), batch_size=3)
+        assert_backends_agree(build_circuit("s27"), batch_size=4)
+
+    @pytest.mark.slow
+    def test_s9234_full_circuit_agrees(self):
+        assert_backends_agree(build_circuit("s9234"))
+
+    def test_p_sensitized_many_matches_scalar(self):
+        circuit = build_circuit("s953")
+        engine = EPPEngine(circuit)
+        backend = force_vector(engine)
+        sites = engine.default_sites()
+        site_ids = [engine._cones.resolve(s) for s in sites]
+        batch = backend.p_sensitized_many(site_ids)
+        for site, value in zip(sites, batch):
+            assert value == pytest.approx(engine.p_sensitized(site), abs=TOL)
+
+    def test_input_and_state_sites_agree(self):
+        """Sites on primary inputs and DFF outputs (sources, not gates)."""
+        circuit = build_circuit("zoo")
+        engine = EPPEngine(circuit)
+        force_vector(engine)
+        sites = engine.default_sites(include_inputs=True, include_state=True)
+        scalar = engine.analyze(sites=sites, backend="scalar")
+        vector = engine.analyze(sites=sites, backend="vector")
+        for site in scalar:
+            assert vector[site].p_sensitized == pytest.approx(
+                scalar[site].p_sensitized, abs=TOL)
+
+
+class TestBackendSelection:
+    def test_default_backend_is_vector_with_numpy(self):
+        assert default_backend() == "vector"
+        assert available_backends() == ("scalar", "vector")
+
+    def test_unknown_backend_rejected(self):
+        engine = EPPEngine(s27())
+        with pytest.raises(AnalysisError, match="unknown EPP backend"):
+            engine.analyze(backend="simd")
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_invalid_batch_size_rejected(self, bad):
+        engine = EPPEngine(s27())
+        with pytest.raises(AnalysisError, match="batch_size"):
+            engine.analyze(backend="vector", batch_size=bad)
+
+    def test_crossover_falls_back_to_scalar_on_tiny_workloads(self):
+        """Below min_vector_work the vector backend delegates to the scalar
+        kernel — same results, no array dispatch."""
+        engine = EPPEngine(s27())
+        backend = engine.vector_backend()
+        assert engine.compiled.n * len(engine.default_sites()) < backend.min_vector_work
+        results = engine.analyze(backend="vector")
+        scalar = engine.analyze(backend="scalar")
+        assert results.keys() == scalar.keys()
+        for site in results:
+            assert results[site].p_sensitized == pytest.approx(
+                scalar[site].p_sensitized, abs=TOL)
+
+    def test_analyzer_backend_passthrough(self):
+        from repro.core.analysis import SERAnalyzer
+
+        circuit = build_circuit("zoo")
+        scalar_report = SERAnalyzer(circuit).analyze(backend="scalar")
+        vector_report = SERAnalyzer(circuit).analyze(backend="vector")
+        assert scalar_report.nodes.keys() == vector_report.nodes.keys()
+        for site in scalar_report.nodes:
+            assert vector_report.nodes[site].fit == pytest.approx(
+                scalar_report.nodes[site].fit, rel=1e-9)

@@ -126,3 +126,55 @@ class TestSequential:
         # Independence bias exists but stays moderate on s27.
         for name in ("G13", "G12", "G10"):
             assert sp[name] == pytest.approx(mc[name], abs=0.08)
+
+
+class TestVectorizedPass:
+    """The level-parallel NumPy pass must match the scalar pass exactly."""
+
+    @staticmethod
+    def _both_passes(circuit, monkeypatch, **kwargs):
+        import repro.probability.signal_prob as sp_mod
+
+        numpy = pytest.importorskip("numpy")
+        monkeypatch.setattr(sp_mod, "_VEC_MIN_NODES", 0)
+        vec = compute_signal_probabilities(circuit, **kwargs)
+        monkeypatch.setattr(sp_mod, "_np", None)
+        scalar = compute_signal_probabilities(circuit, **kwargs)
+        return vec, scalar
+
+    @pytest.mark.parametrize("maker", [s27, lambda: counter(4), lambda: parity_tree(8)])
+    def test_matches_scalar_pass(self, maker, monkeypatch):
+        vec, scalar = self._both_passes(maker(), monkeypatch)
+        assert vec.keys() == scalar.keys()
+        for name in scalar:
+            assert vec[name] == pytest.approx(scalar[name], abs=1e-12), name
+
+    def test_matches_scalar_on_generated_circuit(self, monkeypatch):
+        from repro.netlist.generate import generate_iscas
+
+        vec, scalar = self._both_passes(generate_iscas("s953"), monkeypatch)
+        for name in scalar:
+            assert vec[name] == pytest.approx(scalar[name], abs=1e-12), name
+
+    def test_mux_and_maj_kernels(self, monkeypatch):
+        circuit = Circuit("vec_zoo")
+        for name in ("a", "b", "c", "d", "e"):
+            circuit.add_input(name)
+        circuit.add_gate("m", GateType.MUX, ["a", "b", "c"])
+        circuit.add_gate("j3", GateType.MAJ, ["a", "b", "c"])
+        circuit.add_gate("j5", GateType.MAJ, ["a", "b", "c", "d", "e"])
+        circuit.add_gate("x", GateType.XOR, ["m", "j3"])
+        circuit.mark_output("x")
+        circuit.mark_output("j5")
+        probs = {"a": 0.3, "b": 0.7, "c": 0.5, "d": 0.9, "e": 0.1}
+        vec, scalar = self._both_passes(circuit, monkeypatch, input_probs=probs)
+        for name in scalar:
+            assert vec[name] == pytest.approx(scalar[name], abs=1e-12), name
+
+    def test_returns_plain_floats(self, monkeypatch):
+        import repro.probability.signal_prob as sp_mod
+
+        pytest.importorskip("numpy")
+        monkeypatch.setattr(sp_mod, "_VEC_MIN_NODES", 0)  # force the vec path
+        sp = compute_signal_probabilities(s27())
+        assert all(type(v) is float for v in sp.values())
