@@ -1,16 +1,23 @@
-"""Scalar vs vector backend: full-circuit ``analyze()`` across the ladder.
+"""Scalar vs vector vs sharded backends: full-circuit ``analyze()`` ladder.
 
 The quantity benchmarked is the tentpole claim: one batched level-parallel
 NumPy sweep per chunk of sites versus one Python cone walk per site, both
 producing the full per-site :class:`EPPResult` set (per-sink vectors
 included).  ``extra_info`` records:
 
-* ``speedup_vs_scalar`` — against the *current* scalar path (which this PR
+* ``speedup_vs_scalar`` — against the *current* scalar path (which PR 1
   also micro-optimized: per-gate fanin tuples and rule callables are now
   resolved at engine construction);
 * ``speedup_vs_seed_scalar`` — against a faithful reconstruction of the
   *seed* scalar hot loop (CSR slice + code->rule dict lookup per gate per
-  site), the baseline the ISSUE's >=5x target names.
+  site), the baseline PR 1's >=5x target named;
+* ``sharded_s`` / ``sharded_jobs`` / ``speedup_vs_vector`` — the
+  multi-process sharded driver's full-circuit wall-clock against the
+  single-process vector backend, measured with the default configuration
+  (crossover guard included, pool spin-up inside the timed region — the
+  true end-to-end cost a caller pays).  ``sharded_process_path`` records
+  whether the workload was large enough to engage worker processes at all
+  (small circuits are deliberately routed in-process by the guard).
 
 On the two largest circuits the scalar references are timed on a site
 sample and extrapolated linearly (scalar cost is exactly linear in the
@@ -33,6 +40,7 @@ import pytest
 from benchmarks.conftest import BENCH_CIRCUITS, get_circuit, get_sp
 
 from repro.core.epp import EPPEngine
+from repro.core.epp_shard import default_jobs
 from repro.core.fourvalue import EPPValue
 from repro.core.rules import _RULES_BY_CODE
 from repro.core.sensitization import combine_sensitization
@@ -122,6 +130,19 @@ def test_batch_analyze_speedup(benchmark, circuit_name):
     seed_scalar_analyze(seed_engine, ref_sites)
     seed_s = (time.perf_counter() - t0) * scale
 
+    # Sharded driver: true end-to-end full-circuit wall-clock (cold pool,
+    # spin-up included) under the default crossover guard — on multi-core
+    # hosts this is the number that must beat `vector_s` on the large
+    # circuits, and on small circuits the guard routes in-process.
+    jobs = default_jobs()
+    sharded_engine = fresh_engine(circuit_name)
+    sharded_backend = sharded_engine.sharded_backend(jobs=jobs)
+    t0 = time.perf_counter()
+    sharded_engine.analyze(sites=sites, backend="sharded", jobs=jobs)
+    sharded_s = time.perf_counter() - t0
+    process_path = sharded_backend.pool_started
+    sharded_backend.close()
+
     benchmark.extra_info["n_sites"] = len(sites)
     benchmark.extra_info["n_nodes"] = engine.compiled.n
     benchmark.extra_info["scalar_s"] = round(scalar_s, 3)
@@ -129,3 +150,7 @@ def test_batch_analyze_speedup(benchmark, circuit_name):
     benchmark.extra_info["scalar_extrapolated"] = scale != 1.0
     benchmark.extra_info["speedup_vs_scalar"] = round(scalar_s / vector_s, 2)
     benchmark.extra_info["speedup_vs_seed_scalar"] = round(seed_s / vector_s, 2)
+    benchmark.extra_info["sharded_s"] = round(sharded_s, 3)
+    benchmark.extra_info["sharded_jobs"] = jobs
+    benchmark.extra_info["sharded_process_path"] = process_path
+    benchmark.extra_info["speedup_vs_vector"] = round(vector_s / sharded_s, 2)

@@ -78,10 +78,16 @@ def build_parser() -> argparse.ArgumentParser:
     table2.add_argument("--json", help="write measured rows to a JSON file")
     table2.add_argument(
         "--backend",
-        choices=("scalar", "vector"),
+        choices=("scalar", "vector", "sharded"),
         default="scalar",
         help="EPP backend for the SysT column (scalar keeps the paper's "
-        "per-cone accounting; vector times the batched NumPy sweep)",
+        "per-cone accounting; vector times the batched NumPy sweep; "
+        "sharded fans the sweep out across --jobs worker processes)",
+    )
+    table2.add_argument(
+        "--jobs",
+        type=int,
+        help="worker processes for the sharded backend (default: one per core)",
     )
 
     analyze = commands.add_parser("analyze", help="SER-analyze a circuit")
@@ -96,14 +102,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument(
         "--backend",
-        choices=("auto", "scalar", "vector"),
+        choices=("auto", "scalar", "vector", "sharded"),
         default="auto",
-        help="EPP propagation backend (auto: vector when NumPy is available)",
+        help="EPP propagation backend (auto: vector when NumPy is available, "
+        "sharded when --jobs is given)",
     )
     analyze.add_argument(
         "--batch-size",
         type=int,
         help="sites per chunk for the vector backend (default: cache-sized)",
+    )
+    analyze.add_argument(
+        "--jobs",
+        type=int,
+        help="worker processes for the sharded backend (default: one per "
+        "core; implies --backend sharded unless one is forced)",
     )
     analyze.add_argument(
         "--multi-cycle",
@@ -170,6 +183,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             overrides["circuits"] = tuple(args.circuits)
         if args.backend != config.backend:
             overrides["backend"] = args.backend
+        if args.jobs is not None:
+            overrides["jobs"] = args.jobs
         if overrides:
             config = Table2Config(**{**config.__dict__, **overrides})
         rows = run_table2(config, verbose=True)
@@ -188,7 +203,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         analyzer = SERAnalyzer(circuit, sp_method=args.sp_method)
         backend = None if args.backend == "auto" else args.backend
         report = analyzer.analyze(
-            sample=args.sample, backend=backend, batch_size=args.batch_size
+            sample=args.sample, backend=backend, batch_size=args.batch_size,
+            jobs=args.jobs,
         )
         print(report.format_table(top=args.top))
         if args.csv:

@@ -10,6 +10,9 @@
 * :mod:`repro.core.rules_vec` / :mod:`repro.core.epp_batch` — the
   vectorized rule kernels and the batched level-parallel NumPy backend
   (``EPPEngine.analyze(backend="vector")``).
+* :mod:`repro.core.epp_shard` — the multi-process sharded driver fanning
+  site shards across a worker pool of vector backends
+  (``EPPEngine.analyze(backend="sharded", jobs=4)``).
 * :mod:`repro.core.baseline` — the random fault-injection estimator the
   paper compares against.
 * :mod:`repro.core.analysis` — full SER analysis combining EPP with the
@@ -23,6 +26,7 @@ from repro.core.epp import (
     available_backends,
     default_backend,
 )
+from repro.core.epp_shard import ShardedEPPEngine, default_jobs
 from repro.core.baseline import RandomSimulationEstimator
 from repro.core.sensitization import combine_sensitization
 from repro.core.analysis import SERAnalyzer, NodeSER, CircuitSERReport
@@ -31,8 +35,10 @@ __all__ = [
     "EPPValue",
     "EPPEngine",
     "EPPResult",
+    "ShardedEPPEngine",
     "available_backends",
     "default_backend",
+    "default_jobs",
     "RandomSimulationEstimator",
     "combine_sensitization",
     "SERAnalyzer",

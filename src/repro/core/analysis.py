@@ -183,17 +183,19 @@ class SERAnalyzer:
         seed: int = 0,
         backend: str | None = None,
         batch_size: int | None = None,
+        jobs: int | None = None,
     ) -> CircuitSERReport:
         """Analyze many sites (default: every combinational gate output).
 
-        ``backend``/``batch_size`` are forwarded to
+        ``backend``/``batch_size``/``jobs`` are forwarded to
         :meth:`EPPEngine.analyze` — ``"scalar"`` for the per-site reference
         path, ``"vector"`` for the batched NumPy backend (the default when
-        NumPy is available).
+        NumPy is available), ``"sharded"`` (or just passing ``jobs=``) for
+        the multi-process site-sharded driver.
         """
         results = self.engine.analyze(
             sites=sites, sample=sample, seed=seed,
-            backend=backend, batch_size=batch_size,
+            backend=backend, batch_size=batch_size, jobs=jobs,
         )
         report = CircuitSERReport(self.circuit.name)
         for site, result in results.items():

@@ -40,8 +40,10 @@ __all__ = ["EPPEngine", "EPPResult", "available_backends", "default_backend"]
 #: The engine's propagation backends: ``scalar`` is the per-site reference
 #: oracle (pure Python, one cone walk per site); ``vector`` is the batched
 #: NumPy backend (:mod:`repro.core.epp_batch`) that sweeps every site of a
-#: chunk through one level-parallel pass.
-BACKENDS = ("scalar", "vector")
+#: chunk through one level-parallel pass; ``sharded`` fans site shards out
+#: across a process pool of vector-backend workers
+#: (:mod:`repro.core.epp_shard`).
+BACKENDS = ("scalar", "vector", "sharded")
 
 
 def _vector_available() -> bool:
@@ -164,6 +166,7 @@ class EPPEngine:
             else:
                 self._rule_by_gate[node_id] = _RULES_BY_CODE[code]
         self._vector_backend = None
+        self._sharded_backend = None
 
     # ----------------------------------------------------------------- sites
 
@@ -272,9 +275,9 @@ class EPPEngine:
             raise AnalysisError(
                 f"unknown EPP backend {backend!r}; choose from {BACKENDS}"
             )
-        if backend == "vector" and not _vector_available():
+        if backend in ("vector", "sharded") and not _vector_available():
             raise AnalysisError(
-                "the 'vector' EPP backend requires NumPy, which is not installed"
+                f"the {backend!r} EPP backend requires NumPy, which is not installed"
             )
         return backend
 
@@ -299,6 +302,49 @@ class EPPEngine:
             self._vector_backend = backend
         return backend
 
+    def _get_sharded_backend(self, jobs: int | None, batch_size: int | None):
+        from repro.core.epp_shard import ShardedEPPEngine, default_jobs
+
+        effective_jobs = int(jobs) if jobs is not None else default_jobs()
+        requested_batch = None if batch_size is None else int(batch_size)
+        local = self._get_vector_backend(batch_size)
+        backend = self._sharded_backend
+        if (
+            backend is None
+            or backend.jobs != effective_jobs
+            or backend.requested_batch_size != requested_batch
+            or backend.local is not local
+        ):
+            if backend is not None:
+                backend.close()
+            backend = ShardedEPPEngine(
+                self.compiled,
+                self._sp,
+                track_polarity=self.track_polarity,
+                jobs=effective_jobs,
+                batch_size=batch_size,
+                local_backend=local,
+            )
+            self._sharded_backend = backend
+        return backend
+
+    def sharded_backend(self, jobs: int | None = None, batch_size: int | None = None):
+        """The multi-process sharded driver bound to this engine.
+
+        Exposes the bulk queries (``p_sensitized_many``, ``analyze_sites``),
+        the pool lifecycle (``warm``/``close``) and the crossover knob
+        (``min_process_work``); raises :class:`~repro.errors.AnalysisError`
+        when NumPy is unavailable.  The engine holds one cache slot: the
+        *most recent* ``(jobs, batch_size)`` configuration is reused across
+        calls, and requesting a different configuration closes the previous
+        instance's worker pool before building the new one (so the engine
+        never accumulates live pools).  Alternate configurations per call
+        by constructing :class:`~repro.core.epp_shard.ShardedEPPEngine`
+        instances directly instead.
+        """
+        self._resolve_backend("sharded")
+        return self._get_sharded_backend(jobs, batch_size)
+
     def vector_backend(self, batch_size: int | None = None):
         """The batched NumPy backend bound to this engine (public access).
 
@@ -312,8 +358,15 @@ class EPPEngine:
         return self._get_vector_backend(batch_size)
 
     def _analyze_sites(
-        self, sites: Sequence[int | str], backend: str, batch_size: int | None
+        self,
+        sites: Sequence[int | str],
+        backend: str,
+        batch_size: int | None,
+        jobs: int | None = None,
     ) -> dict[str, EPPResult]:
+        if backend == "sharded":
+            site_ids = [self._cones.resolve(site) for site in sites]
+            return self._get_sharded_backend(jobs, batch_size).analyze_sites(site_ids)
         if backend == "vector":
             site_ids = [self._cones.resolve(site) for site in sites]
             return self._get_vector_backend(batch_size).analyze_sites(site_ids)
@@ -331,6 +384,7 @@ class EPPEngine:
         collapse: bool = False,
         backend: str | None = None,
         batch_size: int | None = None,
+        jobs: int | None = None,
     ) -> dict[str, EPPResult]:
         """EPP for many sites (default: every combinational gate output).
 
@@ -343,21 +397,33 @@ class EPPEngine:
 
         ``backend`` selects the propagation kernel: ``"scalar"`` walks one
         cone per site (the reference oracle), ``"vector"`` runs the batched
-        level-parallel NumPy sweep of :mod:`repro.core.epp_batch`; the
-        default (``None``) picks ``vector`` when NumPy is available.  The
-        two agree to 1e-9 (floating-point reassociation only).
-        ``batch_size`` bounds the vector backend's per-chunk site count
-        (default: sized to keep the state matrix in cache).
+        level-parallel NumPy sweep of :mod:`repro.core.epp_batch`, and
+        ``"sharded"`` fans site shards out across ``jobs`` worker processes
+        each running the vector sweep (:mod:`repro.core.epp_shard`).  The
+        default (``None``) picks ``vector`` when NumPy is available — or
+        ``sharded`` when ``jobs`` is given explicitly.  All backends agree
+        to 1e-9 (floating-point reassociation only).  ``batch_size`` bounds
+        the vector backend's per-chunk site count (default: sized to keep
+        the state matrix in cache); ``jobs`` is the sharded worker count
+        (default: one per core).  Small workloads never pay process
+        spin-up — the sharded driver's crossover guard routes them to the
+        in-process vector path.
         """
         if sites is None:
             sites = self.default_sites()
         sites = list(sites)
         if sample is not None and sample < len(sites):
             sites = random.Random(seed).sample(sites, sample)
+        if backend is None and jobs is not None:
+            backend = "sharded"
         backend = self._resolve_backend(backend)
+        if jobs is not None and backend != "sharded":
+            raise AnalysisError(
+                f"jobs= applies to the 'sharded' backend only, got backend={backend!r}"
+            )
 
         if not collapse:
-            return self._analyze_sites(sites, backend, batch_size)
+            return self._analyze_sites(sites, backend, batch_size, jobs)
 
         from repro.core.collapse import collapse_seu_sites
 
@@ -371,7 +437,7 @@ class EPPEngine:
             rep = equivalence.representative.get(name, name)
             by_representative.setdefault(rep, []).append(name)
         rep_results = self._analyze_sites(
-            list(by_representative), backend, batch_size
+            list(by_representative), backend, batch_size, jobs
         )
         results = {}
         for rep, members in by_representative.items():

@@ -342,17 +342,22 @@ class BatchEPPBackend:
         return results
 
     def _collect(self, chunk, state, mask, results) -> None:
-        """Assemble per-site EPPResults from one chunk's sweep.
+        """Assemble per-site EPPResults from one chunk's sweep."""
+        self.materialize(chunk.tolist(), self._pack(chunk, state, mask), results)
+
+    def _pack(self, chunk, state, mask) -> tuple:
+        """Reduce one chunk's sweep to compact per-site numeric arrays.
 
         All numeric work happens in bulk: the on-path (site, sink) pairs are
         selected with one boolean pick, clamped with one ``np.maximum``, and
-        the per-site survival products run through ``multiply.reduceat`` —
-        the Python loop only packages dicts and dataclasses.
+        the per-site survival products run through ``multiply.reduceat``.
+        Returns ``(p_sens, cone_sizes, counts, sink_pos, values)`` aligned
+        with the chunk: ``counts[i]`` on-path pairs per site, ``sink_pos``
+        indices into ``plan.sink_ids`` and ``values`` their clamped ``(m, 4)``
+        four-valued vectors.  This tuple of plain arrays is also the wire
+        format the sharded driver (:mod:`repro.core.epp_shard`) ships across
+        the process boundary — cheap to pickle, no per-object overhead.
         """
-        from repro.core.epp import EPPResult
-
-        names = self.compiled.names
-        sink_names = self._sink_names_arr
         sink_state = state[self.plan.sink_ids]  # (ns, 4, s)
         sink_mask = mask[self.plan.sink_ids].T  # (s, ns)
         # Site-major selection of every on-path (site, sink) pair: the
@@ -370,14 +375,55 @@ class BatchEPPBackend:
             # elements), so reduceat never sees a degenerate slice.
             starts = (np.cumsum(counts) - counts)[occupied]
             p_sens[occupied] = 1.0 - np.multiply.reduceat(1.0 - error, starts)
-        p_sens = p_sens.tolist()
-        pair_names = sink_names[np.nonzero(sink_mask)[1]].tolist()
-        pair_values = starmap(EPPValue._unchecked, selected.tolist())
-        pairs = zip(pair_names, pair_values)
-        counts = counts.tolist()
-        cone_sizes = (mask.sum(axis=0) - 1).tolist()  # mask includes the site
+        sink_pos = np.nonzero(sink_mask)[1]
+        cone_sizes = mask.sum(axis=0) - 1  # mask includes the site
+        return p_sens, cone_sizes, counts, sink_pos, selected
 
-        for column, site_id in enumerate(chunk.tolist()):
+    def pack_sites(self, site_ids: Sequence[int]) -> tuple:
+        """Compact numeric results for many sites (chunks concatenated).
+
+        The sharded driver's per-worker entry point: sweeps the shard chunk
+        by chunk and returns one concatenated ``_pack`` tuple, ready to
+        cross the process boundary and be materialized by the parent.
+        """
+        ids = np.asarray(site_ids, dtype=np.intp)
+        parts = []
+        for start in range(0, len(ids), self.batch_size):
+            chunk = ids[start : start + self.batch_size]
+            state, mask = self._sweep(chunk)
+            parts.append(self._pack(chunk, state, mask))
+        if not parts:
+            empty = np.zeros(0)
+            return empty, empty.astype(np.intp), empty.astype(np.intp), \
+                empty.astype(np.intp), np.zeros((0, 4))
+        if len(parts) == 1:
+            return parts[0]
+        return (
+            np.concatenate([p[0] for p in parts]),
+            np.concatenate([p[1] for p in parts]),
+            np.concatenate([p[2] for p in parts]),
+            np.concatenate([p[3] for p in parts]),
+            np.concatenate([p[4] for p in parts]),
+        )
+
+    def materialize(self, site_ids: Sequence[int], packed: tuple, results) -> None:
+        """Build per-site EPPResults from a ``_pack``/``pack_sites`` tuple.
+
+        The Python loop only packages dicts and dataclasses; ``results`` is
+        updated in ``site_ids`` order.
+        """
+        from repro.core.epp import EPPResult
+
+        names = self.compiled.names
+        p_sens, cone_sizes, counts, sink_pos, values = packed
+        pair_names = self._sink_names_arr[sink_pos].tolist()
+        pair_values = starmap(EPPValue._unchecked, values.tolist())
+        pairs = zip(pair_names, pair_values)
+        p_sens = p_sens.tolist()
+        counts = counts.tolist()
+        cone_sizes = cone_sizes.tolist()
+
+        for column, site_id in enumerate(site_ids):
             site_name = names[site_id]
             results[site_name] = EPPResult(
                 site=site_name,

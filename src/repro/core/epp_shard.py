@@ -1,0 +1,398 @@
+"""Sharded multi-process EPP: the full-circuit analysis fanned out over workers.
+
+The batch backend (:mod:`repro.core.epp_batch`) removed the Python
+interpreter from the per-gate hot loop; what remains on large circuits is a
+single process saturating one core with NumPy sweeps.  This module removes
+the single-process ceiling: :class:`ShardedEPPEngine` partitions the site
+list into contiguous shards and fans them out across a
+``ProcessPoolExecutor``, each worker running the *existing*
+:class:`~repro.core.epp_batch.BatchEPPBackend` sweep over its shard.
+
+Design
+------
+* **One pickled payload, unpickled once per worker.**  The compiled
+  circuit (stripped of its cached execution plans — see
+  ``CompiledCircuit.__getstate__``), the signal-probability vector and the
+  backend knobs are pickled exactly once in the parent and shipped through
+  the executor *initializer*; each worker rebuilds its
+  :class:`~repro.core.epp_batch.BatchPlan` locally.  Per-task traffic is
+  just the shard's site-id list.
+* **Compact wire format.**  Workers return the backend's ``pack_sites``
+  tuple — five flat NumPy arrays per shard — not per-site dataclasses;
+  the parent materializes :class:`~repro.core.epp.EPPResult` objects while
+  the remaining shards are still sweeping, so result packaging overlaps
+  worker compute exactly as the single-process pipeline overlapped
+  sweep and collect.
+* **Column independence makes sharding exact.**  Every site occupies its
+  own state-matrix column and no kernel mixes columns, so the shard
+  partition cannot change any result: sharded output is bit-identical to
+  the vector backend per site (and therefore within the same 1e-9 envelope
+  of the scalar oracle the equivalence suite pins).
+* **Crossover guard.**  Small workloads (``n_nodes * n_sites`` below
+  ``min_process_work``), single-job configurations and single-site calls
+  run on the in-process vector backend — an s27-sized circuit never pays
+  process spin-up, mirroring the vector backend's own scalar-crossover
+  guard.
+
+Selection: ``EPPEngine.analyze(backend="sharded", jobs=4)`` (CLI:
+``--backend sharded --jobs 4``); passing ``jobs=`` alone implies the
+sharded backend.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.errors import AnalysisError
+
+__all__ = ["ShardedEPPEngine", "default_jobs", "partition_shards"]
+
+#: Below this ``n_nodes * n_sites`` product the whole call runs on the
+#: in-process vector backend: process spin-up plus payload transfer costs
+#: on the order of 100 ms, which a sub-second sweep cannot amortize.  The
+#: threshold sits between s1423-sized full-circuit runs (~0.7M, fastest
+#: in-process) and s9234-sized runs (~35M, where sharding is the point).
+_MIN_PROCESS_WORK = 4_000_000
+
+#: Shards per worker.  Cone sizes vary wildly across a circuit, so handing
+#: every worker exactly one shard invites stragglers; a few shards per
+#: worker lets the executor rebalance without shrinking shards so far that
+#: per-task overhead shows.
+_SHARDS_PER_WORKER = 4
+
+
+def default_jobs() -> int:
+    """Worker count when ``jobs`` is not given: one per available core."""
+    return os.cpu_count() or 1
+
+
+def partition_shards(items: list, n_shards: int) -> list[list]:
+    """Split ``items`` into at most ``n_shards`` contiguous, balanced runs.
+
+    Contiguity keeps the merged result dict in input order (shards are
+    collected out of order but merged in shard order); balance keeps the
+    largest shard within one item of the smallest.
+    """
+    n = len(items)
+    n_shards = max(1, min(n_shards, n))
+    base, extra = divmod(n, n_shards)
+    shards = []
+    start = 0
+    for index in range(n_shards):
+        size = base + (1 if index < extra else 0)
+        shards.append(items[start : start + size])
+        start += size
+    return shards
+
+
+# --------------------------------------------------------------------- worker
+
+#: Per-process backend, built once by :func:`_shard_worker_init` from the
+#: parent's pickled payload and reused by every task the worker runs.
+_WORKER_BACKEND = None
+
+
+def _shard_worker_init(payload: bytes) -> None:
+    """Executor initializer: unpickle the circuit once, plan locally.
+
+    ``min_vector_work=0``: the parent-level crossover guard already decided
+    this workload is large enough for processes, so every shard runs the
+    vectorized sweep (workers carry no scalar engine to fall back to).
+    """
+    global _WORKER_BACKEND
+    from repro.core.epp_batch import BatchEPPBackend
+
+    compiled, signal_probs, track_polarity, batch_size = pickle.loads(payload)
+    _WORKER_BACKEND = BatchEPPBackend(
+        compiled,
+        signal_probs,
+        track_polarity=track_polarity,
+        batch_size=batch_size,
+        min_vector_work=0,
+    )
+
+
+def _run_shard(site_ids: list[int], full: bool):
+    """One shard's sweep in a worker: packed results or bare P_sensitized."""
+    backend = _WORKER_BACKEND
+    if full:
+        return backend.pack_sites(site_ids)
+    return backend.p_sensitized_many(site_ids)
+
+
+def _worker_warmup(delay: float) -> int:
+    """Barrier task for :meth:`ShardedEPPEngine.warm`.
+
+    Holds its worker long enough that every concurrently submitted warmup
+    task must land on a *distinct* worker, forcing the executor — which
+    spawns processes lazily, on submit — to fork and initialize the whole
+    pool now rather than inside the caller's timed region.
+    """
+    import time
+
+    time.sleep(delay)
+    return os.getpid()
+
+
+# --------------------------------------------------------------------- driver
+
+
+class ShardedEPPEngine:
+    """Multi-process site-sharded EPP bound to one circuit and SP map.
+
+    Parameters
+    ----------
+    compiled:
+        The compiled circuit (pickled once into the worker pool).
+    signal_probs:
+        Per-node P(1) indexed by node id, as the vector backend consumes.
+    track_polarity:
+        Mirrors the engine flag (forwarded to every worker backend).
+    jobs:
+        Worker process count; default one per available core.
+    batch_size:
+        Per-chunk site columns inside each worker's sweep.  When omitted,
+        the single-process chunk budget is divided across the pool so the
+        aggregate resident memory of a sharded run matches the vector
+        backend's, instead of multiplying by ``jobs``.
+    min_process_work:
+        Crossover threshold on ``n_nodes * n_sites`` below which calls run
+        on the in-process vector backend; 0 forces the process path.
+    shards_per_worker:
+        Load-balancing factor (see :data:`_SHARDS_PER_WORKER`).
+    mp_context:
+        Optional ``multiprocessing`` context; default prefers ``fork``
+        (cheapest spin-up) and falls back to the platform default.
+    local_backend:
+        The in-process :class:`~repro.core.epp_batch.BatchEPPBackend` used
+        below the crossover and for materializing worker results (built on
+        demand when omitted; ``EPPEngine`` passes its cached one).
+
+    The worker pool is created lazily on the first sharded call and reused
+    across calls; :meth:`close` (or the context-manager protocol) tears it
+    down.  Results are identical to ``backend="vector"`` — sharding cannot
+    reorder any per-site arithmetic.
+    """
+
+    def __init__(
+        self,
+        compiled,
+        signal_probs: Sequence[float],
+        track_polarity: bool = True,
+        jobs: int | None = None,
+        batch_size: int | None = None,
+        min_process_work: int = _MIN_PROCESS_WORK,
+        shards_per_worker: int = _SHARDS_PER_WORKER,
+        mp_context=None,
+        local_backend=None,
+    ):
+        if jobs is not None and int(jobs) < 1:
+            raise AnalysisError(f"jobs must be >= 1, got {jobs}")
+        self.compiled = compiled
+        self.jobs = int(jobs) if jobs is not None else default_jobs()
+        self.track_polarity = track_polarity
+        self.min_process_work = min_process_work
+        self.shards_per_worker = max(1, int(shards_per_worker))
+        if local_backend is None:
+            from repro.core.epp_batch import BatchEPPBackend
+
+            local_backend = BatchEPPBackend(
+                compiled,
+                signal_probs,
+                track_polarity=track_polarity,
+                batch_size=batch_size,
+            )
+        self.local = local_backend
+        self.batch_size = self.local.batch_size
+        #: The caller's explicit batch_size (None = defaulted) — part of
+        #: the engine-level cache identity, so an explicit width never
+        #: silently reuses a pool built with the derived default.
+        self.requested_batch_size = None if batch_size is None else int(batch_size)
+        # Workers each hold their own state matrices, so the per-chunk
+        # budget is divided across the pool: aggregate resident memory of a
+        # sharded run stays at the single-process budget instead of
+        # multiplying by ``jobs``.
+        if batch_size is not None:
+            self.worker_batch_size = int(batch_size)
+        else:
+            from repro.core.epp_batch import default_batch_size
+
+            self.worker_batch_size = max(
+                32, default_batch_size(compiled.n) // self.jobs
+            )
+        self._mp_context = mp_context
+        self._pool: ProcessPoolExecutor | None = None
+        self._payload: bytes | None = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def pool_started(self) -> bool:
+        """Whether worker processes have been spun up (guard introspection)."""
+        return self._pool is not None
+
+    def payload(self) -> bytes:
+        """The once-pickled worker payload (cached across pool restarts)."""
+        if self._payload is None:
+            self._payload = pickle.dumps(
+                (
+                    self.compiled,
+                    self.local.sp,
+                    self.track_polarity,
+                    self.worker_batch_size,
+                ),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        return self._payload
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            context = self._mp_context
+            if context is None:
+                # fork inherits the parent image — payload bytes land in the
+                # child for free and spin-up is milliseconds; spawn/forkserver
+                # platforms re-import and unpickle, which the initializer
+                # design supports identically.
+                methods = multiprocessing.get_all_start_methods()
+                context = multiprocessing.get_context(
+                    "fork" if "fork" in methods else None
+                )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=context,
+                initializer=_shard_worker_init,
+                initargs=(self.payload(),),
+            )
+        return self._pool
+
+    def warm(self) -> "ShardedEPPEngine":
+        """Fork and initialize every worker now, not inside a timed region.
+
+        ``ProcessPoolExecutor`` spawns workers lazily on submit, so merely
+        constructing the pool warms nothing.  One short barrier task per
+        worker is submitted and awaited — each must occupy a distinct
+        worker, so all ``jobs`` processes fork and run the payload
+        initializer here.  A bounded retry with a longer hold covers the
+        race where an early worker finishes before the last one forks.
+        """
+        from concurrent.futures import wait
+
+        pool = self._ensure_pool()
+        delay = 0.02
+        for _ in range(3):
+            wait([pool.submit(_worker_warmup, delay) for _ in range(self.jobs)])
+            processes = getattr(pool, "_processes", None)
+            if processes is None or len(processes) >= self.jobs:
+                break
+            delay *= 4
+        return self
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; pool respawns on next use)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedEPPEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+        except Exception:
+            pass
+
+    # -------------------------------------------------------------- sharding
+
+    def _use_local(self, n_sites: int) -> bool:
+        """The crossover guard: does this call even want processes?
+
+        ``min_process_work <= 0`` is an explicit force — every call fans
+        out, even with one worker or one site (mirroring the batch
+        backend's ``min_vector_work=0`` contract) — so harnesses that
+        *must* measure or exercise the process path never silently fall
+        back to the in-process sweep.
+        """
+        if self.min_process_work <= 0:
+            return False
+        return (
+            self.jobs <= 1
+            or n_sites < 2
+            or self.compiled.n * n_sites < self.min_process_work
+        )
+
+    def _shards(self, site_ids: list[int]) -> list[list[int]]:
+        return partition_shards(site_ids, self.jobs * self.shards_per_worker)
+
+    def _map_shards(self, shards: list[list[int]], full: bool):
+        """Yield ``(shard_index, worker_result)`` as shards complete."""
+        pool = self._ensure_pool()
+        futures = {
+            pool.submit(_run_shard, shard, full): index
+            for index, shard in enumerate(shards)
+        }
+        try:
+            for future in as_completed(futures):
+                yield futures[future], future.result()
+        except BrokenProcessPool as exc:
+            self._pool = None  # the pool is dead; let a later call respawn it
+            raise AnalysisError(
+                "sharded EPP worker pool died mid-analysis (worker killed or "
+                "out of memory); rerun with fewer jobs or a smaller batch_size"
+            ) from exc
+
+    # --------------------------------------------------------------- queries
+
+    def analyze_sites(self, site_ids: Sequence[int]):
+        """Full per-site results for many sites, fanned out across workers.
+
+        Returns ``{site_name: EPPResult}`` in input order, exactly matching
+        ``BatchEPPBackend.analyze_sites`` (the shard partition cannot change
+        per-site arithmetic).  Workers ship packed arrays; materialization
+        into result objects happens here, overlapping the remaining shards'
+        sweeps.
+        """
+        site_ids = [int(site_id) for site_id in site_ids]
+        if not site_ids:
+            return {}
+        if self._use_local(len(site_ids)):
+            return self.local.analyze_sites(site_ids)
+        shards = self._shards(site_ids)
+        shard_results: list[dict | None] = [None] * len(shards)
+        for index, packed in self._map_shards(shards, full=True):
+            out: dict = {}
+            self.local.materialize(shards[index], packed, out)
+            shard_results[index] = out
+        results: dict = {}
+        for out in shard_results:
+            results.update(out)
+        return results
+
+    def p_sensitized_many(self, site_ids: Sequence[int]):
+        """``P_sensitized`` for many sites, aligned with ``site_ids``."""
+        import numpy as np
+
+        site_ids = [int(site_id) for site_id in site_ids]
+        if not site_ids:
+            return np.empty(0)
+        if self._use_local(len(site_ids)):
+            return self.local.p_sensitized_many(site_ids)
+        shards = self._shards(site_ids)
+        offsets = [0] * len(shards)
+        position = 0
+        for index, shard in enumerate(shards):
+            offsets[index] = position
+            position += len(shard)
+        out = np.empty(len(site_ids))
+        for index, values in self._map_shards(shards, full=False):
+            out[offsets[index] : offsets[index] + len(shards[index])] = values
+        return out

@@ -354,6 +354,21 @@ class CompiledCircuit:
                 sink_seen.add(d_driver)
         self.sink_ids = sink_ids
 
+    # -- pickling -----------------------------------------------------------
+
+    #: Attributes holding lazily-built execution plans cached on the
+    #: compiled circuit by the vectorized engines.  They contain kernel
+    #: closures and are cheap to rebuild, so pickling drops them — this is
+    #: what lets a compiled circuit cross a process boundary once and be
+    #: re-planned inside each worker (:mod:`repro.core.epp_shard`).
+    _PLAN_CACHE_ATTRS = ("_batch_epp_plan", "_sp_level_plan")
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        for attr in self._PLAN_CACHE_ATTRS:
+            state.pop(attr, None)
+        return state
+
     # -- small accessors ----------------------------------------------------
 
     def fanin(self, node_id: int) -> list[int]:

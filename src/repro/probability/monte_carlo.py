@@ -15,6 +15,7 @@ separately as the SPT column of Table 2.
 from __future__ import annotations
 
 import math
+import random
 from collections.abc import Mapping
 
 from repro.errors import ProbabilityError
@@ -42,17 +43,30 @@ def monte_carlo_signal_probabilities(
     warmup_cycles: int = 8,
     cycles_per_batch: int = 16,
     word_width: int = _WORD_WIDTH,
+    rng: random.Random | None = None,
 ) -> dict[str, float]:
     """Estimate every node's SP from ``n_vectors`` random patterns.
 
     For sequential circuits each batch simulates ``warmup_cycles`` unscored
     cycles followed by ``cycles_per_batch`` scored cycles, so ``n_vectors``
     counts *scored* pattern-cycles.
+
+    Every sampled bit descends from ``seed`` (or, when given, from ``rng``,
+    an explicit :class:`random.Random` whose state seeds the internal
+    pattern and initial-state streams) — the function never touches
+    module-level random state, so runs are reproducible bit for bit.  The
+    explicit ``rng`` form lets a calling experiment derive all of its
+    stochastic components from one master generator.
     """
     if n_vectors < 1:
         raise ProbabilityError(f"n_vectors must be >= 1, got {n_vectors}")
     if word_width < 1:
         raise ProbabilityError(f"word_width must be >= 1, got {word_width}")
+
+    if rng is not None:
+        # Two independent derived streams (patterns / initial state), both
+        # pure functions of the caller's generator state.
+        seed = rng.getrandbits(64)
 
     compiled = circuit.compiled()
     counts = [0] * compiled.n

@@ -87,6 +87,13 @@ class RandomVectorSource:
         Optional map signal -> probability of 1 (default 0.5 for all).
         Weighted words are built by thresholding blocks of uniform bits,
         which keeps generation O(width) per signal.
+    rng:
+        Optional externally-owned :class:`random.Random` instance to draw
+        from instead of constructing one from ``seed``.  Callers composing
+        several stochastic components (e.g. the Monte Carlo
+        cross-validation harness) pass one generator through explicitly so
+        the whole experiment is a pure function of a single seed — no
+        module-level random state is ever consulted.
     """
 
     def __init__(
@@ -94,9 +101,10 @@ class RandomVectorSource:
         signals: Sequence[str],
         seed: int = 0,
         weights: Mapping[str, float] | None = None,
+        rng: random.Random | None = None,
     ):
         self.signals = list(signals)
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else random.Random(seed)
         self._weights = dict(weights) if weights else {}
         for signal, weight in self._weights.items():
             if not 0.0 <= weight <= 1.0:

@@ -48,7 +48,7 @@ class TestCommands:
         assert main(["analyze", "s27", "--top", "3", "--sample", "5"]) == 0
         assert "FIT" in capsys.readouterr().out
 
-    @pytest.mark.parametrize("backend", ["scalar", "vector", "auto"])
+    @pytest.mark.parametrize("backend", ["scalar", "vector", "sharded", "auto"])
     def test_analyze_backend_flag(self, backend, capsys):
         assert main(["analyze", "s27", "--top", "2", "--backend", backend]) == 0
         assert "FIT" in capsys.readouterr().out
@@ -58,6 +58,17 @@ class TestCommands:
             ["analyze", "s27", "--backend", "vector", "--batch-size", "4"]
         ) == 0
         assert "FIT" in capsys.readouterr().out
+
+    def test_analyze_jobs_flag_implies_sharded(self, capsys):
+        # s27 sits far below the crossover, so this exercises the routing
+        # (jobs => sharded backend) without paying process spin-up.
+        assert main(["analyze", "s27", "--top", "2", "--jobs", "2"]) == 0
+        assert "FIT" in capsys.readouterr().out
+
+    def test_analyze_jobs_with_scalar_backend_fails_cleanly(self, capsys):
+        code = main(["analyze", "s27", "--backend", "scalar", "--jobs", "2"])
+        assert code == 1
+        assert "jobs=" in capsys.readouterr().err
 
     def test_analyze_multi_cycle(self, capsys):
         assert main(["analyze", "s27", "--multi-cycle", "2"]) == 0
@@ -109,3 +120,18 @@ class TestCommands:
         assert code == 0
         assert csv_path.exists()
         assert "paper avg" in capsys.readouterr().out
+
+    def test_table2_sharded_backend_flag(self, capsys):
+        code = main(
+            ["table2", "--mode", "quick", "--circuits", "s27",
+             "--backend", "sharded", "--jobs", "2"]
+        )
+        assert code == 0
+        assert "paper avg" in capsys.readouterr().out
+
+    def test_table2_jobs_without_sharded_fails_cleanly(self, capsys):
+        code = main(
+            ["table2", "--mode", "quick", "--circuits", "s27", "--jobs", "2"]
+        )
+        assert code == 1
+        assert "jobs" in capsys.readouterr().err

@@ -1,0 +1,199 @@
+"""Property-based differential fuzzing of the EPP backends.
+
+Three oracles, fuzzed over generated circuits (:mod:`repro.netlist.generate`):
+
+* **Backend agreement** — scalar vs vector vs sharded must agree to 1e-9 on
+  every site of every circuit; sharding and vectorization reassociate
+  floating-point work but must never change the semantics.
+* **Exhaustive exactness on trees** — on fanout-free circuits the EPP
+  algebra is *exact* (signals are independent and every site has a single
+  path to a single sink), so the engine must match exhaustive logic
+  simulation over all ``2^n`` input vectors to 1e-9, not approximately.
+* **Bounded approximation under reconvergence** — on general random
+  circuits EPP is a first-order approximation; the error against the
+  exhaustive ground truth must stay inside the documented band (a broken
+  rule or traversal typically shows errors of 0.3+ immediately).
+
+The hypothesis properties shrink failures to minimal circuits; every
+example is reconstructible from ``random_combinational``'s integer seed.
+"""
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.epp import EPPEngine
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+from repro.netlist.generate import random_combinational
+
+from tests.helpers import exhaustive_all_sites
+
+TOL = 1e-9
+
+#: Gate pool for random trees: every closed-form family plus the
+#: truth-table-kernel cells (MUX/MAJ), single-input cells included.
+_TREE_GATES = [
+    GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+    GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF,
+    GateType.MUX, GateType.MAJ,
+]
+
+
+def random_tree_circuit(seed: int, max_inputs: int = 12, n_gates: int = 12) -> Circuit:
+    """A random *fanout-free* circuit (every signal consumed at most once).
+
+    Fanout-freedom is what makes the EPP algebra exact: all fanins of every
+    gate are mutually independent and each error site has exactly one path
+    to exactly one sink, so there is no reconvergence for the four-valued
+    abstraction to approximate.  Inputs are created on demand up to
+    ``max_inputs`` (≤ 12 keeps exhaustive enumeration at ≤ 4096 vectors).
+    """
+    rng = random.Random(seed)
+    circuit = Circuit(f"tree_{seed}")
+    pool: list[str] = []  # signals not yet consumed
+    n_inputs = 0
+
+    def fresh_operand() -> str:
+        nonlocal n_inputs
+        # Prefer reusing an unconsumed signal; mint a new input otherwise.
+        if pool and (n_inputs >= max_inputs or rng.random() < 0.5):
+            return pool.pop(rng.randrange(len(pool)))
+        if n_inputs < max_inputs:
+            name = circuit.add_input(f"pi{n_inputs}")
+            n_inputs += 1
+            return name
+        return pool.pop(rng.randrange(len(pool)))
+
+    for index in range(n_gates):
+        gate_type = rng.choice(_TREE_GATES)
+        if gate_type in (GateType.NOT, GateType.BUF):
+            arity = 1
+        elif gate_type in (GateType.MUX, GateType.MAJ):
+            arity = 3
+        else:
+            arity = rng.choice((2, 2, 3))
+        if len(pool) + (max_inputs - n_inputs) < arity:
+            break  # operand supply exhausted: the tree is complete
+        fanin = [fresh_operand() for _ in range(arity)]
+        name = f"g{index}"
+        circuit.add_gate(name, gate_type, fanin)
+        pool.append(name)
+
+    # Every unconsumed gate is a root of its own tree; observe them all.
+    # (The most recently added gate is always unconsumed, so at least one
+    # output exists.)
+    for name in pool:
+        if name.startswith("g"):
+            circuit.mark_output(name)
+    return circuit
+
+
+def force_vector(engine: EPPEngine):
+    backend = engine.vector_backend()
+    backend.min_vector_work = 0
+    return backend
+
+
+def assert_all_sites_agree(reference: dict, candidate: dict):
+    assert list(reference) == list(candidate)
+    for site, expected in reference.items():
+        got = candidate[site]
+        assert got.p_sensitized == pytest.approx(expected.p_sensitized, abs=TOL), site
+        assert got.cone_size == expected.cone_size, site
+        assert set(got.sink_values) == set(expected.sink_values), site
+        for sink, value in expected.sink_values.items():
+            assert got.sink_values[sink].isclose(value, tolerance=TOL), (site, sink)
+
+
+# ---------------------------------------------------------------- properties
+
+
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(
+    n_inputs=st.integers(min_value=2, max_value=8),
+    n_gates=st.integers(min_value=4, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**16),
+    track_polarity=st.booleans(),
+)
+def test_scalar_vs_vector_agree_on_random_circuits(
+    n_inputs, n_gates, seed, track_polarity
+):
+    """Vectorization is a pure reassociation: scalar == vector to 1e-9."""
+    circuit = random_combinational(n_inputs, n_gates, seed=seed)
+    engine = EPPEngine(circuit, track_polarity=track_polarity)
+    force_vector(engine)
+    scalar = engine.analyze(backend="scalar")
+    vector = engine.analyze(backend="vector")
+    assert_all_sites_agree(scalar, vector)
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n_gates=st.integers(min_value=3, max_value=20),
+)
+def test_epp_exact_on_fanout_free_cones(seed, n_gates):
+    """On trees (≤ 12 inputs) EPP equals exhaustive simulation to 1e-9."""
+    circuit = random_tree_circuit(seed, max_inputs=12, n_gates=n_gates)
+    truth = exhaustive_all_sites(circuit)
+    engine = EPPEngine(circuit)
+    force_vector(engine)
+    scalar = engine.analyze(backend="scalar")
+    vector = engine.analyze(backend="vector")
+    assert_all_sites_agree(scalar, vector)
+    for site in circuit.gates:
+        assert scalar[site].p_sensitized == pytest.approx(truth[site], abs=TOL), site
+
+
+@settings(max_examples=15, deadline=None, derandomize=True)
+@given(
+    n_inputs=st.integers(min_value=4, max_value=8),
+    gates_per_input=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_epp_error_bounded_under_reconvergence(n_inputs, gates_per_input, seed):
+    """On general random circuits EPP stays inside the documented band.
+
+    Density is controlled (≤ 5 gates per input): a handful of inputs
+    driving dozens of gates is pure reconvergence, a regime the paper's
+    benchmarks never approach and where first-order EPP error is unbounded
+    by design.  Inside the realistic band, a 200-circuit scan shows
+    worst-case per-site error 0.33 and worst mean 0.083; the asserted
+    bounds carry ~1.5x headroom over that envelope.
+    """
+    circuit = random_combinational(n_inputs, n_inputs * gates_per_input, seed=seed)
+    truth = exhaustive_all_sites(circuit)
+    engine = EPPEngine(circuit)
+    errors = [
+        abs(engine.p_sensitized(site) - truth[site]) for site in circuit.gates
+    ]
+    assert max(errors) < 0.5, max(errors)
+    assert sum(errors) / len(errors) < 0.15, sum(errors) / len(errors)
+
+
+# ------------------------------------------------- three-way with real pools
+
+
+@pytest.mark.parametrize("seed", [11, 407, 90210])
+def test_scalar_vector_sharded_threeway(seed):
+    """The full differential triangle, sharded side on a real process pool."""
+    circuit = random_combinational(8, 120, seed=seed)
+    engine = EPPEngine(circuit)
+    force_vector(engine)
+    sharded = engine.sharded_backend(jobs=2)
+    sharded.min_process_work = 0
+    try:
+        scalar = engine.analyze(backend="scalar")
+        vector = engine.analyze(backend="vector")
+        fanned = engine.analyze(backend="sharded", jobs=2)
+        assert sharded.pool_started
+    finally:
+        sharded.close()
+    assert_all_sites_agree(scalar, vector)
+    assert_all_sites_agree(vector, fanned)

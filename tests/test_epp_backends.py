@@ -125,7 +125,7 @@ class TestBackendEquivalence:
 class TestBackendSelection:
     def test_default_backend_is_vector_with_numpy(self):
         assert default_backend() == "vector"
-        assert available_backends() == ("scalar", "vector")
+        assert available_backends() == ("scalar", "vector", "sharded")
 
     def test_unknown_backend_rejected(self):
         engine = EPPEngine(s27())

@@ -1,0 +1,237 @@
+"""Sharded multi-process backend: equivalence, guards and lifecycle.
+
+The sharded driver must reproduce the vector backend exactly — the shard
+partition cannot change any per-site arithmetic, so agreement is pinned at
+1e-9 on real process pools (``min_process_work`` forced to 0 so even
+mid-size circuits exercise worker fan-out).  The crossover guard, the
+``jobs`` plumbing through ``EPPEngine.analyze`` / ``SERAnalyzer`` and the
+pool lifecycle are covered alongside.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.analysis import SERAnalyzer
+from repro.core.epp import EPPEngine
+from repro.core.epp_shard import ShardedEPPEngine, default_jobs, partition_shards
+from repro.errors import AnalysisError
+from repro.netlist.generate import generate_iscas
+from repro.netlist.library import s27
+
+TOL = 1e-9
+
+
+def forced_sharded(engine: EPPEngine, jobs: int = 4):
+    """A sharded driver with the crossover guard disabled, so worker
+    processes are exercised even on circuits below the default threshold."""
+    backend = engine.sharded_backend(jobs=jobs)
+    backend.min_process_work = 0
+    return backend
+
+
+def assert_results_match(expected, got):
+    assert list(expected) == list(got)  # same sites, same order
+    for site, reference in expected.items():
+        result = got[site]
+        assert result.p_sensitized == pytest.approx(reference.p_sensitized, abs=TOL)
+        assert result.cone_size == reference.cone_size
+        assert set(result.sink_values) == set(reference.sink_values)
+        for sink, value in reference.sink_values.items():
+            assert result.sink_values[sink].isclose(value, tolerance=TOL), (
+                site, sink, value, result.sink_values[sink])
+
+
+class TestShardedEquivalence:
+    """Acceptance pin: sharded(jobs=4) == vector to 1e-9 on s953/s1423."""
+
+    @pytest.mark.parametrize("circuit_name", ["s953", "s1423"])
+    def test_full_circuit_matches_vector(self, circuit_name):
+        engine = EPPEngine(generate_iscas(circuit_name))
+        with forced_sharded(engine, jobs=4) as backend:
+            vector = engine.analyze(backend="vector")
+            sharded = engine.analyze(backend="sharded", jobs=4)
+            assert backend.pool_started  # the guard really was bypassed
+        assert_results_match(vector, sharded)
+
+    def test_p_sensitized_many_matches_vector(self):
+        engine = EPPEngine(generate_iscas("s953"))
+        site_ids = [engine._cones.resolve(site) for site in engine.default_sites()]
+        with forced_sharded(engine, jobs=3) as backend:
+            sharded = backend.p_sensitized_many(site_ids)
+        vector = engine.vector_backend().p_sensitized_many(site_ids)
+        assert np.abs(vector - sharded).max() <= TOL
+
+    def test_collapse_matches_vector(self):
+        engine = EPPEngine(generate_iscas("s953"))
+        with forced_sharded(engine, jobs=2):
+            vector = engine.analyze(backend="vector", collapse=True)
+            sharded = engine.analyze(backend="sharded", jobs=2, collapse=True)
+        assert_results_match(vector, sharded)
+
+    @pytest.mark.slow
+    def test_s9234_sharded_scaling_run_matches_vector(self):
+        """The nightly sharded-scaling check: a full s9234 fan-out (the
+        workload above the default crossover threshold) stays 1e-9-equal
+        to the single-process vector sweep."""
+        engine = EPPEngine(generate_iscas("s9234"))
+        jobs = max(2, default_jobs())
+        backend = engine.sharded_backend(jobs=jobs)
+        try:
+            vector = engine.analyze(backend="vector")
+            sharded = engine.analyze(backend="sharded", jobs=jobs)
+            assert backend.pool_started  # above threshold: processes engaged
+        finally:
+            backend.close()
+        assert_results_match(vector, sharded)
+
+
+class TestCrossoverGuard:
+    def test_small_circuits_never_pay_process_spinup(self):
+        engine = EPPEngine(s27())
+        backend = engine.sharded_backend(jobs=4)
+        results = engine.analyze(backend="sharded", jobs=4)
+        assert not backend.pool_started
+        scalar = engine.analyze(backend="scalar")
+        assert results.keys() == scalar.keys()
+        for site in results:
+            assert results[site].p_sensitized == pytest.approx(
+                scalar[site].p_sensitized, abs=TOL)
+
+    def test_single_job_stays_in_process_under_default_guard(self):
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = engine.sharded_backend(jobs=1)
+        engine.analyze(backend="sharded", jobs=1)
+        assert not backend.pool_started
+
+    def test_single_site_stays_in_process_under_default_guard(self):
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = engine.sharded_backend(jobs=4)
+        engine.analyze(sites=engine.default_sites()[:1], backend="sharded", jobs=4)
+        assert not backend.pool_started
+
+    def test_zero_min_process_work_forces_fanout_even_for_one_worker(self):
+        """min_process_work=0 is an explicit force (the batch backend's
+        min_vector_work=0 contract): even jobs=1 runs through the pool, so
+        measurement harnesses never silently report in-process timings
+        under a sharded label."""
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = forced_sharded(engine, jobs=1)
+        try:
+            vector = engine.analyze(backend="vector")
+            sharded = engine.analyze(backend="sharded", jobs=1)
+            assert backend.pool_started
+        finally:
+            backend.close()
+        assert_results_match(vector, sharded)
+
+
+class TestShardedSelection:
+    def test_jobs_alone_selects_sharded(self):
+        engine = EPPEngine(s27())
+        results = engine.analyze(jobs=2)  # backend=None + jobs => sharded
+        scalar = engine.analyze(backend="scalar")
+        assert results.keys() == scalar.keys()
+        for site in results:
+            assert results[site].p_sensitized == pytest.approx(
+                scalar[site].p_sensitized, abs=TOL)
+
+    def test_jobs_with_non_sharded_backend_rejected(self):
+        engine = EPPEngine(s27())
+        with pytest.raises(AnalysisError, match="jobs="):
+            engine.analyze(backend="vector", jobs=2)
+        with pytest.raises(AnalysisError, match="jobs="):
+            engine.analyze(backend="scalar", jobs=2)
+
+    @pytest.mark.parametrize("bad", [0, -4])
+    def test_invalid_jobs_rejected(self, bad):
+        engine = EPPEngine(s27())
+        with pytest.raises(AnalysisError, match="jobs"):
+            engine.analyze(backend="sharded", jobs=bad)
+
+    def test_analyzer_jobs_passthrough(self):
+        circuit = generate_iscas("s953")
+        vector_report = SERAnalyzer(circuit).analyze(backend="vector")
+        analyzer = SERAnalyzer(circuit)
+        with forced_sharded(analyzer.engine, jobs=2):
+            sharded_report = analyzer.analyze(backend="sharded", jobs=2)
+        assert sharded_report.nodes.keys() == vector_report.nodes.keys()
+        for site in vector_report.nodes:
+            assert sharded_report.nodes[site].fit == pytest.approx(
+                vector_report.nodes[site].fit, rel=1e-9)
+
+    def test_backend_cache_keyed_by_jobs(self):
+        engine = EPPEngine(s27())
+        first = engine.sharded_backend(jobs=2)
+        assert engine.sharded_backend(jobs=2) is first
+        second = engine.sharded_backend(jobs=3)
+        assert second is not first
+        assert second.jobs == 3
+
+    def test_backend_cache_keyed_by_batch_size(self):
+        """An explicit batch_size — even one equal to the derived default —
+        must not reuse a pool whose workers chunk at the divided width."""
+        engine = EPPEngine(s27())
+        defaulted = engine.sharded_backend(jobs=2)
+        explicit = engine.sharded_backend(jobs=2, batch_size=defaulted.batch_size)
+        assert explicit is not defaulted
+        assert explicit.worker_batch_size == defaulted.batch_size
+        assert engine.sharded_backend(jobs=2, batch_size=defaulted.batch_size) is explicit
+
+
+class TestPoolLifecycle:
+    def test_pool_reused_across_calls_and_respawns_after_close(self):
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = forced_sharded(engine, jobs=2)
+        first = engine.analyze(backend="sharded", jobs=2)
+        pool = backend._pool
+        assert pool is not None
+        engine.analyze(backend="sharded", jobs=2)
+        assert backend._pool is pool  # reused, not respawned
+        backend.close()
+        assert not backend.pool_started
+        backend.close()  # idempotent
+        again = engine.analyze(backend="sharded", jobs=2)  # respawns cleanly
+        assert backend.pool_started
+        assert_results_match(first, again)
+        backend.close()
+
+    def test_warm_actually_forks_workers(self):
+        """warm() must defeat the executor's lazy spawning: all workers
+        exist (payload unpickled, plans rebuilt) before any timed call."""
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = forced_sharded(engine, jobs=2)
+        try:
+            backend.warm()
+            assert backend.pool_started
+            processes = getattr(backend._pool, "_processes", None)
+            assert processes is not None
+            assert len(processes) >= 2
+        finally:
+            backend.close()
+
+    def test_payload_pickled_once(self):
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = engine.sharded_backend(jobs=2)
+        assert backend.payload() is backend.payload()  # cached bytes
+
+    def test_empty_site_list(self):
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = forced_sharded(engine, jobs=2)
+        assert backend.analyze_sites([]) == {}
+        assert not backend.pool_started
+
+
+class TestPartition:
+    def test_contiguous_balanced_partition(self):
+        items = list(range(10))
+        shards = partition_shards(items, 3)
+        assert [len(s) for s in shards] == [4, 3, 3]
+        assert [x for shard in shards for x in shard] == items
+
+    def test_more_shards_than_items(self):
+        shards = partition_shards([1, 2], 8)
+        assert shards == [[1], [2]]
+
+    def test_single_shard(self):
+        assert partition_shards([1, 2, 3], 1) == [[1, 2, 3]]

@@ -91,6 +91,24 @@ class TestTable2:
             Table2Config(sim_vectors=0)
         with pytest.raises(ConfigError):
             Table2Config(circuits=("c6288",))
+        with pytest.raises(ConfigError):
+            Table2Config(backend="simd")
+        with pytest.raises(ConfigError):
+            Table2Config(backend="sharded", jobs=0)
+        with pytest.raises(ConfigError, match="sharded"):
+            Table2Config(backend="scalar", jobs=2)  # jobs needs sharded
+
+    def test_sharded_backend_row(self):
+        """The sharded SysT column really engages worker processes (the
+        crossover guard is bypassed for an explicit sharded request)."""
+        config = Table2Config(
+            circuits=("s27",), backend="sharded", jobs=2, sim_vectors=50,
+            sim_sites=1, accuracy_sites=5, reference_vectors=1000,
+            sp_vectors=1000, epp_sites=5,
+        )
+        row = run_table2_circuit("s27", config)
+        assert row.syst_ms > 0
+        assert row.circuit == "s27"
 
     def test_quick_and_full_presets(self):
         assert len(Table2Config.quick().circuits) == 4
