@@ -45,9 +45,9 @@ from repro.core.fourvalue import EPPValue
 from repro.core.rules import _RULES_BY_CODE
 from repro.core.sensitization import combine_sensitization
 
-#: Above this node count the scalar references are sampled+extrapolated.
-SCALAR_FULL_MAX_NODES = 7_000
-SCALAR_SAMPLE_SITES = 200
+# Single source of the scalar-reference sampling policy: run_bench.py owns
+# the constants so the nightly trajectory and this suite can never drift.
+from benchmarks.run_bench import SCALAR_FULL_MAX_NODES, SCALAR_SAMPLE_SITES
 
 
 def seed_scalar_analyze(engine, sites):
@@ -114,11 +114,24 @@ def test_batch_analyze_speedup(benchmark, circuit_name):
     sites = engine.default_sites()
 
     rounds = 2 if engine.compiled.n <= SCALAR_FULL_MAX_NODES else 1
+    # The timed quantity is the backend's default configuration — since
+    # PR 3 that is the cone-aware sparse sweep over cone-clustered chunks.
     benchmark.pedantic(
         lambda: engine.analyze(sites=sites, backend="vector"),
         rounds=rounds, iterations=1, warmup_rounds=1,
     )
     vector_s = benchmark.stats["min"]
+
+    # Dense reference: the PR-1 execution order (no pruning, contiguous
+    # input-order chunks), warmed like the pedantic measurement above so
+    # the ratio compares execution strategies, not first-call plan build
+    # and state-buffer page faults.
+    dense_engine = fresh_engine(circuit_name)
+    dense_kwargs = dict(backend="vector", prune=False, schedule="input")
+    dense_engine.analyze(sites=sites, **dense_kwargs)  # warmup
+    t0 = time.perf_counter()
+    dense_engine.analyze(sites=sites, **dense_kwargs)
+    dense_s = time.perf_counter() - t0
 
     ref_sites, scale = scalar_reference_sites(engine)
     scalar_engine = fresh_engine(circuit_name)
@@ -145,6 +158,8 @@ def test_batch_analyze_speedup(benchmark, circuit_name):
 
     benchmark.extra_info["n_sites"] = len(sites)
     benchmark.extra_info["n_nodes"] = engine.compiled.n
+    benchmark.extra_info["vector_dense_s"] = round(dense_s, 3)
+    benchmark.extra_info["speedup_sparse_vs_dense"] = round(dense_s / vector_s, 2)
     benchmark.extra_info["scalar_s"] = round(scalar_s, 3)
     benchmark.extra_info["seed_scalar_s"] = round(seed_s, 3)
     benchmark.extra_info["scalar_extrapolated"] = scale != 1.0

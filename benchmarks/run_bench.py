@@ -1,0 +1,302 @@
+"""The benchmark trajectory entry point: ``python benchmarks/run_bench.py``.
+
+Measures full-circuit ``analyze()`` wall-clock per roster circuit for the
+four backend configurations —
+
+* ``scalar_s``       — the per-site reference oracle (sampled and
+  extrapolated linearly above :data:`SCALAR_FULL_MAX_NODES`; scalar cost
+  is exactly linear in the site count);
+* ``vector_s``       — the dense vector sweep (``prune=False,
+  schedule="input"``: the PR-1 execution order under this tree's lazy
+  result materialization);
+* ``vector_eager_s`` — the same dense sweep with every per-sink vector
+  dict forced, reproducing the PR-1 backend's *eager* accounting (the
+  baseline the sparse-speedup acceptance is measured against);
+* ``sparse_s``       — the cone-aware defaults (``prune=True``,
+  cone-clustered chunks);
+* ``sharded_s``      — the multi-process driver under its default
+  crossover guard (``sharded_process_path`` records whether worker
+  processes actually engaged);
+
+plus a **clustered-site workload**: one cone-cluster's sites (a module's
+worth of neighbors, the MBU/per-module shape), dense vs sparse.  Results
+land in a JSON document (default ``BENCH_pr3.json``) with host metadata.
+
+``--check BASELINE`` compares the *speedup ratios* of a fresh run against
+a committed baseline and exits non-zero on a >``--tolerance`` regression
+(default 25%).  Only ratios are compared — absolute seconds shift with
+host hardware, while the sparse/dense and clustered ratios are properties
+of the execution strategy; circuits present in only one file are skipped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import time
+from datetime import datetime, timezone
+
+#: Above this node count the scalar reference is sampled + extrapolated.
+SCALAR_FULL_MAX_NODES = 7_000
+SCALAR_SAMPLE_SITES = 200
+
+DEFAULT_CIRCUITS = ("s953", "s1423", "s9234", "s38417")
+QUICK_CIRCUITS = ("s953", "s1423", "s9234")
+
+#: The ratio metrics ``--check`` compares (host-independent by design).
+CHECKED_RATIOS = ("speedup_sparse_vs_vector", "clustered_speedup")
+
+
+def _build(name: str):
+    from repro.netlist.generate import generate_iscas
+    from repro.netlist.library import s27
+    from repro.probability.monte_carlo import monte_carlo_signal_probabilities
+
+    circuit = s27() if name == "s27" else generate_iscas(name)
+    sp = monte_carlo_signal_probabilities(circuit, n_vectors=20_000, seed=1)
+    return circuit, sp
+
+
+def _fresh_engine(circuit, sp):
+    from repro.core.epp import EPPEngine
+
+    return EPPEngine(circuit, signal_probs=sp)
+
+
+def _best_of(measure, floor_s: float = 0.5, max_repeats: int = 3) -> float:
+    """Best-of timing for sub-second measurements (noise floor for CI).
+
+    One measurement above ``floor_s`` is trusted as-is; faster ones repeat
+    up to ``max_repeats`` times and keep the minimum.
+    """
+    best = measure()
+    repeats = 1
+    while best < floor_s and repeats < max_repeats:
+        best = min(best, measure())
+        repeats += 1
+    return best
+
+
+def _timed_analyze(engine, sites, eager: bool = False, **kwargs) -> float:
+    def measure() -> float:
+        start = time.perf_counter()
+        results = engine.analyze(sites=sites, backend="vector", **kwargs)
+        if eager:
+            # Force every per-sink dict, reproducing the eager per-object
+            # packaging the PR-1 backend performed inside analyze().
+            for result in results.values():
+                len(result.sink_values)
+        return time.perf_counter() - start
+
+    return _best_of(measure)
+
+
+def bench_circuit(name: str, jobs: int | None) -> dict:
+    from repro.core.schedule import cone_cluster_order
+
+    circuit, sp = _build(name)
+    engine = _fresh_engine(circuit, sp)
+    sites = engine.default_sites()
+    n_nodes = engine.compiled.n
+    row: dict = {"n_nodes": n_nodes, "n_sites": len(sites)}
+
+    # ---- scalar reference (sampled + extrapolated on large circuits) ----
+    if n_nodes <= SCALAR_FULL_MAX_NODES:
+        scalar_sites, scale = sites, 1.0
+    else:
+        scalar_sites = random.Random(7).sample(sites, SCALAR_SAMPLE_SITES)
+        scale = len(sites) / len(scalar_sites)
+    scalar_engine = _fresh_engine(circuit, sp)
+    start = time.perf_counter()
+    scalar_engine.analyze(sites=scalar_sites, backend="scalar")
+    row["scalar_s"] = (time.perf_counter() - start) * scale
+    row["scalar_extrapolated"] = scale != 1.0
+
+    # ---- dense vector (PR-1 order), lazy and eager accounting ----
+    row["vector_s"] = _timed_analyze(
+        _fresh_engine(circuit, sp), sites, prune=False, schedule="input"
+    )
+    row["vector_eager_s"] = _timed_analyze(
+        _fresh_engine(circuit, sp), sites, eager=True,
+        prune=False, schedule="input",
+    )
+
+    # ---- cone-aware sparse sweep (the defaults) ----
+    row["sparse_s"] = _timed_analyze(_fresh_engine(circuit, sp), sites)
+
+    # ---- sharded driver, default guard, cold pool included ----
+    sharded_engine = _fresh_engine(circuit, sp)
+    backend = sharded_engine.sharded_backend(jobs=jobs)
+    start = time.perf_counter()
+    sharded_engine.analyze(sites=sites, backend="sharded", jobs=jobs)
+    row["sharded_s"] = time.perf_counter() - start
+    row["sharded_jobs"] = backend.jobs
+    row["sharded_process_path"] = backend.pool_started
+    backend.close()
+
+    # ---- clustered-site workload: one cone-cluster's neighborhood ----
+    # Only meaningful on circuits with enough sites that a cluster is a
+    # real sub-workload (a 50-site circuit's "cluster" measures pure
+    # dispatch overhead, and the crossover guard routes it to the scalar
+    # kernel in production anyway).
+    if len(sites) >= 1000:
+        ids = [engine.compiled.index[site] for site in sites]
+        order = cone_cluster_order(engine.compiled, ids)
+        width = min(2000, max(200, len(ids) // 8))
+        # The head of the clustered order: the sites feeding the first
+        # dominant-sink group — one module's worth of neighbors, the
+        # MBU/per-module analysis shape.
+        cluster = [ids[i] for i in order[:width].tolist()]
+        row["clustered_sites"] = len(cluster)
+
+        def measure_cluster(prune: bool, schedule: str) -> float:
+            # One warm backend per config: the quantity of interest is the
+            # steady-state sweep strategy, not first-call buffer faulting.
+            backend = _fresh_engine(circuit, sp).vector_backend(
+                prune=prune, schedule=schedule
+            )
+            backend.min_vector_work = 0
+            backend.analyze_sites(cluster)  # warmup: buffers + plan
+
+            def timed() -> float:
+                start = time.perf_counter()
+                backend.analyze_sites(cluster)
+                return time.perf_counter() - start
+
+            return _best_of(timed)
+
+        row["clustered_vector_s"] = measure_cluster(False, "input")
+        row["clustered_sparse_s"] = measure_cluster(True, "cone")
+        row["clustered_speedup"] = (
+            row["clustered_vector_s"] / row["clustered_sparse_s"]
+        )
+
+    # ---- ratios ----
+    row["speedup_sparse_vs_vector"] = row["vector_s"] / row["sparse_s"]
+    row["speedup_sparse_vs_pr1_vector"] = row["vector_eager_s"] / row["sparse_s"]
+    row["speedup_sparse_vs_scalar"] = row["scalar_s"] / row["sparse_s"]
+    for key, value in list(row.items()):
+        if isinstance(value, float):
+            row[key] = round(value, 4)
+    return row
+
+
+def host_metadata() -> dict:
+    import numpy
+
+    return {
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count(),
+        "machine": platform.machine(),
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+
+
+def run(circuits, jobs, out_path, verbose=True) -> dict:
+    document = {"host": host_metadata(), "circuits": {}}
+    for name in circuits:
+        if verbose:
+            print(f"[bench] {name} ...", flush=True)
+        row = bench_circuit(name, jobs)
+        document["circuits"][name] = row
+        if verbose:
+            clustered = (
+                f"  clustered {row['clustered_speedup']:.2f}x"
+                if "clustered_speedup" in row else ""
+            )
+            print(
+                f"  scalar {row['scalar_s']:.2f}s  vector {row['vector_s']:.2f}s "
+                f"(eager {row['vector_eager_s']:.2f}s)  sparse {row['sparse_s']:.2f}s  "
+                f"sharded {row['sharded_s']:.2f}s  "
+                f"sparse-vs-vector {row['speedup_sparse_vs_vector']:.2f}x"
+                f"{clustered}",
+                flush=True,
+            )
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        if verbose:
+            print(f"[bench] wrote {out_path}")
+    return document
+
+
+def check_regression(current: dict, baseline: dict, baseline_path: str,
+                     tolerance: float) -> int:
+    """Exit status 0 if no checked ratio regressed beyond ``tolerance``."""
+    failures = []
+    for name, base_row in baseline.get("circuits", {}).items():
+        row = current["circuits"].get(name)
+        if row is None:
+            continue  # roster mismatch: nothing to compare for this circuit
+        if base_row.get("sparse_s", 0.0) < 0.25:
+            # Sub-quarter-second sweeps measure dispatch noise, not the
+            # execution strategy; their ratios are not regression signal.
+            continue
+        for metric in CHECKED_RATIOS:
+            if metric not in base_row or metric not in row:
+                continue
+            if base_row[metric] < 1.2:
+                # A baseline ratio near parity is not a speedup claim to
+                # defend; host differences (core count, NumPy threading)
+                # move it more than real regressions would.
+                continue
+            floor = base_row[metric] * (1.0 - tolerance)
+            if row[metric] < floor:
+                failures.append(
+                    f"{name}.{metric}: {row[metric]:.2f} < "
+                    f"{floor:.2f} (baseline {base_row[metric]:.2f} "
+                    f"- {tolerance:.0%})"
+                )
+    if failures:
+        print("[bench] REGRESSION vs " + baseline_path, file=sys.stderr)
+        for line in failures:
+            print("  " + line, file=sys.stderr)
+        return 2
+    print(f"[bench] no regression vs {baseline_path} (tolerance {tolerance:.0%})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Full-circuit analyze benchmark: scalar/vector/sparse/sharded"
+    )
+    parser.add_argument("--circuits", nargs="*", default=None,
+                        help=f"roster (default: {' '.join(DEFAULT_CIRCUITS)})")
+    parser.add_argument("--quick", action="store_true",
+                        help=f"short roster ({' '.join(QUICK_CIRCUITS)})")
+    parser.add_argument("--out", default="BENCH_pr3.json",
+                        help="output JSON path ('' to skip writing)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="sharded worker count (default: one per core)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare speedup ratios against a baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative ratio drop before failing (0.25)")
+    args = parser.parse_args(argv)
+
+    circuits = args.circuits or (QUICK_CIRCUITS if args.quick else DEFAULT_CIRCUITS)
+    baseline = None
+    if args.check:
+        # Load the baseline *before* running: with the default --out both
+        # paths may name the same file, and writing first would make the
+        # check compare the fresh run against itself (and destroy the
+        # committed baseline).
+        with open(args.check, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        if os.path.abspath(args.check) == os.path.abspath(args.out or ""):
+            args.out = ""  # never clobber the baseline being checked
+    document = run(circuits, args.jobs, args.out)
+    if baseline is not None:
+        return check_regression(document, baseline, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

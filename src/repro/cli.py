@@ -89,6 +89,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         help="worker processes for the sharded backend (default: one per core)",
     )
+    table2.add_argument(
+        "--schedule",
+        choices=("auto", "cone", "input"),
+        default="auto",
+        help="chunk scheduling for the vector/sharded backends (auto: "
+        "cone-cluster multi-chunk site lists)",
+    )
+    table2.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="disable the cone-aware sparse sweep (dense full-circuit "
+        "kernels, the PR-1 reference behaviour)",
+    )
 
     analyze = commands.add_parser("analyze", help="SER-analyze a circuit")
     analyze.add_argument("circuit", help=".bench file, library name, or profile name")
@@ -117,6 +130,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         help="worker processes for the sharded backend (default: one per "
         "core; implies --backend sharded unless one is forced)",
+    )
+    analyze.add_argument(
+        "--schedule",
+        choices=("auto", "cone", "input"),
+        default="auto",
+        help="chunk scheduling for the vector/sharded backends: cone "
+        "clusters sites with overlapping fanout cones into shared chunks, "
+        "input keeps the site order (auto: cone for multi-chunk runs)",
+    )
+    analyze.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="disable the cone-aware sparse sweep (dense full-circuit "
+        "kernels, the PR-1 reference behaviour)",
     )
     analyze.add_argument(
         "--multi-cycle",
@@ -185,6 +212,10 @@ def _dispatch(args: argparse.Namespace) -> int:
             overrides["backend"] = args.backend
         if args.jobs is not None:
             overrides["jobs"] = args.jobs
+        if args.schedule != "auto":
+            overrides["schedule"] = args.schedule
+        if args.no_prune:
+            overrides["prune"] = False
         if overrides:
             config = Table2Config(**{**config.__dict__, **overrides})
         rows = run_table2(config, verbose=True)
@@ -205,6 +236,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         report = analyzer.analyze(
             sample=args.sample, backend=backend, batch_size=args.batch_size,
             jobs=args.jobs,
+            prune=False if args.no_prune else None,
+            schedule=None if args.schedule == "auto" else args.schedule,
         )
         print(report.format_table(top=args.top))
         if args.csv:

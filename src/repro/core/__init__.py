@@ -9,10 +9,16 @@
   ``P_sensitized`` computation (scalar reference backend).
 * :mod:`repro.core.rules_vec` / :mod:`repro.core.epp_batch` — the
   vectorized rule kernels and the batched level-parallel NumPy backend
-  (``EPPEngine.analyze(backend="vector")``).
+  (``EPPEngine.analyze(backend="vector")``), cone-aware by default:
+  gate groups are sliced to the rows on some chunk member's fanout cone
+  (``prune=``) and chunks are cone-clustered (``schedule=``).
+* :mod:`repro.core.schedule` — the scheduling layer: the cached per-node
+  reachable-sink :class:`~repro.core.schedule.ConeIndex` and the
+  cone-clustered site ordering the sparse sweeps feed on.
 * :mod:`repro.core.epp_shard` — the multi-process sharded driver fanning
-  site shards across a worker pool of vector backends
-  (``EPPEngine.analyze(backend="sharded", jobs=4)``).
+  cone-clustered site shards across a worker pool of vector backends
+  (``EPPEngine.analyze(backend="sharded", jobs=4)``), returning packed
+  results through shared-memory segments.
 * :mod:`repro.core.baseline` — the random fault-injection estimator the
   paper compares against.
 * :mod:`repro.core.analysis` — full SER analysis combining EPP with the
@@ -26,7 +32,8 @@ from repro.core.epp import (
     available_backends,
     default_backend,
 )
-from repro.core.epp_shard import ShardedEPPEngine, default_jobs
+from repro.core.epp_shard import ShardedEPPEngine, default_jobs, default_transport
+from repro.core.schedule import ConeIndex, cone_cluster_order
 from repro.core.baseline import RandomSimulationEstimator
 from repro.core.sensitization import combine_sensitization
 from repro.core.analysis import SERAnalyzer, NodeSER, CircuitSERReport
@@ -36,9 +43,12 @@ __all__ = [
     "EPPEngine",
     "EPPResult",
     "ShardedEPPEngine",
+    "ConeIndex",
     "available_backends",
+    "cone_cluster_order",
     "default_backend",
     "default_jobs",
+    "default_transport",
     "RandomSimulationEstimator",
     "combine_sensitization",
     "SERAnalyzer",

@@ -184,23 +184,40 @@ class SERAnalyzer:
         backend: str | None = None,
         batch_size: int | None = None,
         jobs: int | None = None,
+        prune: bool | None = None,
+        schedule: str | None = None,
     ) -> CircuitSERReport:
         """Analyze many sites (default: every combinational gate output).
 
-        ``backend``/``batch_size``/``jobs`` are forwarded to
-        :meth:`EPPEngine.analyze` — ``"scalar"`` for the per-site reference
-        path, ``"vector"`` for the batched NumPy backend (the default when
-        NumPy is available), ``"sharded"`` (or just passing ``jobs=``) for
-        the multi-process site-sharded driver.
+        ``backend``/``batch_size``/``jobs``/``prune``/``schedule`` are
+        forwarded to :meth:`EPPEngine.analyze` — ``"scalar"`` for the
+        per-site reference path, ``"vector"`` for the batched NumPy
+        backend (the default when NumPy is available; cone-aware sparse
+        sweeps and cone-clustered chunks by default), ``"sharded"`` (or
+        just passing ``jobs=``) for the multi-process site-sharded driver.
         """
         results = self.engine.analyze(
             sites=sites, sample=sample, seed=seed,
             backend=backend, batch_size=batch_size, jobs=jobs,
+            prune=prune, schedule=schedule,
         )
         report = CircuitSERReport(self.circuit.name)
         for site, result in results.items():
             report.nodes[site] = self._assemble(site, result)
         return report
+
+    def release_buffers(self) -> None:
+        """Reclaim the engine's vectorized-backend state matrices.
+
+        Long-lived analyzers keep their engine (and its backends) cached
+        between ``analyze()`` calls; this drops the ~3x chunk-budget
+        resident set until the next bulk analysis rebuilds it lazily.
+        If a sharded worker pool is live it is shut down too (its workers
+        hold their own state copies) — the next sharded ``analyze()``
+        respawns it, so prefer calling this between batches, not between
+        every call.
+        """
+        self.engine.release_buffers()
 
     # ------------------------------------------- multi-cycle extension
 

@@ -24,8 +24,6 @@ from __future__ import annotations
 
 import random
 from collections.abc import Mapping, Sequence
-from dataclasses import dataclass, field
-
 from repro.errors import AnalysisError
 from repro.core.cone import ConeExtractor, OnPathCone
 from repro.core.fourvalue import EPPValue
@@ -64,7 +62,6 @@ def default_backend() -> str:
     return "vector" if _vector_available() else "scalar"
 
 
-@dataclass(frozen=True)
 class EPPResult:
     """EPP analysis of one error site.
 
@@ -72,16 +69,96 @@ class EPPResult:
     observable sink (by node name); ``p_sensitized`` combines them per the
     paper's formula.  ``cone_size`` is the number of on-path gates visited —
     the per-site work — kept for the scaling benchmarks.
+
+    The batch backend constructs results through :meth:`deferred`: the
+    per-sink :class:`~repro.core.fourvalue.EPPValue` dict is then built
+    lazily — from the sweep's packed arrays — on first ``sink_values``
+    access.  Full-circuit analyses produce millions of (site, sink) pairs,
+    and the dominant consumers (the SER pipeline's default two-factor
+    derating, the vulnerability ranking) read only ``p_sensitized``;
+    deferring the per-object packaging removes it from the hot path
+    entirely while keeping the result contract unchanged for callers that
+    do read the vectors.
     """
 
-    site: str
-    p_sensitized: float
-    sink_values: dict[str, EPPValue] = field(default_factory=dict)
-    cone_size: int = 0
+    __slots__ = ("site", "p_sensitized", "cone_size", "_sink_values", "_sink_source")
+
+    def __init__(
+        self,
+        site: str,
+        p_sensitized: float,
+        sink_values: dict[str, EPPValue] | None = None,
+        cone_size: int = 0,
+    ):
+        self.site = site
+        self.p_sensitized = p_sensitized
+        self.cone_size = cone_size
+        self._sink_values = {} if sink_values is None else sink_values
+        self._sink_source = None
+
+    @classmethod
+    def deferred(
+        cls, site: str, p_sensitized: float, cone_size: int, sink_source
+    ) -> "EPPResult":
+        """A result whose ``sink_values`` dict is built on first access.
+
+        ``sink_source`` is a zero-argument callable returning the dict;
+        it is invoked at most once and released afterwards.
+        """
+        result = cls(site, p_sensitized, None, cone_size)
+        result._sink_values = None
+        result._sink_source = sink_source
+        return result
+
+    @property
+    def sink_values(self) -> dict[str, EPPValue]:
+        values = self._sink_values
+        if values is None:
+            values = self._sink_source()
+            self._sink_values = values
+            self._sink_source = None
+        return values
 
     @property
     def n_reachable_outputs(self) -> int:
         return len(self.sink_values)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, EPPResult):
+            return NotImplemented
+        return (
+            self.site == other.site
+            and self.p_sensitized == other.p_sensitized
+            and self.cone_size == other.cone_size
+            and self.sink_values == other.sink_values
+        )
+
+    def __hash__(self) -> int:
+        # Scalar fields only: consistent with __eq__ (equal results share
+        # them) and — unlike the former frozen-dataclass hash, which
+        # raised on the sink_values dict — actually usable in sets.
+        return hash((self.site, self.p_sensitized, self.cone_size))
+
+    def __repr__(self) -> str:
+        # Never materialize just to render: printing a full-circuit result
+        # set would otherwise build millions of deferred EPPValue objects.
+        sinks = (
+            "<deferred>" if self._sink_values is None
+            else repr(self._sink_values)
+        )
+        return (
+            f"EPPResult(site={self.site!r}, p_sensitized={self.p_sensitized!r}, "
+            f"sink_values={sinks}, cone_size={self.cone_size!r})"
+        )
+
+    # Deferred sink sources close over sweep arrays and are not picklable;
+    # pickling materializes, so results cross process boundaries intact.
+    def __getstate__(self):
+        return (self.site, self.p_sensitized, self.cone_size, self.sink_values)
+
+    def __setstate__(self, state):
+        self.site, self.p_sensitized, self.cone_size, self._sink_values = state
+        self._sink_source = None
 
 
 class EPPEngine:
@@ -281,33 +358,52 @@ class EPPEngine:
             )
         return backend
 
-    def _get_vector_backend(self, batch_size: int | None):
+    def _get_vector_backend(
+        self,
+        batch_size: int | None,
+        prune: bool | None = None,
+        schedule: str | None = None,
+    ):
         from repro.core.epp_batch import BatchEPPBackend, default_batch_size
+        from repro.core.schedule import resolve_prune, validate_schedule
 
-        # Cache keyed by the *effective* chunk width: a one-off explicit
-        # batch_size must not stick to later default-width calls.
+        # Cache keyed by the *effective* configuration: a one-off explicit
+        # batch_size/prune/schedule must not stick to later default calls.
         effective = (
             batch_size if batch_size is not None
-            else default_batch_size(self.compiled.n)
+            else default_batch_size(self.compiled.n),
+            resolve_prune(prune),
+            validate_schedule(schedule),
         )
         backend = self._vector_backend
-        if backend is None or backend.batch_size != effective:
+        if (
+            backend is None
+            or (backend.batch_size, backend.prune, backend.schedule) != effective
+        ):
             backend = BatchEPPBackend(
                 self.compiled,
                 self._sp,
                 track_polarity=self.track_polarity,
                 batch_size=batch_size,
                 scalar_fallback=self.node_epp,
+                prune=prune,
+                schedule=schedule,
             )
             self._vector_backend = backend
         return backend
 
-    def _get_sharded_backend(self, jobs: int | None, batch_size: int | None):
+    def _get_sharded_backend(
+        self,
+        jobs: int | None,
+        batch_size: int | None,
+        prune: bool | None = None,
+        schedule: str | None = None,
+    ):
         from repro.core.epp_shard import ShardedEPPEngine, default_jobs
 
         effective_jobs = int(jobs) if jobs is not None else default_jobs()
         requested_batch = None if batch_size is None else int(batch_size)
-        local = self._get_vector_backend(batch_size)
+        local = self._get_vector_backend(batch_size, prune, schedule)
         backend = self._sharded_backend
         if (
             backend is None
@@ -324,11 +420,19 @@ class EPPEngine:
                 jobs=effective_jobs,
                 batch_size=batch_size,
                 local_backend=local,
+                prune=prune,
+                schedule=schedule,
             )
             self._sharded_backend = backend
         return backend
 
-    def sharded_backend(self, jobs: int | None = None, batch_size: int | None = None):
+    def sharded_backend(
+        self,
+        jobs: int | None = None,
+        batch_size: int | None = None,
+        prune: bool | None = None,
+        schedule: str | None = None,
+    ):
         """The multi-process sharded driver bound to this engine.
 
         Exposes the bulk queries (``p_sensitized_many``, ``analyze_sites``),
@@ -343,19 +447,39 @@ class EPPEngine:
         instances directly instead.
         """
         self._resolve_backend("sharded")
-        return self._get_sharded_backend(jobs, batch_size)
+        return self._get_sharded_backend(jobs, batch_size, prune, schedule)
 
-    def vector_backend(self, batch_size: int | None = None):
+    def vector_backend(
+        self,
+        batch_size: int | None = None,
+        prune: bool | None = None,
+        schedule: str | None = None,
+    ):
         """The batched NumPy backend bound to this engine (public access).
 
         Exposes the backend's bulk queries (``p_sensitized_many``,
         ``analyze_sites``) and tuning knobs (``min_vector_work``) without
         reaching into engine internals; raises
         :class:`~repro.errors.AnalysisError` when NumPy is unavailable.
-        The instance is cached per effective batch size.
+        The instance is cached per effective (batch size, prune, schedule)
+        configuration.
         """
         self._resolve_backend("vector")
-        return self._get_vector_backend(batch_size)
+        return self._get_vector_backend(batch_size, prune, schedule)
+
+    def release_buffers(self) -> None:
+        """Reclaim the vector backend's chunk-width state matrices — and
+        shut the sharded worker pool down, releasing its processes' copies
+        too.  Everything rebuilds lazily on the next bulk call, but note
+        the asymmetry: local buffers rebuild in milliseconds, while the
+        next sharded call pays full pool respawn and per-worker
+        re-planning — call this between sharded analyses only when the
+        memory matters more than that latency.  Per-site scalar queries
+        are unaffected."""
+        if self._vector_backend is not None:
+            self._vector_backend.release_buffers()
+        if self._sharded_backend is not None:
+            self._sharded_backend.close()
 
     def _analyze_sites(
         self,
@@ -363,13 +487,19 @@ class EPPEngine:
         backend: str,
         batch_size: int | None,
         jobs: int | None = None,
+        prune: bool | None = None,
+        schedule: str | None = None,
     ) -> dict[str, EPPResult]:
         if backend == "sharded":
             site_ids = [self._cones.resolve(site) for site in sites]
-            return self._get_sharded_backend(jobs, batch_size).analyze_sites(site_ids)
+            return self._get_sharded_backend(
+                jobs, batch_size, prune, schedule
+            ).analyze_sites(site_ids)
         if backend == "vector":
             site_ids = [self._cones.resolve(site) for site in sites]
-            return self._get_vector_backend(batch_size).analyze_sites(site_ids)
+            return self._get_vector_backend(
+                batch_size, prune, schedule
+            ).analyze_sites(site_ids)
         results: dict[str, EPPResult] = {}
         for site in sites:
             result = self.node_epp(site)
@@ -385,6 +515,8 @@ class EPPEngine:
         backend: str | None = None,
         batch_size: int | None = None,
         jobs: int | None = None,
+        prune: bool | None = None,
+        schedule: str | None = None,
     ) -> dict[str, EPPResult]:
         """EPP for many sites (default: every combinational gate output).
 
@@ -408,6 +540,15 @@ class EPPEngine:
         (default: one per core).  Small workloads never pay process
         spin-up — the sharded driver's crossover guard routes them to the
         in-process vector path.
+
+        ``prune`` toggles the cone-aware sparse sweep (default on: every
+        gate group is sliced to the rows on some chunk member's fanout
+        cone — bit-identical, just less work) and ``schedule`` picks the
+        chunk scheduling strategy (``"auto"``/``"cone"``/``"input"``; the
+        default cone-clusters multi-chunk site lists so chunks share
+        fanout cones and the pruned sweep's unions stay small).  Both
+        apply to the vector and sharded backends; the scalar path ignores
+        them (it is already per-cone by construction).
         """
         if sites is None:
             sites = self.default_sites()
@@ -421,9 +562,15 @@ class EPPEngine:
             raise AnalysisError(
                 f"jobs= applies to the 'sharded' backend only, got backend={backend!r}"
             )
+        # Validate the knob value up front, whatever the backend: the
+        # scalar path *ignores* schedule (it is per-cone by construction),
+        # but a typo should fail identically everywhere.
+        from repro.core.schedule import validate_schedule
+
+        validate_schedule(schedule)
 
         if not collapse:
-            return self._analyze_sites(sites, backend, batch_size, jobs)
+            return self._analyze_sites(sites, backend, batch_size, jobs, prune, schedule)
 
         from repro.core.collapse import collapse_seu_sites
 
@@ -437,20 +584,23 @@ class EPPEngine:
             rep = equivalence.representative.get(name, name)
             by_representative.setdefault(rep, []).append(name)
         rep_results = self._analyze_sites(
-            list(by_representative), backend, batch_size, jobs
+            list(by_representative), backend, batch_size, jobs, prune, schedule
         )
         results = {}
         for rep, members in by_representative.items():
             rep_result = rep_results[rep]
             for member in members:
-                # Each member gets its own sink_values dict: sharing the
-                # representative's would let a caller mutating one result
-                # corrupt every collapsed sibling.
-                results[member] = EPPResult(
-                    site=member,
-                    p_sensitized=rep_result.p_sensitized,
-                    sink_values=dict(rep_result.sink_values),
-                    cone_size=rep_result.cone_size,
+                # Each member defers to a fresh copy of the
+                # representative's dict, built on first access: sharing
+                # the representative's dict would let a caller mutating
+                # one result corrupt every collapsed sibling, and copying
+                # eagerly would force-materialize every deferred result
+                # the batch backend just avoided building.
+                results[member] = EPPResult.deferred(
+                    member,
+                    rep_result.p_sensitized,
+                    rep_result.cone_size,
+                    (lambda source=rep_result: dict(source.sink_values)),
                 )
         return results
 

@@ -18,7 +18,22 @@ sites of a chunk at once:
 * sites are processed in chunks (``batch_size`` columns at a time) so the
   ``(n_nodes, 4, batch_size)`` state matrix stays memory-bounded on
   20k+-gate circuits, and on multi-core hosts the NumPy sweep of the next
-  chunk overlaps the Python-side result packaging of the previous one.
+  chunk overlaps the Python-side result packaging of the previous one;
+* the sweep is *cone-aware* (``prune=True``, the default): a running
+  union-of-cones vector marks which node rows are on-path for *any*
+  column, every gate group is sliced down to those active rows before its
+  kernel runs, and all levels at or below the chunk's minimum site level
+  are skipped outright — so the per-level kernel calls shrink to the
+  union of the chunk's fanout cones instead of the full circuit.  Since
+  each retained row computes exactly what the dense sweep computed, the
+  pruned sweep is bit-identical to the dense one.
+* which sites share a chunk is decided by the scheduling layer
+  (:mod:`repro.core.schedule`): ``schedule="cone"`` (the ``auto`` default
+  for multi-chunk calls) clusters sites with overlapping fanout cones so
+  each chunk's union-of-cones — the pruned sweep's cost — stays small;
+  ``schedule="input"`` keeps the caller's order (the pre-scheduling
+  contiguous chunking).  Scheduling is a pure permutation; results are
+  always returned in input order.
 
 Results are bit-compatible with the scalar engine up to floating-point
 reassociation (the per-sink survival product and per-group reductions run
@@ -33,13 +48,19 @@ sweep everywhere (the equivalence tests do).
 from __future__ import annotations
 
 from collections.abc import Sequence
-from itertools import islice, starmap
+from itertools import starmap
 
 import numpy as np
 
 from repro.errors import AnalysisError
 from repro.core.fourvalue import EPPValue
 from repro.core.rules_vec import gather_rule_for
+from repro.core.schedule import (
+    cone_cluster_order,
+    resolve_prune,
+    resolve_schedule,
+    validate_schedule,
+)
 from repro.netlist.circuit import CompiledCircuit
 from repro.netlist.gate_types import (
     CODE_AND,
@@ -119,7 +140,13 @@ class BatchPlan:
                     gather_rule_for(code, width),
                 )
             )
-        self.levels: list[list[_Group]] = [levels[k] for k in sorted(levels)]
+        #: ``(level value, groups)`` pairs in ascending level order.  The
+        #: level values let the cone-aware sweep skip every level at or
+        #: below a chunk's minimum site level without touching its groups.
+        self.levels: list[tuple[int, list[_Group]]] = [
+            (k, levels[k]) for k in sorted(levels)
+        ]
+        self.node_level = np.asarray(compiled.level, dtype=np.intp)
         self.sink_ids = np.asarray(compiled.sink_ids, dtype=np.intp)
         self.sink_names = [compiled.names[s] for s in compiled.sink_ids]
 
@@ -154,6 +181,17 @@ class BatchEPPBackend:
     scalar_fallback:
         ``callable(site_id) -> EPPResult`` used below the crossover
         (normally ``EPPEngine.node_epp``).
+    prune:
+        Cone-aware sparse sweeps: slice every gate group to the rows on
+        some chunk member's fanout cone and skip levels at or below the
+        chunk's minimum site level.  ``None`` (the default) enables it —
+        the pruned sweep is bit-identical to the dense one and never
+        slower than the row slicing it saves; ``False`` restores the
+        dense full-circuit sweep (the reference for the benchmarks).
+    schedule:
+        Chunk scheduling strategy (see :mod:`repro.core.schedule`):
+        ``"auto"`` (default, also ``None``) cone-clusters multi-chunk site
+        lists, ``"cone"`` always clusters, ``"input"`` keeps caller order.
     """
 
     def __init__(
@@ -164,6 +202,8 @@ class BatchEPPBackend:
         batch_size: int | None = None,
         min_vector_work: int = _MIN_VECTOR_WORK,
         scalar_fallback=None,
+        prune: bool | None = None,
+        schedule: str | None = None,
     ):
         self.compiled = compiled
         self.plan = BatchPlan.for_compiled(compiled)
@@ -177,6 +217,8 @@ class BatchEPPBackend:
         )
         self.min_vector_work = min_vector_work
         self.scalar_fallback = scalar_fallback
+        self.prune = resolve_prune(prune)
+        self.schedule = validate_schedule(schedule)
         self._rows = compiled.n + 2
         # The big state arrays are built lazily on the first sweep: a
         # backend whose every call crosses over to the scalar fallback
@@ -246,28 +288,78 @@ class BatchEPPBackend:
 
         track_polarity = self.track_polarity
         const = self._const
-        for groups in self.plan.levels:
+        prune = self.prune
+        if prune:
+            # Union-of-cones, maintained incrementally: on_path[i] is True
+            # iff row i is on-path for *some* column (= mask[i].any()).  A
+            # gate row can only be active when some fanin is on-path
+            # somewhere, so testing the (g, k) union vector first avoids
+            # gathering the full (g, k, s) mask block for rows whose
+            # fanins are all-off everywhere — and since on_path is exact,
+            # the surviving candidate rows are exactly the active rows.
+            on_path = np.zeros(self._rows, dtype=bool)
+            on_path[site_ids] = True
+            # No gate at or below the chunk's minimum site level can have
+            # an on-path fanin (cone members sit strictly above their
+            # site's level), so those levels are skipped outright.
+            min_site_level = int(self.plan.node_level[site_ids].min())
+        for level, groups in self.plan.levels:
+            if prune and level <= min_site_level:
+                continue
             for group in groups:
-                out_mask = mask[group.fanin].any(axis=1)  # (g, s)
-                if not out_mask.any():
-                    continue  # whole group off-path: SP constants already hold
-                result = group.rule(state, group.fanin)  # (g, 4, s)
+                out_ids = group.out_ids
+                fanin = group.fanin
+                if prune:
+                    active = np.nonzero(on_path[fanin].any(axis=1))[0]
+                    if active.size == 0:
+                        continue  # whole group off-path everywhere
+                    # Slice only when it pays: a nearly-fully-active group
+                    # would trade the rows it skips for two fancy-index
+                    # copies, so it runs dense (on_path stays exact either
+                    # way — the active set *is* out_mask.any(axis=1)).
+                    if active.size <= (len(out_ids) * 7) // 8:
+                        out_ids = out_ids[active]
+                        fanin = fanin[active]
+                        on_path[out_ids] = True
+                    else:
+                        on_path[out_ids[active]] = True
+                    out_mask = mask[fanin].any(axis=1)  # (r, s)
+                else:
+                    out_mask = mask[fanin].any(axis=1)  # (g, s)
+                    if not out_mask.any():
+                        continue  # whole group off-path: SP constants hold
+                result = group.rule(state, fanin)  # (r, 4, s)
                 if not track_polarity:
                     result[:, 0, :] += result[:, 1, :]
                     result[:, 1, :] = 0.0
                 if out_mask.all():
-                    # Fully on-path group (can hold no injected site column:
+                    # Fully on-path rows (can hold no injected site column:
                     # a site is never on-path for itself) — assign directly.
-                    state[group.out_ids] = result
-                    mask[group.out_ids] = True
+                    state[out_ids] = result
+                    mask[out_ids] = True
+                    continue
+                if prune and out_mask.sum() * 8 < out_mask.size:
+                    # Targeted scatter for column-sparse groups: every
+                    # off-path cell already holds its SP constant (the
+                    # chunk state is seeded from the constants template and
+                    # each node is written at most once per sweep), so only
+                    # the on-path cells need a write.  This also never
+                    # touches a site row's own column — no 1(a)
+                    # re-injection required.  Column-dense groups fall
+                    # through to the row-vectorized ``np.where`` scatter,
+                    # which beats per-element fancy indexing there.
+                    on_rows, on_cols = np.nonzero(out_mask)
+                    node_rows = out_ids[on_rows]
+                    state[node_rows, :, on_cols] = result[on_rows, :, on_cols]
+                    mask[node_rows, on_cols] = True
                     continue
                 # Off-path columns take their broadcast SP constant — cheaper
                 # than gathering the previous output state back out.
-                state[group.out_ids] = np.where(
-                    out_mask[:, None, :], result, const[group.out_ids][:, :, None]
+                state[out_ids] = np.where(
+                    out_mask[:, None, :], result, const[out_ids][:, :, None]
                 )
-                mask[group.out_ids] = out_mask
-                for node_id in group.out_ids.tolist():
+                mask[out_ids] = out_mask
+                for node_id in out_ids.tolist():
                     columns = site_cols.get(node_id)
                     if columns is None:
                         continue
@@ -281,17 +373,96 @@ class BatchEPPBackend:
                         mask[node_id, col] = True
         return state, mask
 
+    def release_buffers(self) -> None:
+        """Free the chunk-width state matrices (template, constants, and
+        the double-buffered sweep/mask pairs) — the backend's ~3x
+        ``_STATE_BYTES_TARGET`` resident set.  Everything is rebuilt
+        lazily on the next sweep, so this is always safe to call between
+        analyses on long-lived engines/analyzers."""
+        self._template = None
+        self._const = None
+        self._buffer_slots.clear()
+
+    # ------------------------------------------------------------- scheduling
+
+    def _schedule_order(self, ids: np.ndarray):
+        """The sweep permutation for one call, or ``None`` for input order.
+
+        Resolves the backend's ``schedule`` knob against this call's site
+        count (``auto`` clusters only multi-chunk calls) and returns
+        ``order`` with ``order[j]`` = input position of the ``j``-th site
+        to sweep.  Scheduling cannot change any per-site result — every
+        column is computed independently — so callers restore input order
+        after the sweep.
+        """
+        if len(ids) < 2:
+            return None
+        strategy = resolve_schedule(self.schedule, len(ids), self.batch_size)
+        if strategy != "cone":
+            return None
+        return cone_cluster_order(self.compiled, ids)
+
+    def _swept_chunks(self, ids: np.ndarray):
+        """Yield ``(chunk, state, mask)`` per chunk of ``ids``, pipelined.
+
+        The shared chunking driver of every bulk query: two-stage pipeline
+        where the NumPy sweep of chunk ``i+1`` (GIL released inside the
+        array kernels) overlaps the Python-side consumption of chunk
+        ``i``; double buffering keeps the stages on disjoint state
+        matrices.  Single-chunk calls skip the thread machinery.
+        """
+        chunks = [
+            ids[start : start + self.batch_size]
+            for start in range(0, len(ids), self.batch_size)
+        ]
+        if not chunks:
+            return
+        if len(chunks) == 1:
+            state, mask = self._sweep(chunks[0])
+            yield chunks[0], state, mask
+            return
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=1) as sweeper:
+            future = sweeper.submit(self._sweep, chunks[0], 0)
+            for index, chunk in enumerate(chunks):
+                state, mask = future.result()
+                if index + 1 < len(chunks):
+                    future = sweeper.submit(
+                        self._sweep, chunks[index + 1], (index + 1) % 2
+                    )
+                yield chunk, state, mask
+
     # ---------------------------------------------------------------- queries
 
     def p_sensitized_many(self, site_ids: Sequence[int]) -> np.ndarray:
-        """``P_sensitized`` for many sites, aligned with ``site_ids``."""
-        site_ids = np.asarray(site_ids, dtype=np.intp)
-        out = np.empty(len(site_ids))
-        for start in range(0, len(site_ids), self.batch_size):
-            chunk = site_ids[start : start + self.batch_size]
-            state, _ = self._sweep(chunk)
-            err = state[self.plan.sink_ids, 0, :] + state[self.plan.sink_ids, 1, :]
-            out[start : start + len(chunk)] = 1.0 - (1.0 - err).prod(axis=0)
+        """``P_sensitized`` for many sites, aligned with ``site_ids``.
+
+        Shares the full bulk path with :meth:`analyze_sites`: the scalar
+        crossover guard, the double-buffered sweep pipeline, the chunk
+        scheduler, and — through :meth:`_select_pairs` — the exact
+        reduction and clamping policy of the packed path, so the two
+        queries can never drift numerically.
+        """
+        ids = np.asarray(site_ids, dtype=np.intp)
+        out = np.empty(len(ids))
+        if (
+            self.scalar_fallback is not None
+            and self.compiled.n * len(ids) < self.min_vector_work
+        ):
+            for position, site_id in enumerate(ids.tolist()):
+                out[position] = self.scalar_fallback(site_id).p_sensitized
+            return out
+        order = self._schedule_order(ids)
+        sweep_ids = ids if order is None else ids[order]
+        cursor = 0
+        for chunk, state, mask in self._swept_chunks(sweep_ids):
+            p_sens = self._select_pairs(chunk, state, mask)[0]
+            if order is None:
+                out[cursor : cursor + len(chunk)] = p_sens
+            else:
+                out[order[cursor : cursor + len(chunk)]] = p_sens
+            cursor += len(chunk)
         return out
 
     def analyze_sites(self, site_ids: Sequence[int]):
@@ -314,56 +485,38 @@ class BatchEPPBackend:
                 results[result.site] = result
             return results
         ids = np.asarray(site_ids, dtype=np.intp)
-        chunks = [
-            ids[start : start + self.batch_size]
-            for start in range(0, len(ids), self.batch_size)
-        ]
-        if not chunks:
-            return results
-        if len(chunks) == 1:
-            state, mask = self._sweep(chunks[0])
-            self._collect(chunks[0], state, mask, results)
-            return results
-        # Two-stage pipeline: the NumPy sweep of chunk i+1 (GIL released
-        # inside the array kernels) overlaps the Python-side result
-        # packaging of chunk i.  Double buffering keeps the stages on
-        # disjoint state matrices; results stay in input order.
-        from concurrent.futures import ThreadPoolExecutor
-
-        with ThreadPoolExecutor(max_workers=1) as sweeper:
-            future = sweeper.submit(self._sweep, chunks[0], 0)
-            for index, chunk in enumerate(chunks):
-                state, mask = future.result()
-                if index + 1 < len(chunks):
-                    future = sweeper.submit(
-                        self._sweep, chunks[index + 1], (index + 1) % 2
-                    )
-                self._collect(chunk, state, mask, results)
+        order = self._schedule_order(ids)
+        sweep_ids = ids if order is None else ids[order]
+        for chunk, state, mask in self._swept_chunks(sweep_ids):
+            self._collect(chunk, state, mask, results)
+        if order is not None:
+            names = self.compiled.names
+            results = {
+                names[site_id]: results[names[site_id]] for site_id in site_ids
+            }
         return results
 
     def _collect(self, chunk, state, mask, results) -> None:
         """Assemble per-site EPPResults from one chunk's sweep."""
         self.materialize(chunk.tolist(), self._pack(chunk, state, mask), results)
 
-    def _pack(self, chunk, state, mask) -> tuple:
-        """Reduce one chunk's sweep to compact per-site numeric arrays.
+    def _select_pairs(self, chunk, state, mask) -> tuple:
+        """The shared sink-pair reduction of one chunk's sweep.
 
-        All numeric work happens in bulk: the on-path (site, sink) pairs are
-        selected with one boolean pick, clamped with one ``np.maximum``, and
-        the per-site survival products run through ``multiply.reduceat``.
-        Returns ``(p_sens, cone_sizes, counts, sink_pos, values)`` aligned
-        with the chunk: ``counts[i]`` on-path pairs per site, ``sink_pos``
-        indices into ``plan.sink_ids`` and ``values`` their clamped ``(m, 4)``
-        four-valued vectors.  This tuple of plain arrays is also the wire
-        format the sharded driver (:mod:`repro.core.epp_shard`) ships across
-        the process boundary — cheap to pickle, no per-object overhead.
+        All numeric work happens in bulk: the on-path (site, sink) pairs
+        are selected with one boolean pick, clamped with one
+        ``np.maximum`` (``EPPValue.clamped`` in bulk), the per-pair error
+        masses capped at 1, and the per-site survival products run through
+        ``multiply.reduceat``.  This is the single reduction/clamping
+        policy behind both :meth:`p_sensitized_many` and :meth:`_pack`.
+        Returns ``(p_sens, counts, sink_mask, selected)``.
         """
         sink_state = state[self.plan.sink_ids]  # (ns, 4, s)
         sink_mask = mask[self.plan.sink_ids].T  # (s, ns)
         # Site-major selection of every on-path (site, sink) pair: the
         # boolean pick over (s, ns, ...) walks sites first, sinks second.
         selected = sink_state.transpose(2, 0, 1)[sink_mask]  # (m, 4)
-        np.maximum(selected, 0.0, out=selected)  # EPPValue.clamped, in bulk
+        np.maximum(selected, 0.0, out=selected)
         # P_sensitized = 1 - prod(1 - (pa + pā)) over each site's own pairs.
         error = np.minimum(selected[:, 0] + selected[:, 1], 1.0)
         counts = sink_mask.sum(axis=1)  # pairs per site
@@ -375,59 +528,121 @@ class BatchEPPBackend:
             # elements), so reduceat never sees a degenerate slice.
             starts = (np.cumsum(counts) - counts)[occupied]
             p_sens[occupied] = 1.0 - np.multiply.reduceat(1.0 - error, starts)
+        return p_sens, counts, sink_mask, selected
+
+    def _pack(self, chunk, state, mask) -> tuple:
+        """Reduce one chunk's sweep to compact per-site numeric arrays.
+
+        Returns ``(p_sens, cone_sizes, counts, sink_pos, values)`` aligned
+        with the chunk: ``counts[i]`` on-path pairs per site, ``sink_pos``
+        indices into ``plan.sink_ids`` and ``values`` their clamped ``(m, 4)``
+        four-valued vectors.  This tuple of plain arrays is also the wire
+        format the sharded driver (:mod:`repro.core.epp_shard`) ships across
+        the process boundary — flat buffers, no per-object overhead.
+        """
+        p_sens, counts, sink_mask, selected = self._select_pairs(chunk, state, mask)
         sink_pos = np.nonzero(sink_mask)[1]
         cone_sizes = mask.sum(axis=0) - 1  # mask includes the site
         return p_sens, cone_sizes, counts, sink_pos, selected
 
+    @staticmethod
+    def _reorder_packed(packed: tuple, inverse: np.ndarray) -> tuple:
+        """Permute a packed tuple from sweep order back to input order.
+
+        ``inverse[i]`` is the sweep position of input site ``i``.  The
+        per-site arrays gather directly; the variable-length sink-pair
+        segments (``sink_pos``/``values``) are gathered via a repeat-built
+        index so the whole reorder stays vectorized.
+        """
+        p_sens, cone_sizes, counts, sink_pos, values = packed
+        starts = np.cumsum(counts) - counts
+        new_counts = counts[inverse]
+        total = int(new_counts.sum())
+        if total:
+            heads = np.repeat(starts[inverse], new_counts)
+            prefix = np.cumsum(new_counts) - new_counts
+            within = np.arange(total) - np.repeat(prefix, new_counts)
+            segment_index = heads + within
+            sink_pos = sink_pos[segment_index]
+            values = values[segment_index]
+        return p_sens[inverse], cone_sizes[inverse], new_counts, sink_pos, values
+
     def pack_sites(self, site_ids: Sequence[int]) -> tuple:
         """Compact numeric results for many sites (chunks concatenated).
 
-        The sharded driver's per-worker entry point: sweeps the shard chunk
-        by chunk and returns one concatenated ``_pack`` tuple, ready to
-        cross the process boundary and be materialized by the parent.
+        The sharded driver's per-worker entry point: sweeps the sites
+        chunk by chunk — through the same scheduler as the other bulk
+        queries — and returns one concatenated ``_pack`` tuple aligned
+        with ``site_ids`` input order, ready to cross the process
+        boundary and be materialized by the parent.
         """
         ids = np.asarray(site_ids, dtype=np.intp)
-        parts = []
-        for start in range(0, len(ids), self.batch_size):
-            chunk = ids[start : start + self.batch_size]
-            state, mask = self._sweep(chunk)
-            parts.append(self._pack(chunk, state, mask))
+        order = self._schedule_order(ids)
+        sweep_ids = ids if order is None else ids[order]
+        parts = [
+            self._pack(chunk, state, mask)
+            for chunk, state, mask in self._swept_chunks(sweep_ids)
+        ]
         if not parts:
             empty = np.zeros(0)
             return empty, empty.astype(np.intp), empty.astype(np.intp), \
                 empty.astype(np.intp), np.zeros((0, 4))
         if len(parts) == 1:
-            return parts[0]
-        return (
-            np.concatenate([p[0] for p in parts]),
-            np.concatenate([p[1] for p in parts]),
-            np.concatenate([p[2] for p in parts]),
-            np.concatenate([p[3] for p in parts]),
-            np.concatenate([p[4] for p in parts]),
-        )
+            packed = parts[0]
+        else:
+            packed = (
+                np.concatenate([p[0] for p in parts]),
+                np.concatenate([p[1] for p in parts]),
+                np.concatenate([p[2] for p in parts]),
+                np.concatenate([p[3] for p in parts]),
+                np.concatenate([p[4] for p in parts]),
+            )
+        if order is not None:
+            inverse = np.empty(len(order), dtype=np.intp)
+            inverse[order] = np.arange(len(order), dtype=np.intp)
+            packed = self._reorder_packed(packed, inverse)
+        return packed
 
     def materialize(self, site_ids: Sequence[int], packed: tuple, results) -> None:
         """Build per-site EPPResults from a ``_pack``/``pack_sites`` tuple.
 
-        The Python loop only packages dicts and dataclasses; ``results`` is
+        The per-sink ``EPPValue`` dicts are *deferred*: each result holds a
+        slice descriptor into the packed arrays and builds its dict on
+        first ``sink_values`` access (full-circuit analyses carry millions
+        of (site, sink) pairs, and the dominant consumers read only
+        ``p_sensitized``).  The packed arrays stay alive exactly as long
+        as some un-materialized result references them.  ``results`` is
         updated in ``site_ids`` order.
         """
         from repro.core.epp import EPPResult
 
         names = self.compiled.names
+        sink_names_arr = self._sink_names_arr
         p_sens, cone_sizes, counts, sink_pos, values = packed
-        pair_names = self._sink_names_arr[sink_pos].tolist()
-        pair_values = starmap(EPPValue._unchecked, values.tolist())
-        pairs = zip(pair_names, pair_values)
+        stops = np.cumsum(counts)
+        starts = (stops - counts).tolist()
+        stops = stops.tolist()
         p_sens = p_sens.tolist()
-        counts = counts.tolist()
         cone_sizes = cone_sizes.tolist()
+
+        def sink_source(start, stop):
+            def build():
+                return dict(
+                    zip(
+                        sink_names_arr[sink_pos[start:stop]].tolist(),
+                        starmap(
+                            EPPValue._unchecked, values[start:stop].tolist()
+                        ),
+                    )
+                )
+
+            return build
 
         for column, site_id in enumerate(site_ids):
             site_name = names[site_id]
-            results[site_name] = EPPResult(
-                site=site_name,
-                p_sensitized=p_sens[column],
-                sink_values=dict(islice(pairs, counts[column])),
-                cone_size=cone_sizes[column],
+            results[site_name] = EPPResult.deferred(
+                site_name,
+                p_sens[column],
+                cone_sizes[column],
+                sink_source(starts[column], stops[column]),
             )

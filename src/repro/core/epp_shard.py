@@ -17,17 +17,32 @@ Design
   the executor *initializer*; each worker rebuilds its
   :class:`~repro.core.epp_batch.BatchPlan` locally.  Per-task traffic is
   just the shard's site-id list.
-* **Compact wire format.**  Workers return the backend's ``pack_sites``
-  tuple — five flat NumPy arrays per shard — not per-site dataclasses;
-  the parent materializes :class:`~repro.core.epp.EPPResult` objects while
+* **Compact wire format, shared-memory transport.**  Workers reduce their
+  shard to the backend's ``pack_sites`` tuple — five flat NumPy arrays —
+  not per-site dataclasses, and (``transport="shm"``, the default on
+  POSIX) write those arrays into a ``multiprocessing.shared_memory``
+  segment sized from the pack layout; only a tiny
+  :class:`ShmHandle` descriptor crosses the process boundary, so the
+  parent materializes results without pickling/unpickling megabytes of
+  float64 per shard.  ``transport="pickle"`` restores the PR-2 wire
+  format (arrays through the executor's pickle channel); per-shard
+  traffic is tallied in :attr:`ShardedEPPEngine.stats` either way.  The
+  parent materializes :class:`~repro.core.epp.EPPResult` objects while
   the remaining shards are still sweeping, so result packaging overlaps
   worker compute exactly as the single-process pipeline overlapped
   sweep and collect.
+* **Cone-clustered shards.**  The site list is ordered by
+  :func:`~repro.core.schedule.cone_cluster_order` before the contiguous
+  partition (``schedule="auto"``/``"cone"``), so each shard's sites share
+  fanout cones and every worker's cone-aware sparse sweep
+  (``prune=True``, forwarded to worker backends) prunes dense chunks.
+  Results are restored to input order in the parent.
 * **Column independence makes sharding exact.**  Every site occupies its
-  own state-matrix column and no kernel mixes columns, so the shard
-  partition cannot change any result: sharded output is bit-identical to
-  the vector backend per site (and therefore within the same 1e-9 envelope
-  of the scalar oracle the equivalence suite pins).
+  own state-matrix column and no kernel mixes columns, so neither the
+  shard partition nor the cone-clustered permutation can change any
+  result: sharded output is bit-identical to the vector backend per site
+  (and therefore within the same 1e-9 envelope of the scalar oracle the
+  equivalence suite pins).
 * **Crossover guard.**  Small workloads (``n_nodes * n_sites`` below
   ``min_process_work``), single-job configurations and single-site calls
   run on the in-process vector backend — an s27-sized circuit never pays
@@ -47,10 +62,41 @@ import pickle
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 
 from repro.errors import AnalysisError
 
-__all__ = ["ShardedEPPEngine", "default_jobs", "partition_shards"]
+__all__ = [
+    "ShardedEPPEngine",
+    "ShmHandle",
+    "default_jobs",
+    "default_transport",
+    "export_shm",
+    "import_shm",
+    "partition_shards",
+]
+
+#: Result transports: ``shm`` round-trips packed arrays through
+#: ``multiprocessing.shared_memory`` segments (zero array pickling);
+#: ``pickle`` ships them through the executor's result channel (the PR-2
+#: wire format, kept for non-POSIX hosts and as a differential reference).
+TRANSPORTS = ("shm", "pickle")
+
+
+def default_transport() -> str:
+    """``shm`` where POSIX shared memory is available, else ``pickle``.
+
+    Windows shared-memory segments die with their last open handle, so a
+    worker cannot safely hand a segment to the parent after returning;
+    the pickle wire format stays the default there.
+    """
+    if os.name != "posix":
+        return "pickle"
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - py3.8+ always has it
+        return "pickle"
+    return "shm"
 
 #: Below this ``n_nodes * n_sites`` product the whole call runs on the
 #: in-process vector backend: process spin-up plus payload transfer costs
@@ -90,6 +136,111 @@ def partition_shards(items: list, n_shards: int) -> list[list]:
     return shards
 
 
+# ------------------------------------------------------------ shm transport
+
+
+@dataclass(frozen=True)
+class ShmHandle:
+    """Picklable descriptor of one shard's shared-memory result segment.
+
+    The only thing the executor's result channel carries under
+    ``transport="shm"``: a segment name plus the ``(shape, dtype, offset)``
+    layout of each packed array — a few hundred bytes regardless of how
+    many megabytes the arrays themselves occupy.  The parent attaches,
+    reads zero-copy views, then closes and unlinks the segment.
+    """
+
+    name: str
+    fields: tuple[tuple[tuple[int, ...], str, int], ...]
+    nbytes: int
+
+
+def _untrack_shm(shm) -> None:
+    """Detach a segment from this process's resource tracker.
+
+    The creating worker hands lifetime ownership to the parent (which
+    unlinks after materializing), so the worker-side tracker must forget
+    the segment — otherwise it would unlink it again at worker exit.
+    """
+    try:  # pragma: no cover - tracker internals vary across versions
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def export_shm(arrays: Sequence) -> ShmHandle:
+    """Copy a tuple of arrays into one fresh shared-memory segment.
+
+    Offsets are 64-byte aligned.  The segment is closed (not unlinked) and
+    unregistered from the calling process's resource tracker before the
+    handle is returned: the receiver owns the lifetime from here.
+    """
+    import numpy as np
+    from multiprocessing import shared_memory
+
+    fields = []
+    offset = 0
+    contiguous = []
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        if array.dtype.hasobject:
+            # An object array over a shared buffer would ship raw
+            # PyObject pointers to another process — refuse before any
+            # segment exists.
+            raise AnalysisError(
+                f"cannot export dtype {array.dtype} through shared memory"
+            )
+        contiguous.append(array)
+        fields.append((array.shape, array.dtype.str, offset))
+        offset += array.nbytes
+        offset = (offset + 63) & ~63
+    shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
+    try:
+        for array, (shape, dtype, start) in zip(contiguous, fields):
+            view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=start)
+            view[...] = array
+            del view
+        handle = ShmHandle(shm.name, tuple(fields), shm.size)
+    except BaseException:
+        # The handle never reaches a receiver, so nobody else can reclaim
+        # the segment — unlink it here before propagating.
+        try:
+            shm.close()
+        finally:
+            shm.unlink()
+        raise
+    _untrack_shm(shm)
+    shm.close()
+    return handle
+
+
+def import_shm(handle: ShmHandle):
+    """Attach a handle's segment; returns ``(arrays, shm)``.
+
+    ``arrays`` are zero-copy views into the segment — the caller must drop
+    every view before ``shm.close()`` and must ``shm.unlink()`` exactly
+    once when done (the exporting side already relinquished ownership).
+    """
+    import numpy as np
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=handle.name)
+    try:
+        arrays = tuple(
+            np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+            for shape, dtype, offset in handle.fields
+        )
+    except BaseException:
+        # Ownership transferred to this process the moment the worker
+        # exported; a failed attach must not orphan the segment.
+        shm.close()
+        shm.unlink()
+        raise
+    return arrays, shm
+
+
 # --------------------------------------------------------------------- worker
 
 #: Per-process backend, built once by :func:`_shard_worker_init` from the
@@ -103,26 +254,41 @@ def _shard_worker_init(payload: bytes) -> None:
     ``min_vector_work=0``: the parent-level crossover guard already decided
     this workload is large enough for processes, so every shard runs the
     vectorized sweep (workers carry no scalar engine to fall back to).
+    ``schedule="input"``: the parent's partitioner already cone-clustered
+    the site list, so shards arrive pre-ordered and workers must not
+    permute them again (packed arrays stay aligned with the shard).
     """
     global _WORKER_BACKEND
     from repro.core.epp_batch import BatchEPPBackend
 
-    compiled, signal_probs, track_polarity, batch_size = pickle.loads(payload)
+    compiled, signal_probs, track_polarity, batch_size, prune = pickle.loads(payload)
     _WORKER_BACKEND = BatchEPPBackend(
         compiled,
         signal_probs,
         track_polarity=track_polarity,
         batch_size=batch_size,
         min_vector_work=0,
+        prune=prune,
+        schedule="input",
     )
 
 
-def _run_shard(site_ids: list[int], full: bool):
-    """One shard's sweep in a worker: packed results or bare P_sensitized."""
+def _run_shard(site_ids: list[int], full: bool, transport: str):
+    """One shard's sweep in a worker: packed results or bare P_sensitized.
+
+    Under ``transport="shm"`` the result arrays are written into a shared-
+    memory segment and only a :class:`ShmHandle` goes back through the
+    executor's pickle channel; under ``"pickle"`` the arrays themselves do
+    (the PR-2 wire format).
+    """
     backend = _WORKER_BACKEND
     if full:
-        return backend.pack_sites(site_ids)
-    return backend.p_sensitized_many(site_ids)
+        arrays = backend.pack_sites(site_ids)
+    else:
+        arrays = (backend.p_sensitized_many(site_ids),)
+    if transport == "shm":
+        return export_shm(arrays)
+    return arrays if full else arrays[0]
 
 
 def _worker_warmup(delay: float) -> int:
@@ -172,11 +338,27 @@ class ShardedEPPEngine:
         The in-process :class:`~repro.core.epp_batch.BatchEPPBackend` used
         below the crossover and for materializing worker results (built on
         demand when omitted; ``EPPEngine`` passes its cached one).
+    prune / schedule:
+        The cone-aware sweep knobs (see
+        :class:`~repro.core.epp_batch.BatchEPPBackend`): ``prune`` is
+        forwarded to every worker backend; ``schedule`` drives the
+        *parent-side* partitioner — ``"auto"``/``"cone"`` orders the site
+        list by :func:`~repro.core.schedule.cone_cluster_order` before the
+        contiguous shard split, so shards (and the chunks inside each
+        worker) share fanout cones.
+    transport:
+        Result wire format: ``"shm"`` (default on POSIX) ships packed
+        arrays through shared-memory segments — only a tiny handle is
+        pickled per shard; ``"pickle"`` ships the arrays through the
+        executor's result channel.  Per-shard traffic is tallied in
+        :attr:`stats` (``shm_shards``/``pickle_shards``/``shm_bytes``/
+        ``pickled_array_bytes``).
 
     The worker pool is created lazily on the first sharded call and reused
     across calls; :meth:`close` (or the context-manager protocol) tears it
-    down.  Results are identical to ``backend="vector"`` — sharding cannot
-    reorder any per-site arithmetic.
+    down and releases the local backend's state buffers.  Results are
+    identical to ``backend="vector"`` — neither sharding nor scheduling
+    can reorder any per-site arithmetic.
     """
 
     def __init__(
@@ -190,7 +372,12 @@ class ShardedEPPEngine:
         shards_per_worker: int = _SHARDS_PER_WORKER,
         mp_context=None,
         local_backend=None,
+        prune: bool | None = None,
+        schedule: str | None = None,
+        transport: str | None = None,
     ):
+        from repro.core.schedule import resolve_prune, validate_schedule
+
         if jobs is not None and int(jobs) < 1:
             raise AnalysisError(f"jobs must be >= 1, got {jobs}")
         self.compiled = compiled
@@ -198,6 +385,27 @@ class ShardedEPPEngine:
         self.track_polarity = track_polarity
         self.min_process_work = min_process_work
         self.shards_per_worker = max(1, int(shards_per_worker))
+        self.prune = resolve_prune(prune)
+        self.schedule = validate_schedule(schedule)
+        if transport is None:
+            transport = default_transport()
+        if transport not in TRANSPORTS:
+            raise AnalysisError(
+                f"unknown transport {transport!r}; choose from {TRANSPORTS}"
+            )
+        self.transport = transport
+        #: Per-engine wire accounting, reset never: ``shm_shards`` /
+        #: ``pickle_shards`` count shard results per transport,
+        #: ``shm_bytes`` totals segment sizes, ``pickled_array_bytes``
+        #: totals the array payloads that crossed the pickle channel
+        #: (zero for every shm shard — the acceptance the transport tests
+        #: pin).
+        self.stats = {
+            "shm_shards": 0,
+            "pickle_shards": 0,
+            "shm_bytes": 0,
+            "pickled_array_bytes": 0,
+        }
         if local_backend is None:
             from repro.core.epp_batch import BatchEPPBackend
 
@@ -206,6 +414,8 @@ class ShardedEPPEngine:
                 signal_probs,
                 track_polarity=track_polarity,
                 batch_size=batch_size,
+                prune=prune,
+                schedule=schedule,
             )
         self.local = local_backend
         self.batch_size = self.local.batch_size
@@ -245,6 +455,7 @@ class ShardedEPPEngine:
                     self.local.sp,
                     self.track_polarity,
                     self.worker_batch_size,
+                    self.prune,
                 ),
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
@@ -293,10 +504,18 @@ class ShardedEPPEngine:
         return self
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; pool respawns on next use)."""
+        """Shut the worker pool down (idempotent; pool respawns on next use).
+
+        Worker teardown also releases the local backend's chunk-width
+        state matrices — the parent-side share of the resident set — so a
+        long-lived :class:`~repro.core.analysis.SERAnalyzer` reclaims the
+        full footprint after ``analyze()`` (buffers rebuild lazily on the
+        next bulk call).
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self.local.release_buffers()
 
     def __enter__(self) -> "ShardedEPPEngine":
         return self
@@ -330,25 +549,120 @@ class ShardedEPPEngine:
             or self.compiled.n * n_sites < self.min_process_work
         )
 
-    def _shards(self, site_ids: list[int]) -> list[list[int]]:
-        return partition_shards(site_ids, self.jobs * self.shards_per_worker)
+    def _shards(self, site_ids: list[int]) -> tuple[list[list[int]], list[list[int]]]:
+        """Partition into ``(shards, position_shards)``.
+
+        ``schedule="auto"``/``"cone"`` orders the site list by cone
+        signature first (:func:`~repro.core.schedule.cone_cluster_order`),
+        so the contiguous split hands each worker sites with overlapping
+        fanout cones — the layout the workers' pruned sweeps want.
+        ``position_shards`` carries each shard member's position in the
+        caller's input order, which is how results find their way back.
+        """
+        from repro.core.schedule import cone_cluster_order, resolve_schedule
+
+        positions = list(range(len(site_ids)))
+        # Resolve "auto" against the *worker* chunk width, not the larger
+        # in-process width: workers sweep in worker_batch_size chunks (and
+        # shards are smaller still), so clustering pays exactly when the
+        # site list spans more than one worker chunk.
+        strategy = resolve_schedule(
+            self.schedule, len(site_ids), self.worker_batch_size
+        )
+        if strategy == "cone" and len(site_ids) > 1:
+            order = cone_cluster_order(self.compiled, site_ids)
+            positions = [int(position) for position in order]
+        n_shards = self.jobs * self.shards_per_worker
+        position_shards = partition_shards(positions, n_shards)
+        shards = [
+            [site_ids[position] for position in shard]
+            for shard in position_shards
+        ]
+        return shards, position_shards
+
+    def _receive(self, payload, full: bool):
+        """Normalize one worker result to in-process arrays, tallying stats.
+
+        Shared-memory shards are attached, copied out in one memcpy per
+        array (far cheaper than the pickle round-trip they replace — and
+        every view must be dropped before the segment can close), then
+        closed and unlinked here so segment lifetime never escapes this
+        method.  Pickle shards pass through with their array payload
+        counted.
+        """
+        if isinstance(payload, ShmHandle):
+            views, shm = import_shm(payload)
+            try:
+                arrays = tuple(view.copy() for view in views)
+            finally:
+                del views
+                try:
+                    shm.close()
+                finally:
+                    shm.unlink()  # never skipped, even if close() raises
+            self.stats["shm_shards"] += 1
+            self.stats["shm_bytes"] += payload.nbytes
+            return arrays if full else arrays[0]
+        arrays = payload if full else (payload,)
+        self.stats["pickle_shards"] += 1
+        self.stats["pickled_array_bytes"] += sum(array.nbytes for array in arrays)
+        return payload
+
+    @staticmethod
+    def _discard_shard(future) -> None:
+        """Unlink an undelivered shard's shared-memory segment, if any.
+
+        Workers hand segment ownership to the parent (their resource
+        trackers forget it), so a handle that never reaches a consumer
+        must be unlinked here or it outlives the process in ``/dev/shm``.
+        """
+        try:
+            payload = future.result()
+        except Exception:
+            return  # failed/cancelled shard: no segment was handed over
+        if isinstance(payload, ShmHandle):
+            try:
+                _, shm = import_shm(payload)
+                shm.close()
+                shm.unlink()
+            except Exception:  # pragma: no cover - already gone
+                pass
 
     def _map_shards(self, shards: list[list[int]], full: bool):
-        """Yield ``(shard_index, worker_result)`` as shards complete."""
+        """Yield ``(shard_index, worker_result)`` as shards complete.
+
+        On any abnormal exit — a worker exception, a dead pool, or the
+        consumer abandoning the generator — every shard result that was
+        not delivered is drained and its shared-memory segment unlinked,
+        so failed analyses cannot leak ``/dev/shm`` space.
+        """
         pool = self._ensure_pool()
         futures = {
-            pool.submit(_run_shard, shard, full): index
+            pool.submit(_run_shard, shard, full, self.transport): index
             for index, shard in enumerate(shards)
         }
+        delivered = set()
         try:
             for future in as_completed(futures):
-                yield futures[future], future.result()
+                delivered.add(future)
+                yield futures[future], self._receive(future.result(), full)
         except BrokenProcessPool as exc:
             self._pool = None  # the pool is dead; let a later call respawn it
             raise AnalysisError(
                 "sharded EPP worker pool died mid-analysis (worker killed or "
                 "out of memory); rerun with fewer jobs or a smaller batch_size"
             ) from exc
+        finally:
+            leftovers = [f for f in futures if f not in delivered]
+            for future in leftovers:
+                future.cancel()
+            for future in leftovers:
+                if not future.cancelled():
+                    # Done callbacks run immediately for finished futures
+                    # and from the executor thread otherwise, so an
+                    # abandoned/failed analysis returns promptly instead
+                    # of blocking here until every in-flight sweep ends.
+                    future.add_done_callback(self._discard_shard)
 
     # --------------------------------------------------------------- queries
 
@@ -366,16 +680,14 @@ class ShardedEPPEngine:
             return {}
         if self._use_local(len(site_ids)):
             return self.local.analyze_sites(site_ids)
-        shards = self._shards(site_ids)
-        shard_results: list[dict | None] = [None] * len(shards)
+        shards, _ = self._shards(site_ids)
+        collected: dict = {}
         for index, packed in self._map_shards(shards, full=True):
-            out: dict = {}
-            self.local.materialize(shards[index], packed, out)
-            shard_results[index] = out
-        results: dict = {}
-        for out in shard_results:
-            results.update(out)
-        return results
+            self.local.materialize(shards[index], packed, collected)
+        # Shards complete out of order and the cone-clustered partition
+        # permutes sites besides; one rebuild restores input order.
+        names = self.compiled.names
+        return {names[site_id]: collected[names[site_id]] for site_id in site_ids}
 
     def p_sensitized_many(self, site_ids: Sequence[int]):
         """``P_sensitized`` for many sites, aligned with ``site_ids``."""
@@ -386,13 +698,8 @@ class ShardedEPPEngine:
             return np.empty(0)
         if self._use_local(len(site_ids)):
             return self.local.p_sensitized_many(site_ids)
-        shards = self._shards(site_ids)
-        offsets = [0] * len(shards)
-        position = 0
-        for index, shard in enumerate(shards):
-            offsets[index] = position
-            position += len(shard)
+        shards, position_shards = self._shards(site_ids)
         out = np.empty(len(site_ids))
         for index, values in self._map_shards(shards, full=False):
-            out[offsets[index] : offsets[index] + len(shards[index])] = values
+            out[position_shards[index]] = values
         return out

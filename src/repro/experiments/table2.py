@@ -86,6 +86,12 @@ class Table2Config:
     backend: str = "scalar"
     #: worker processes for the sharded backend (None: one per core)
     jobs: int | None = None
+    #: cone-aware sparse sweep for the vector/sharded backends
+    #: (None: enabled — the backends' own default)
+    prune: bool | None = None
+    #: chunk scheduling for the vector/sharded backends
+    #: (None: auto — cone-cluster multi-chunk site lists)
+    schedule: str | None = None
 
     def __post_init__(self) -> None:
         for name in ("sim_vectors", "sim_sites", "accuracy_sites",
@@ -103,6 +109,23 @@ class Table2Config:
             raise ConfigError(
                 "Table2Config.jobs applies to the 'sharded' backend only, "
                 f"got backend={self.backend!r}"
+            )
+        from repro.core.schedule import SCHEDULES
+
+        if self.schedule is not None and self.schedule not in SCHEDULES:
+            raise ConfigError(
+                f"Table2Config.schedule must be one of {SCHEDULES}, "
+                f"got {self.schedule!r}"
+            )
+        if self.backend == "scalar" and not (
+            self.prune is None and self.schedule is None
+        ):
+            # Mirror the jobs-requires-sharded guard: the scalar column
+            # ignores both knobs, and silently reporting scalar timings
+            # under a "dense"/"clustered" label would mislead.
+            raise ConfigError(
+                "Table2Config.prune/schedule apply to the 'vector' and "
+                "'sharded' backends only, got backend='scalar'"
             )
         unknown = [c for c in self.circuits if c not in ISCAS89_PROFILES]
         if unknown:
@@ -226,12 +249,22 @@ def run_table2_circuit(name: str, config: Table2Config) -> Table2Row:
             # silently report vector timings under a sharded label.  The
             # pool is warmed first (workers forked and initialized) so the
             # timed block below measures steady-state sweeps.
-            backend = engine.sharded_backend(jobs=config.jobs)
+            backend = engine.sharded_backend(
+                jobs=config.jobs, prune=config.prune, schedule=config.schedule
+            )
             backend.min_process_work = 0
             backend.warm()
             cleanup = backend.close
         else:
-            backend = engine.vector_backend()
+            backend = engine.vector_backend(
+                prune=config.prune, schedule=config.schedule
+            )
+            # Bypass the small-workload crossover: the site *sample* can
+            # sit below min_vector_work on small rosters, and delegating
+            # to the scalar kernel would silently report scalar timings
+            # under the vector label (defeating the column's purpose and
+            # the no-per-sink-dicts accounting promised above).
+            backend.min_vector_work = 0
             cleanup = None
         try:
             t0 = time.perf_counter()

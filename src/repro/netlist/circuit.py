@@ -357,11 +357,14 @@ class CompiledCircuit:
     # -- pickling -----------------------------------------------------------
 
     #: Attributes holding lazily-built execution plans cached on the
-    #: compiled circuit by the vectorized engines.  They contain kernel
-    #: closures and are cheap to rebuild, so pickling drops them — this is
-    #: what lets a compiled circuit cross a process boundary once and be
-    #: re-planned inside each worker (:mod:`repro.core.epp_shard`).
-    _PLAN_CACHE_ATTRS = ("_batch_epp_plan", "_sp_level_plan")
+    #: compiled circuit by the vectorized engines: the batch EPP plan, the
+    #: level-parallel SP plan, and the cone-scheduling index
+    #: (:class:`~repro.core.schedule.ConeIndex`).  They contain kernel
+    #: closures or derived structure and are cheap to rebuild, so pickling
+    #: drops them — this is what lets a compiled circuit cross a process
+    #: boundary once and be re-planned inside each worker
+    #: (:mod:`repro.core.epp_shard`).
+    _PLAN_CACHE_ATTRS = ("_batch_epp_plan", "_sp_level_plan", "_cone_index")
 
     def __getstate__(self):
         state = self.__dict__.copy()

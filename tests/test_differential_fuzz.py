@@ -94,8 +94,9 @@ def random_tree_circuit(seed: int, max_inputs: int = 12, n_gates: int = 12) -> C
     return circuit
 
 
-def force_vector(engine: EPPEngine):
-    backend = engine.vector_backend()
+def force_vector(engine: EPPEngine, prune: bool | None = None,
+                 schedule: str | None = None):
+    backend = engine.vector_backend(prune=prune, schedule=schedule)
     backend.min_vector_work = 0
     return backend
 
@@ -120,16 +121,19 @@ def assert_all_sites_agree(reference: dict, candidate: dict):
     n_gates=st.integers(min_value=4, max_value=40),
     seed=st.integers(min_value=0, max_value=2**16),
     track_polarity=st.booleans(),
+    prune=st.booleans(),
+    schedule=st.sampled_from(("cone", "input")),
 )
 def test_scalar_vs_vector_agree_on_random_circuits(
-    n_inputs, n_gates, seed, track_polarity
+    n_inputs, n_gates, seed, track_polarity, prune, schedule
 ):
-    """Vectorization is a pure reassociation: scalar == vector to 1e-9."""
+    """Vectorization — dense or cone-pruned, input-ordered or
+    cone-clustered — is a pure reassociation: scalar == vector to 1e-9."""
     circuit = random_combinational(n_inputs, n_gates, seed=seed)
     engine = EPPEngine(circuit, track_polarity=track_polarity)
-    force_vector(engine)
+    force_vector(engine, prune=prune, schedule=schedule)
     scalar = engine.analyze(backend="scalar")
-    vector = engine.analyze(backend="vector")
+    vector = engine.analyze(backend="vector", prune=prune, schedule=schedule)
     assert_all_sites_agree(scalar, vector)
 
 
@@ -182,16 +186,17 @@ def test_epp_error_bounded_under_reconvergence(n_inputs, gates_per_input, seed):
 
 @pytest.mark.parametrize("seed", [11, 407, 90210])
 def test_scalar_vector_sharded_threeway(seed):
-    """The full differential triangle, sharded side on a real process pool."""
+    """The full differential triangle, sharded side on a real process pool
+    (cone-clustered shards, shared-memory transport where available)."""
     circuit = random_combinational(8, 120, seed=seed)
     engine = EPPEngine(circuit)
-    force_vector(engine)
-    sharded = engine.sharded_backend(jobs=2)
+    force_vector(engine, schedule="cone")
+    sharded = engine.sharded_backend(jobs=2, schedule="cone")
     sharded.min_process_work = 0
     try:
         scalar = engine.analyze(backend="scalar")
-        vector = engine.analyze(backend="vector")
-        fanned = engine.analyze(backend="sharded", jobs=2)
+        vector = engine.analyze(backend="vector", schedule="cone")
+        fanned = engine.analyze(backend="sharded", jobs=2, schedule="cone")
         assert sharded.pool_started
     finally:
         sharded.close()

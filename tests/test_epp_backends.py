@@ -53,21 +53,25 @@ def build_circuit(name: str) -> Circuit:
     return generate_iscas(name)
 
 
-def force_vector(engine: EPPEngine, batch_size: int | None = None):
+def force_vector(engine: EPPEngine, batch_size: int | None = None,
+                 prune: bool | None = None, schedule: str | None = None):
     """A vector backend with the small-workload crossover disabled, so the
     vectorized kernels themselves are exercised even on tiny circuits."""
-    backend = engine.vector_backend(batch_size)
+    backend = engine.vector_backend(batch_size, prune=prune, schedule=schedule)
     backend.min_vector_work = 0
     return backend
 
 
 def assert_backends_agree(circuit: Circuit, track_polarity: bool = True,
-                          batch_size: int | None = None, collapse: bool = False):
+                          batch_size: int | None = None, collapse: bool = False,
+                          prune: bool | None = None,
+                          schedule: str | None = None):
     engine = EPPEngine(circuit, track_polarity=track_polarity)
-    force_vector(engine, batch_size)
+    force_vector(engine, batch_size, prune, schedule)
     scalar = engine.analyze(backend="scalar", collapse=collapse)
     vector = engine.analyze(backend="vector", collapse=collapse,
-                            batch_size=batch_size)
+                            batch_size=batch_size, prune=prune,
+                            schedule=schedule)
     assert list(scalar) == list(vector)  # same sites, same order
     for site, expected in scalar.items():
         got = vector[site]
@@ -120,6 +124,139 @@ class TestBackendEquivalence:
         for site in scalar:
             assert vector[site].p_sensitized == pytest.approx(
                 scalar[site].p_sensitized, abs=TOL)
+
+
+class TestSparseSweepEquivalence:
+    """The cone-aware sparse sweep is bit-equal to the dense vector sweep.
+
+    Pruning only skips rows whose fanins are off-path in every column (the
+    dense sweep writes their SP constants back unchanged) and the targeted
+    scatter writes the same values the ``np.where`` scatter wrote, so the
+    agreement here is exact — asserted at 1e-9 against the scalar oracle
+    and bit-identical against the dense vector backend.
+    """
+
+    @pytest.mark.parametrize("circuit_name", ["zoo", "s27", "s953", "s1423"])
+    @pytest.mark.parametrize("schedule", ["cone", "input"])
+    def test_sparse_agrees_with_scalar(self, circuit_name, schedule):
+        assert_backends_agree(build_circuit(circuit_name), prune=True,
+                              schedule=schedule)
+
+    @pytest.mark.parametrize("circuit_name", ["zoo", "s953"])
+    def test_sparse_bit_equal_to_dense(self, circuit_name):
+        """prune/schedule change *which rows compute*, never their values:
+        packed arrays must be bitwise identical, not merely close."""
+        circuit = build_circuit(circuit_name)
+        engine = EPPEngine(circuit)
+        ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+        packs = {}
+        for prune, schedule in ((False, "input"), (True, "input"), (True, "cone")):
+            backend = force_vector(engine, batch_size=5, prune=prune,
+                                   schedule=schedule)
+            packs[(prune, schedule)] = backend.pack_sites(ids)
+        reference = packs[(False, "input")]
+        for key, packed in packs.items():
+            for left, right in zip(reference, packed):
+                assert np.array_equal(left, right), key
+
+    @pytest.mark.parametrize("prune", [True, False])
+    def test_mixed_arity_sentinel_groups_prune_correctly(self, prune):
+        """The zoo's and2/and3 share one sentinel-padded group; slicing
+        active rows must keep the padding columns aligned per row."""
+        assert_backends_agree(gate_zoo(), prune=prune, batch_size=2,
+                              schedule="cone")
+
+    @pytest.mark.parametrize("batch_size", [None, 3])
+    def test_sites_inside_other_sites_cones(self, batch_size):
+        """A chunk mixing a site with members of its own fanout cone: the
+        downstream sites' columns must keep their injected 1(a) while the
+        upstream site's column propagates through those same rows."""
+        circuit = Circuit("chain")
+        circuit.add_input("i0")
+        circuit.add_input("i1")
+        previous = "i0"
+        for index in range(8):
+            name = f"n{index}"
+            circuit.add_gate(name, GateType.AND if index % 2 else GateType.OR,
+                             [previous, "i1"])
+            previous = name
+        circuit.mark_output(previous)
+        assert_backends_agree(circuit, prune=True, batch_size=batch_size,
+                              schedule="cone")
+        assert_backends_agree(circuit, prune=True, batch_size=batch_size,
+                              schedule="input")
+
+
+class TestUnifiedReductionPath:
+    """p_sensitized_many shares one code path with the packed reduction."""
+
+    def test_p_sensitized_many_bit_equal_to_analyze(self):
+        """Same sweep, same ``_select_pairs`` reduction, same clamping —
+        the two bulk queries can never drift, so equality is exact."""
+        engine = EPPEngine(build_circuit("s953"))
+        backend = force_vector(engine, batch_size=16)
+        sites = engine.default_sites()
+        site_ids = [engine._cones.resolve(s) for s in sites]
+        many = backend.p_sensitized_many(site_ids)
+        full = backend.analyze_sites(site_ids)
+        assert [full[s].p_sensitized for s in sites] == many.tolist()
+
+    def test_p_sensitized_many_uses_scalar_crossover(self):
+        """Below min_vector_work the bulk query delegates to the scalar
+        fallback exactly like analyze_sites (it used to skip the guard)."""
+        engine = EPPEngine(s27())
+        backend = engine.vector_backend()
+        site_ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+        assert engine.compiled.n * len(site_ids) < backend.min_vector_work
+        values = backend.p_sensitized_many(site_ids)
+        assert backend._template is None  # vectorized state never built
+        for site_id, value in zip(site_ids, values):
+            assert value == pytest.approx(engine.p_sensitized(site_id), abs=TOL)
+
+    def test_p_sensitized_many_cone_schedule_stays_aligned(self):
+        """Scheduling permutes the sweep; the output must stay aligned
+        with the caller's site order."""
+        engine = EPPEngine(build_circuit("s953"))
+        clustered = force_vector(engine, batch_size=16, schedule="cone")
+        site_ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+        got = clustered.p_sensitized_many(site_ids)
+        ordered = force_vector(engine, batch_size=16, schedule="input")
+        assert np.array_equal(got, ordered.p_sensitized_many(site_ids))
+
+
+class TestReleaseBuffers:
+    def test_release_and_lazy_rebuild(self):
+        engine = EPPEngine(build_circuit("s953"))
+        backend = force_vector(engine)
+        sites = engine.default_sites()
+        first = engine.analyze(sites=sites, backend="vector")
+        assert backend._template is not None
+        assert backend._buffer_slots
+        backend.release_buffers()
+        assert backend._template is None
+        assert backend._const is None
+        assert not backend._buffer_slots
+        second = engine.analyze(sites=sites, backend="vector")  # rebuilds
+        assert backend._template is not None
+        for site in first:
+            assert second[site].p_sensitized == first[site].p_sensitized
+
+    def test_engine_release_covers_vector_backend(self):
+        engine = EPPEngine(build_circuit("s953"))
+        backend = force_vector(engine)
+        engine.analyze(backend="vector")
+        engine.release_buffers()
+        assert backend._template is None
+
+    def test_analyzer_release_buffers(self):
+        from repro.core.analysis import SERAnalyzer
+
+        analyzer = SERAnalyzer(build_circuit("s953"))
+        backend = force_vector(analyzer.engine)
+        analyzer.analyze(backend="vector")
+        assert backend._template is not None
+        analyzer.release_buffers()
+        assert backend._template is None
 
 
 class TestBackendSelection:

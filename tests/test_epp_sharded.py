@@ -8,18 +8,34 @@ mid-size circuits exercise worker fan-out).  The crossover guard, the
 pool lifecycle are covered alongside.
 """
 
+import os
+import pickle
+
 import pytest
 
 np = pytest.importorskip("numpy")
 
 from repro.core.analysis import SERAnalyzer
 from repro.core.epp import EPPEngine
-from repro.core.epp_shard import ShardedEPPEngine, default_jobs, partition_shards
+from repro.core.epp_shard import (
+    ShardedEPPEngine,
+    ShmHandle,
+    default_jobs,
+    default_transport,
+    export_shm,
+    import_shm,
+    partition_shards,
+)
 from repro.errors import AnalysisError
 from repro.netlist.generate import generate_iscas
 from repro.netlist.library import s27
 
 TOL = 1e-9
+
+shm_only = pytest.mark.skipif(
+    default_transport() != "shm",
+    reason="POSIX shared memory unavailable on this platform",
+)
 
 
 def forced_sharded(engine: EPPEngine, jobs: int = 4):
@@ -84,6 +100,195 @@ class TestShardedEquivalence:
         finally:
             backend.close()
         assert_results_match(vector, sharded)
+
+
+class TestShmTransport:
+    """Shared-memory result transport: zero per-shard array pickling."""
+
+    @shm_only
+    def test_export_import_round_trip(self):
+        arrays = (
+            np.linspace(0.0, 1.0, 97),
+            np.arange(13, dtype=np.intp),
+            np.zeros((0, 4)),
+            np.random.default_rng(7).random((31, 4)),
+        )
+        handle = export_shm(arrays)
+        views, shm = import_shm(handle)
+        try:
+            copies = [view.copy() for view in views]
+        finally:
+            del views
+            shm.close()
+            shm.unlink()
+        for original, restored in zip(arrays, copies):
+            assert original.dtype == restored.dtype
+            assert np.array_equal(original, restored)
+
+    @shm_only
+    def test_handle_pickles_small_regardless_of_payload(self):
+        """The acceptance pin: what crosses the pickle channel per shard is
+        a fixed-size descriptor, not the packed arrays."""
+        payload = (np.zeros(500_000), np.ones((250_000, 4)))
+        handle = export_shm(payload)
+        try:
+            wire_bytes = len(pickle.dumps(handle, pickle.HIGHEST_PROTOCOL))
+            array_bytes = sum(a.nbytes for a in payload)
+            assert wire_bytes < 1024
+            assert array_bytes > 1_000_000
+        finally:
+            _, shm = import_shm(handle)
+            shm.close()
+            shm.unlink()
+
+    @shm_only
+    def test_shm_round_trip_over_real_pool_matches_vector(self):
+        """End-to-end over real worker processes: bit-equal results with
+        zero pickled array bytes — every shard arrived via shared memory."""
+        engine = EPPEngine(generate_iscas("s953"))
+        with forced_sharded(engine, jobs=2) as backend:
+            assert backend.transport == "shm"
+            vector = engine.analyze(backend="vector")
+            sharded = engine.analyze(backend="sharded", jobs=2)
+            site_ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+            p_many = backend.p_sensitized_many(site_ids)
+            assert backend.pool_started
+        assert_results_match(vector, sharded)
+        assert np.abs(
+            engine.vector_backend().p_sensitized_many(site_ids) - p_many
+        ).max() <= TOL
+        assert backend.stats["shm_shards"] > 0
+        assert backend.stats["pickle_shards"] == 0
+        assert backend.stats["pickled_array_bytes"] == 0
+        assert backend.stats["shm_bytes"] > 0
+
+    @shm_only
+    def test_shm_segments_are_unlinked_after_analysis(self):
+        """No segment leaks: everything the workers created is gone from
+        /dev/shm once the parent has materialized."""
+        before = set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else None
+        engine = EPPEngine(generate_iscas("s953"))
+        with forced_sharded(engine, jobs=2) as backend:
+            engine.analyze(backend="sharded", jobs=2)
+            assert backend.stats["shm_shards"] > 0
+        if before is not None:
+            leaked = {
+                name for name in set(os.listdir("/dev/shm")) - before
+                if name.startswith("psm_")
+            }
+            assert not leaked
+
+    @shm_only
+    def test_object_dtype_refused_before_any_segment_exists(self):
+        """Object arrays would ship raw pointers cross-process; the guard
+        fires before a segment is created, so nothing can leak."""
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this host")
+        before = set(os.listdir("/dev/shm"))
+        with pytest.raises(AnalysisError, match="shared memory"):
+            export_shm((np.zeros(4), np.array([object()], dtype=object)))
+        assert not {
+            name for name in set(os.listdir("/dev/shm")) - before
+            if name.startswith("psm_")
+        }
+
+    @shm_only
+    def test_failed_analysis_drains_undelivered_segments(self):
+        """A worker exception mid-analysis must not leak the sibling
+        shards' already-exported segments into /dev/shm."""
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this host")
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = forced_sharded(engine, jobs=2)
+        good = [engine._cones.resolve(s) for s in engine.default_sites()]
+        before = set(os.listdir("/dev/shm"))
+        try:
+            shards = [good, [10**9]]  # second shard raises in the worker
+            with pytest.raises(Exception):
+                for _ in backend._map_shards(shards, full=True):
+                    pass
+        finally:
+            backend.close()
+        leaked = {
+            name for name in set(os.listdir("/dev/shm")) - before
+            if name.startswith("psm_")
+        }
+        assert not leaked
+
+    def test_pickle_transport_still_exact_and_counted(self):
+        """The fallback wire format stays available and bit-equal; its
+        array traffic is what the stats count."""
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = engine.sharded_backend(jobs=2)
+        backend.min_process_work = 0
+        backend.transport = "pickle"
+        try:
+            vector = engine.analyze(backend="vector")
+            sharded = engine.analyze(backend="sharded", jobs=2)
+        finally:
+            backend.close()
+        assert_results_match(vector, sharded)
+        assert backend.stats["pickle_shards"] > 0
+        assert backend.stats["shm_shards"] == 0
+        assert backend.stats["pickled_array_bytes"] > 0
+
+    def test_unknown_transport_rejected(self):
+        engine = EPPEngine(s27())
+        with pytest.raises(AnalysisError, match="unknown transport"):
+            ShardedEPPEngine(engine.compiled, engine._sp, jobs=2,
+                             transport="quic")
+
+    def test_handle_is_tiny_dataclass(self):
+        handle = ShmHandle("psm_test", (((4,), "<f8", 0),), 64)
+        assert handle.name == "psm_test"
+        assert handle.nbytes == 64
+
+
+class TestShardScheduling:
+    def test_cone_schedule_results_in_input_order(self):
+        """The cone-clustered partition permutes shards; results must come
+        back keyed and ordered by the caller's site list."""
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = engine.sharded_backend(jobs=2, schedule="cone")
+        backend.min_process_work = 0
+        sites = engine.default_sites()
+        try:
+            sharded = engine.analyze(sites=sites, backend="sharded", jobs=2,
+                                     schedule="cone")
+            site_ids = [engine._cones.resolve(s) for s in sites]
+            p_many = backend.p_sensitized_many(site_ids)
+        finally:
+            backend.close()
+        assert list(sharded) == sites
+        vector = engine.analyze(sites=sites, backend="vector", schedule="cone")
+        assert_results_match(vector, sharded)
+        assert np.abs(
+            engine.vector_backend().p_sensitized_many(site_ids) - p_many
+        ).max() <= TOL
+
+    def test_worker_prune_knob_forwarded(self):
+        """prune=False must reach worker backends through the payload."""
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = engine.sharded_backend(jobs=2, prune=False)
+        backend.min_process_work = 0
+        try:
+            vector = engine.analyze(backend="vector", prune=False)
+            sharded = engine.analyze(backend="sharded", jobs=2, prune=False)
+        finally:
+            backend.close()
+        assert backend.prune is False
+        assert_results_match(vector, sharded)
+
+    def test_close_releases_local_buffers(self):
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = forced_sharded(engine, jobs=2)
+        engine.analyze(backend="sharded", jobs=2)
+        backend.local.min_vector_work = 0
+        engine.analyze(backend="vector")  # populate local buffers
+        assert backend.local._template is not None
+        backend.close()
+        assert backend.local._template is None
+        assert not backend.local._buffer_slots
 
 
 class TestCrossoverGuard:

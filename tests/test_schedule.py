@@ -1,0 +1,218 @@
+"""Cone-aware scheduling layer: index correctness, caching, clustering.
+
+The :class:`ConeIndex` must agree exactly with the scalar engine's cone
+extractor on which sinks every node reaches (it is the same reachability,
+computed in one reverse-topological pass instead of one forward search
+per site).  Caching must behave like the batch plan's: one instance per
+compiled circuit, invalidated when the circuit is recompiled, stripped by
+``__getstate__`` so the sharded worker payload stays lean.  Clustering is
+a pure permutation with sites of identical cone signature adjacent.
+"""
+
+import pickle
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.cone import ConeExtractor
+from repro.core.epp import EPPEngine
+from repro.core.epp_batch import BatchPlan
+from repro.core.schedule import (
+    ConeIndex,
+    cone_cluster_order,
+    resolve_schedule,
+    validate_schedule,
+)
+from repro.errors import AnalysisError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+from repro.netlist.generate import generate_iscas
+from repro.netlist.library import s27
+
+
+def zoo_circuit() -> Circuit:
+    from tests.test_epp_backends import gate_zoo
+
+    return gate_zoo()
+
+
+class TestConeIndex:
+    @pytest.mark.parametrize("circuit_factory", [s27, zoo_circuit,
+                                                 lambda: generate_iscas("s953")])
+    def test_signatures_match_cone_extractor(self, circuit_factory):
+        """For every node: the bitset's sinks == the extracted cone's sinks."""
+        compiled = circuit_factory().compiled()
+        index = ConeIndex.for_compiled(compiled)
+        extractor = ConeExtractor(compiled)
+        for node_id in range(compiled.n):
+            expected = set(extractor.cone(node_id).sinks)
+            got = {
+                compiled.sink_ids[position]
+                for position in index.reachable_sink_positions(node_id)
+            }
+            assert got == expected, compiled.names[node_id]
+
+    def test_index_cached_per_compiled(self):
+        compiled = s27().compiled()
+        assert ConeIndex.for_compiled(compiled) is ConeIndex.for_compiled(compiled)
+
+    def test_recompiling_invalidates_plan_and_cone_index(self):
+        """Mutating the circuit rebuilds CompiledCircuit, so the caches on
+        the stale snapshot can never leak into the new topology."""
+        circuit = s27()
+        compiled = circuit.compiled()
+        plan = BatchPlan.for_compiled(compiled)
+        index = ConeIndex.for_compiled(compiled)
+        circuit.add_gate("extra", GateType.AND, ["G10", "G11"])
+        circuit.mark_output("extra")
+        recompiled = circuit.compiled()
+        assert recompiled is not compiled
+        assert BatchPlan.for_compiled(recompiled) is not plan
+        assert ConeIndex.for_compiled(recompiled) is not index
+        # The new index knows the new sink; the old one cannot.
+        assert ConeIndex.for_compiled(recompiled).n_sinks == index.n_sinks + 1
+
+    def test_getstate_strips_cone_index_and_plans(self):
+        """Pickling a compiled circuit (the sharded worker payload) drops
+        every cached execution structure; workers rebuild locally."""
+        compiled = generate_iscas("s953").compiled()
+        BatchPlan.for_compiled(compiled)
+        ConeIndex.for_compiled(compiled)
+        assert hasattr(compiled, "_batch_epp_plan")
+        assert hasattr(compiled, "_cone_index")
+        state = compiled.__getstate__()
+        assert "_batch_epp_plan" not in state
+        assert "_cone_index" not in state
+        restored = pickle.loads(pickle.dumps(compiled))
+        assert not hasattr(restored, "_batch_epp_plan")
+        assert not hasattr(restored, "_cone_index")
+        # The restored circuit rebuilds an equivalent index from scratch.
+        rebuilt = ConeIndex.for_compiled(restored)
+        assert rebuilt.sig == ConeIndex.for_compiled(compiled).sig
+
+
+class TestClusterOrder:
+    def test_is_a_permutation(self):
+        compiled = generate_iscas("s953").compiled()
+        engine = EPPEngine(generate_iscas("s953"))
+        ids = [engine._cones.resolve(site) for site in engine.default_sites()]
+        order = cone_cluster_order(compiled, ids)
+        assert sorted(order.tolist()) == list(range(len(ids)))
+
+    def test_identical_signatures_are_adjacent(self):
+        compiled = generate_iscas("s953").compiled()
+        engine = EPPEngine(generate_iscas("s953"))
+        ids = [engine._cones.resolve(site) for site in engine.default_sites()]
+        order = cone_cluster_order(compiled, ids)
+        sig = ConeIndex.for_compiled(compiled).sig
+        signatures = [sig[ids[position]] for position in order.tolist()]
+        # Once a signature class ends it never reappears later in the order.
+        seen = set()
+        previous = None
+        for signature in signatures:
+            if signature != previous:
+                assert signature not in seen, "signature class split apart"
+                seen.add(signature)
+                previous = signature
+
+    def test_stable_for_equal_keys(self):
+        """Duplicate sites keep their input order (the sort is stable)."""
+        compiled = s27().compiled()
+        site = compiled.index["G10"]
+        order = cone_cluster_order(compiled, [site, site, site])
+        assert order.tolist() == [0, 1, 2]
+
+
+class TestScheduleKnob:
+    def test_validate_accepts_known_values(self):
+        assert validate_schedule(None) == "auto"
+        for value in ("auto", "cone", "input"):
+            assert validate_schedule(value) == value
+
+    def test_validate_rejects_unknown(self):
+        with pytest.raises(AnalysisError, match="unknown schedule"):
+            validate_schedule("random")
+
+    def test_auto_resolution_clusters_only_multi_chunk(self):
+        assert resolve_schedule("auto", 10, 32) == "input"
+        assert resolve_schedule("auto", 33, 32) == "cone"
+        assert resolve_schedule("cone", 2, 32) == "cone"
+        assert resolve_schedule("input", 1000, 32) == "input"
+
+    def test_engine_rejects_bad_schedule(self):
+        engine = EPPEngine(s27())
+        with pytest.raises(AnalysisError, match="unknown schedule"):
+            engine.analyze(backend="vector", schedule="sorted")
+
+    def test_scalar_backend_rejects_bad_schedule_too(self):
+        """The scalar path ignores the knob but a typo must still fail."""
+        engine = EPPEngine(s27())
+        with pytest.raises(AnalysisError, match="unknown schedule"):
+            engine.analyze(backend="scalar", schedule="sorted")
+
+    def test_table2_config_rejects_knobs_on_scalar_backend(self):
+        from repro.errors import ConfigError
+        from repro.experiments.table2 import Table2Config
+
+        with pytest.raises(ConfigError, match="vector"):
+            Table2Config(prune=False)  # default backend is scalar
+        with pytest.raises(ConfigError, match="vector"):
+            Table2Config(schedule="cone")
+        Table2Config(backend="vector", prune=False, schedule="cone")  # fine
+
+    def test_backend_cache_keyed_by_prune_and_schedule(self):
+        engine = EPPEngine(s27())
+        default = engine.vector_backend()
+        assert engine.vector_backend() is default
+        pruned_off = engine.vector_backend(prune=False)
+        assert pruned_off is not default
+        assert pruned_off.prune is False
+        clustered = engine.vector_backend(schedule="cone")
+        assert clustered is not pruned_off
+        assert clustered.schedule == "cone"
+
+
+class TestScheduledResults:
+    def test_cone_schedule_preserves_input_order(self):
+        """Scheduling permutes the sweep, never the returned mapping."""
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = engine.vector_backend(batch_size=16, schedule="cone")
+        backend.min_vector_work = 0
+        sites = engine.default_sites()
+        results = engine.analyze(sites=sites, backend="vector",
+                                 batch_size=16, schedule="cone")
+        assert list(results) == sites
+
+    def test_cone_schedule_values_match_input_schedule(self):
+        """Analyzed one backend at a time: the engine caches a single
+        backend slot, so each configuration is built, forced onto the
+        vectorized path, and queried before the next evicts it."""
+        engine = EPPEngine(generate_iscas("s953"))
+        site_ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+
+        backend = engine.vector_backend(batch_size=16, schedule="cone")
+        backend.min_vector_work = 0
+        clustered = backend.analyze_sites(site_ids)
+        backend = engine.vector_backend(batch_size=16, schedule="input")
+        backend.min_vector_work = 0
+        ordered = backend.analyze_sites(site_ids)
+
+        assert list(clustered) == list(ordered)
+        for site in clustered:
+            assert clustered[site].p_sensitized == ordered[site].p_sensitized
+            assert clustered[site].cone_size == ordered[site].cone_size
+
+    def test_pack_sites_reorders_to_input_order(self):
+        """pack_sites under cone scheduling returns arrays aligned with the
+        caller's site order — the sharded materialize contract."""
+        engine = EPPEngine(generate_iscas("s953"))
+        ids = [engine._cones.resolve(site) for site in engine.default_sites()]
+        clustered = engine.vector_backend(batch_size=16, schedule="cone")
+        clustered.min_vector_work = 0
+        packed_clustered = clustered.pack_sites(ids)
+        ordered = engine.vector_backend(batch_size=16, schedule="input")
+        ordered.min_vector_work = 0
+        packed_ordered = ordered.pack_sites(ids)
+        for left, right in zip(packed_clustered, packed_ordered):
+            assert np.array_equal(left, right)
