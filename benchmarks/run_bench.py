@@ -1,7 +1,7 @@
 """The benchmark trajectory entry point: ``python benchmarks/run_bench.py``.
 
 Measures full-circuit ``analyze()`` wall-clock per roster circuit for the
-four backend configurations —
+backend configurations —
 
 * ``scalar_s``       — the per-site reference oracle (sampled and
   extrapolated linearly above :data:`SCALAR_FULL_MAX_NODES`; scalar cost
@@ -10,23 +10,33 @@ four backend configurations —
   schedule="input"``: the PR-1 execution order under this tree's lazy
   result materialization);
 * ``vector_eager_s`` — the same dense sweep with every per-sink vector
-  dict forced, reproducing the PR-1 backend's *eager* accounting (the
-  baseline the sparse-speedup acceptance is measured against);
-* ``sparse_s``       — the cone-aware defaults (``prune=True``,
-  cone-clustered chunks);
+  dict forced, reproducing the PR-1 backend's *eager* accounting;
+* ``sparse_pr3_s``   — the PR-3 strategy pinned explicitly
+  (``prune=True, cells="off", chunking="fixed"``: row pruning and cone
+  clustering without cell compaction or adaptive widths);
+* ``sparse_s``       — the full defaults (``prune/cells/chunking`` all
+  ``"auto"``: cell-compacted kernels, cost-aware chunk widths and the
+  saturated-chunk dense fallback), with the backend's ``sweep_stats``
+  (cell density, chunk splits, dense fallbacks) recorded alongside;
 * ``sharded_s``      — the multi-process driver under its default
   crossover guard (``sharded_process_path`` records whether worker
   processes actually engaged);
 
 plus a **clustered-site workload**: one cone-cluster's sites (a module's
-worth of neighbors, the MBU/per-module shape), dense vs sparse.  Results
-land in a JSON document (default ``BENCH_pr3.json``) with host metadata.
+worth of neighbors, the MBU/per-module shape) measured dense
+(``clustered_vector_s``), PR-3 row-sparse (``clustered_sparse_s``) and
+cell-compacted (``clustered_compact_s``).  Results land in a JSON
+document (default ``BENCH_pr4.json``) with host metadata; when the
+committed ``BENCH_pr3.json`` sits next to the output the cross-PR
+ladder ratios (this run vs the *recorded* PR-3 seconds, same container)
+are included per circuit as ``vs_pr3_baseline``.
 
 ``--check BASELINE`` compares the *speedup ratios* of a fresh run against
 a committed baseline and exits non-zero on a >``--tolerance`` regression
 (default 25%).  Only ratios are compared — absolute seconds shift with
 host hardware, while the sparse/dense and clustered ratios are properties
-of the execution strategy; circuits present in only one file are skipped.
+of the execution strategy; circuits present in only one file are skipped,
+as are baseline ratios near parity (<1.2 — not speedup claims to defend).
 """
 
 from __future__ import annotations
@@ -48,7 +58,19 @@ DEFAULT_CIRCUITS = ("s953", "s1423", "s9234", "s38417")
 QUICK_CIRCUITS = ("s953", "s1423", "s9234")
 
 #: The ratio metrics ``--check`` compares (host-independent by design).
-CHECKED_RATIOS = ("speedup_sparse_vs_vector", "clustered_speedup")
+CHECKED_RATIOS = (
+    "speedup_sparse_vs_vector",
+    "clustered_speedup",
+    "speedup_sparse_vs_pr3_strategy",
+    "clustered_compact_speedup",
+)
+
+#: Sweep-stat counters copied next to the timing they describe.
+_SWEEP_STAT_KEYS = (
+    "chunks", "chunk_splits", "dense_fallback_sweeps",
+    "groups_dense", "groups_row", "groups_cell",
+    "cells_on", "cells_total", "cells_computed", "cells_dense",
+)
 
 
 def _build(name: str):
@@ -92,7 +114,21 @@ def _timed_analyze(engine, sites, eager: bool = False, **kwargs) -> float:
                 len(result.sink_values)
         return time.perf_counter() - start
 
-    return _best_of(measure)
+    # Best-of-5 even for the multi-second circuits: these rows become the
+    # committed regression baseline, and single-shot measurements on a
+    # shared runner swing 20-30% with background load — more than the
+    # strategy effects the trajectory file exists to pin.
+    return _best_of(measure, floor_s=30.0, max_repeats=5)
+
+
+def _snapshot_stats(backend) -> dict:
+    stats = {key: backend.sweep_stats[key] for key in _SWEEP_STAT_KEYS}
+    if stats["cells_total"]:
+        stats["cell_density"] = stats["cells_on"] / stats["cells_total"]
+        stats["cells_computed_fraction"] = (
+            stats["cells_computed"] / stats["cells_total"]
+        )
+    return stats
 
 
 def bench_circuit(name: str, jobs: int | None) -> dict:
@@ -125,8 +161,20 @@ def bench_circuit(name: str, jobs: int | None) -> dict:
         prune=False, schedule="input",
     )
 
-    # ---- cone-aware sparse sweep (the defaults) ----
-    row["sparse_s"] = _timed_analyze(_fresh_engine(circuit, sp), sites)
+    # ---- PR-3 strategy pinned: row pruning without cell compaction ----
+    row["sparse_pr3_s"] = _timed_analyze(
+        _fresh_engine(circuit, sp), sites,
+        prune=True, cells="off", chunking="fixed",
+    )
+
+    # ---- full defaults: cell-compacted, adaptive, dense-fallback ----
+    # One warm-up analyze first, snapshotted immediately: the recorded
+    # sweep_stats describe exactly one analyze() run, not the cumulative
+    # counters of every best-of repeat.
+    sparse_engine = _fresh_engine(circuit, sp)
+    sparse_engine.analyze(sites=sites, backend="vector")
+    row["sweep_stats"] = _snapshot_stats(sparse_engine.vector_backend())
+    row["sparse_s"] = _timed_analyze(sparse_engine, sites)
 
     # ---- sharded driver, default guard, cold pool included ----
     sharded_engine = _fresh_engine(circuit, sp)
@@ -153,35 +201,60 @@ def bench_circuit(name: str, jobs: int | None) -> dict:
         cluster = [ids[i] for i in order[:width].tolist()]
         row["clustered_sites"] = len(cluster)
 
-        def measure_cluster(prune: bool, schedule: str) -> float:
+        def measure_cluster(stats_key: str | None = None, **config) -> float:
             # One warm backend per config: the quantity of interest is the
             # steady-state sweep strategy, not first-call buffer faulting.
-            backend = _fresh_engine(circuit, sp).vector_backend(
-                prune=prune, schedule=schedule
-            )
+            backend = _fresh_engine(circuit, sp).vector_backend(**config)
             backend.min_vector_work = 0
             backend.analyze_sites(cluster)  # warmup: buffers + plan
+            if stats_key:
+                # Snapshot after exactly one run, before the timing repeats
+                # accumulate further counts.
+                row[stats_key] = _snapshot_stats(backend)
 
             def timed() -> float:
                 start = time.perf_counter()
                 backend.analyze_sites(cluster)
                 return time.perf_counter() - start
 
-            return _best_of(timed)
+            # Sub-second workloads, so repeats are cheap — and a single
+            # load spike on a ~1s dense reference would otherwise distort
+            # every clustered ratio derived from it.
+            return _best_of(timed, floor_s=2.0, max_repeats=5)
 
-        row["clustered_vector_s"] = measure_cluster(False, "input")
-        row["clustered_sparse_s"] = measure_cluster(True, "cone")
+        row["clustered_vector_s"] = measure_cluster(
+            prune=False, schedule="input", cells="off", chunking="fixed"
+        )
+        row["clustered_sparse_s"] = measure_cluster(
+            prune=True, schedule="cone", cells="off", chunking="fixed"
+        )
+        row["clustered_compact_s"] = measure_cluster(
+            stats_key="clustered_sweep_stats",
+            prune=True, schedule="cone", cells="auto", chunking="auto",
+        )
         row["clustered_speedup"] = (
             row["clustered_vector_s"] / row["clustered_sparse_s"]
+        )
+        row["clustered_compact_speedup"] = (
+            row["clustered_vector_s"] / row["clustered_compact_s"]
+        )
+        row["clustered_compact_vs_sparse"] = (
+            row["clustered_sparse_s"] / row["clustered_compact_s"]
         )
 
     # ---- ratios ----
     row["speedup_sparse_vs_vector"] = row["vector_s"] / row["sparse_s"]
     row["speedup_sparse_vs_pr1_vector"] = row["vector_eager_s"] / row["sparse_s"]
     row["speedup_sparse_vs_scalar"] = row["scalar_s"] / row["sparse_s"]
+    row["speedup_sparse_vs_pr3_strategy"] = row["sparse_pr3_s"] / row["sparse_s"]
     for key, value in list(row.items()):
         if isinstance(value, float):
             row[key] = round(value, 4)
+    for stats in (row.get("sweep_stats"), row.get("clustered_sweep_stats")):
+        if stats:
+            for key, value in list(stats.items()):
+                if isinstance(value, float):
+                    stats[key] = round(value, 4)
     return row
 
 
@@ -198,7 +271,35 @@ def host_metadata() -> dict:
     }
 
 
-def run(circuits, jobs, out_path, verbose=True) -> dict:
+def attach_pr3_baseline(document: dict, baseline_path: str) -> None:
+    """Cross-PR ladder: this run's seconds vs the committed PR-3 seconds.
+
+    Only meaningful when both were measured on the same class of host
+    (the committed trajectory files all come from the CI container); the
+    ratios are stored per circuit under ``vs_pr3_baseline`` and are
+    informational — the ``--check`` gate compares within-run ratios only.
+    """
+    if not os.path.exists(baseline_path):
+        return
+    with open(baseline_path, encoding="utf-8") as handle:
+        pr3 = json.load(handle)
+    for name, row in document["circuits"].items():
+        base = pr3.get("circuits", {}).get(name)
+        if not base:
+            continue
+        ladder = {"baseline": baseline_path}
+        if base.get("sparse_s") and row.get("sparse_s"):
+            ladder["full_circuit_vs_pr3_sparse"] = round(
+                base["sparse_s"] / row["sparse_s"], 4
+            )
+        if base.get("clustered_sparse_s") and row.get("clustered_compact_s"):
+            ladder["clustered_vs_pr3_sparse"] = round(
+                base["clustered_sparse_s"] / row["clustered_compact_s"], 4
+            )
+        row["vs_pr3_baseline"] = ladder
+
+
+def run(circuits, jobs, out_path, verbose=True, pr3_baseline=None) -> dict:
     document = {"host": host_metadata(), "circuits": {}}
     for name in circuits:
         if verbose:
@@ -207,17 +308,22 @@ def run(circuits, jobs, out_path, verbose=True) -> dict:
         document["circuits"][name] = row
         if verbose:
             clustered = (
-                f"  clustered {row['clustered_speedup']:.2f}x"
+                f"  clustered {row['clustered_speedup']:.2f}x "
+                f"(compact {row['clustered_compact_speedup']:.2f}x)"
                 if "clustered_speedup" in row else ""
             )
             print(
                 f"  scalar {row['scalar_s']:.2f}s  vector {row['vector_s']:.2f}s "
-                f"(eager {row['vector_eager_s']:.2f}s)  sparse {row['sparse_s']:.2f}s  "
+                f"(eager {row['vector_eager_s']:.2f}s)  "
+                f"pr3-sparse {row['sparse_pr3_s']:.2f}s  "
+                f"sparse {row['sparse_s']:.2f}s  "
                 f"sharded {row['sharded_s']:.2f}s  "
                 f"sparse-vs-vector {row['speedup_sparse_vs_vector']:.2f}x"
                 f"{clustered}",
                 flush=True,
             )
+    if pr3_baseline:
+        attach_pr3_baseline(document, pr3_baseline)
     if out_path:
         with open(out_path, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2)
@@ -271,7 +377,7 @@ def main(argv=None) -> int:
                         help=f"roster (default: {' '.join(DEFAULT_CIRCUITS)})")
     parser.add_argument("--quick", action="store_true",
                         help=f"short roster ({' '.join(QUICK_CIRCUITS)})")
-    parser.add_argument("--out", default="BENCH_pr3.json",
+    parser.add_argument("--out", default="BENCH_pr4.json",
                         help="output JSON path ('' to skip writing)")
     parser.add_argument("--jobs", type=int, default=None,
                         help="sharded worker count (default: one per core)")
@@ -279,6 +385,9 @@ def main(argv=None) -> int:
                         help="compare speedup ratios against a baseline JSON")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed relative ratio drop before failing (0.25)")
+    parser.add_argument("--pr3-baseline", default="BENCH_pr3.json",
+                        help="committed PR-3 trajectory file for the cross-PR "
+                        "ladder ratios ('' to skip)")
     args = parser.parse_args(argv)
 
     circuits = args.circuits or (QUICK_CIRCUITS if args.quick else DEFAULT_CIRCUITS)
@@ -292,7 +401,7 @@ def main(argv=None) -> int:
             baseline = json.load(handle)
         if os.path.abspath(args.check) == os.path.abspath(args.out or ""):
             args.out = ""  # never clobber the baseline being checked
-    document = run(circuits, args.jobs, args.out)
+    document = run(circuits, args.jobs, args.out, pr3_baseline=args.pr3_baseline)
     if baseline is not None:
         return check_regression(document, baseline, args.check, args.tolerance)
     return 0

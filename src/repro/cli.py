@@ -90,6 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sharded backend (default: one per core)",
     )
     table2.add_argument(
+        "--circuit-jobs",
+        type=int,
+        help="fan whole circuits across this many worker processes "
+        "(roster-level parallelism: every row is an independent "
+        "measurement, so rows are unchanged — only wall-clock drops; "
+        "mutually exclusive with --backend sharded)",
+    )
+    table2.add_argument(
         "--schedule",
         choices=("auto", "cone", "input"),
         default="auto",
@@ -212,6 +220,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             overrides["backend"] = args.backend
         if args.jobs is not None:
             overrides["jobs"] = args.jobs
+        if args.circuit_jobs is not None:
+            overrides["circuit_jobs"] = args.circuit_jobs
         if args.schedule != "auto":
             overrides["schedule"] = args.schedule
         if args.no_prune:

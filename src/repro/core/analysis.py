@@ -186,20 +186,23 @@ class SERAnalyzer:
         jobs: int | None = None,
         prune: bool | None = None,
         schedule: str | None = None,
+        cells: str | None = None,
+        chunking: str | None = None,
     ) -> CircuitSERReport:
         """Analyze many sites (default: every combinational gate output).
 
-        ``backend``/``batch_size``/``jobs``/``prune``/``schedule`` are
-        forwarded to :meth:`EPPEngine.analyze` — ``"scalar"`` for the
-        per-site reference path, ``"vector"`` for the batched NumPy
-        backend (the default when NumPy is available; cone-aware sparse
-        sweeps and cone-clustered chunks by default), ``"sharded"`` (or
+        ``backend``/``batch_size``/``jobs``/``prune``/``schedule``/
+        ``cells``/``chunking`` are forwarded to :meth:`EPPEngine.analyze`
+        — ``"scalar"`` for the per-site reference path, ``"vector"`` for
+        the batched NumPy backend (the default when NumPy is available;
+        cone-aware sparse sweeps, cell-compacted kernels and
+        cone-clustered cost-aware chunks by default), ``"sharded"`` (or
         just passing ``jobs=``) for the multi-process site-sharded driver.
         """
         results = self.engine.analyze(
             sites=sites, sample=sample, seed=seed,
             backend=backend, batch_size=batch_size, jobs=jobs,
-            prune=prune, schedule=schedule,
+            prune=prune, schedule=schedule, cells=cells, chunking=chunking,
         )
         report = CircuitSERReport(self.circuit.name)
         for site, result in results.items():

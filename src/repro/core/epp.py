@@ -363,23 +363,33 @@ class EPPEngine:
         batch_size: int | None,
         prune: bool | None = None,
         schedule: str | None = None,
+        cells: str | None = None,
+        chunking: str | None = None,
     ):
         from repro.core.epp_batch import BatchEPPBackend, default_batch_size
-        from repro.core.schedule import resolve_prune, validate_schedule
+        from repro.core.schedule import (
+            resolve_prune,
+            validate_cells,
+            validate_chunking,
+            validate_schedule,
+        )
 
         # Cache keyed by the *effective* configuration: a one-off explicit
-        # batch_size/prune/schedule must not stick to later default calls.
+        # batch_size/prune/schedule/cells/chunking must not stick to later
+        # default calls.
         effective = (
             batch_size if batch_size is not None
             else default_batch_size(self.compiled.n),
             resolve_prune(prune),
             validate_schedule(schedule),
+            validate_cells(cells),
+            validate_chunking(chunking),
         )
         backend = self._vector_backend
-        if (
-            backend is None
-            or (backend.batch_size, backend.prune, backend.schedule) != effective
-        ):
+        if backend is None or (
+            backend.batch_size, backend.prune, backend.schedule,
+            backend.cells, backend.chunking,
+        ) != effective:
             backend = BatchEPPBackend(
                 self.compiled,
                 self._sp,
@@ -388,6 +398,8 @@ class EPPEngine:
                 scalar_fallback=self.node_epp,
                 prune=prune,
                 schedule=schedule,
+                cells=cells,
+                chunking=chunking,
             )
             self._vector_backend = backend
         return backend
@@ -398,12 +410,14 @@ class EPPEngine:
         batch_size: int | None,
         prune: bool | None = None,
         schedule: str | None = None,
+        cells: str | None = None,
+        chunking: str | None = None,
     ):
         from repro.core.epp_shard import ShardedEPPEngine, default_jobs
 
         effective_jobs = int(jobs) if jobs is not None else default_jobs()
         requested_batch = None if batch_size is None else int(batch_size)
-        local = self._get_vector_backend(batch_size, prune, schedule)
+        local = self._get_vector_backend(batch_size, prune, schedule, cells, chunking)
         backend = self._sharded_backend
         if (
             backend is None
@@ -422,6 +436,8 @@ class EPPEngine:
                 local_backend=local,
                 prune=prune,
                 schedule=schedule,
+                cells=cells,
+                chunking=chunking,
             )
             self._sharded_backend = backend
         return backend
@@ -432,6 +448,8 @@ class EPPEngine:
         batch_size: int | None = None,
         prune: bool | None = None,
         schedule: str | None = None,
+        cells: str | None = None,
+        chunking: str | None = None,
     ):
         """The multi-process sharded driver bound to this engine.
 
@@ -447,13 +465,17 @@ class EPPEngine:
         instances directly instead.
         """
         self._resolve_backend("sharded")
-        return self._get_sharded_backend(jobs, batch_size, prune, schedule)
+        return self._get_sharded_backend(
+            jobs, batch_size, prune, schedule, cells, chunking
+        )
 
     def vector_backend(
         self,
         batch_size: int | None = None,
         prune: bool | None = None,
         schedule: str | None = None,
+        cells: str | None = None,
+        chunking: str | None = None,
     ):
         """The batched NumPy backend bound to this engine (public access).
 
@@ -461,11 +483,11 @@ class EPPEngine:
         ``analyze_sites``) and tuning knobs (``min_vector_work``) without
         reaching into engine internals; raises
         :class:`~repro.errors.AnalysisError` when NumPy is unavailable.
-        The instance is cached per effective (batch size, prune, schedule)
-        configuration.
+        The instance is cached per effective
+        (batch size, prune, schedule, cells, chunking) configuration.
         """
         self._resolve_backend("vector")
-        return self._get_vector_backend(batch_size, prune, schedule)
+        return self._get_vector_backend(batch_size, prune, schedule, cells, chunking)
 
     def release_buffers(self) -> None:
         """Reclaim the vector backend's chunk-width state matrices — and
@@ -489,16 +511,18 @@ class EPPEngine:
         jobs: int | None = None,
         prune: bool | None = None,
         schedule: str | None = None,
+        cells: str | None = None,
+        chunking: str | None = None,
     ) -> dict[str, EPPResult]:
         if backend == "sharded":
             site_ids = [self._cones.resolve(site) for site in sites]
             return self._get_sharded_backend(
-                jobs, batch_size, prune, schedule
+                jobs, batch_size, prune, schedule, cells, chunking
             ).analyze_sites(site_ids)
         if backend == "vector":
             site_ids = [self._cones.resolve(site) for site in sites]
             return self._get_vector_backend(
-                batch_size, prune, schedule
+                batch_size, prune, schedule, cells, chunking
             ).analyze_sites(site_ids)
         results: dict[str, EPPResult] = {}
         for site in sites:
@@ -517,6 +541,8 @@ class EPPEngine:
         jobs: int | None = None,
         prune: bool | None = None,
         schedule: str | None = None,
+        cells: str | None = None,
+        chunking: str | None = None,
     ) -> dict[str, EPPResult]:
         """EPP for many sites (default: every combinational gate output).
 
@@ -541,14 +567,24 @@ class EPPEngine:
         spin-up — the sharded driver's crossover guard routes them to the
         in-process vector path.
 
-        ``prune`` toggles the cone-aware sparse sweep (default on: every
-        gate group is sliced to the rows on some chunk member's fanout
-        cone — bit-identical, just less work) and ``schedule`` picks the
-        chunk scheduling strategy (``"auto"``/``"cone"``/``"input"``; the
-        default cone-clusters multi-chunk site lists so chunks share
-        fanout cones and the pruned sweep's unions stay small).  Both
-        apply to the vector and sharded backends; the scalar path ignores
-        them (it is already per-cone by construction).
+        ``prune`` toggles the cone-aware sparse sweep (default ``"auto"``:
+        every gate group is sliced to the rows on some chunk member's
+        fanout cone — bit-identical, just less work — with a dense
+        fallback for chunks whose union-of-cones saturates a small
+        circuit, where pruning is measured overhead) and ``schedule``
+        picks the chunk scheduling strategy
+        (``"auto"``/``"cone"``/``"input"``; the default cone-clusters
+        multi-chunk site lists so chunks share fanout cones and the
+        pruned sweep's unions stay small).  Both apply to the vector and
+        sharded backends; the scalar path ignores them (it is already
+        per-cone by construction).  ``cells`` picks the cell-compaction
+        mode of pruned sweeps (``"auto"``/``"on"``/``"off"``: the default
+        cost model gathers and computes only the on-path (row, column)
+        cells of sufficiently sparse gate groups) and ``chunking`` the
+        chunk-width strategy (``"auto"``/``"adaptive"``/``"fixed"``: the
+        default splits cone-clustered chunks whose union-of-cones
+        saturates) — all bit-identical; they change how much is computed,
+        never any value.
         """
         if sites is None:
             sites = self.default_sites()
@@ -562,15 +598,23 @@ class EPPEngine:
             raise AnalysisError(
                 f"jobs= applies to the 'sharded' backend only, got backend={backend!r}"
             )
-        # Validate the knob value up front, whatever the backend: the
-        # scalar path *ignores* schedule (it is per-cone by construction),
-        # but a typo should fail identically everywhere.
-        from repro.core.schedule import validate_schedule
+        # Validate the knob values up front, whatever the backend: the
+        # scalar path *ignores* schedule/cells/chunking (it is per-cone by
+        # construction), but a typo should fail identically everywhere.
+        from repro.core.schedule import (
+            validate_cells,
+            validate_chunking,
+            validate_schedule,
+        )
 
         validate_schedule(schedule)
+        validate_cells(cells)
+        validate_chunking(chunking)
 
         if not collapse:
-            return self._analyze_sites(sites, backend, batch_size, jobs, prune, schedule)
+            return self._analyze_sites(
+                sites, backend, batch_size, jobs, prune, schedule, cells, chunking
+            )
 
         from repro.core.collapse import collapse_seu_sites
 
@@ -584,7 +628,8 @@ class EPPEngine:
             rep = equivalence.representative.get(name, name)
             by_representative.setdefault(rep, []).append(name)
         rep_results = self._analyze_sites(
-            list(by_representative), backend, batch_size, jobs, prune, schedule
+            list(by_representative), backend, batch_size, jobs, prune, schedule,
+            cells, chunking,
         )
         results = {}
         for rep, members in by_representative.items():

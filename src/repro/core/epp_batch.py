@@ -19,21 +19,37 @@ sites of a chunk at once:
   ``(n_nodes, 4, batch_size)`` state matrix stays memory-bounded on
   20k+-gate circuits, and on multi-core hosts the NumPy sweep of the next
   chunk overlaps the Python-side result packaging of the previous one;
-* the sweep is *cone-aware* (``prune=True``, the default): a running
+* the sweep is *cone-aware* (``prune="auto"``, the default): a running
   union-of-cones vector marks which node rows are on-path for *any*
   column, every gate group is sliced down to those active rows before its
   kernel runs, and all levels at or below the chunk's minimum site level
   are skipped outright — so the per-level kernel calls shrink to the
   union of the chunk's fanout cones instead of the full circuit.  Since
   each retained row computes exactly what the dense sweep computed, the
-  pruned sweep is bit-identical to the dense one.
+  pruned sweep is bit-identical to the dense one.  ``"auto"`` also runs
+  the *dense fallback*: chunks whose union-of-cones signature covers most
+  sinks of a small circuit (pruning can only discover that everything is
+  active) skip the bookkeeping and sweep dense;
+* inside active rows the sweep is *cell-compacted* (``cells="auto"``,
+  the default): on clustered chunks only a few percent of an active
+  row's columns are on-path, so groups below the calibrated density
+  threshold gather exactly their on-path (row, column) cells, compute
+  them as one ``(m, 4)`` block through the compacted kernels of
+  :func:`~repro.core.rules_vec.compact_rule_for`, and scatter the block
+  back into the sentinel-padded dense state — bit-identical again, the
+  kernels run the same elementwise IEEE ops per computed cell;
 * which sites share a chunk is decided by the scheduling layer
   (:mod:`repro.core.schedule`): ``schedule="cone"`` (the ``auto`` default
   for multi-chunk calls) clusters sites with overlapping fanout cones so
   each chunk's union-of-cones — the pruned sweep's cost — stays small;
   ``schedule="input"`` keeps the caller's order (the pre-scheduling
-  contiguous chunking).  Scheduling is a pure permutation; results are
-  always returned in input order.
+  contiguous chunking).  Chunk *widths* are cost-modelled too:
+  ``chunking="adaptive"`` aligns chunk boundaries to cluster boundaries
+  so disjoint cone unions never share a sweep, while the calibrated
+  ``"auto"`` default keeps full-width chunks — on the measured
+  workloads each extra chunk's width-independent overhead outweighs the
+  smaller unions it buys.  Scheduling is a pure permutation; results
+  are always returned in input order.
 
 Results are bit-compatible with the scalar engine up to floating-point
 reassociation (the per-sink survival product and per-group reductions run
@@ -54,18 +70,24 @@ import numpy as np
 
 from repro.errors import AnalysisError
 from repro.core.fourvalue import EPPValue
-from repro.core.rules_vec import gather_rule_for
+from repro.core.rules_vec import compact_rule_for, gather_rule_for
 from repro.core.schedule import (
+    adaptive_chunk_spans,
+    chunk_prune_saturated,
     cone_cluster_order,
     resolve_prune,
     resolve_schedule,
+    validate_cells,
+    validate_chunking,
     validate_schedule,
 )
 from repro.netlist.circuit import CompiledCircuit
 from repro.netlist.gate_types import (
     CODE_AND,
+    CODE_BUF,
     CODE_NAND,
     CODE_NOR,
+    CODE_NOT,
     CODE_OR,
     CODE_XNOR,
     CODE_XOR,
@@ -86,6 +108,19 @@ _STATE_BYTES_TARGET = 256 << 20
 #: kernel (same results, no array dispatch cost).
 _MIN_VECTOR_WORK = 50_000
 
+#: Per-cell cost of a compacted kernel relative to a dense one — the
+#: ``cells="auto"`` threshold: a group runs compacted when
+#: ``on_cells * factor < rows * columns``.  The compacted gather pays
+#: fancy indexing per pin per plane where the dense kernel reads
+#: contiguous planes, so a compacted cell costs a small multiple of a
+#: dense cell; calibrated on the s9234/s38417 clustered workloads
+#: (``benchmarks/run_bench.py``) where measured break-even sits near 1/4
+#: density for the closed forms.  Truth-table kernels (MUX/MAJ) pay the
+#: full ``4^k`` enumeration per cell either way, so their gather overhead
+#: is proportionally smaller and compaction pays almost immediately.
+_CELL_FACTOR_CLOSED = 4
+_CELL_FACTOR_TABLE = 2
+
 
 def default_batch_size(n_nodes: int) -> int:
     """Chunk width sized so ``n_nodes * 4 * batch * 8`` bytes stays bounded."""
@@ -96,12 +131,15 @@ def default_batch_size(n_nodes: int) -> int:
 class _Group:
     """One rectangular gate block: same level, gate code and arity."""
 
-    __slots__ = ("out_ids", "fanin", "rule")
+    __slots__ = ("out_ids", "fanin", "rule", "compact_rule", "cell_factor")
 
-    def __init__(self, out_ids: np.ndarray, fanin: np.ndarray, rule):
+    def __init__(self, out_ids: np.ndarray, fanin: np.ndarray, rule,
+                 compact_rule, cell_factor: int):
         self.out_ids = out_ids  # (g,)
         self.fanin = fanin  # (g, k)
         self.rule = rule
+        self.compact_rule = compact_rule
+        self.cell_factor = cell_factor
 
 
 #: Codes whose kernels have an exact neutral input, letting mixed-arity
@@ -113,6 +151,10 @@ _PADDABLE_CODES = frozenset(
     (CODE_AND, CODE_NAND, CODE_OR, CODE_NOR, CODE_XOR, CODE_XNOR)
 )
 _PAD_ONE_CODES = frozenset((CODE_AND, CODE_NAND))
+
+#: Codes with closed-form kernels; everything else runs the generic
+#: truth-table kernel, whose per-cell cost dwarfs the compacted gather.
+_CLOSED_FORM_CODES = _PADDABLE_CODES | frozenset((CODE_NOT, CODE_BUF))
 
 
 class BatchPlan:
@@ -133,11 +175,17 @@ class BatchPlan:
         for level, code, outs, fins, width in compiled.level_gate_groups(
             _PADDABLE_CODES, _PAD_ONE_CODES
         ):
+            cell_factor = (
+                _CELL_FACTOR_CLOSED if code in _CLOSED_FORM_CODES
+                else _CELL_FACTOR_TABLE
+            )
             levels.setdefault(level, []).append(
                 _Group(
                     np.asarray(outs, dtype=np.intp),
                     np.asarray(fins, dtype=np.intp),
                     gather_rule_for(code, width),
+                    compact_rule_for(code, width),
+                    cell_factor,
                 )
             )
         #: ``(level value, groups)`` pairs in ascending level order.  The
@@ -184,14 +232,41 @@ class BatchEPPBackend:
     prune:
         Cone-aware sparse sweeps: slice every gate group to the rows on
         some chunk member's fanout cone and skip levels at or below the
-        chunk's minimum site level.  ``None`` (the default) enables it —
-        the pruned sweep is bit-identical to the dense one and never
-        slower than the row slicing it saves; ``False`` restores the
-        dense full-circuit sweep (the reference for the benchmarks).
+        chunk's minimum site level.  ``None`` (the default) resolves to
+        ``"auto"``: prune unless the chunk's union-of-cones signature
+        predicts a saturated sweep (small circuit, most sinks covered —
+        the regime where `BENCH_pr3.json` measured pruning slower than
+        dense), in which case the chunk runs the dense sweep.  ``True``
+        forces pruning everywhere; ``False`` restores the dense
+        full-circuit sweep (the reference for the benchmarks).  All three
+        are bit-identical — the knobs change *which rows compute*, never
+        their values.
     schedule:
         Chunk scheduling strategy (see :mod:`repro.core.schedule`):
         ``"auto"`` (default, also ``None``) cone-clusters multi-chunk site
         lists, ``"cone"`` always clusters, ``"input"`` keeps caller order.
+    cells:
+        Cell-compaction mode for pruned sweeps: ``"auto"`` (default, also
+        ``None``) lets the per-group cost model choose — a group whose
+        on-path cell count times the kernel's calibrated cost factor is
+        below its dense cell count gathers only the on-path
+        (row, column) cells and computes them through the compacted
+        kernels of :func:`~repro.core.rules_vec.compact_rule_for`;
+        ``"on"`` forces compaction for every partially-on-path group,
+        ``"off"`` keeps the PR-3 row-sparse kernels.  Bit-identical
+        either way (same elementwise IEEE ops per computed cell).
+    chunking:
+        Chunk-width strategy: ``"adaptive"`` aligns chunk boundaries to
+        cone-cluster boundaries with
+        :func:`~repro.core.schedule.adaptive_chunk_spans` (disjoint
+        cluster runs get their own chunks, coherent runs keep the full
+        ``batch_size`` width); ``"fixed"`` is flat slicing.  ``"auto"``
+        (default, also ``None``) applies the *calibrated* policy — fixed
+        full-width chunks, because on the measured workloads every extra
+        chunk costs more width-independent overhead (dispatch, buffer
+        restore, sink reduction) than its smaller union saves once the
+        cell-compacted tier caps kernel FLOPs (see :meth:`_chunk_spans`).
+        Pure scheduling — any span partition is bit-identical per site.
     """
 
     def __init__(
@@ -204,6 +279,8 @@ class BatchEPPBackend:
         scalar_fallback=None,
         prune: bool | None = None,
         schedule: str | None = None,
+        cells: str | None = None,
+        chunking: str | None = None,
     ):
         self.compiled = compiled
         self.plan = BatchPlan.for_compiled(compiled)
@@ -219,6 +296,33 @@ class BatchEPPBackend:
         self.scalar_fallback = scalar_fallback
         self.prune = resolve_prune(prune)
         self.schedule = validate_schedule(schedule)
+        self.cells = validate_cells(cells)
+        self.chunking = validate_chunking(chunking)
+        #: Cumulative execution counters, updated by every sweep: chunk
+        #: accounting (``chunks`` / ``chunk_splits`` — extra spans the
+        #: adaptive splitter emitted over fixed slicing;
+        #: ``dense_fallback_sweeps`` — chunks ``prune="auto"`` ran dense),
+        #: per-tier group counts (``groups_dense`` / ``groups_row`` /
+        #: ``groups_cell``) and cell accounting over *pruned* groups
+        #: (``cells_on`` on-path cells, ``cells_total`` cells spanned,
+        #: ``cells_computed`` cells actually computed — the FLOP measure
+        #: the benchmarks report; always ``<= cells_total``).  Dense
+        #: sweeps count their cells separately in ``cells_dense`` — their
+        #: on-cell count is never measured, so folding them into the
+        #: pruned pair would corrupt the density ratios.
+        self.sweep_stats = {
+            "sweeps": 0,
+            "dense_fallback_sweeps": 0,
+            "chunks": 0,
+            "chunk_splits": 0,
+            "groups_dense": 0,
+            "groups_row": 0,
+            "groups_cell": 0,
+            "cells_on": 0,
+            "cells_total": 0,
+            "cells_computed": 0,
+            "cells_dense": 0,
+        }
         self._rows = compiled.n + 2
         # The big state arrays are built lazily on the first sweep: a
         # backend whose every call crosses over to the scalar fallback
@@ -252,17 +356,48 @@ class BatchEPPBackend:
     # ------------------------------------------------------------------ sweep
 
     def _buffers(self, s: int, slot: int) -> tuple[np.ndarray, np.ndarray]:
-        """Reusable (state, mask) buffers; ``slot`` double-buffers the
-        pipeline so a sweep can fill one pair while the collector reads the
-        other.  Narrow final chunks reuse a full-width buffer's prefix."""
-        pair = self._buffer_slots.get(slot)
-        if pair is None:
-            pair = (
+        """Reusable (state, mask) buffer views, reset to the off-path
+        template; ``slot`` double-buffers the pipeline so a sweep can fill
+        one pair while the collector reads the other.  Narrow final chunks
+        reuse a full-width buffer's prefix.
+
+        The reset is *dirty-row incremental*: a pruned sweep can only
+        write rows on its union-of-cones, and it records them in the
+        slot's dirty set on completion — so instead of memcpy'ing the
+        whole ``(n + 2, 4, batch_size)`` template (the dominant fixed
+        cost of clustered sweeps on large circuits), the next sweep of
+        the slot restores exactly the rows the previous sweep touched.
+        The invariant: outside a running sweep the full-width buffer
+        always equals the template with an all-``False`` mask.  Dense
+        sweeps (which write every gate row) leave the dirty set as
+        ``None`` — a full reset.
+        """
+        entry = self._buffer_slots.get(slot)
+        if entry is None:
+            entry = [
                 np.empty((self._rows, 4, self.batch_size)),
                 np.empty((self._rows, self.batch_size), dtype=bool),
-            )
-            self._buffer_slots[slot] = pair
-        return pair[0][:, :, :s], pair[1][:, :s]
+                None,  # dirty rows of the last sweep (None: whole buffer)
+            ]
+            self._buffer_slots[slot] = entry
+        state, mask, dirty = entry
+        if dirty is None or dirty.size * 2 > self._rows:
+            # Saturated sweeps dirty most rows; a flat memcpy beats a
+            # fancy-indexed restore well before that point.
+            np.copyto(state, self._template)
+            mask[:] = False
+        else:
+            # Restore the full width of each dirty row: columns beyond the
+            # previous sweep's width were never written and stay clean.
+            state[dirty] = self._template[dirty]
+            mask[dirty] = False
+        return state[:, :, :s], mask[:, :s]
+
+    def _mark_dirty(self, slot: int, dirty) -> None:
+        """Record which rows the finished sweep of ``slot`` wrote."""
+        entry = self._buffer_slots.get(slot)
+        if entry is not None:
+            entry[2] = dirty
 
     def _sweep(self, site_ids: np.ndarray, slot: int = 0) -> tuple[np.ndarray, np.ndarray]:
         """One level-synchronized pass for a chunk of sites.
@@ -274,8 +409,6 @@ class BatchEPPBackend:
         s = len(site_ids)
         self._ensure_state_arrays()
         state, mask = self._buffers(s, slot)
-        np.copyto(state, self._template[:, :, :s])
-        mask[:] = False
         cols = np.arange(s)
         # The error site carries the erroneous value with certainty: 1(a).
         state[site_ids, :, cols] = (1.0, 0.0, 0.0, 0.0)
@@ -288,7 +421,17 @@ class BatchEPPBackend:
 
         track_polarity = self.track_polarity
         const = self._const
+        stats = self.sweep_stats
+        stats["sweeps"] += 1
         prune = self.prune
+        if prune == "auto":
+            # The bench-calibrated dense fallback: a chunk whose union of
+            # cones covers most sinks of a small circuit prunes nothing
+            # and pays the per-group bookkeeping anyway — run it dense.
+            prune = not chunk_prune_saturated(self.compiled, site_ids)
+            if not prune:
+                stats["dense_fallback_sweeps"] += 1
+        cells = self.cells if prune else "off"
         if prune:
             # Union-of-cones, maintained incrementally: on_path[i] is True
             # iff row i is on-path for *some* column (= mask[i].any()).  A
@@ -324,10 +467,50 @@ class BatchEPPBackend:
                     else:
                         on_path[out_ids[active]] = True
                     out_mask = mask[fanin].any(axis=1)  # (r, s)
+                    n_on = int(out_mask.sum())
+                    stats["cells_on"] += n_on
+                    stats["cells_total"] += out_mask.size
+                    if cells != "off" and n_on < out_mask.size and (
+                        cells == "on"
+                        or n_on * group.cell_factor < out_mask.size
+                    ):
+                        # Cell-compacted tier: even inside active rows only
+                        # a few columns are on-path on clustered chunks, so
+                        # gather exactly those (row, column) cells, compute
+                        # them as one (m, 4) block and scatter back into the
+                        # sentinel-padded dense state.  Off-path cells keep
+                        # their template SP constants (each node is written
+                        # at most once per sweep), and a site row's own
+                        # column is never on-path, so the injected 1(a)
+                        # survives untouched — the same invariants the
+                        # targeted scatter below relies on.
+                        on_rows, on_cols = np.nonzero(out_mask)
+                        cell_values = group.compact_rule(
+                            state, fanin[on_rows], on_cols
+                        )  # (m, 4)
+                        if not track_polarity:
+                            cell_values[:, 0] += cell_values[:, 1]
+                            cell_values[:, 1] = 0.0
+                        node_rows = out_ids[on_rows]
+                        state[node_rows, :, on_cols] = cell_values
+                        mask[node_rows, on_cols] = True
+                        stats["groups_cell"] += 1
+                        stats["cells_computed"] += n_on
+                        continue
+                    stats["groups_row"] += 1
+                    stats["cells_computed"] += out_mask.size
                 else:
                     out_mask = mask[fanin].any(axis=1)  # (g, s)
                     if not out_mask.any():
                         continue  # whole group off-path: SP constants hold
+                    stats["groups_dense"] += 1
+                    # Dense sweeps get their own cell counter: folding
+                    # them into cells_computed (without the on/total pair
+                    # the pruned tiers track) let the computed fraction
+                    # exceed 1, and counting on-cells here would put an
+                    # out_mask.sum() on the dense reference path purely
+                    # for bookkeeping.
+                    stats["cells_dense"] += out_mask.size
                 result = group.rule(state, fanin)  # (r, 4, s)
                 if not track_polarity:
                     result[:, 0, :] += result[:, 1, :]
@@ -338,7 +521,7 @@ class BatchEPPBackend:
                     state[out_ids] = result
                     mask[out_ids] = True
                     continue
-                if prune and out_mask.sum() * 8 < out_mask.size:
+                if prune and n_on * 8 < out_mask.size:
                     # Targeted scatter for column-sparse groups: every
                     # off-path cell already holds its SP constant (the
                     # chunk state is seeded from the constants template and
@@ -371,6 +554,12 @@ class BatchEPPBackend:
                         state[node_id, 2, col] = 0.0
                         state[node_id, 3, col] = 0.0
                         mask[node_id, col] = True
+        # Hand the slot its dirty-row set: a pruned sweep writes only
+        # rows on its union-of-cones (on_path is exact), so the next
+        # sweep of this slot restores just those rows instead of the
+        # whole template.  Dense sweeps may write any gate row — full
+        # reset.
+        self._mark_dirty(slot, np.nonzero(on_path)[0] if prune else None)
         return state, mask
 
     def release_buffers(self) -> None:
@@ -400,7 +589,51 @@ class BatchEPPBackend:
         strategy = resolve_schedule(self.schedule, len(ids), self.batch_size)
         if strategy != "cone":
             return None
+        if (
+            self.schedule == "auto"
+            and self.prune == "auto"
+            and chunk_prune_saturated(self.compiled, ids)
+        ):
+            # The whole call saturates a small circuit: every chunk will
+            # take the dense fallback regardless of which sites share it,
+            # so the cluster sort (and the packed-result reorder it
+            # forces) is pure overhead — exactly the s953/s1423
+            # regression BENCH_pr3.json measured.  Explicit
+            # schedule="cone" or prune=True still cluster.
+            return None
         return cone_cluster_order(self.compiled, ids)
+
+    def _chunk_spans(self, ids: np.ndarray) -> list[tuple[int, int]]:
+        """The ``(start, stop)`` spans one bulk call sweeps, in order.
+
+        ``chunking="adaptive"`` runs the boundary-aligned splitter of
+        :func:`~repro.core.schedule.adaptive_chunk_spans` (chunks close
+        at cluster boundaries once past half width, so disjoint cone
+        clusters never share a sweep; with an unclustered order it simply
+        inherits whatever locality the caller's order has); ``"fixed"``
+        is flat ``batch_size`` slicing.  The calibrated ``"auto"`` policy
+        is *fixed*: measured on the s9234/s38417 workloads
+        (``benchmarks/run_bench.py``), every extra chunk costs ~40-80 ms
+        of width-independent overhead — group dispatch, the dirty-row
+        buffer restore (which rewrites each dirty row across the full
+        buffer width regardless of the chunk's width), the per-chunk sink
+        reduction — which consistently outweighs the smaller unions a
+        split buys, so full-width chunks win wherever the cell-compacted
+        tier already caps the kernel FLOPs at the on-path cells.
+        """
+        n = len(ids)
+        adaptive = self.chunking == "adaptive"
+        if adaptive and n > self.batch_size:
+            spans = adaptive_chunk_spans(self.compiled, ids, self.batch_size)
+            fixed = -(-n // self.batch_size)
+            self.sweep_stats["chunk_splits"] += len(spans) - fixed
+        else:
+            spans = [
+                (start, min(start + self.batch_size, n))
+                for start in range(0, n, self.batch_size)
+            ]
+        self.sweep_stats["chunks"] += len(spans)
+        return spans
 
     def _swept_chunks(self, ids: np.ndarray):
         """Yield ``(chunk, state, mask)`` per chunk of ``ids``, pipelined.
@@ -411,10 +644,7 @@ class BatchEPPBackend:
         ``i``; double buffering keeps the stages on disjoint state
         matrices.  Single-chunk calls skip the thread machinery.
         """
-        chunks = [
-            ids[start : start + self.batch_size]
-            for start in range(0, len(ids), self.batch_size)
-        ]
+        chunks = [ids[start:stop] for start, stop in self._chunk_spans(ids)]
         if not chunks:
             return
         if len(chunks) == 1:

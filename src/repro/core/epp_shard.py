@@ -74,6 +74,7 @@ __all__ = [
     "export_shm",
     "import_shm",
     "partition_shards",
+    "preferred_mp_context",
 ]
 
 #: Result transports: ``shm`` round-trips packed arrays through
@@ -115,6 +116,20 @@ _SHARDS_PER_WORKER = 4
 def default_jobs() -> int:
     """Worker count when ``jobs`` is not given: one per available core."""
     return os.cpu_count() or 1
+
+
+def preferred_mp_context():
+    """The cheapest multiprocessing context this platform offers.
+
+    ``fork`` inherits the parent image — payload bytes land in the child
+    for free and spin-up is milliseconds; spawn/forkserver platforms
+    re-import and unpickle, which the initializer designs support
+    identically.  Shared by the sharded driver and the table2 roster pool
+    (:mod:`repro.experiments.table2`), so every pool in the tree picks
+    workers the same way.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
 def partition_shards(items: list, n_shards: int) -> list[list]:
@@ -243,13 +258,29 @@ def import_shm(handle: ShmHandle):
 
 # --------------------------------------------------------------------- worker
 
-#: Per-process backend, built once by :func:`_shard_worker_init` from the
-#: parent's pickled payload and reused by every task the worker runs.
-_WORKER_BACKEND = None
+#: ``(key, payload)`` of this pool's circuit, stashed by the initializer;
+#: the backend itself is built lazily through :func:`_worker_backend` so
+#: the build is counted (and skipped) by the plan cache below.
+_WORKER_PAYLOAD: tuple[str, bytes] | None = None
+
+#: Worker-side plan cache: one fully-planned backend per *circuit
+#: identity* (the SHA-1 of the pickled payload — same compiled circuit,
+#: SP vector and sweep knobs => same key).  A worker process that serves
+#: many tasks for the same circuit — repeated shard submissions on a
+#: long-lived pool, re-submitted table2 roster jobs — re-plans at most
+#: once; :data:`_WORKER_STATS` counts the builds so tests can pin that.
+_WORKER_BACKENDS: dict[str, object] = {}
+_WORKER_STATS = {"plans_built": 0}
 
 
-def _shard_worker_init(payload: bytes) -> None:
-    """Executor initializer: unpickle the circuit once, plan locally.
+def _shard_worker_init(payload: bytes, key: str) -> None:
+    """Executor initializer: stash the payload; planning happens lazily."""
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = (key, payload)
+
+
+def _worker_backend():
+    """This worker's backend for the pool's circuit, built at most once.
 
     ``min_vector_work=0``: the parent-level crossover guard already decided
     this workload is large enough for processes, so every shard runs the
@@ -258,19 +289,27 @@ def _shard_worker_init(payload: bytes) -> None:
     the site list, so shards arrive pre-ordered and workers must not
     permute them again (packed arrays stay aligned with the shard).
     """
-    global _WORKER_BACKEND
-    from repro.core.epp_batch import BatchEPPBackend
+    key, payload = _WORKER_PAYLOAD
+    backend = _WORKER_BACKENDS.get(key)
+    if backend is None:
+        from repro.core.epp_batch import BatchEPPBackend
 
-    compiled, signal_probs, track_polarity, batch_size, prune = pickle.loads(payload)
-    _WORKER_BACKEND = BatchEPPBackend(
-        compiled,
-        signal_probs,
-        track_polarity=track_polarity,
-        batch_size=batch_size,
-        min_vector_work=0,
-        prune=prune,
-        schedule="input",
-    )
+        (compiled, signal_probs, track_polarity, batch_size, prune,
+         cells, chunking) = pickle.loads(payload)
+        backend = BatchEPPBackend(
+            compiled,
+            signal_probs,
+            track_polarity=track_polarity,
+            batch_size=batch_size,
+            min_vector_work=0,
+            prune=prune,
+            schedule="input",
+            cells=cells,
+            chunking=chunking,
+        )
+        _WORKER_BACKENDS[key] = backend
+        _WORKER_STATS["plans_built"] += 1
+    return backend
 
 
 def _run_shard(site_ids: list[int], full: bool, transport: str):
@@ -281,7 +320,7 @@ def _run_shard(site_ids: list[int], full: bool, transport: str):
     executor's pickle channel; under ``"pickle"`` the arrays themselves do
     (the PR-2 wire format).
     """
-    backend = _WORKER_BACKEND
+    backend = _worker_backend()
     if full:
         arrays = backend.pack_sites(site_ids)
     else:
@@ -297,12 +336,28 @@ def _worker_warmup(delay: float) -> int:
     Holds its worker long enough that every concurrently submitted warmup
     task must land on a *distinct* worker, forcing the executor — which
     spawns processes lazily, on submit — to fork and initialize the whole
-    pool now rather than inside the caller's timed region.
+    pool now rather than inside the caller's timed region.  Planning is
+    lazy, so the warmup also builds the worker's backend (through the
+    plan cache) before it sleeps: warmed pools never re-plan inside a
+    timed region either.
+    """
+    import time
+
+    _worker_backend()
+    time.sleep(delay)
+    return os.getpid()
+
+
+def _worker_cache_stats(delay: float) -> tuple[int, int, int]:
+    """Probe task: ``(pid, plans_built, cached_circuits)`` of one worker.
+
+    Takes the same barrier delay as :func:`_worker_warmup` so a batch of
+    probes lands on distinct workers.
     """
     import time
 
     time.sleep(delay)
-    return os.getpid()
+    return os.getpid(), _WORKER_STATS["plans_built"], len(_WORKER_BACKENDS)
 
 
 # --------------------------------------------------------------------- driver
@@ -346,6 +401,10 @@ class ShardedEPPEngine:
         list by :func:`~repro.core.schedule.cone_cluster_order` before the
         contiguous shard split, so shards (and the chunks inside each
         worker) share fanout cones.
+    cells / chunking:
+        The cell-compaction and chunk-width knobs (see
+        :class:`~repro.core.epp_batch.BatchEPPBackend`), forwarded to the
+        local backend and through the payload to every worker backend.
     transport:
         Result wire format: ``"shm"`` (default on POSIX) ships packed
         arrays through shared-memory segments — only a tiny handle is
@@ -374,9 +433,16 @@ class ShardedEPPEngine:
         local_backend=None,
         prune: bool | None = None,
         schedule: str | None = None,
+        cells: str | None = None,
+        chunking: str | None = None,
         transport: str | None = None,
     ):
-        from repro.core.schedule import resolve_prune, validate_schedule
+        from repro.core.schedule import (
+            resolve_prune,
+            validate_cells,
+            validate_chunking,
+            validate_schedule,
+        )
 
         if jobs is not None and int(jobs) < 1:
             raise AnalysisError(f"jobs must be >= 1, got {jobs}")
@@ -387,6 +453,8 @@ class ShardedEPPEngine:
         self.shards_per_worker = max(1, int(shards_per_worker))
         self.prune = resolve_prune(prune)
         self.schedule = validate_schedule(schedule)
+        self.cells = validate_cells(cells)
+        self.chunking = validate_chunking(chunking)
         if transport is None:
             transport = default_transport()
         if transport not in TRANSPORTS:
@@ -416,6 +484,8 @@ class ShardedEPPEngine:
                 batch_size=batch_size,
                 prune=prune,
                 schedule=schedule,
+                cells=cells,
+                chunking=chunking,
             )
         self.local = local_backend
         self.batch_size = self.local.batch_size
@@ -456,28 +526,34 @@ class ShardedEPPEngine:
                     self.track_polarity,
                     self.worker_batch_size,
                     self.prune,
+                    self.cells,
+                    self.chunking,
                 ),
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
         return self._payload
 
+    def payload_key(self) -> str:
+        """Content digest of the payload — the worker plan-cache key.
+
+        Two engines over the same compiled circuit, SP vector and sweep
+        knobs produce the same key, so a worker process that ever serves
+        both (or the same circuit resubmitted) re-plans exactly once.
+        """
+        import hashlib
+
+        return hashlib.sha1(self.payload()).hexdigest()
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             context = self._mp_context
             if context is None:
-                # fork inherits the parent image — payload bytes land in the
-                # child for free and spin-up is milliseconds; spawn/forkserver
-                # platforms re-import and unpickle, which the initializer
-                # design supports identically.
-                methods = multiprocessing.get_all_start_methods()
-                context = multiprocessing.get_context(
-                    "fork" if "fork" in methods else None
-                )
+                context = preferred_mp_context()
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 mp_context=context,
                 initializer=_shard_worker_init,
-                initargs=(self.payload(),),
+                initargs=(self.payload(), self.payload_key()),
             )
         return self._pool
 
@@ -502,6 +578,40 @@ class ShardedEPPEngine:
                 break
             delay *= 4
         return self
+
+    def worker_stats(self) -> dict[int, dict[str, int]]:
+        """Per-worker plan-cache counters, probed over the live pool.
+
+        Returns ``{pid: {"plans_built": n, "cached_circuits": m}}``.  One
+        barrier probe per worker (the :meth:`warm` pattern) so every
+        worker answers for itself; the counters cover the worker's whole
+        lifetime — a worker that served many shards of one circuit
+        reports ``plans_built == 1``, which is what the plan-cache tests
+        pin.
+        """
+        from concurrent.futures import wait
+
+        pool = self._ensure_pool()
+        stats: dict[int, dict[str, int]] = {}
+        # The warm() escalation: a fixed barrier delay can let one worker
+        # answer two probes on a loaded host, leaving another unprobed —
+        # retry with a longer hold until every worker has reported.
+        delay = 0.05
+        for _ in range(3):
+            futures = [
+                pool.submit(_worker_cache_stats, delay)
+                for _ in range(self.jobs)
+            ]
+            wait(futures)
+            for future in futures:
+                pid, plans_built, cached = future.result()
+                stats[pid] = {
+                    "plans_built": plans_built, "cached_circuits": cached,
+                }
+            if len(stats) >= self.jobs:
+                break
+            delay *= 4
+        return stats
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent; pool respawns on next use).

@@ -52,6 +52,7 @@ __all__ = [
     "truth_table_vec",
     "vec_rule_for",
     "gather_rule_for",
+    "compact_rule_for",
 ]
 
 # Index aliases into the state axis.
@@ -284,3 +285,79 @@ def gather_rule_for(code: int, arity: int):
         return lambda state, fanin: state[fanin[:, 0]][:, (_PAB, _PA, _P1, _P0), :]
     kernel = vec_rule_for(code, arity)
     return lambda state, fanin, _kernel=kernel: _kernel(state[fanin])
+
+
+# --------------------------------------------------------------------------
+# Cell-compacted group rules (the sparse sweep's third tier)
+# --------------------------------------------------------------------------
+#
+# The row-sparse tier still computes every *column* of an active row — on
+# cone-clustered chunks only ~1-5% of those cells are on-path, so >90% of
+# the kernel FLOPs rewrite values the scatter then discards.  The compacted
+# kernels flip the layout: the sweep gathers the on-path (row, column)
+# cells into flat index vectors (``fanin_rows[m, k]`` = the fanin ids of
+# cell ``m``'s gate, ``cols[m]`` = its site column) and the kernel computes
+# exactly those ``m`` cells as an ``(m, 4)`` block, which the sweep
+# scatters straight back into the sentinel-padded dense state.
+#
+# Bit-identity with the dense kernels is by construction: every closed
+# form is a chain of *elementwise* IEEE operations in fixed pin order (the
+# reductions run across the pin axis in the same order, the residue clamps
+# are the same ops), so computing a cell inside an ``(m, k)`` block or an
+# ``(r, k, s)`` block produces the same bits.  The generic kernels are
+# reused outright on an ``(m, k, 4, 1)`` view, making the equivalence
+# structural rather than transcribed.
+
+
+def _compact_and_family(state, fanin_rows, cols, pass_plane, blocking, invert):
+    """AND/NAND/OR/NOR over gathered cells: three (m, k) plane gathers."""
+    cols = cols[:, None]
+    return _and_like_planes(
+        state[fanin_rows, pass_plane, cols][:, :, None],
+        state[fanin_rows, _PA, cols][:, :, None],
+        state[fanin_rows, _PAB, cols][:, :, None],
+        blocking=blocking,
+        invert=invert,
+    )[:, :, 0]
+
+
+def compact_rule_for(code: int, arity: int):
+    """A ``rule(state, fanin_rows, cols) -> (m, 4)`` compacted kernel.
+
+    ``fanin_rows`` is the ``(m, k)`` fanin-id block of the gathered cells
+    (one row per on-path cell, already row-gathered by the sweep) and
+    ``cols`` their ``(m,)`` site columns.  The AND/OR families gather only
+    the three probability planes they read; single-input cells gather one
+    four-valued vector per cell; everything else (XOR family, MUX/MAJ
+    truth tables) funnels a full ``(m, k, 4, 1)`` gather through the
+    corresponding tensor kernel of :func:`vec_rule_for`.
+    """
+    if code == CODE_AND:
+        return lambda state, fanin_rows, cols: _compact_and_family(
+            state, fanin_rows, cols, _P1, 0, False
+        )
+    if code == CODE_NAND:
+        return lambda state, fanin_rows, cols: _compact_and_family(
+            state, fanin_rows, cols, _P1, 0, True
+        )
+    if code == CODE_OR:
+        return lambda state, fanin_rows, cols: _compact_and_family(
+            state, fanin_rows, cols, _P0, 1, False
+        )
+    if code == CODE_NOR:
+        return lambda state, fanin_rows, cols: _compact_and_family(
+            state, fanin_rows, cols, _P0, 1, True
+        )
+    if code == CODE_BUF:
+        return lambda state, fanin_rows, cols: state[fanin_rows[:, 0], :, cols]
+    if code == CODE_NOT:
+        return lambda state, fanin_rows, cols: state[fanin_rows[:, 0], :, cols][
+            :, (_PAB, _PA, _P1, _P0)
+        ]
+    kernel = vec_rule_for(code, arity)
+
+    def compact(state, fanin_rows, cols, _kernel=kernel):
+        x = state[fanin_rows, :, cols[:, None]]  # (m, k, 4)
+        return _kernel(x[:, :, :, None])[:, :, 0]
+
+    return compact

@@ -21,6 +21,17 @@ This module provides the two pieces of that scheduling layer:
   sites by cone signature (dominant sink first, full signature as the
   tiebreak), so sites with overlapping cones land in the same chunk and
   the sparse sweep's row-prune density is maximized.
+* :func:`adaptive_chunk_spans` — cost-aware chunk widths over an
+  already-clustered site order: a running union-of-cones signature
+  detects cluster boundaries (the next site growing the union into fresh
+  sinks) and closes chunks there once past half width, so disjoint cone
+  clusters never share a sweep while coherent runs keep the full
+  ``batch_size`` width.
+* :func:`chunk_prune_saturated` — the dense-fallback cost model: on small
+  circuits whose chunk union covers most observable sinks, row pruning
+  can only discover that nearly every row is active, so its per-group
+  overhead (the reachability test and the fancy-indexed slices) exceeds
+  the rows it saves and ``prune="auto"`` runs the chunk dense instead.
 
 Scheduling is a pure reordering: every site's column is computed
 independently, so the permutation cannot change any per-site result —
@@ -38,11 +49,17 @@ from repro.errors import AnalysisError
 from repro.netlist.circuit import CompiledCircuit
 
 __all__ = [
+    "CELL_MODES",
+    "CHUNKINGS",
     "SCHEDULES",
     "ConeIndex",
+    "adaptive_chunk_spans",
+    "chunk_prune_saturated",
     "cone_cluster_order",
     "resolve_prune",
     "resolve_schedule",
+    "validate_cells",
+    "validate_chunking",
 ]
 
 #: The user-facing scheduling strategies: ``auto`` picks per call,
@@ -50,15 +67,70 @@ __all__ = [
 #: (the pre-PR-3 contiguous chunking).
 SCHEDULES = ("auto", "cone", "input")
 
+#: Cell-compaction modes for the sparse sweep kernels: ``auto`` lets the
+#: per-group cost model pick (density x arity thresholds), ``on`` forces
+#: the compacted kernels for every partially-on-path group, ``off``
+#: restores the PR-3 row-sparse kernels.
+CELL_MODES = ("auto", "on", "off")
 
-def resolve_prune(prune: bool | None) -> bool:
-    """Normalize the ``prune=`` knob: ``None`` means enabled.
+#: Chunk-width strategies: ``adaptive`` aligns chunk boundaries to cone
+#: clusters (:func:`adaptive_chunk_spans`), ``fixed`` keeps the flat
+#: ``batch_size`` slicing, and ``auto`` applies the calibrated policy
+#: (currently fixed — measured per-chunk fixed costs outweigh the
+#: aligned unions; see ``BatchEPPBackend._chunk_spans``).
+CHUNKINGS = ("auto", "adaptive", "fixed")
+
+#: Above this node count row pruning always pays on full chunks (the
+#: skipped rows dwarf the per-group bookkeeping), so the ``prune="auto"``
+#: cost model only consults cone signatures below it.
+PRUNE_AUTO_MAX_NODES = 4000
+
+#: Fraction of observable sinks a chunk's union-of-cones signature must
+#: cover before ``prune="auto"`` predicts a saturated sweep (nearly every
+#: row active => pruning is pure overhead) and falls back to dense.
+PRUNE_SATURATION = 0.5
+
+
+def resolve_prune(prune: "bool | str | None") -> "bool | str":
+    """Normalize the ``prune=`` knob: ``None`` means ``"auto"``.
 
     The single place the default lives — the backends, the sharded
     driver and the engine-level cache keys all resolve through here, so
-    they can never disagree about what ``None`` means.
+    they can never disagree about what ``None`` means.  ``"auto"`` prunes
+    unless :func:`chunk_prune_saturated` predicts the chunk is saturated
+    (small circuit, union-of-cones covering most sinks — the regime where
+    `BENCH_pr3.json` measured pruning *slower* than the dense sweep);
+    ``True``/``False`` force the pruned/dense sweep unconditionally.
+    Idempotent over its own output: an already-resolved ``"auto"``
+    stays ``"auto"`` — the sharded driver ships resolved values to
+    worker backends, which resolve again (``bool("auto")`` would
+    silently force pruning and lose the dense fallback in workers).
     """
-    return True if prune is None else bool(prune)
+    if prune is None or prune == "auto":
+        return "auto"
+    return bool(prune)
+
+
+def validate_cells(cells: str | None) -> str:
+    """Normalize the ``cells=`` knob (``None`` means ``auto``)."""
+    if cells is None:
+        return "auto"
+    if cells not in CELL_MODES:
+        raise AnalysisError(
+            f"unknown cells mode {cells!r}; choose from {CELL_MODES}"
+        )
+    return cells
+
+
+def validate_chunking(chunking: str | None) -> str:
+    """Normalize the ``chunking=`` knob (``None`` means ``auto``)."""
+    if chunking is None:
+        return "auto"
+    if chunking not in CHUNKINGS:
+        raise AnalysisError(
+            f"unknown chunking {chunking!r}; choose from {CHUNKINGS}"
+        )
+    return chunking
 
 
 def validate_schedule(schedule: str | None) -> str:
@@ -180,3 +252,99 @@ def cone_cluster_order(compiled: CompiledCircuit, site_ids: Sequence[int]):
         ),
     )
     return np.asarray(order, dtype=np.intp)
+
+
+# ------------------------------------------------------------- cost models
+
+#: Narrowest chunk the boundary-aligned splitter will emit, as a divisor
+#: of ``batch_size``: chunk count can at most double, bounding the
+#: per-chunk fixed costs (group dispatch, buffer reset) the split adds.
+#: Measured on s38417 (`benchmarks/run_bench.py`): unbounded narrow
+#: splits multiplied chunk count 3.2x and cost ~77 ms of per-group
+#: dispatch per extra chunk — far more than the smaller unions saved —
+#: so the splitter only ever trades width for union *alignment*, never
+#: for narrowness.
+_ADAPTIVE_MIN_DIVISOR = 2
+
+
+def adaptive_chunk_spans(
+    compiled: CompiledCircuit,
+    site_ids: Sequence[int],
+    batch_size: int,
+) -> list[tuple[int, int]]:
+    """Cost-aware ``(start, stop)`` chunk spans over a scheduled site list.
+
+    The pruned sweep's cost for one chunk is ``width x |union of cones|``
+    (every level slices to the union's active rows, and the row/cell
+    masks are gathered for all ``width`` columns), so a fixed-width slice
+    that straddles two disjoint cone clusters sweeps ``union(A) +
+    union(B)`` rows for *every* column of both — the waste the ROADMAP's
+    "cost-aware chunk widths" item names.  This splitter aligns chunk
+    boundaries to the cluster structure: walking the scheduled order with
+    a running union of :class:`ConeIndex` signatures, it closes a chunk
+    early — never below ``batch_size / 2``, so chunk count at most
+    doubles and the per-chunk fixed costs stay bounded — when the next
+    site's cone would *grow* the union into fresh sinks (a cluster
+    boundary); sites whose signatures stay inside the running union
+    (saturated cluster runs) keep extending the chunk to the full width.
+    Disjoint cluster runs therefore get their own aligned chunks while
+    coherent runs ride full-width ones.
+
+    Chunking is pure scheduling: every site column is computed
+    independently, so *any* span partition yields bit-identical per-site
+    results — only the work per sweep changes.
+    """
+    n = len(site_ids)
+    if n <= batch_size:
+        return [(0, n)] if n else []
+    index = ConeIndex.for_compiled(compiled)
+    sig = index.sig
+    signatures = [sig[int(site_id)] for site_id in site_ids]
+    min_width = max(1, batch_size // _ADAPTIVE_MIN_DIVISOR)
+
+    spans: list[tuple[int, int]] = []
+    start = 0
+    union = 0
+    for position, signature in enumerate(signatures):
+        width = position - start
+        if width >= batch_size or (
+            width >= min_width and signature | union != union
+        ):
+            spans.append((start, position))
+            start, union = position, 0
+        union |= signature
+    spans.append((start, n))
+    return spans
+
+
+def chunk_prune_saturated(
+    compiled: CompiledCircuit, site_ids: Sequence[int]
+) -> bool:
+    """``prune="auto"``'s dense-fallback predicate for one chunk.
+
+    Row pruning pays when whole regions of the circuit are off every
+    chunk member's cone; it *costs* (a reachability test plus two
+    fancy-indexed copies per gate group) when nearly every row is active
+    anyway.  `BENCH_pr3.json` measured that regime directly: full-circuit
+    sweeps of s953/s1423 — small circuits whose every chunk's
+    union-of-cones covers essentially all observable sinks — ran 1-17%
+    *slower* pruned than dense.  The predicate reproduces exactly that
+    signature: a small circuit (large ones always win — the skipped rows
+    dwarf the bookkeeping) whose chunk union signature covers most sinks.
+    """
+    if compiled.n >= PRUNE_AUTO_MAX_NODES:
+        return False
+    index = ConeIndex.for_compiled(compiled)
+    if index.n_sinks == 0:
+        return True
+    threshold = PRUNE_SATURATION * index.n_sinks
+    sig = index.sig
+    union = 0
+    for position, site_id in enumerate(site_ids):
+        union |= sig[int(site_id)]
+        # Saturation is monotone in the union, so poll the popcount
+        # periodically and exit as soon as the verdict is known — full
+        # default site lists saturate within the first few dozen sites.
+        if position % 32 == 31 and union.bit_count() >= threshold:
+            return True
+    return union.bit_count() >= threshold

@@ -25,6 +25,23 @@ For every circuit the harness measures, mirroring the paper's columns:
   ``ISP = (SimT * k)/(SysT * k + SPT)`` where ``k`` is the number of
   default error sites in the circuit.
 
+Roster-level parallelism: every row is measured independently (its own
+circuit, its own seeded RNGs), so ``Table2Config(circuit_jobs=N)``
+(``--circuit-jobs N`` on the CLI) fans whole circuits across a
+``ProcessPoolExecutor`` — the roster-level analogue of the per-site
+independence the sharded EPP backend exploits.  The pool reuses the
+sharded driver's machinery (:func:`repro.core.epp_shard
+.preferred_mp_context` and the pickle-once initializer pattern: the
+config crosses the process boundary exactly once), and workers cache
+built circuits by identity so a re-submitted roster job reuses the
+cached :class:`~repro.netlist.circuit.CompiledCircuit` — and with it the
+batch plan and cone index already cached on it — instead of re-planning.
+Rows travel the executor's pickle channel (they are a few hundred bytes
+of scalars; the shm transport stays reserved for array-bearing shard
+results).  Timing columns are measured inside the workers, so rows are
+identical in distribution to a serial run; the deterministic columns
+(``n_nodes``, ``%Dif``, ``mean_abs_dif``) are identical full stop.
+
 Substitution note: the circuits are profile-matched synthetic stand-ins
 for the ISCAS'89 netlists (see DESIGN.md §4); ``s27`` uses the real
 embedded netlist.  Both estimators and the EPP engine consume the same
@@ -86,6 +103,11 @@ class Table2Config:
     backend: str = "scalar"
     #: worker processes for the sharded backend (None: one per core)
     jobs: int | None = None
+    #: roster-level parallelism: fan whole circuits across this many
+    #: worker processes (None/1: measure the roster serially).  Mutually
+    #: exclusive with ``backend="sharded"`` — one level of process
+    #: parallelism at a time, never nested pools.
+    circuit_jobs: int | None = None
     #: cone-aware sparse sweep for the vector/sharded backends
     #: (None: enabled — the backends' own default)
     prune: bool | None = None
@@ -109,6 +131,17 @@ class Table2Config:
             raise ConfigError(
                 "Table2Config.jobs applies to the 'sharded' backend only, "
                 f"got backend={self.backend!r}"
+            )
+        if self.circuit_jobs is not None and self.circuit_jobs < 1:
+            raise ConfigError(
+                f"Table2Config.circuit_jobs must be >= 1, got {self.circuit_jobs}"
+            )
+        if self.circuit_jobs is not None and self.circuit_jobs > 1 \
+                and self.backend == "sharded":
+            raise ConfigError(
+                "Table2Config.circuit_jobs cannot be combined with "
+                "backend='sharded': roster workers would spawn nested "
+                "process pools"
             )
         from repro.core.schedule import SCHEDULES
 
@@ -207,9 +240,50 @@ def _build_circuit(name: str) -> Circuit:
     return generate_iscas(name)
 
 
-def run_table2_circuit(name: str, config: Table2Config) -> Table2Row:
-    """Measure one Table 2 row."""
-    circuit = _build_circuit(name)
+# ------------------------------------------------------------- roster pool
+
+#: Per-worker state of the roster pool: the once-unpickled config (the
+#: initializer pattern of :mod:`repro.core.epp_shard` — the parent pickles
+#: it exactly once, every task ships only a circuit name) and a circuit
+#: cache keyed by circuit identity, so a re-submitted roster job reuses
+#: the already-compiled circuit — and with it the batch plan / cone index
+#: cached on its ``CompiledCircuit`` — instead of rebuilding and
+#: re-planning.  ``circuits_built`` counts cache misses (the roster
+#: analogue of the shard workers' ``plans_built``).
+_ROSTER_CONFIG: "Table2Config | None" = None
+_ROSTER_CIRCUITS: dict[str, Circuit] = {}
+_ROSTER_STATS = {"circuits_built": 0}
+
+
+def _roster_worker_init(payload: bytes) -> None:
+    """Executor initializer: unpickle the roster config once per worker."""
+    import pickle
+
+    global _ROSTER_CONFIG
+    _ROSTER_CONFIG = pickle.loads(payload)
+
+
+def _roster_circuit(name: str) -> Circuit:
+    """This worker's circuit for ``name``, built (and planned) at most once."""
+    circuit = _ROSTER_CIRCUITS.get(name)
+    if circuit is None:
+        circuit = _build_circuit(name)
+        _ROSTER_CIRCUITS[name] = circuit
+        _ROSTER_STATS["circuits_built"] += 1
+    return circuit
+
+
+def _run_roster_job(name: str) -> Table2Row:
+    """One roster task: measure a whole circuit's row inside a worker."""
+    return run_table2_circuit(name, _ROSTER_CONFIG, circuit=_roster_circuit(name))
+
+
+def run_table2_circuit(
+    name: str, config: Table2Config, circuit: Circuit | None = None
+) -> Table2Row:
+    """Measure one Table 2 row (``circuit`` lets callers reuse a built one)."""
+    if circuit is None:
+        circuit = _build_circuit(name)
 
     # ---- SPT: Monte Carlo signal probabilities (charged separately) ----
     t0 = time.perf_counter()
@@ -339,9 +413,49 @@ def run_table2_circuit(name: str, config: Table2Config) -> Table2Row:
     )
 
 
+def _run_table2_parallel(config: Table2Config, verbose: bool) -> list[Table2Row]:
+    """The roster fanned across a worker pool, rows back in roster order."""
+    import pickle
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.core.epp_shard import preferred_mp_context
+
+    jobs = min(config.circuit_jobs, len(config.circuits))
+    payload = pickle.dumps(config, protocol=pickle.HIGHEST_PROTOCOL)
+    if verbose:
+        print(
+            f"[table2] fanning {len(config.circuits)} circuits across "
+            f"{jobs} workers ...",
+            flush=True,
+        )
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        mp_context=preferred_mp_context(),
+        initializer=_roster_worker_init,
+        initargs=(payload,),
+    ) as pool:
+        futures = [pool.submit(_run_roster_job, name) for name in config.circuits]
+        rows = []
+        for future in futures:  # roster order, regardless of completion order
+            rows.append(future.result())
+            if verbose:
+                print("  " + rows[-1].format_row(), flush=True)
+    return rows
+
+
 def run_table2(config: Table2Config | None = None, verbose: bool = False) -> list[Table2Row]:
-    """Measure all configured rows (in the paper's circuit order)."""
+    """Measure all configured rows (in the paper's circuit order).
+
+    ``config.circuit_jobs > 1`` runs the roster through the worker pool
+    of :func:`_run_table2_parallel` — every row is an independent
+    measurement (own circuit, own seeded RNGs), so fanning circuits out
+    changes wall-clock, never results' distribution; the deterministic
+    columns are bit-identical to a serial run.
+    """
     config = config if config is not None else Table2Config()
+    if config.circuit_jobs is not None and config.circuit_jobs > 1 \
+            and len(config.circuits) > 1:
+        return _run_table2_parallel(config, verbose)
     rows: list[Table2Row] = []
     for name in config.circuits:
         if verbose:

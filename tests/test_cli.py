@@ -135,3 +135,21 @@ class TestCommands:
         )
         assert code == 1
         assert "jobs" in capsys.readouterr().err
+
+    def test_table2_circuit_jobs_flag(self, capsys):
+        """--circuit-jobs reaches the roster pool (a single-circuit quick
+        run stays serial by construction, so this is a plumbing check)."""
+        code = main(
+            ["table2", "--mode", "quick", "--circuits", "s27",
+             "--circuit-jobs", "2"]
+        )
+        assert code == 0
+        assert "paper avg" in capsys.readouterr().out
+
+    def test_table2_circuit_jobs_with_sharded_fails_cleanly(self, capsys):
+        code = main(
+            ["table2", "--mode", "quick", "--circuits", "s27",
+             "--backend", "sharded", "--circuit-jobs", "2"]
+        )
+        assert code == 1
+        assert "circuit_jobs" in capsys.readouterr().err

@@ -54,10 +54,12 @@ def build_circuit(name: str) -> Circuit:
 
 
 def force_vector(engine: EPPEngine, batch_size: int | None = None,
-                 prune: bool | None = None, schedule: str | None = None):
+                 prune: bool | None = None, schedule: str | None = None,
+                 cells: str | None = None, chunking: str | None = None):
     """A vector backend with the small-workload crossover disabled, so the
     vectorized kernels themselves are exercised even on tiny circuits."""
-    backend = engine.vector_backend(batch_size, prune=prune, schedule=schedule)
+    backend = engine.vector_backend(batch_size, prune=prune, schedule=schedule,
+                                    cells=cells, chunking=chunking)
     backend.min_vector_work = 0
     return backend
 
@@ -65,13 +67,15 @@ def force_vector(engine: EPPEngine, batch_size: int | None = None,
 def assert_backends_agree(circuit: Circuit, track_polarity: bool = True,
                           batch_size: int | None = None, collapse: bool = False,
                           prune: bool | None = None,
-                          schedule: str | None = None):
+                          schedule: str | None = None,
+                          cells: str | None = None,
+                          chunking: str | None = None):
     engine = EPPEngine(circuit, track_polarity=track_polarity)
-    force_vector(engine, batch_size, prune, schedule)
+    force_vector(engine, batch_size, prune, schedule, cells, chunking)
     scalar = engine.analyze(backend="scalar", collapse=collapse)
     vector = engine.analyze(backend="vector", collapse=collapse,
                             batch_size=batch_size, prune=prune,
-                            schedule=schedule)
+                            schedule=schedule, cells=cells, chunking=chunking)
     assert list(scalar) == list(vector)  # same sites, same order
     for site, expected in scalar.items():
         got = vector[site]
@@ -165,6 +169,89 @@ class TestSparseSweepEquivalence:
         active rows must keep the padding columns aligned per row."""
         assert_backends_agree(gate_zoo(), prune=prune, batch_size=2,
                               schedule="cone")
+
+    #: Every sweep strategy the backend can run, forced explicitly: the
+    #: PR-3 row-sparse tier, the cell-compacted tier (closed forms and
+    #: MUX/MAJ truth tables via the zoo, sentinel-padded mixed arities via
+    #: the shared and2/and3 group), the adaptive chunk splitter, and the
+    #: full auto stack (cost-model tiers + saturated dense fallback).
+    FORCED_CONFIGS = (
+        dict(prune=True, schedule="cone", cells="off", chunking="fixed"),
+        dict(prune=True, schedule="cone", cells="on", chunking="fixed"),
+        dict(prune=True, schedule="cone", cells="on", chunking="adaptive"),
+        dict(prune=True, schedule="input", cells="on", chunking="adaptive"),
+        dict(prune=True, schedule="cone", cells="auto", chunking="auto"),
+        dict(prune=None, schedule="auto", cells="auto", chunking="auto"),
+    )
+
+    @pytest.mark.parametrize("circuit_name", ["zoo", "s27", "s953"])
+    def test_cell_compacted_bit_equal_to_dense(self, circuit_name):
+        """The compacted kernels compute the same elementwise IEEE ops per
+        on-path cell as the dense kernels, so every forced strategy must
+        produce *bitwise* identical packed arrays — np.array_equal, not a
+        tolerance."""
+        circuit = build_circuit(circuit_name)
+        engine = EPPEngine(circuit)
+        ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+        reference = force_vector(
+            engine, batch_size=5, prune=False, schedule="input",
+            cells="off", chunking="fixed",
+        ).pack_sites(ids)
+        for config in self.FORCED_CONFIGS:
+            backend = force_vector(engine, batch_size=5, **config)
+            packed = backend.pack_sites(ids)
+            for left, right in zip(reference, packed):
+                assert np.array_equal(left, right), config
+
+    def test_cell_tier_engages_and_computes_fewer_cells(self):
+        """The fast-suite smoke for the compacted code path: forcing
+        cells="on" routes partially-on-path groups through the compacted
+        kernels, and the stats show fewer cells computed than spanned."""
+        engine = EPPEngine(build_circuit("s953"))
+        backend = force_vector(engine, batch_size=16, prune=True,
+                               schedule="cone", cells="on")
+        ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+        backend.analyze_sites(ids)
+        stats = backend.sweep_stats
+        assert stats["groups_cell"] > 0
+        assert 0 < stats["cells_computed"] < stats["cells_total"]
+        assert stats["cells_on"] == stats["cells_computed"]
+
+    def test_auto_cost_model_mixes_tiers(self):
+        """cells="auto" must route dense-ish groups to the row kernels and
+        sparse groups to the compacted kernels on the same sweep set."""
+        engine = EPPEngine(build_circuit("s1423"))
+        backend = force_vector(engine, batch_size=64, prune=True,
+                               schedule="cone", cells="auto")
+        ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+        backend.analyze_sites(ids)
+        stats = backend.sweep_stats
+        assert stats["groups_cell"] > 0
+        assert stats["groups_row"] > 0
+        assert (
+            stats["cells_on"]
+            <= stats["cells_computed"]
+            < stats["cells_total"]
+        )
+
+    def test_dirty_row_reset_across_width_changes(self):
+        """Buffer reuse across sweeps of different widths: the dirty-row
+        restore must leave no stale cells from a previous wider sweep."""
+        engine = EPPEngine(build_circuit("s953"))
+        ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+        backend = force_vector(engine, batch_size=32, prune=True,
+                               schedule="cone", cells="on")
+        first = backend.pack_sites(ids)
+        narrow = backend.pack_sites(ids[:7])  # narrow sweep between full ones
+        again = backend.pack_sites(ids)
+        for left, right in zip(first, again):
+            assert np.array_equal(left, right)
+        fresh = force_vector(
+            EPPEngine(build_circuit("s953")), batch_size=32, prune=True,
+            schedule="cone", cells="on",
+        ).pack_sites(ids[:7])
+        for left, right in zip(fresh, narrow):
+            assert np.array_equal(left, right)
 
     @pytest.mark.parametrize("batch_size", [None, 3])
     def test_sites_inside_other_sites_cones(self, batch_size):

@@ -384,6 +384,76 @@ class TestShardedSelection:
         assert engine.sharded_backend(jobs=2, batch_size=defaulted.batch_size) is explicit
 
 
+class TestWorkerPlanCache:
+    """Worker-side plan/cone-index reuse keyed by circuit identity."""
+
+    def test_repeated_shard_submissions_plan_once_per_worker(self):
+        """Two full analyses plus a bulk query over one pool: every worker
+        runs several shard tasks, yet builds its backend (plan + cone
+        index) at most once — the ``plans_built`` counter pins it."""
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = forced_sharded(engine, jobs=2)
+        site_ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+        try:
+            engine.analyze(backend="sharded", jobs=2)
+            engine.analyze(backend="sharded", jobs=2)  # resubmission
+            backend.p_sensitized_many(site_ids)
+            stats = backend.worker_stats()
+        finally:
+            backend.close()
+        assert stats  # every worker answered
+        for counters in stats.values():
+            assert counters["plans_built"] <= 1
+            assert counters["cached_circuits"] == counters["plans_built"]
+        # The pool as a whole really planned somewhere (tasks ran).
+        assert sum(c["plans_built"] for c in stats.values()) >= 1
+
+    def test_warm_builds_the_plan_before_timed_regions(self):
+        """warm() must leave every worker with its backend already built
+        (plans_built == 1), so a subsequently timed sweep never pays
+        planning."""
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = forced_sharded(engine, jobs=2)
+        try:
+            backend.warm()
+            stats = backend.worker_stats()
+        finally:
+            backend.close()
+        assert stats
+        for counters in stats.values():
+            assert counters["plans_built"] == 1
+
+    def test_worker_backend_keeps_auto_prune(self):
+        """The payload ships the resolved tri-state: a worker rebuilding
+        its backend from it must land on prune="auto" (the dense
+        fallback), not a truthy-coerced forced True."""
+        from repro.core.epp_shard import _shard_worker_init, _worker_backend
+
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = engine.sharded_backend(jobs=2)  # default prune=None
+        assert backend.prune == "auto"
+        _shard_worker_init(backend.payload(), backend.payload_key())
+        try:
+            worker_backend = _worker_backend()
+            assert worker_backend.prune == "auto"
+        finally:
+            import repro.core.epp_shard as shard_module
+
+            shard_module._WORKER_PAYLOAD = None
+            shard_module._WORKER_BACKENDS.clear()
+            shard_module._WORKER_STATS["plans_built"] = 0
+
+    def test_payload_key_is_content_derived(self):
+        """Same engine => stable key; different sweep knobs => different
+        payload bytes => different cache identity."""
+        engine = EPPEngine(generate_iscas("s953"))
+        default = engine.sharded_backend(jobs=2)
+        key = default.payload_key()
+        assert key == default.payload_key()
+        pruned_off = engine.sharded_backend(jobs=2, prune=False)
+        assert pruned_off.payload_key() != key
+
+
 class TestPoolLifecycle:
     def test_pool_reused_across_calls_and_respawns_after_close(self):
         engine = EPPEngine(generate_iscas("s953"))

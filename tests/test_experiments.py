@@ -122,3 +122,73 @@ class TestTable2:
         row = run_table2_circuit("s27", config)
         assert row.circuit == "s27"
         assert row.n_nodes == 10
+
+
+class TestTable2Roster:
+    """circuit_jobs: whole circuits fanned across a worker pool."""
+
+    TINY = dict(
+        sim_vectors=50, sim_sites=1, accuracy_sites=5,
+        reference_vectors=1000, sp_vectors=1000, epp_sites=5,
+    )
+
+    def test_circuit_jobs_validation(self):
+        with pytest.raises(ConfigError, match="circuit_jobs"):
+            Table2Config(circuit_jobs=0)
+        with pytest.raises(ConfigError, match="nested"):
+            Table2Config(backend="sharded", circuit_jobs=2)
+        Table2Config(backend="vector", circuit_jobs=2)  # fine
+        Table2Config(backend="sharded", jobs=2, circuit_jobs=1)  # serial: fine
+
+    def test_roster_pool_rows_match_serial(self):
+        """Every row is an independent seeded measurement, so the
+        deterministic columns of a fanned-out run are identical to a
+        serial run's — only the timing columns may differ."""
+        serial = run_table2(Table2Config(circuits=("s27", "s953"), **self.TINY))
+        parallel = run_table2(
+            Table2Config(circuits=("s27", "s953"), circuit_jobs=2, **self.TINY)
+        )
+        assert [row.circuit for row in parallel] == [row.circuit for row in serial]
+        for got, want in zip(parallel, serial):
+            assert got.n_nodes == want.n_nodes
+            assert got.pct_dif == want.pct_dif
+            assert got.mean_abs_dif == want.mean_abs_dif
+            assert got.n_accuracy_sites == want.n_accuracy_sites
+            assert got.sim_vectors == want.sim_vectors
+            assert got.syst_ms > 0 and got.simt_s > 0
+
+    def test_circuit_jobs_one_stays_serial(self):
+        """circuit_jobs=1 (or a single-circuit roster) never spawns a
+        pool — same code path as the default serial loop."""
+        rows = run_table2(
+            Table2Config(circuits=("s27",), circuit_jobs=4, **self.TINY)
+        )
+        assert [row.circuit for row in rows] == ["s27"]
+
+    def test_worker_circuit_cache_builds_once(self):
+        """The worker-side cache: a re-submitted roster job for the same
+        circuit reuses the cached Circuit object — and therefore the
+        batch plan / cone index already cached on its compiled form."""
+        import pickle
+
+        from repro.experiments import table2 as table2_module
+
+        table2_module._ROSTER_CIRCUITS.clear()
+        table2_module._ROSTER_STATS["circuits_built"] = 0
+        try:
+            table2_module._roster_worker_init(
+                pickle.dumps(Table2Config(circuits=("s27",), **self.TINY))
+            )
+            first = table2_module._run_roster_job("s27")
+            cached = table2_module._ROSTER_CIRCUITS["s27"]
+            compiled = cached.compiled()
+            again = table2_module._run_roster_job("s27")
+            assert table2_module._ROSTER_STATS["circuits_built"] == 1
+            assert table2_module._ROSTER_CIRCUITS["s27"] is cached
+            assert cached.compiled() is compiled  # plan caches survive
+            assert first.n_nodes == again.n_nodes
+            assert first.pct_dif == again.pct_dif
+        finally:
+            table2_module._ROSTER_CIRCUITS.clear()
+            table2_module._ROSTER_STATS["circuits_built"] = 0
+            table2_module._ROSTER_CONFIG = None

@@ -20,8 +20,13 @@ from repro.core.epp import EPPEngine
 from repro.core.epp_batch import BatchPlan
 from repro.core.schedule import (
     ConeIndex,
+    adaptive_chunk_spans,
+    chunk_prune_saturated,
     cone_cluster_order,
+    resolve_prune,
     resolve_schedule,
+    validate_cells,
+    validate_chunking,
     validate_schedule,
 )
 from repro.errors import AnalysisError
@@ -172,6 +177,46 @@ class TestScheduleKnob:
         assert clustered is not pruned_off
         assert clustered.schedule == "cone"
 
+    def test_backend_cache_keyed_by_cells_and_chunking(self):
+        engine = EPPEngine(s27())
+        default = engine.vector_backend()
+        compacted = engine.vector_backend(cells="on")
+        assert compacted is not default
+        assert compacted.cells == "on"
+        adaptive = engine.vector_backend(chunking="adaptive")
+        assert adaptive is not compacted
+        assert adaptive.chunking == "adaptive"
+        assert adaptive.cells == "auto"  # one-off "on" did not stick
+
+    def test_validate_cells_and_chunking(self):
+        assert validate_cells(None) == "auto"
+        assert validate_chunking(None) == "auto"
+        for value in ("auto", "on", "off"):
+            assert validate_cells(value) == value
+        for value in ("auto", "adaptive", "fixed"):
+            assert validate_chunking(value) == value
+        with pytest.raises(AnalysisError, match="unknown cells"):
+            validate_cells("csr")
+        with pytest.raises(AnalysisError, match="unknown chunking"):
+            validate_chunking("dynamic")
+
+    def test_engine_rejects_bad_cells_and_chunking(self):
+        engine = EPPEngine(s27())
+        with pytest.raises(AnalysisError, match="unknown cells"):
+            engine.analyze(backend="vector", cells="csr")
+        with pytest.raises(AnalysisError, match="unknown chunking"):
+            engine.analyze(backend="scalar", chunking="dynamic")
+
+    def test_resolve_prune_tri_state(self):
+        assert resolve_prune(None) == "auto"
+        assert resolve_prune(True) is True
+        assert resolve_prune(False) is False
+        # Idempotent over its own output: the sharded driver ships
+        # resolved values to workers, which resolve again — "auto" must
+        # survive the round trip instead of coercing truthy to True.
+        assert resolve_prune("auto") == "auto"
+        assert resolve_prune(resolve_prune(None)) == "auto"
+
 
 class TestScheduledResults:
     def test_cone_schedule_preserves_input_order(self):
@@ -216,3 +261,164 @@ class TestScheduledResults:
         packed_ordered = ordered.pack_sites(ids)
         for left, right in zip(packed_clustered, packed_ordered):
             assert np.array_equal(left, right)
+
+
+def disjoint_cones_circuit(n_cones: int = 64) -> Circuit:
+    """``n_cones`` independent 2-input ANDs, each its own output — every
+    site's cone signature is a distinct single bit, so any chunk's union
+    popcount grows linearly with its width (maximal saturation)."""
+    circuit = Circuit("disjoint")
+    for index in range(n_cones):
+        a = circuit.add_input(f"a{index}")
+        b = circuit.add_input(f"b{index}")
+        circuit.add_gate(f"g{index}", GateType.AND, [a, b])
+        circuit.mark_output(f"g{index}")
+    return circuit
+
+
+def single_sink_chain(n_gates: int = 80) -> Circuit:
+    """One AND/OR chain into one output — every site shares the single
+    sink, so any chunk's union popcount stays 1 (no saturation)."""
+    circuit = Circuit("chain")
+    circuit.add_input("i0")
+    circuit.add_input("i1")
+    previous = "i0"
+    for index in range(n_gates):
+        name = f"n{index}"
+        circuit.add_gate(name, GateType.AND if index % 2 else GateType.OR,
+                         [previous, "i1"])
+        previous = name
+    circuit.mark_output(previous)
+    return circuit
+
+
+class TestAdaptiveChunkSpans:
+    def test_spans_partition_the_site_list(self):
+        compiled = generate_iscas("s953").compiled()
+        engine = EPPEngine(generate_iscas("s953"))
+        ids = [engine._cones.resolve(site) for site in engine.default_sites()]
+        order = cone_cluster_order(compiled, ids)
+        clustered = [ids[position] for position in order.tolist()]
+        spans = adaptive_chunk_spans(compiled, clustered, 64)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == len(ids)
+        for (_, stop), (start, _) in zip(spans, spans[1:]):
+            assert stop == start  # contiguous, no gaps, no overlaps
+        assert all(1 <= stop - start <= 64 for start, stop in spans)
+
+    def test_short_lists_are_one_span(self):
+        compiled = s27().compiled()
+        sites = [compiled.index["G10"], compiled.index["G11"]]
+        assert adaptive_chunk_spans(compiled, sites, 64) == [(0, 2)]
+        assert adaptive_chunk_spans(compiled, [], 64) == []
+
+    def test_disjoint_cones_split_into_narrow_chunks(self):
+        """Maximally saturating unions (every site a distinct sink) must
+        close chunks early — more spans than the fixed slicing."""
+        circuit = disjoint_cones_circuit(64)
+        compiled = circuit.compiled()
+        sites = [compiled.index[f"g{index}"] for index in range(64)]
+        spans = adaptive_chunk_spans(compiled, sites, 32)
+        assert len(spans) > 2  # fixed slicing would emit exactly two
+        assert spans[0][0] == 0 and spans[-1][1] == 64
+
+    def test_shared_sink_keeps_full_width(self):
+        """A single shared sink never saturates: spans must match the
+        fixed slicing exactly (wide chunks for disjoint-free runs)."""
+        circuit = single_sink_chain(80)
+        compiled = circuit.compiled()
+        sites = [compiled.index[f"n{index}"] for index in range(80)]
+        spans = adaptive_chunk_spans(compiled, sites, 64)
+        assert spans == [(0, 64), (64, 80)]
+
+    def test_any_partition_is_bit_identical(self):
+        """Chunk widths are pure scheduling: forced-adaptive and fixed
+        sweeps of the same sites produce bitwise-equal packed arrays."""
+        engine = EPPEngine(generate_iscas("s953"))
+        ids = [engine._cones.resolve(site) for site in engine.default_sites()]
+        adaptive = engine.vector_backend(batch_size=16, schedule="cone",
+                                         prune=True, chunking="adaptive")
+        adaptive.min_vector_work = 0
+        packed_adaptive = adaptive.pack_sites(ids)
+        fixed = engine.vector_backend(batch_size=16, schedule="cone",
+                                      prune=True, chunking="fixed")
+        fixed.min_vector_work = 0
+        packed_fixed = fixed.pack_sites(ids)
+        for left, right in zip(packed_adaptive, packed_fixed):
+            assert np.array_equal(left, right)
+
+
+class TestAutoPruneFallback:
+    """The bench-driven dense fallback (BENCH_pr3.json: s953 sparse at
+    0.99x of dense, s1423 at 0.83x — saturated full-circuit sweeps of
+    small circuits lose to the dense kernels)."""
+
+    def test_saturated_predicate_matches_bench_observation(self):
+        """Full-circuit site lists of the regressed small circuits are
+        exactly what the predicate must flag as saturated."""
+        for name in ("s953", "s1423"):
+            engine = EPPEngine(generate_iscas(name))
+            ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+            assert chunk_prune_saturated(engine.compiled, ids), name
+
+    def test_clustered_subset_is_not_saturated(self):
+        """A single cone-cluster's sites cover few sinks — the workload
+        pruning was built for must keep pruning."""
+        engine = EPPEngine(generate_iscas("s953"))
+        ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+        order = cone_cluster_order(engine.compiled, ids)
+        cluster = [ids[position] for position in order[:24].tolist()]
+        assert not chunk_prune_saturated(engine.compiled, cluster)
+
+    def test_large_circuits_never_consult_the_predicate(self, monkeypatch):
+        """Above PRUNE_AUTO_MAX_NODES the skipped rows always dwarf the
+        bookkeeping: saturation must not trigger the fallback."""
+        import repro.core.schedule as schedule_module
+
+        engine = EPPEngine(generate_iscas("s953"))
+        ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+        assert chunk_prune_saturated(engine.compiled, ids)
+        monkeypatch.setattr(schedule_module, "PRUNE_AUTO_MAX_NODES", 400)
+        assert not chunk_prune_saturated(engine.compiled, ids)
+
+    def test_auto_mode_runs_saturated_sweeps_dense(self):
+        """End to end: the default (auto) configuration routes the s953
+        full-circuit analyze through dense sweeps — and skips the cluster
+        sort, whose overhead was the other half of the regression."""
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = engine.vector_backend(batch_size=64)
+        backend.min_vector_work = 0
+        ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+        assert backend._schedule_order(np.asarray(ids, dtype=np.intp)) is None
+        backend.analyze_sites(ids)
+        stats = backend.sweep_stats
+        assert stats["sweeps"] > 0
+        assert stats["dense_fallback_sweeps"] == stats["sweeps"]
+        assert stats["groups_row"] == stats["groups_cell"] == 0
+
+    def test_forced_prune_overrides_the_fallback(self):
+        """prune=True keeps the PR-3 contract: saturated or not, every
+        sweep prunes (the knob is a force, not a hint)."""
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = engine.vector_backend(batch_size=64, prune=True)
+        backend.min_vector_work = 0
+        ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+        backend.analyze_sites(ids)
+        stats = backend.sweep_stats
+        assert stats["dense_fallback_sweeps"] == 0
+        assert stats["groups_dense"] == 0
+        assert stats["groups_row"] + stats["groups_cell"] > 0
+
+    def test_unsaturated_auto_calls_still_prune(self):
+        """The fallback must not blanket small circuits: a clustered
+        subset under the same auto defaults keeps the sparse tiers."""
+        engine = EPPEngine(generate_iscas("s953"))
+        ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+        order = cone_cluster_order(engine.compiled, ids)
+        cluster = [ids[position] for position in order[:24].tolist()]
+        backend = engine.vector_backend(batch_size=64)
+        backend.min_vector_work = 0
+        backend.analyze_sites(cluster)
+        stats = backend.sweep_stats
+        assert stats["dense_fallback_sweeps"] == 0
+        assert stats["groups_row"] + stats["groups_cell"] > 0
