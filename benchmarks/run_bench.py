@@ -14,22 +14,28 @@ backend configurations —
 * ``sparse_pr3_s``   — the PR-3 strategy pinned explicitly
   (``prune=True, cells="off", chunking="fixed"``: row pruning and cone
   clustering without cell compaction or adaptive widths);
-* ``sparse_s``       — the full defaults (``prune/cells/chunking`` all
-  ``"auto"``: cell-compacted kernels, cost-aware chunk widths and the
-  saturated-chunk dense fallback), with the backend's ``sweep_stats``
-  (cell density, chunk splits, dense fallbacks) recorded alongside;
+* ``sparse_full_rows_s`` — the PR-4 strategy pinned (``rows="full"``
+  with the auto stack otherwise: cell-compacted kernels on full-row
+  slot buffers with the dirty-row restore);
+* ``sparse_s``       — the full defaults (``prune/cells/chunking/rows``
+  all ``"auto"``: cell-compacted kernels, compacted union-of-cones
+  state matrices, recalibrated wide chunks and the saturated-chunk
+  dense fallback), with the backend's ``sweep_stats`` (cell density,
+  compact sweeps/rows, chunk splits, dense fallbacks) recorded
+  alongside;
 * ``sharded_s``      — the multi-process driver under its default
   crossover guard (``sharded_process_path`` records whether worker
   processes actually engaged);
 
 plus a **clustered-site workload**: one cone-cluster's sites (a module's
 worth of neighbors, the MBU/per-module shape) measured dense
-(``clustered_vector_s``), PR-3 row-sparse (``clustered_sparse_s``) and
-cell-compacted (``clustered_compact_s``).  Results land in a JSON
-document (default ``BENCH_pr4.json``) with host metadata; when the
-committed ``BENCH_pr3.json`` sits next to the output the cross-PR
-ladder ratios (this run vs the *recorded* PR-3 seconds, same container)
-are included per circuit as ``vs_pr3_baseline``.
+(``clustered_vector_s``), PR-3 row-sparse (``clustered_sparse_s``),
+PR-4 cell-compacted on full-row buffers (``clustered_full_rows_s``) and
+the compacted-rows default (``clustered_compact_s``).  Results land in a
+JSON document (default ``BENCH_pr5.json``) with host metadata; when the
+committed ``BENCH_pr4.json`` sits next to the output the cross-PR
+ladder ratios (this run vs the *recorded* PR-4 seconds, same container)
+are included per circuit as ``vs_pr4_baseline``.
 
 ``--check BASELINE`` compares the *speedup ratios* of a fresh run against
 a committed baseline and exits non-zero on a >``--tolerance`` regression
@@ -63,11 +69,14 @@ CHECKED_RATIOS = (
     "clustered_speedup",
     "speedup_sparse_vs_pr3_strategy",
     "clustered_compact_speedup",
+    "speedup_compact_vs_full_rows",
+    "clustered_rows_speedup",
 )
 
 #: Sweep-stat counters copied next to the timing they describe.
 _SWEEP_STAT_KEYS = (
     "chunks", "chunk_splits", "dense_fallback_sweeps",
+    "compact_sweeps", "compact_rows",
     "groups_dense", "groups_row", "groups_cell",
     "cells_on", "cells_total", "cells_computed", "cells_dense",
 )
@@ -167,6 +176,11 @@ def bench_circuit(name: str, jobs: int | None) -> dict:
         prune=True, cells="off", chunking="fixed",
     )
 
+    # ---- PR-4 strategy pinned: cell compaction on full-row buffers ----
+    row["sparse_full_rows_s"] = _timed_analyze(
+        _fresh_engine(circuit, sp), sites, rows="full",
+    )
+
     # ---- full defaults: cell-compacted, adaptive, dense-fallback ----
     # One warm-up analyze first, snapshotted immediately: the recorded
     # sweep_stats describe exactly one analyze() run, not the cumulative
@@ -223,10 +237,16 @@ def bench_circuit(name: str, jobs: int | None) -> dict:
             return _best_of(timed, floor_s=2.0, max_repeats=5)
 
         row["clustered_vector_s"] = measure_cluster(
-            prune=False, schedule="input", cells="off", chunking="fixed"
+            prune=False, schedule="input", cells="off", chunking="fixed",
+            rows="full",
         )
         row["clustered_sparse_s"] = measure_cluster(
-            prune=True, schedule="cone", cells="off", chunking="fixed"
+            prune=True, schedule="cone", cells="off", chunking="fixed",
+            rows="full",
+        )
+        row["clustered_full_rows_s"] = measure_cluster(
+            prune=True, schedule="cone", cells="auto", chunking="auto",
+            rows="full",
         )
         row["clustered_compact_s"] = measure_cluster(
             stats_key="clustered_sweep_stats",
@@ -241,12 +261,16 @@ def bench_circuit(name: str, jobs: int | None) -> dict:
         row["clustered_compact_vs_sparse"] = (
             row["clustered_sparse_s"] / row["clustered_compact_s"]
         )
+        row["clustered_rows_speedup"] = (
+            row["clustered_full_rows_s"] / row["clustered_compact_s"]
+        )
 
     # ---- ratios ----
     row["speedup_sparse_vs_vector"] = row["vector_s"] / row["sparse_s"]
     row["speedup_sparse_vs_pr1_vector"] = row["vector_eager_s"] / row["sparse_s"]
     row["speedup_sparse_vs_scalar"] = row["scalar_s"] / row["sparse_s"]
     row["speedup_sparse_vs_pr3_strategy"] = row["sparse_pr3_s"] / row["sparse_s"]
+    row["speedup_compact_vs_full_rows"] = row["sparse_full_rows_s"] / row["sparse_s"]
     for key, value in list(row.items()):
         if isinstance(value, float):
             row[key] = round(value, 4)
@@ -271,35 +295,35 @@ def host_metadata() -> dict:
     }
 
 
-def attach_pr3_baseline(document: dict, baseline_path: str) -> None:
-    """Cross-PR ladder: this run's seconds vs the committed PR-3 seconds.
+def attach_pr4_baseline(document: dict, baseline_path: str) -> None:
+    """Cross-PR ladder: this run's seconds vs the committed PR-4 seconds.
 
     Only meaningful when both were measured on the same class of host
     (the committed trajectory files all come from the CI container); the
-    ratios are stored per circuit under ``vs_pr3_baseline`` and are
+    ratios are stored per circuit under ``vs_pr4_baseline`` and are
     informational — the ``--check`` gate compares within-run ratios only.
     """
     if not os.path.exists(baseline_path):
         return
     with open(baseline_path, encoding="utf-8") as handle:
-        pr3 = json.load(handle)
+        pr4 = json.load(handle)
     for name, row in document["circuits"].items():
-        base = pr3.get("circuits", {}).get(name)
+        base = pr4.get("circuits", {}).get(name)
         if not base:
             continue
         ladder = {"baseline": baseline_path}
         if base.get("sparse_s") and row.get("sparse_s"):
-            ladder["full_circuit_vs_pr3_sparse"] = round(
+            ladder["full_circuit_vs_pr4_sparse"] = round(
                 base["sparse_s"] / row["sparse_s"], 4
             )
-        if base.get("clustered_sparse_s") and row.get("clustered_compact_s"):
-            ladder["clustered_vs_pr3_sparse"] = round(
-                base["clustered_sparse_s"] / row["clustered_compact_s"], 4
+        if base.get("clustered_compact_s") and row.get("clustered_compact_s"):
+            ladder["clustered_vs_pr4_compact"] = round(
+                base["clustered_compact_s"] / row["clustered_compact_s"], 4
             )
-        row["vs_pr3_baseline"] = ladder
+        row["vs_pr4_baseline"] = ladder
 
 
-def run(circuits, jobs, out_path, verbose=True, pr3_baseline=None) -> dict:
+def run(circuits, jobs, out_path, verbose=True, pr4_baseline=None) -> dict:
     document = {"host": host_metadata(), "circuits": {}}
     for name in circuits:
         if verbose:
@@ -316,14 +340,15 @@ def run(circuits, jobs, out_path, verbose=True, pr3_baseline=None) -> dict:
                 f"  scalar {row['scalar_s']:.2f}s  vector {row['vector_s']:.2f}s "
                 f"(eager {row['vector_eager_s']:.2f}s)  "
                 f"pr3-sparse {row['sparse_pr3_s']:.2f}s  "
+                f"full-rows {row['sparse_full_rows_s']:.2f}s  "
                 f"sparse {row['sparse_s']:.2f}s  "
                 f"sharded {row['sharded_s']:.2f}s  "
                 f"sparse-vs-vector {row['speedup_sparse_vs_vector']:.2f}x"
                 f"{clustered}",
                 flush=True,
             )
-    if pr3_baseline:
-        attach_pr3_baseline(document, pr3_baseline)
+    if pr4_baseline:
+        attach_pr4_baseline(document, pr4_baseline)
     if out_path:
         with open(out_path, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2)
@@ -377,7 +402,7 @@ def main(argv=None) -> int:
                         help=f"roster (default: {' '.join(DEFAULT_CIRCUITS)})")
     parser.add_argument("--quick", action="store_true",
                         help=f"short roster ({' '.join(QUICK_CIRCUITS)})")
-    parser.add_argument("--out", default="BENCH_pr4.json",
+    parser.add_argument("--out", default="BENCH_pr5.json",
                         help="output JSON path ('' to skip writing)")
     parser.add_argument("--jobs", type=int, default=None,
                         help="sharded worker count (default: one per core)")
@@ -385,8 +410,8 @@ def main(argv=None) -> int:
                         help="compare speedup ratios against a baseline JSON")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed relative ratio drop before failing (0.25)")
-    parser.add_argument("--pr3-baseline", default="BENCH_pr3.json",
-                        help="committed PR-3 trajectory file for the cross-PR "
+    parser.add_argument("--pr4-baseline", default="BENCH_pr4.json",
+                        help="committed PR-4 trajectory file for the cross-PR "
                         "ladder ratios ('' to skip)")
     args = parser.parse_args(argv)
 
@@ -401,7 +426,7 @@ def main(argv=None) -> int:
             baseline = json.load(handle)
         if os.path.abspath(args.check) == os.path.abspath(args.out or ""):
             args.out = ""  # never clobber the baseline being checked
-    document = run(circuits, args.jobs, args.out, pr3_baseline=args.pr3_baseline)
+    document = run(circuits, args.jobs, args.out, pr4_baseline=args.pr4_baseline)
     if baseline is not None:
         return check_regression(document, baseline, args.check, args.tolerance)
     return 0

@@ -154,6 +154,30 @@ def build_parser() -> argparse.ArgumentParser:
         "kernels, the PR-1 reference behaviour)",
     )
     analyze.add_argument(
+        "--cells",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="cell-compaction mode of pruned sweeps (auto: per-group "
+        "density cost model; on/off force the compacted or row-sparse "
+        "kernels — bit-identical either way)",
+    )
+    analyze.add_argument(
+        "--chunking",
+        choices=("auto", "adaptive", "fixed"),
+        default="auto",
+        help="chunk-width strategy (auto: calibrated full-width chunks, "
+        "widened when compacted rows remove the restore overhead; "
+        "adaptive aligns chunk boundaries to cone clusters)",
+    )
+    analyze.add_argument(
+        "--rows",
+        choices=("auto", "compact", "full"),
+        default="auto",
+        help="state-matrix row layout of pruned sweeps (auto/compact: "
+        "per-chunk buffers hold only the union-of-cones rows via a "
+        "cached remap; full restores the PR-4 full-circuit buffers)",
+    )
+    analyze.add_argument(
         "--multi-cycle",
         type=int,
         metavar="CYCLES",
@@ -248,6 +272,9 @@ def _dispatch(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             prune=False if args.no_prune else None,
             schedule=None if args.schedule == "auto" else args.schedule,
+            cells=None if args.cells == "auto" else args.cells,
+            chunking=None if args.chunking == "auto" else args.chunking,
+            rows=None if args.rows == "auto" else args.rows,
         )
         print(report.format_table(top=args.top))
         if args.csv:

@@ -188,21 +188,25 @@ class SERAnalyzer:
         schedule: str | None = None,
         cells: str | None = None,
         chunking: str | None = None,
+        rows: str | None = None,
     ) -> CircuitSERReport:
         """Analyze many sites (default: every combinational gate output).
 
         ``backend``/``batch_size``/``jobs``/``prune``/``schedule``/
-        ``cells``/``chunking`` are forwarded to :meth:`EPPEngine.analyze`
-        — ``"scalar"`` for the per-site reference path, ``"vector"`` for
-        the batched NumPy backend (the default when NumPy is available;
-        cone-aware sparse sweeps, cell-compacted kernels and
-        cone-clustered cost-aware chunks by default), ``"sharded"`` (or
-        just passing ``jobs=``) for the multi-process site-sharded driver.
+        ``cells``/``chunking``/``rows`` are forwarded to
+        :meth:`EPPEngine.analyze` — ``"scalar"`` for the per-site
+        reference path, ``"vector"`` for the batched NumPy backend (the
+        default when NumPy is available; cone-aware sparse sweeps,
+        cell-compacted kernels, compacted union-of-cones state matrices
+        and cone-clustered cost-aware chunks by default), ``"sharded"``
+        (or just passing ``jobs=``) for the multi-process site-sharded
+        driver.
         """
         results = self.engine.analyze(
             sites=sites, sample=sample, seed=seed,
             backend=backend, batch_size=batch_size, jobs=jobs,
             prune=prune, schedule=schedule, cells=cells, chunking=chunking,
+            rows=rows,
         )
         report = CircuitSERReport(self.circuit.name)
         for site, result in results.items():

@@ -365,18 +365,20 @@ class EPPEngine:
         schedule: str | None = None,
         cells: str | None = None,
         chunking: str | None = None,
+        rows: str | None = None,
     ):
         from repro.core.epp_batch import BatchEPPBackend, default_batch_size
         from repro.core.schedule import (
             resolve_prune,
             validate_cells,
             validate_chunking,
+            validate_rows,
             validate_schedule,
         )
 
         # Cache keyed by the *effective* configuration: a one-off explicit
-        # batch_size/prune/schedule/cells/chunking must not stick to later
-        # default calls.
+        # batch_size/prune/schedule/cells/chunking/rows must not stick to
+        # later default calls.
         effective = (
             batch_size if batch_size is not None
             else default_batch_size(self.compiled.n),
@@ -384,11 +386,12 @@ class EPPEngine:
             validate_schedule(schedule),
             validate_cells(cells),
             validate_chunking(chunking),
+            validate_rows(rows),
         )
         backend = self._vector_backend
         if backend is None or (
             backend.batch_size, backend.prune, backend.schedule,
-            backend.cells, backend.chunking,
+            backend.cells, backend.chunking, backend.rows,
         ) != effective:
             backend = BatchEPPBackend(
                 self.compiled,
@@ -400,6 +403,7 @@ class EPPEngine:
                 schedule=schedule,
                 cells=cells,
                 chunking=chunking,
+                rows=rows,
             )
             self._vector_backend = backend
         return backend
@@ -412,12 +416,15 @@ class EPPEngine:
         schedule: str | None = None,
         cells: str | None = None,
         chunking: str | None = None,
+        rows: str | None = None,
     ):
         from repro.core.epp_shard import ShardedEPPEngine, default_jobs
 
         effective_jobs = int(jobs) if jobs is not None else default_jobs()
         requested_batch = None if batch_size is None else int(batch_size)
-        local = self._get_vector_backend(batch_size, prune, schedule, cells, chunking)
+        local = self._get_vector_backend(
+            batch_size, prune, schedule, cells, chunking, rows
+        )
         backend = self._sharded_backend
         if (
             backend is None
@@ -438,6 +445,7 @@ class EPPEngine:
                 schedule=schedule,
                 cells=cells,
                 chunking=chunking,
+                rows=rows,
             )
             self._sharded_backend = backend
         return backend
@@ -450,6 +458,7 @@ class EPPEngine:
         schedule: str | None = None,
         cells: str | None = None,
         chunking: str | None = None,
+        rows: str | None = None,
     ):
         """The multi-process sharded driver bound to this engine.
 
@@ -466,7 +475,7 @@ class EPPEngine:
         """
         self._resolve_backend("sharded")
         return self._get_sharded_backend(
-            jobs, batch_size, prune, schedule, cells, chunking
+            jobs, batch_size, prune, schedule, cells, chunking, rows
         )
 
     def vector_backend(
@@ -476,6 +485,7 @@ class EPPEngine:
         schedule: str | None = None,
         cells: str | None = None,
         chunking: str | None = None,
+        rows: str | None = None,
     ):
         """The batched NumPy backend bound to this engine (public access).
 
@@ -487,7 +497,9 @@ class EPPEngine:
         (batch size, prune, schedule, cells, chunking) configuration.
         """
         self._resolve_backend("vector")
-        return self._get_vector_backend(batch_size, prune, schedule, cells, chunking)
+        return self._get_vector_backend(
+            batch_size, prune, schedule, cells, chunking, rows
+        )
 
     def release_buffers(self) -> None:
         """Reclaim the vector backend's chunk-width state matrices — and
@@ -513,16 +525,17 @@ class EPPEngine:
         schedule: str | None = None,
         cells: str | None = None,
         chunking: str | None = None,
+        rows: str | None = None,
     ) -> dict[str, EPPResult]:
         if backend == "sharded":
             site_ids = [self._cones.resolve(site) for site in sites]
             return self._get_sharded_backend(
-                jobs, batch_size, prune, schedule, cells, chunking
+                jobs, batch_size, prune, schedule, cells, chunking, rows
             ).analyze_sites(site_ids)
         if backend == "vector":
             site_ids = [self._cones.resolve(site) for site in sites]
             return self._get_vector_backend(
-                batch_size, prune, schedule, cells, chunking
+                batch_size, prune, schedule, cells, chunking, rows
             ).analyze_sites(site_ids)
         results: dict[str, EPPResult] = {}
         for site in sites:
@@ -543,6 +556,7 @@ class EPPEngine:
         schedule: str | None = None,
         cells: str | None = None,
         chunking: str | None = None,
+        rows: str | None = None,
     ) -> dict[str, EPPResult]:
         """EPP for many sites (default: every combinational gate output).
 
@@ -583,14 +597,23 @@ class EPPEngine:
         cells of sufficiently sparse gate groups) and ``chunking`` the
         chunk-width strategy (``"auto"``/``"adaptive"``/``"fixed"``: the
         default splits cone-clustered chunks whose union-of-cones
-        saturates) — all bit-identical; they change how much is computed,
-        never any value.
+        saturates).  ``rows`` picks the state-matrix layout of pruned
+        sweeps (``"auto"``/``"compact"``/``"full"``: the default
+        allocates per-chunk buffers with only the union-of-cones rows
+        through a cached row remap, eliminating the full-template
+        restore; ``"full"`` keeps the PR-4 full-circuit buffers) — all
+        bit-identical; they change how much is computed, never any value.
         """
         if sites is None:
             sites = self.default_sites()
         sites = list(sites)
         if sample is not None and sample < len(sites):
             sites = random.Random(seed).sample(sites, sample)
+        if jobs is not None and int(jobs) < 1:
+            # Reject at the analyze() boundary, before any backend is
+            # resolved or constructed: a non-positive worker count can
+            # only ever produce zero-width shards and chunk budgets.
+            raise AnalysisError(f"jobs must be >= 1, got {jobs}")
         if backend is None and jobs is not None:
             backend = "sharded"
         backend = self._resolve_backend(backend)
@@ -599,21 +622,25 @@ class EPPEngine:
                 f"jobs= applies to the 'sharded' backend only, got backend={backend!r}"
             )
         # Validate the knob values up front, whatever the backend: the
-        # scalar path *ignores* schedule/cells/chunking (it is per-cone by
-        # construction), but a typo should fail identically everywhere.
+        # scalar path *ignores* schedule/cells/chunking/rows (it is
+        # per-cone by construction), but a typo should fail identically
+        # everywhere.
         from repro.core.schedule import (
             validate_cells,
             validate_chunking,
+            validate_rows,
             validate_schedule,
         )
 
         validate_schedule(schedule)
         validate_cells(cells)
         validate_chunking(chunking)
+        validate_rows(rows)
 
         if not collapse:
             return self._analyze_sites(
-                sites, backend, batch_size, jobs, prune, schedule, cells, chunking
+                sites, backend, batch_size, jobs, prune, schedule, cells,
+                chunking, rows,
             )
 
         from repro.core.collapse import collapse_seu_sites
@@ -629,7 +656,7 @@ class EPPEngine:
             by_representative.setdefault(rep, []).append(name)
         rep_results = self._analyze_sites(
             list(by_representative), backend, batch_size, jobs, prune, schedule,
-            cells, chunking,
+            cells, chunking, rows,
         )
         results = {}
         for rep, members in by_representative.items():

@@ -38,6 +38,17 @@ sites of a chunk at once:
   :func:`~repro.core.rules_vec.compact_rule_for`, and scatter the block
   back into the sentinel-padded dense state — bit-identical again, the
   kernels run the same elementwise IEEE ops per computed cell;
+* pruned sweeps run on *compacted state matrices* (``rows="auto"``, the
+  default): instead of the full ``(n + 2, 4, batch)`` buffer, each chunk
+  allocates state/mask with only its union-of-cones rows — plus the
+  fanin rows those gates read and the sentinel rows — through a cached
+  per-chunk row remap (:meth:`BatchPlan.compact_chunk_plan`), so every
+  gather, kernel and scatter indexes the small matrix, the off-path
+  template and its dirty-row restore disappear entirely for pruned
+  sweeps, and the sink reduction walks only the sinks the chunk can
+  reach.  The remap is pure indexing — each computed cell runs the same
+  elementwise IEEE ops — so compacted sweeps are bit-identical to
+  full-row ones (``rows="full"`` restores the PR-4 layout);
 * which sites share a chunk is decided by the scheduling layer
   (:mod:`repro.core.schedule`): ``schedule="cone"`` (the ``auto`` default
   for multi-chunk calls) clusters sites with overlapping fanout cones so
@@ -72,13 +83,17 @@ from repro.errors import AnalysisError
 from repro.core.fourvalue import EPPValue
 from repro.core.rules_vec import compact_rule_for, gather_rule_for
 from repro.core.schedule import (
+    PRUNE_AUTO_MAX_NODES,
+    ChunkCache,
     adaptive_chunk_spans,
+    chunk_cache_key,
     chunk_prune_saturated,
     cone_cluster_order,
     resolve_prune,
     resolve_schedule,
     validate_cells,
     validate_chunking,
+    validate_rows,
     validate_schedule,
 )
 from repro.netlist.circuit import CompiledCircuit
@@ -93,7 +108,12 @@ from repro.netlist.gate_types import (
     CODE_XOR,
 )
 
-__all__ = ["BatchPlan", "BatchEPPBackend", "default_batch_size"]
+__all__ = [
+    "BatchPlan",
+    "BatchEPPBackend",
+    "CompactChunkPlan",
+    "default_batch_size",
+]
 
 #: Target footprint of the per-chunk state matrix (bytes).  Wide chunks
 #: amortize per-group dispatch; the per-group operands (a handful of
@@ -120,6 +140,21 @@ _MIN_VECTOR_WORK = 50_000
 #: is proportionally smaller and compaction pays almost immediately.
 _CELL_FACTOR_CLOSED = 4
 _CELL_FACTOR_TABLE = 2
+
+#: Width multiplier (halves) for ``chunking="auto"`` when every chunk is
+#: guaranteed a *compacted* sweep (``rows`` resolves to compact and
+#: pruning cannot fall back to dense): the PR-4 calibration pinned
+#: full-width chunks because each extra chunk cost ~40-80 ms of
+#: width-independent overhead, most of it the full-template dirty-row
+#: restore — which compacted state matrices (and their reusable arenas)
+#: eliminate outright, so the same budget buys wider chunks without the
+#: full-row memory blow-up.  Measured on s9234/s38417 full-circuit runs,
+#: 1.5x is the sweet spot (8-9% over full width; by 3x the growing
+#: per-chunk unions overtake the saved fixed costs and clustered
+#: workloads regress outright).  ``_compact_spans`` still splits any
+#: span whose measured union-of-cones footprint would exceed
+#: ``_STATE_BYTES_TARGET``.
+_COMPACT_WIDTH_HALVES = 3  # x1.5
 
 
 def default_batch_size(n_nodes: int) -> int:
@@ -155,6 +190,46 @@ _PAD_ONE_CODES = frozenset((CODE_AND, CODE_NAND))
 #: Codes with closed-form kernels; everything else runs the generic
 #: truth-table kernel, whose per-cell cost dwarfs the compacted gather.
 _CLOSED_FORM_CODES = _PADDABLE_CODES | frozenset((CODE_NOT, CODE_BUF))
+
+
+class CompactChunkPlan:
+    """One chunk's union-of-cones row remap (the compacted state layout).
+
+    Built once per distinct site chunk by :meth:`BatchPlan.compact_chunk_plan`
+    and cached on the plan's :class:`~repro.core.schedule.ChunkCache`: the
+    compacted sweep allocates its state/mask buffers with only ``n_rows``
+    rows — the chunk's union-of-cones gates, every fanin row those gates
+    read (off-path fanins hold their SP constants), the site rows and any
+    referenced sentinel row — and every gate-group index array is already
+    translated into that compact row space, so the kernels of
+    :mod:`repro.core.rules_vec` index the small matrix unchanged.  The
+    remap is pure indexing: each computed cell runs exactly the ops the
+    full-row sweep ran, so compacted results are bit-identical.
+
+    Attributes
+    ----------
+    rows:
+        Global node ids of the compact rows, ascending — ``rows[j]`` is
+        the global id of compact row ``j``.
+    n_rows:
+        ``len(rows)`` — the compacted state matrix's row count.
+    site_rows:
+        Compact row index of each chunk site, aligned with the chunk.
+    groups:
+        ``(group, out_rows, fanin_rows)`` per active gate group in sweep
+        order: the plan's :class:`_Group` (kernel dispatch) with its
+        active rows' output/fanin indices translated to compact space.
+    sink_rows / sink_positions:
+        Compact row indices of the observable sinks present in the
+        matrix, and their positions into ``BatchPlan.sink_ids`` — absent
+        sinks are off-path for every column by construction, so the
+        sink-pair reduction over the present subset selects exactly the
+        pairs the full-row reduction selected, in the same order.
+    """
+
+    __slots__ = (
+        "rows", "n_rows", "site_rows", "groups", "sink_rows", "sink_positions"
+    )
 
 
 class BatchPlan:
@@ -197,6 +272,76 @@ class BatchPlan:
         self.node_level = np.asarray(compiled.level, dtype=np.intp)
         self.sink_ids = np.asarray(compiled.sink_ids, dtype=np.intp)
         self.sink_names = [compiled.names[s] for s in compiled.sink_ids]
+        #: Per-chunk derived artifacts, shared by every backend over this
+        #: circuit: compacted-row plans (key prefix ``rows:``) and the
+        #: ``prune="auto"`` saturation verdicts (``sat:``).  Bounded FIFO.
+        self.chunk_cache = ChunkCache()
+
+    def compact_chunk_plan(self, site_ids: np.ndarray) -> CompactChunkPlan:
+        """The (cached) compacted-row plan for one chunk of sites.
+
+        One vectorized forward-reachability pass over the level groups —
+        the same per-group ``any`` tests the full-row pruned sweep runs
+        incrementally, now run once per distinct chunk and memoized:
+        repeated sweeps of the same chunk (benchmark repeats, long-lived
+        analyzers re-analyzing a module) skip straight to the remapped
+        index arrays.
+        """
+        key = b"rows:" + chunk_cache_key(site_ids)
+        cached = self.chunk_cache.get(key)
+        if cached is not None:
+            return cached
+        total = self.n + 2
+        # reach: on the union of the chunk's fanout cones (what the full
+        # sweep calls on_path); needed: additionally every row an active
+        # group *reads* — off-path fanins supply their SP constants, so
+        # they must exist in the compacted matrix too.
+        reach = np.zeros(total, dtype=bool)
+        reach[site_ids] = True
+        needed = np.zeros(total, dtype=bool)
+        needed[site_ids] = True
+        min_site_level = int(self.node_level[site_ids].min())
+        entries: list[tuple[_Group, np.ndarray, np.ndarray]] = []
+        for level, groups in self.levels:
+            if level <= min_site_level:
+                continue
+            for group in groups:
+                active = np.nonzero(reach[group.fanin].any(axis=1))[0]
+                if active.size == 0:
+                    continue
+                # The full sweep's 7/8 heuristic, mirrored: slicing a
+                # nearly-fully-active group trades the few rows it skips
+                # for fancy-indexed copies, so such groups keep their
+                # full rectangular block (their inactive rows join the
+                # matrix as writable SP-constant rows, exactly as the
+                # full-row sweep scatters them).
+                if active.size <= (len(group.out_ids) * 7) // 8:
+                    out_ids = group.out_ids[active]
+                    fanin = group.fanin[active]
+                    reach[out_ids] = True
+                else:
+                    out_ids = group.out_ids
+                    fanin = group.fanin
+                    reach[out_ids[active]] = True
+                needed[out_ids] = True
+                needed[fanin] = True
+                entries.append((group, out_ids, fanin))
+        rows = np.nonzero(needed)[0]
+        remap = np.zeros(total, dtype=np.intp)
+        remap[rows] = np.arange(len(rows), dtype=np.intp)
+        plan = CompactChunkPlan()
+        plan.rows = rows
+        plan.n_rows = len(rows)
+        plan.site_rows = remap[site_ids]
+        plan.groups = [
+            (group, remap[out_ids], remap[fanin])
+            for group, out_ids, fanin in entries
+        ]
+        present = needed[self.sink_ids]
+        plan.sink_rows = remap[self.sink_ids[present]]
+        plan.sink_positions = np.nonzero(present)[0]
+        self.chunk_cache.put(key, plan)
+        return plan
 
     @staticmethod
     def for_compiled(compiled: CompiledCircuit) -> "BatchPlan":
@@ -266,7 +411,26 @@ class BatchEPPBackend:
         chunk costs more width-independent overhead (dispatch, buffer
         restore, sink reduction) than its smaller union saves once the
         cell-compacted tier caps kernel FLOPs (see :meth:`_chunk_spans`).
-        Pure scheduling — any span partition is bit-identical per site.
+        When every chunk is *guaranteed* a compacted sweep (see ``rows``)
+        the recalibrated ``auto`` policy widens chunks by
+        :data:`_COMPACT_WIDTH_HALVES`/2 instead — the restore overhead
+        that penalized chunk count is gone, and ``_compact_spans`` splits
+        any span whose union-of-cones footprint would exceed the
+        state-byte budget.  Pure scheduling — any span partition is bit-identical
+        per site.
+    rows:
+        State-matrix row layout for *pruned* sweeps: ``"compact"``
+        allocates per-chunk state/mask buffers with only the chunk's
+        union-of-cones rows (plus read-only fanin rows and sentinels),
+        indexed through the cached row remap of
+        :meth:`BatchPlan.compact_chunk_plan` — no off-path template is
+        materialized and no dirty-row restore ever runs for those
+        sweeps.  ``"full"`` keeps the PR-4 full-circuit buffers with the
+        dirty-row incremental reset.  ``"auto"`` (default, also ``None``)
+        is the calibrated policy — compact for every pruned sweep.
+        Dense sweeps (``prune=False`` or the saturated-chunk fallback)
+        always use full-row buffers, whose union is the circuit itself.
+        Bit-identical across all three: the remap only renames rows.
     """
 
     def __init__(
@@ -281,6 +445,7 @@ class BatchEPPBackend:
         schedule: str | None = None,
         cells: str | None = None,
         chunking: str | None = None,
+        rows: str | None = None,
     ):
         self.compiled = compiled
         self.plan = BatchPlan.for_compiled(compiled)
@@ -298,10 +463,14 @@ class BatchEPPBackend:
         self.schedule = validate_schedule(schedule)
         self.cells = validate_cells(cells)
         self.chunking = validate_chunking(chunking)
+        self.rows = validate_rows(rows)
         #: Cumulative execution counters, updated by every sweep: chunk
         #: accounting (``chunks`` / ``chunk_splits`` — extra spans the
         #: adaptive splitter emitted over fixed slicing;
-        #: ``dense_fallback_sweeps`` — chunks ``prune="auto"`` ran dense),
+        #: ``dense_fallback_sweeps`` — chunks ``prune="auto"`` ran dense;
+        #: ``compact_sweeps`` / ``compact_rows`` — sweeps on compacted
+        #: union-of-cones state matrices and the total compact rows they
+        #: allocated, vs ``n + 2`` per full-row sweep),
         #: per-tier group counts (``groups_dense`` / ``groups_row`` /
         #: ``groups_cell``) and cell accounting over *pruned* groups
         #: (``cells_on`` on-path cells, ``cells_total`` cells spanned,
@@ -313,6 +482,8 @@ class BatchEPPBackend:
         self.sweep_stats = {
             "sweeps": 0,
             "dense_fallback_sweeps": 0,
+            "compact_sweeps": 0,
+            "compact_rows": 0,
             "chunks": 0,
             "chunk_splits": 0,
             "groups_dense": 0,
@@ -331,20 +502,24 @@ class BatchEPPBackend:
         self._const: np.ndarray | None = None
         self._sink_names_arr = np.asarray(self.plan.sink_names, dtype=object)
         self._buffer_slots: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        #: Flat per-slot arenas the compacted sweeps carve their
+        #: (n_rows, 4, s) state and (n_rows, s) mask views from — grown to
+        #: the largest chunk seen, reused across sweeps so the hot path
+        #: never re-faults fresh pages.  Every compacted sweep fully
+        #: seeds its state and clears its mask, so stale content between
+        #: sweeps is harmless (no dirty tracking needed, by construction).
+        self._compact_arenas: dict[int, list[np.ndarray]] = {}
 
-    def _ensure_state_arrays(self) -> None:
-        if self._template is not None:
+    def _ensure_const(self) -> None:
+        """The (rows, 4) per-node off-path constants — all a *compacted*
+        sweep needs: its state is seeded by a broadcast of the gathered
+        compact rows, never from the full-width template."""
+        if self._const is not None:
             return
         # Two sentinel rows extend the node axis: constant 1 (id n) and
         # constant 0 (id n + 1), the padding inputs of mixed-arity groups.
         # Expressed as SPs, that is simply sp = 1.0 and sp = 0.0.
         sp_ext = np.concatenate((self.sp, (1.0, 0.0)))
-        # Contiguous off-path template, memcpy'd to seed every chunk's
-        # state matrix: (rows, 4, batch_size) with (0, 0, 1-SP, SP) per node.
-        template = np.zeros((self._rows, 4, self.batch_size))
-        template[:, 2, :] = (1.0 - sp_ext)[:, None]
-        template[:, 3, :] = sp_ext[:, None]
-        self._template = template
         # Per-node off-path constants, (rows, 4): broadcast into np.where as
         # the else-branch so the sweep never gathers the previous output
         # state.
@@ -352,6 +527,20 @@ class BatchEPPBackend:
         const[:, 2] = 1.0 - sp_ext
         const[:, 3] = sp_ext
         self._const = const
+
+    def _ensure_state_arrays(self) -> None:
+        """Const vector plus the full-width off-path template the
+        *full-row* sweeps memcpy their state from.  Backends whose every
+        sweep is compacted never materialize the template at all."""
+        self._ensure_const()
+        if self._template is not None:
+            return
+        # Contiguous off-path template, memcpy'd to seed every chunk's
+        # state matrix: (rows, 4, batch_size) with (0, 0, 1-SP, SP) per node.
+        template = np.zeros((self._rows, 4, self.batch_size))
+        template[:, 2, :] = self._const[:, 2][:, None]
+        template[:, 3, :] = self._const[:, 3][:, None]
+        self._template = template
 
     # ------------------------------------------------------------------ sweep
 
@@ -391,6 +580,14 @@ class BatchEPPBackend:
             # previous sweep's width were never written and stay clean.
             state[dirty] = self._template[dirty]
             mask[dirty] = False
+        # From here until ``_mark_dirty`` runs, the buffer's content is
+        # *unknown*: the upcoming sweep writes rows of its own union as it
+        # goes, and if it dies mid-flight (a raising kernel, an interrupt)
+        # the previous dirty set would describe a buffer it no longer
+        # matches — the next restore would skip the half-written rows and
+        # compute on stale state.  Invalidate now; only a *completed*
+        # sweep re-records its dirty rows.
+        entry[2] = None
         return state[:, :, :s], mask[:, :s]
 
     def _mark_dirty(self, slot: int, dirty) -> None:
@@ -399,13 +596,182 @@ class BatchEPPBackend:
         if entry is not None:
             entry[2] = dirty
 
-    def _sweep(self, site_ids: np.ndarray, slot: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    def _chunk_saturated(self, site_ids: np.ndarray) -> bool:
+        """The ``prune="auto"`` saturation verdict, memoized per chunk.
+
+        :func:`~repro.core.schedule.chunk_prune_saturated` walks the cone
+        signatures of every site; the verdict depends only on the compiled
+        circuit and the chunk, so it lives in the plan's shared chunk
+        cache — repeated sweeps of the same chunk (and the whole-call
+        check of :meth:`_schedule_order`) pay the walk once.
+        """
+        cache = self.plan.chunk_cache
+        key = b"sat:" + chunk_cache_key(site_ids)
+        verdict = cache.get(key)
+        if verdict is None:
+            verdict = chunk_prune_saturated(self.compiled, site_ids)
+            cache.put(key, verdict)
+        return verdict
+
+    def _sweep(self, site_ids: np.ndarray, slot: int = 0):
         """One level-synchronized pass for a chunk of sites.
 
-        Returns ``(state, mask)``: the ``(n + 2, 4, s)`` four-valued state
-        (two trailing sentinel rows) and the ``(n + 2, s)`` on-path
-        membership bitmask.
+        Returns ``(state, mask, sinks)``: the four-valued state matrix,
+        the on-path membership bitmask, and the sink translation of the
+        layout the sweep ran on — ``None`` for full-row sweeps (state is
+        ``(n + 2, 4, s)``, sinks are ``plan.sink_ids``), or the chunk
+        plan's ``(sink_rows, sink_positions)`` pair for compacted sweeps
+        (state is ``(n_rows, 4, s)`` over the union-of-cones remap).
         """
+        stats = self.sweep_stats
+        stats["sweeps"] += 1
+        prune = self.prune
+        if prune == "auto":
+            # The bench-calibrated dense fallback: a chunk whose union of
+            # cones covers most sinks of a small circuit prunes nothing
+            # and pays the per-group bookkeeping anyway — run it dense.
+            prune = not self._chunk_saturated(site_ids)
+            if not prune:
+                stats["dense_fallback_sweeps"] += 1
+        if prune and self.rows != "full":
+            # The calibrated rows="auto" policy is compact for every
+            # pruned sweep: same active rows, same kernels, a smaller
+            # matrix — and no template restore to pay next time.
+            return self._sweep_compact(
+                site_ids, self.plan.compact_chunk_plan(site_ids), slot
+            )
+        return self._sweep_full(site_ids, slot, prune)
+
+    def _compact_buffers(
+        self, n_rows: int, s: int, slot: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Carve (state, mask) views for one compacted sweep from the
+        slot's reusable flat arenas (grown monotonically to the largest
+        chunk), so repeated sweeps touch warm pages instead of faulting a
+        fresh allocation every chunk.  The mask comes back cleared; the
+        caller seeds the state in full."""
+        state_need = n_rows * 4 * s
+        mask_need = n_rows * s
+        arenas = self._compact_arenas.get(slot)
+        if arenas is None or arenas[0].size < state_need:
+            grown = np.empty(
+                max(state_need, arenas[0].size if arenas else 0)
+            )
+            grown_mask = np.empty(
+                max(mask_need, arenas[1].size if arenas else 0), dtype=bool
+            )
+            arenas = [grown, grown_mask]
+            self._compact_arenas[slot] = arenas
+        state = arenas[0][:state_need].reshape(n_rows, 4, s)
+        mask = arenas[1][:mask_need].reshape(n_rows, s)
+        mask[:] = False
+        return state, mask
+
+    def _sweep_compact(
+        self, site_ids: np.ndarray, cplan: CompactChunkPlan, slot: int = 0
+    ):
+        """A pruned sweep over the chunk's compacted union-of-cones matrix.
+
+        Carves ``(n_rows, 4, s)`` state out of the slot arena and seeds it
+        from the gathered off-path constants (the whole "buffer reset" —
+        proportional to the compact size, with no full-width template or
+        dirty tracking), then runs exactly the full-row pruned sweep's
+        tier logic with every index array pre-translated to compact row
+        space.  Per computed cell the kernels run the same elementwise
+        IEEE ops, so the packed results are bit-identical to the full-row
+        sweep's.
+        """
+        s = len(site_ids)
+        self._ensure_const()
+        const = self._const[cplan.rows]  # (n_rows, 4) off-path constants
+        state, mask = self._compact_buffers(cplan.n_rows, s, slot)
+        state[:] = const[:, :, None]
+        cols = np.arange(s)
+        site_rows = cplan.site_rows
+        # The error site carries the erroneous value with certainty: 1(a).
+        state[site_rows, :, cols] = (1.0, 0.0, 0.0, 0.0)
+        mask[site_rows, cols] = True
+        # Columns to re-inject when a group's output row is itself a site
+        # in this chunk (the scatter writes SP constants over them) —
+        # keyed by *compact* row, the space every group index lives in.
+        site_cols: dict[int, list[int]] = {}
+        for col, row in enumerate(site_rows.tolist()):
+            site_cols.setdefault(row, []).append(col)
+
+        track_polarity = self.track_polarity
+        stats = self.sweep_stats
+        stats["compact_sweeps"] += 1
+        stats["compact_rows"] += cplan.n_rows
+        cells = self.cells
+        for group, out_ids, fanin in cplan.groups:
+            out_mask = mask[fanin].any(axis=1)  # (r, s)
+            n_on = int(out_mask.sum())
+            if n_on == 0:
+                continue
+            stats["cells_on"] += n_on
+            stats["cells_total"] += out_mask.size
+            if cells != "off" and n_on < out_mask.size and (
+                cells == "on" or n_on * group.cell_factor < out_mask.size
+            ):
+                # Cell-compacted tier, unchanged from the full-row sweep:
+                # gather exactly the on-path (row, column) cells, compute
+                # them as one (m, 4) block, scatter back.  Off-path cells
+                # keep their seeded SP constants and a site row's own
+                # column is never on-path for itself.
+                on_rows, on_cols = np.nonzero(out_mask)
+                cell_values = group.compact_rule(
+                    state, fanin[on_rows], on_cols
+                )  # (m, 4)
+                if not track_polarity:
+                    cell_values[:, 0] += cell_values[:, 1]
+                    cell_values[:, 1] = 0.0
+                node_rows = out_ids[on_rows]
+                state[node_rows, :, on_cols] = cell_values
+                mask[node_rows, on_cols] = True
+                stats["groups_cell"] += 1
+                stats["cells_computed"] += n_on
+                continue
+            stats["groups_row"] += 1
+            stats["cells_computed"] += out_mask.size
+            result = group.rule(state, fanin)  # (r, 4, s)
+            if not track_polarity:
+                result[:, 0, :] += result[:, 1, :]
+                result[:, 1, :] = 0.0
+            if out_mask.all():
+                state[out_ids] = result
+                mask[out_ids] = True
+                continue
+            if n_on * 8 < out_mask.size:
+                # Targeted scatter for column-sparse groups (see the
+                # full-row sweep): off-path cells already hold their SP
+                # constants from the seed.
+                on_rows, on_cols = np.nonzero(out_mask)
+                node_rows = out_ids[on_rows]
+                state[node_rows, :, on_cols] = result[on_rows, :, on_cols]
+                mask[node_rows, on_cols] = True
+                continue
+            state[out_ids] = np.where(
+                out_mask[:, None, :], result, const[out_ids][:, :, None]
+            )
+            mask[out_ids] = out_mask
+            for row in out_ids.tolist():
+                columns = site_cols.get(row)
+                if columns is None:
+                    continue
+                # Restore the injected 1(a) the scatter just overwrote
+                # (a site is never on-path for its own column).
+                for col in columns:
+                    state[row, 0, col] = 1.0
+                    state[row, 1, col] = 0.0
+                    state[row, 2, col] = 0.0
+                    state[row, 3, col] = 0.0
+                    mask[row, col] = True
+        return state, mask, (cplan.sink_rows, cplan.sink_positions)
+
+    def _sweep_full(self, site_ids: np.ndarray, slot: int, prune: bool):
+        """The full-row sweep: ``(n + 2, 4, s)`` slot buffers, dirty-row
+        restore, and — when ``prune`` — the incrementally-maintained
+        union-of-cones row pruning of PR 3/4."""
         s = len(site_ids)
         self._ensure_state_arrays()
         state, mask = self._buffers(s, slot)
@@ -422,15 +788,6 @@ class BatchEPPBackend:
         track_polarity = self.track_polarity
         const = self._const
         stats = self.sweep_stats
-        stats["sweeps"] += 1
-        prune = self.prune
-        if prune == "auto":
-            # The bench-calibrated dense fallback: a chunk whose union of
-            # cones covers most sinks of a small circuit prunes nothing
-            # and pays the per-group bookkeeping anyway — run it dense.
-            prune = not chunk_prune_saturated(self.compiled, site_ids)
-            if not prune:
-                stats["dense_fallback_sweeps"] += 1
         cells = self.cells if prune else "off"
         if prune:
             # Union-of-cones, maintained incrementally: on_path[i] is True
@@ -560,17 +917,24 @@ class BatchEPPBackend:
         # whole template.  Dense sweeps may write any gate row — full
         # reset.
         self._mark_dirty(slot, np.nonzero(on_path)[0] if prune else None)
-        return state, mask
+        return state, mask, None
 
     def release_buffers(self) -> None:
         """Free the chunk-width state matrices (template, constants, and
         the double-buffered sweep/mask pairs) — the backend's ~3x
-        ``_STATE_BYTES_TARGET`` resident set.  Everything is rebuilt
-        lazily on the next sweep, so this is always safe to call between
-        analyses on long-lived engines/analyzers."""
+        ``_STATE_BYTES_TARGET`` resident set — plus the plan's cached
+        per-chunk artifacts (compacted-row remaps, saturation verdicts).
+        Clearing the slots also drops every recorded dirty-row set with
+        them: a freshly allocated slot always starts from a full template
+        reset, never from a stale dirty entry describing buffers that no
+        longer exist.  Everything is rebuilt lazily on the next sweep, so
+        this is always safe to call between analyses on long-lived
+        engines/analyzers."""
         self._template = None
         self._const = None
         self._buffer_slots.clear()
+        self._compact_arenas.clear()
+        self.plan.chunk_cache.clear()
 
     # ------------------------------------------------------------- scheduling
 
@@ -592,7 +956,7 @@ class BatchEPPBackend:
         if (
             self.schedule == "auto"
             and self.prune == "auto"
-            and chunk_prune_saturated(self.compiled, ids)
+            and self._chunk_saturated(ids)
         ):
             # The whole call saturates a small circuit: every chunk will
             # take the dense fallback regardless of which sites share it,
@@ -627,6 +991,12 @@ class BatchEPPBackend:
             spans = adaptive_chunk_spans(self.compiled, ids, self.batch_size)
             fixed = -(-n // self.batch_size)
             self.sweep_stats["chunk_splits"] += len(spans) - fixed
+        elif (
+            self.chunking == "auto"
+            and n > self.batch_size
+            and self._compact_guaranteed()
+        ):
+            spans = self._compact_spans(ids)
         else:
             spans = [
                 (start, min(start + self.batch_size, n))
@@ -635,33 +1005,91 @@ class BatchEPPBackend:
         self.sweep_stats["chunks"] += len(spans)
         return spans
 
+    def _compact_guaranteed(self) -> bool:
+        """Whether *every* chunk of this backend is certain to sweep on a
+        compacted state matrix — the precondition for the recalibrated
+        wide-chunk ``auto`` policy.  ``prune="auto"`` qualifies only on
+        circuits at or above :data:`~repro.core.schedule.PRUNE_AUTO_MAX_NODES`,
+        where the saturated dense fallback (which needs full-width
+        full-row buffers) can never fire."""
+        if self.rows == "full":
+            return False
+        if self.prune is True:
+            return True
+        return (
+            self.prune == "auto"
+            and self.compiled.n >= PRUNE_AUTO_MAX_NODES
+        )
+
+    def _compact_spans(self, ids: np.ndarray) -> list[tuple[int, int]]:
+        """Wide fixed spans for guaranteed-compacted sweeps.
+
+        The PR-4 calibration kept chunks at ``batch_size`` because each
+        extra chunk paid a width-independent restore of the full
+        ``(n + 2, 4, batch)`` template; compacted sweeps pay a seed
+        proportional to their own union instead, so the same state-byte
+        budget buys :data:`_COMPACT_WIDTH_HALVES`/2 wider chunks — fewer
+        per-call fixed costs (dispatch, sink reductions, pack merges).
+        Each candidate span's *measured* union-of-cones footprint (its
+        cached chunk plan's ``n_rows``) is checked against
+        ``_STATE_BYTES_TARGET`` and the span is halved — never below
+        ``batch_size`` — until it fits, so a wide chunk whose cones
+        saturate the circuit cannot blow the memory bound the dense
+        layout respected.
+        """
+        n = len(ids)
+        target = min(n, (self.batch_size * _COMPACT_WIDTH_HALVES) // 2)
+        spans: list[tuple[int, int]] = []
+        start = 0
+        while start < n:
+            stop = min(start + target, n)
+            while stop - start > self.batch_size:
+                span_ids = ids[start:stop]
+                cplan = self.plan.compact_chunk_plan(span_ids)
+                if cplan.n_rows * 32 * (stop - start) <= _STATE_BYTES_TARGET:
+                    break
+                # A rejected candidate will never be swept: evict its plan
+                # so dead oversized remaps don't crowd live per-chunk
+                # plans out of the FIFO cache.
+                self.plan.chunk_cache.discard(
+                    b"rows:" + chunk_cache_key(span_ids)
+                )
+                stop = start + max(self.batch_size, (stop - start) // 2)
+            spans.append((start, stop))
+            start = stop
+        return spans
+
     def _swept_chunks(self, ids: np.ndarray):
-        """Yield ``(chunk, state, mask)`` per chunk of ``ids``, pipelined.
+        """Yield ``(chunk, state, mask, sinks)`` per chunk of ``ids``,
+        pipelined.
 
         The shared chunking driver of every bulk query: two-stage pipeline
         where the NumPy sweep of chunk ``i+1`` (GIL released inside the
         array kernels) overlaps the Python-side consumption of chunk
-        ``i``; double buffering keeps the stages on disjoint state
-        matrices.  Single-chunk calls skip the thread machinery.
+        ``i``; double buffering keeps full-row stages on disjoint slot
+        matrices (compacted sweeps allocate fresh per-chunk state, so they
+        never share buffers to begin with).  Single-chunk calls skip the
+        thread machinery.  ``sinks`` is the sweep's sink translation —
+        ``None`` for full-row layouts (see :meth:`_sweep`).
         """
         chunks = [ids[start:stop] for start, stop in self._chunk_spans(ids)]
         if not chunks:
             return
         if len(chunks) == 1:
-            state, mask = self._sweep(chunks[0])
-            yield chunks[0], state, mask
+            state, mask, sinks = self._sweep(chunks[0])
+            yield chunks[0], state, mask, sinks
             return
         from concurrent.futures import ThreadPoolExecutor
 
         with ThreadPoolExecutor(max_workers=1) as sweeper:
             future = sweeper.submit(self._sweep, chunks[0], 0)
             for index, chunk in enumerate(chunks):
-                state, mask = future.result()
+                state, mask, sinks = future.result()
                 if index + 1 < len(chunks):
                     future = sweeper.submit(
                         self._sweep, chunks[index + 1], (index + 1) % 2
                     )
-                yield chunk, state, mask
+                yield chunk, state, mask, sinks
 
     # ---------------------------------------------------------------- queries
 
@@ -686,8 +1114,8 @@ class BatchEPPBackend:
         order = self._schedule_order(ids)
         sweep_ids = ids if order is None else ids[order]
         cursor = 0
-        for chunk, state, mask in self._swept_chunks(sweep_ids):
-            p_sens = self._select_pairs(chunk, state, mask)[0]
+        for chunk, state, mask, sinks in self._swept_chunks(sweep_ids):
+            p_sens = self._select_pairs(chunk, state, mask, sinks)[0]
             if order is None:
                 out[cursor : cursor + len(chunk)] = p_sens
             else:
@@ -717,8 +1145,8 @@ class BatchEPPBackend:
         ids = np.asarray(site_ids, dtype=np.intp)
         order = self._schedule_order(ids)
         sweep_ids = ids if order is None else ids[order]
-        for chunk, state, mask in self._swept_chunks(sweep_ids):
-            self._collect(chunk, state, mask, results)
+        for chunk, state, mask, sinks in self._swept_chunks(sweep_ids):
+            self._collect(chunk, state, mask, sinks, results)
         if order is not None:
             names = self.compiled.names
             results = {
@@ -726,11 +1154,13 @@ class BatchEPPBackend:
             }
         return results
 
-    def _collect(self, chunk, state, mask, results) -> None:
+    def _collect(self, chunk, state, mask, sinks, results) -> None:
         """Assemble per-site EPPResults from one chunk's sweep."""
-        self.materialize(chunk.tolist(), self._pack(chunk, state, mask), results)
+        self.materialize(
+            chunk.tolist(), self._pack(chunk, state, mask, sinks), results
+        )
 
-    def _select_pairs(self, chunk, state, mask) -> tuple:
+    def _select_pairs(self, chunk, state, mask, sinks=None) -> tuple:
         """The shared sink-pair reduction of one chunk's sweep.
 
         All numeric work happens in bulk: the on-path (site, sink) pairs
@@ -739,10 +1169,15 @@ class BatchEPPBackend:
         masses capped at 1, and the per-site survival products run through
         ``multiply.reduceat``.  This is the single reduction/clamping
         policy behind both :meth:`p_sensitized_many` and :meth:`_pack`.
+        ``sinks`` carries a compacted sweep's ``(sink_rows,
+        sink_positions)`` translation: reducing over the present subset
+        selects the same pairs in the same order — absent sinks are
+        off-path in every column — so the products stay bit-identical.
         Returns ``(p_sens, counts, sink_mask, selected)``.
         """
-        sink_state = state[self.plan.sink_ids]  # (ns, 4, s)
-        sink_mask = mask[self.plan.sink_ids].T  # (s, ns)
+        sink_rows = self.plan.sink_ids if sinks is None else sinks[0]
+        sink_state = state[sink_rows]  # (ns, 4, s)
+        sink_mask = mask[sink_rows].T  # (s, ns)
         # Site-major selection of every on-path (site, sink) pair: the
         # boolean pick over (s, ns, ...) walks sites first, sinks second.
         selected = sink_state.transpose(2, 0, 1)[sink_mask]  # (m, 4)
@@ -760,18 +1195,25 @@ class BatchEPPBackend:
             p_sens[occupied] = 1.0 - np.multiply.reduceat(1.0 - error, starts)
         return p_sens, counts, sink_mask, selected
 
-    def _pack(self, chunk, state, mask) -> tuple:
+    def _pack(self, chunk, state, mask, sinks=None) -> tuple:
         """Reduce one chunk's sweep to compact per-site numeric arrays.
 
         Returns ``(p_sens, cone_sizes, counts, sink_pos, values)`` aligned
         with the chunk: ``counts[i]`` on-path pairs per site, ``sink_pos``
         indices into ``plan.sink_ids`` and ``values`` their clamped ``(m, 4)``
-        four-valued vectors.  This tuple of plain arrays is also the wire
-        format the sharded driver (:mod:`repro.core.epp_shard`) ships across
-        the process boundary — flat buffers, no per-object overhead.
+        four-valued vectors.  A compacted sweep's ``sink_pos`` is mapped
+        back through its ``sink_positions`` translation, so the packed
+        layout is identical whichever row layout swept the chunk.  This
+        tuple of plain arrays is also the wire format the sharded driver
+        (:mod:`repro.core.epp_shard`) ships across the process boundary —
+        flat buffers, no per-object overhead.
         """
-        p_sens, counts, sink_mask, selected = self._select_pairs(chunk, state, mask)
+        p_sens, counts, sink_mask, selected = self._select_pairs(
+            chunk, state, mask, sinks
+        )
         sink_pos = np.nonzero(sink_mask)[1]
+        if sinks is not None:
+            sink_pos = sinks[1][sink_pos]
         cone_sizes = mask.sum(axis=0) - 1  # mask includes the site
         return p_sens, cone_sizes, counts, sink_pos, selected
 
@@ -810,8 +1252,8 @@ class BatchEPPBackend:
         order = self._schedule_order(ids)
         sweep_ids = ids if order is None else ids[order]
         parts = [
-            self._pack(chunk, state, mask)
-            for chunk, state, mask in self._swept_chunks(sweep_ids)
+            self._pack(chunk, state, mask, sinks)
+            for chunk, state, mask, sinks in self._swept_chunks(sweep_ids)
         ]
         if not parts:
             empty = np.zeros(0)

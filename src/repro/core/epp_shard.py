@@ -295,7 +295,7 @@ def _worker_backend():
         from repro.core.epp_batch import BatchEPPBackend
 
         (compiled, signal_probs, track_polarity, batch_size, prune,
-         cells, chunking) = pickle.loads(payload)
+         cells, chunking, rows) = pickle.loads(payload)
         backend = BatchEPPBackend(
             compiled,
             signal_probs,
@@ -306,6 +306,7 @@ def _worker_backend():
             schedule="input",
             cells=cells,
             chunking=chunking,
+            rows=rows,
         )
         _WORKER_BACKENDS[key] = backend
         _WORKER_STATS["plans_built"] += 1
@@ -401,10 +402,13 @@ class ShardedEPPEngine:
         list by :func:`~repro.core.schedule.cone_cluster_order` before the
         contiguous shard split, so shards (and the chunks inside each
         worker) share fanout cones.
-    cells / chunking:
-        The cell-compaction and chunk-width knobs (see
-        :class:`~repro.core.epp_batch.BatchEPPBackend`), forwarded to the
-        local backend and through the payload to every worker backend.
+    cells / chunking / rows:
+        The cell-compaction, chunk-width and state-matrix-row-layout
+        knobs (see :class:`~repro.core.epp_batch.BatchEPPBackend`),
+        forwarded to the local backend and through the payload to every
+        worker backend — workers inherit compacted union-of-cones state
+        matrices by default, and their packed results (already flat
+        arrays, layout-independent) ship through shared memory unchanged.
     transport:
         Result wire format: ``"shm"`` (default on POSIX) ships packed
         arrays through shared-memory segments — only a tiny handle is
@@ -435,17 +439,25 @@ class ShardedEPPEngine:
         schedule: str | None = None,
         cells: str | None = None,
         chunking: str | None = None,
+        rows: str | None = None,
         transport: str | None = None,
     ):
         from repro.core.schedule import (
             resolve_prune,
             validate_cells,
             validate_chunking,
+            validate_rows,
             validate_schedule,
         )
 
         if jobs is not None and int(jobs) < 1:
             raise AnalysisError(f"jobs must be >= 1, got {jobs}")
+        if batch_size is not None and int(batch_size) < 1:
+            # Validate here, not just in the local backend's constructor:
+            # with a caller-supplied local_backend the bad width would
+            # otherwise ship straight into worker_batch_size and crash
+            # every worker opaquely on its first shard.
+            raise AnalysisError(f"batch_size must be >= 1, got {batch_size}")
         self.compiled = compiled
         self.jobs = int(jobs) if jobs is not None else default_jobs()
         self.track_polarity = track_polarity
@@ -455,6 +467,7 @@ class ShardedEPPEngine:
         self.schedule = validate_schedule(schedule)
         self.cells = validate_cells(cells)
         self.chunking = validate_chunking(chunking)
+        self.rows = validate_rows(rows)
         if transport is None:
             transport = default_transport()
         if transport not in TRANSPORTS:
@@ -486,6 +499,7 @@ class ShardedEPPEngine:
                 schedule=schedule,
                 cells=cells,
                 chunking=chunking,
+                rows=rows,
             )
         self.local = local_backend
         self.batch_size = self.local.batch_size
@@ -496,7 +510,10 @@ class ShardedEPPEngine:
         # Workers each hold their own state matrices, so the per-chunk
         # budget is divided across the pool: aggregate resident memory of a
         # sharded run stays at the single-process budget instead of
-        # multiplying by ``jobs``.
+        # multiplying by ``jobs``.  Explicit widths were validated >= 1
+        # above; the defaulted branch's floor clamp keeps the division
+        # from ever rounding a worker's chunk width to zero when ``jobs``
+        # is large relative to the circuit's budgeted width.
         if batch_size is not None:
             self.worker_batch_size = int(batch_size)
         else:
@@ -508,6 +525,13 @@ class ShardedEPPEngine:
         self._mp_context = mp_context
         self._pool: ProcessPoolExecutor | None = None
         self._payload: bytes | None = None
+        #: Shard futures submitted but not yet delivered to a consumer.
+        #: Tracked engine-wide (not just inside the ``_map_shards``
+        #: generator) so :meth:`close` can drain undelivered shared-memory
+        #: segments even when teardown arrives mid-flight — an interrupt
+        #: between a worker's ``export_shm`` and the parent's receive, or
+        #: a suspended result generator that never reaches its cleanup.
+        self._inflight: set = set()
 
     # ------------------------------------------------------------- lifecycle
 
@@ -528,6 +552,7 @@ class ShardedEPPEngine:
                     self.prune,
                     self.cells,
                     self.chunking,
+                    self.rows,
                 ),
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
@@ -613,15 +638,48 @@ class ShardedEPPEngine:
             delay *= 4
         return stats
 
+    def _drain_inflight(self, wait_for_results: bool) -> None:
+        """Reclaim the segments of every undelivered shard future.
+
+        Workers relinquish segment ownership the moment they export, so a
+        shard result nobody receives — the pool torn down between a
+        worker's ``export_shm`` and the parent's future resolution — must
+        be unlinked here or it outlives the process in ``/dev/shm``.
+        ``wait_for_results`` blocks until uncancelled shards finish and
+        discards them synchronously (the deterministic :meth:`close`
+        path); ``False`` attaches done-callbacks instead (the best-effort
+        ``__del__`` path, which must never block).
+        """
+        from concurrent.futures import wait
+
+        leftovers, self._inflight = list(self._inflight), set()
+        for future in leftovers:
+            future.cancel()
+        pending = [f for f in leftovers if not f.cancelled()]
+        if not pending:
+            return
+        if wait_for_results:
+            wait(pending)
+            for future in pending:
+                self._discard_shard(future)
+        else:  # pragma: no cover - interpreter-shutdown best effort
+            for future in pending:
+                future.add_done_callback(self._discard_shard)
+
     def close(self) -> None:
         """Shut the worker pool down (idempotent; pool respawns on next use).
 
-        Worker teardown also releases the local backend's chunk-width
-        state matrices — the parent-side share of the resident set — so a
-        long-lived :class:`~repro.core.analysis.SERAnalyzer` reclaims the
-        full footprint after ``analyze()`` (buffers rebuild lazily on the
-        next bulk call).
+        Undelivered in-flight shard results are drained first — their
+        shared-memory segments unlinked — so tearing an engine down
+        mid-analysis (KeyboardInterrupt, an abandoned result generator, a
+        crashed consumer) never leaks ``/dev/shm`` space.  Worker teardown
+        also releases the local backend's chunk-width state matrices — the
+        parent-side share of the resident set — so a long-lived
+        :class:`~repro.core.analysis.SERAnalyzer` reclaims the full
+        footprint after ``analyze()`` (buffers rebuild lazily on the next
+        bulk call).
         """
+        self._drain_inflight(wait_for_results=True)
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -635,6 +693,7 @@ class ShardedEPPEngine:
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:
+            self._drain_inflight(wait_for_results=False)
             if self._pool is not None:
                 self._pool.shutdown(wait=False)
         except Exception:
@@ -751,10 +810,12 @@ class ShardedEPPEngine:
             pool.submit(_run_shard, shard, full, self.transport): index
             for index, shard in enumerate(shards)
         }
+        self._inflight.update(futures)
         delivered = set()
         try:
             for future in as_completed(futures):
                 delivered.add(future)
+                self._inflight.discard(future)
                 yield futures[future], self._receive(future.result(), full)
         except BrokenProcessPool as exc:
             self._pool = None  # the pool is dead; let a later call respawn it
@@ -767,6 +828,7 @@ class ShardedEPPEngine:
             for future in leftovers:
                 future.cancel()
             for future in leftovers:
+                self._inflight.discard(future)
                 if not future.cancelled():
                     # Done callbacks run immediately for finished futures
                     # and from the executor thread otherwise, so an

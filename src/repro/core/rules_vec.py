@@ -264,12 +264,20 @@ def gather_rule_for(code: int, arity: int):
     """A ``rule(state, fanin) -> (g, 4, s)`` kernel for a gate group.
 
     Variant of :func:`vec_rule_for` that performs its own fanin gathers
-    from the full ``(n, 4, s)`` state matrix.  The AND/OR families gather
-    only the three probability planes they read (25% less index traffic
-    than a full four-plane gather, and the gathered planes are contiguous
-    for the pin-axis products); NAND/NOR write their inverted output slots
+    from the state matrix.  The AND/OR families gather only the three
+    probability planes they read (25% less index traffic than a full
+    four-plane gather, and the gathered planes are contiguous for the
+    pin-axis products); NAND/NOR write their inverted output slots
     directly instead of composing with a NOT pass.  Everything else falls
     back to a full gather in front of the corresponding tensor kernel.
+
+    Kernels are *index-space agnostic*: ``fanin`` must index rows of
+    whatever ``state`` the sweep hands in — global node ids against the
+    full ``(n + 2, 4, s)`` matrix, or the **remapped** compact indices of
+    a :class:`~repro.core.epp_batch.CompactChunkPlan` against its
+    ``(n_rows, 4, s)`` union-of-cones matrix.  No kernel may assume
+    ``state.shape[0]`` is the circuit size or that sentinel rows sit at
+    ``n``/``n + 1``; the plan builder already translated every id.
     """
     if code == CODE_AND:
         return lambda state, fanin: _and_family_gather(state, fanin, _P1, 0, False)
@@ -330,7 +338,10 @@ def compact_rule_for(code: int, arity: int):
     the three probability planes they read; single-input cells gather one
     four-valued vector per cell; everything else (XOR family, MUX/MAJ
     truth tables) funnels a full ``(m, k, 4, 1)`` gather through the
-    corresponding tensor kernel of :func:`vec_rule_for`.
+    corresponding tensor kernel of :func:`vec_rule_for`.  Like the
+    row-level kernels, these are index-space agnostic: ``fanin_rows``
+    indexes whatever ``state`` is passed — full-row or the compacted
+    union-of-cones matrix with remapped ids (see :func:`gather_rule_for`).
     """
     if code == CODE_AND:
         return lambda state, fanin_rows, cols: _compact_and_family(

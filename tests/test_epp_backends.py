@@ -55,11 +55,12 @@ def build_circuit(name: str) -> Circuit:
 
 def force_vector(engine: EPPEngine, batch_size: int | None = None,
                  prune: bool | None = None, schedule: str | None = None,
-                 cells: str | None = None, chunking: str | None = None):
+                 cells: str | None = None, chunking: str | None = None,
+                 rows: str | None = None):
     """A vector backend with the small-workload crossover disabled, so the
     vectorized kernels themselves are exercised even on tiny circuits."""
     backend = engine.vector_backend(batch_size, prune=prune, schedule=schedule,
-                                    cells=cells, chunking=chunking)
+                                    cells=cells, chunking=chunking, rows=rows)
     backend.min_vector_work = 0
     return backend
 
@@ -69,13 +70,15 @@ def assert_backends_agree(circuit: Circuit, track_polarity: bool = True,
                           prune: bool | None = None,
                           schedule: str | None = None,
                           cells: str | None = None,
-                          chunking: str | None = None):
+                          chunking: str | None = None,
+                          rows: str | None = None):
     engine = EPPEngine(circuit, track_polarity=track_polarity)
-    force_vector(engine, batch_size, prune, schedule, cells, chunking)
+    force_vector(engine, batch_size, prune, schedule, cells, chunking, rows)
     scalar = engine.analyze(backend="scalar", collapse=collapse)
     vector = engine.analyze(backend="vector", collapse=collapse,
                             batch_size=batch_size, prune=prune,
-                            schedule=schedule, cells=cells, chunking=chunking)
+                            schedule=schedule, cells=cells, chunking=chunking,
+                            rows=rows)
     assert list(scalar) == list(vector)  # same sites, same order
     for site, expected in scalar.items():
         got = vector[site]
@@ -173,8 +176,10 @@ class TestSparseSweepEquivalence:
     #: Every sweep strategy the backend can run, forced explicitly: the
     #: PR-3 row-sparse tier, the cell-compacted tier (closed forms and
     #: MUX/MAJ truth tables via the zoo, sentinel-padded mixed arities via
-    #: the shared and2/and3 group), the adaptive chunk splitter, and the
-    #: full auto stack (cost-model tiers + saturated dense fallback).
+    #: the shared and2/and3 group), the adaptive chunk splitter, the
+    #: compacted and full-row state layouts crossed with both cell tiers,
+    #: and the full auto stack (cost-model tiers + saturated dense
+    #: fallback + compacted rows).
     FORCED_CONFIGS = (
         dict(prune=True, schedule="cone", cells="off", chunking="fixed"),
         dict(prune=True, schedule="cone", cells="on", chunking="fixed"),
@@ -182,6 +187,16 @@ class TestSparseSweepEquivalence:
         dict(prune=True, schedule="input", cells="on", chunking="adaptive"),
         dict(prune=True, schedule="cone", cells="auto", chunking="auto"),
         dict(prune=None, schedule="auto", cells="auto", chunking="auto"),
+        dict(prune=True, schedule="cone", cells="off", chunking="fixed",
+             rows="compact"),
+        dict(prune=True, schedule="cone", cells="on", chunking="fixed",
+             rows="compact"),
+        dict(prune=True, schedule="input", cells="auto", chunking="adaptive",
+             rows="compact"),
+        dict(prune=True, schedule="cone", cells="auto", chunking="auto",
+             rows="full"),
+        dict(prune=None, schedule="auto", cells="auto", chunking="auto",
+             rows="auto"),
     )
 
     @pytest.mark.parametrize("circuit_name", ["zoo", "s27", "s953"])
@@ -272,6 +287,228 @@ class TestSparseSweepEquivalence:
                               schedule="cone")
         assert_backends_agree(circuit, prune=True, batch_size=batch_size,
                               schedule="input")
+
+
+def two_block_circuit() -> Circuit:
+    """Two independent chains with disjoint fanout cones.
+
+    Block A (3 gates) and block B (16 gates) share no paths, so a sweep
+    over A-sites and a sweep over B-sites touch disjoint state rows —
+    the layout that exposes stale dirty-row bookkeeping: restoring A's
+    rows can never clean corruption left in B's.
+    """
+    circuit = Circuit("blocks")
+    circuit.add_input("ia")
+    circuit.add_input("ib")
+    circuit.add_input("sel")
+    previous = "ia"
+    for index in range(3):
+        name = f"a{index}"
+        circuit.add_gate(name, GateType.AND, [previous, "sel"])
+        previous = name
+    circuit.mark_output(previous)
+    previous = "ib"
+    for index in range(16):
+        name = f"b{index}"
+        circuit.add_gate(name, GateType.OR, [previous, "sel"])
+        previous = name
+    circuit.mark_output(previous)
+    return circuit
+
+
+class TestCompactedRows:
+    """``rows="compact"``: per-chunk union-of-cones state matrices.
+
+    Bit-identity against the dense and full-row sweeps is covered by
+    ``FORCED_CONFIGS`` above and the hypothesis fuzzer; these tests pin
+    the layout mechanics — the compacted path really engages, never
+    materializes the full-width template, handles degenerate site lists,
+    and the chunk-plan cache reuses remaps across repeated sweeps.
+    """
+
+    def test_compact_sweeps_engage_without_template(self):
+        engine = EPPEngine(build_circuit("s953"))
+        backend = force_vector(engine, batch_size=16, prune=True,
+                               schedule="cone", rows="compact")
+        ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+        backend.analyze_sites(ids)
+        stats = backend.sweep_stats
+        assert stats["compact_sweeps"] == stats["sweeps"] > 0
+        # Every compacted sweep allocated strictly fewer rows than the
+        # full (n + 2)-row matrix would have.
+        assert stats["compact_rows"] < stats["sweeps"] * (engine.compiled.n + 2)
+        assert backend._template is None  # full-width template never built
+        assert not backend._buffer_slots  # no slot buffers either
+
+    def test_auto_rows_compacts_pruned_sweeps(self):
+        """The default rows="auto" resolves to the compacted layout for
+        every forced-pruned sweep."""
+        engine = EPPEngine(build_circuit("s953"))
+        backend = force_vector(engine, batch_size=16, prune=True,
+                               schedule="cone")
+        ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+        backend.analyze_sites(ids)
+        assert backend.rows == "auto"
+        assert backend.sweep_stats["compact_sweeps"] > 0
+
+    def test_rows_full_restores_slot_buffers(self):
+        engine = EPPEngine(build_circuit("s953"))
+        backend = force_vector(engine, batch_size=16, prune=True,
+                               schedule="cone", rows="full")
+        ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+        backend.analyze_sites(ids)
+        assert backend.sweep_stats["compact_sweeps"] == 0
+        assert backend._template is not None
+        assert backend._buffer_slots
+
+    def test_dense_fallback_chunks_stay_full_row(self):
+        """prune="auto" on a small saturated circuit runs dense sweeps on
+        full-row buffers even when rows="compact" is forced: a dense
+        sweep's union is the whole circuit."""
+        engine = EPPEngine(build_circuit("s953"))
+        backend = force_vector(engine, rows="compact")  # prune defaults auto
+        ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+        backend.analyze_sites(ids)
+        stats = backend.sweep_stats
+        assert stats["dense_fallback_sweeps"] == stats["sweeps"] > 0
+        assert stats["compact_sweeps"] == 0
+
+    def test_empty_site_list(self):
+        engine = EPPEngine(build_circuit("s953"))
+        backend = force_vector(engine, prune=True, rows="compact")
+        assert backend.analyze_sites([]) == {}
+        assert len(backend.p_sensitized_many([])) == 0
+        packed = backend.pack_sites([])
+        assert [len(part) for part in packed] == [0, 0, 0, 0, 0]
+        assert backend.sweep_stats["sweeps"] == 0
+
+    @pytest.mark.parametrize("circuit_name", ["zoo", "s27"])
+    def test_single_site_chunks(self, circuit_name):
+        """batch_size=1: every chunk holds one site, so each compacted
+        matrix is exactly one cone (plus read rows and sentinels)."""
+        assert_backends_agree(build_circuit(circuit_name), prune=True,
+                              batch_size=1, schedule="cone", rows="compact")
+
+    @pytest.mark.parametrize("rows", ["compact", "full"])
+    def test_sites_inside_other_sites_cones(self, rows):
+        """A chunk mixing a site with members of its own fanout cone must
+        keep the downstream columns' injected 1(a) in both row layouts."""
+        circuit = Circuit("chain")
+        circuit.add_input("i0")
+        circuit.add_input("i1")
+        previous = "i0"
+        for index in range(8):
+            name = f"n{index}"
+            circuit.add_gate(name, GateType.AND if index % 2 else GateType.OR,
+                             [previous, "i1"])
+            previous = name
+        circuit.mark_output(previous)
+        assert_backends_agree(circuit, prune=True, batch_size=3,
+                              schedule="cone", rows=rows)
+        assert_backends_agree(circuit, prune=True, schedule="input", rows=rows)
+
+    def test_chunk_plan_cached_across_sweeps(self):
+        """Repeated sweeps of the same chunk reuse one cached row remap."""
+        engine = EPPEngine(build_circuit("s953"))
+        backend = force_vector(engine, batch_size=16, prune=True,
+                               schedule="cone", rows="compact")
+        ids = np.asarray(
+            [engine._cones.resolve(s) for s in engine.default_sites()][:16],
+            dtype=np.intp,
+        )
+        first = backend.plan.compact_chunk_plan(ids)
+        assert backend.plan.compact_chunk_plan(ids) is first
+        backend.pack_sites(ids)
+        assert backend.plan.compact_chunk_plan(ids) is first
+
+    def test_release_buffers_clears_chunk_plans(self):
+        engine = EPPEngine(build_circuit("s953"))
+        backend = force_vector(engine, batch_size=16, prune=True,
+                               schedule="cone", rows="compact")
+        ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+        backend.analyze_sites(ids)
+        assert len(backend.plan.chunk_cache) > 0
+        backend.release_buffers()
+        assert len(backend.plan.chunk_cache) == 0
+
+    def test_compact_plan_translates_sinks(self):
+        """A chunk reaching only some sinks reduces over exactly those,
+        mapped back to their global sink positions."""
+        circuit = two_block_circuit()
+        engine = EPPEngine(circuit)
+        backend = force_vector(engine, prune=True, schedule="input",
+                               rows="compact")
+        a_ids = np.asarray([engine._cones.resolve("a0")], dtype=np.intp)
+        cplan = backend.plan.compact_chunk_plan(a_ids)
+        # Block A reaches one of the two sinks; block B's rows are absent.
+        assert len(cplan.sink_positions) == 1
+        assert cplan.n_rows < engine.compiled.n
+        packed = backend.pack_sites(a_ids)
+        dense = force_vector(
+            EPPEngine(circuit), prune=False, schedule="input", rows="full",
+        ).pack_sites(a_ids)
+        for left, right in zip(dense, packed):
+            assert np.array_equal(left, right)
+
+
+class TestDirtyRowLifecycle:
+    """Stale dirty-row sets must never describe a buffer they don't match."""
+
+    def _forced_full(self, circuit, batch_size=8):
+        engine = EPPEngine(circuit)
+        backend = force_vector(engine, batch_size=batch_size, prune=True,
+                               schedule="input", cells="off", rows="full")
+        return engine, backend
+
+    def test_failed_sweep_invalidates_dirty_tracking(self):
+        """A sweep that dies mid-flight leaves the slot buffer partially
+        overwritten; the recorded dirty set from the *previous* sweep must
+        not be trusted for the next restore (it would skip the rows the
+        failed sweep corrupted)."""
+        engine, backend = self._forced_full(two_block_circuit())
+        a_ids = [engine._cones.resolve("a0")]
+        b_ids = [engine._cones.resolve(f"b{index}") for index in range(4)]
+        first = backend.pack_sites(a_ids)  # slot 0: dirty = A rows only
+
+        # Poison the deepest level (block B's top gate) so the next sweep
+        # writes nearly all of B's rows into slot 0 and then dies.
+        _, groups = backend.plan.levels[-1]
+        originals = [group.rule for group in groups]
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("poisoned kernel")
+
+        for group in groups:
+            group.rule = boom
+        try:
+            with pytest.raises(RuntimeError, match="poisoned"):
+                backend.pack_sites(b_ids)
+        finally:
+            for group, original in zip(groups, originals):
+                group.rule = original
+
+        again = backend.pack_sites(a_ids)
+        for left, right in zip(first, again):
+            assert np.array_equal(left, right)
+
+    def test_release_then_reuse_interleaving(self):
+        """release_buffers() between sweeps of different unions: the
+        freshly allocated slot must start from a clean template, not a
+        stale dirty entry."""
+        engine, backend = self._forced_full(build_circuit("s953"), 32)
+        ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+        wide = backend.pack_sites(ids)
+        backend.release_buffers()
+        narrow = backend.pack_sites(ids[:7])
+        wide_again = backend.pack_sites(ids)
+        for left, right in zip(wide, wide_again):
+            assert np.array_equal(left, right)
+        fresh_engine, fresh = self._forced_full(build_circuit("s953"), 32)
+        fresh_narrow = fresh.pack_sites(
+            [fresh_engine._cones.resolve(s) for s in fresh_engine.default_sites()][:7]
+        )
+        for left, right in zip(fresh_narrow, narrow):
+            assert np.array_equal(left, right)
 
 
 class TestUnifiedReductionPath:

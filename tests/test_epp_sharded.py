@@ -193,6 +193,33 @@ class TestShmTransport:
         }
 
     @shm_only
+    def test_close_mid_flight_unlinks_undelivered_segments(self):
+        """Pool teardown with shard results still in flight (the
+        KeyboardInterrupt-between-export-and-receive shape): workers have
+        already relinquished segment ownership, so close() must drain and
+        unlink every undelivered handle or it leaks in /dev/shm."""
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this host")
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = forced_sharded(engine, jobs=2)
+        site_ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+        before = set(os.listdir("/dev/shm"))
+        shards = [site_ids[:200], site_ids[200:]]
+        results = backend._map_shards(shards, full=True)
+        next(results)  # submit everything, deliver exactly one shard
+        assert backend._inflight  # at least one undelivered future remains
+        backend.close()  # teardown mid-flight: must drain, not leak
+        assert not backend._inflight
+        # The generator is still suspended (its own cleanup never ran):
+        # the segments must already be gone — close() did the draining.
+        leaked = {
+            name for name in set(os.listdir("/dev/shm")) - before
+            if name.startswith("psm_")
+        }
+        results.close()
+        assert not leaked
+
+    @shm_only
     def test_failed_analysis_drains_undelivered_segments(self):
         """A worker exception mid-analysis must not leak the sibling
         shards' already-exported segments into /dev/shm."""
@@ -265,6 +292,40 @@ class TestShardScheduling:
         assert np.abs(
             engine.vector_backend().p_sensitized_many(site_ids) - p_many
         ).max() <= TOL
+
+    def test_sharded_compact_rows_matches_vector(self):
+        """Workers inherit the compacted-rows layout through the payload;
+        a forced-pruned sharded run (compacted sweeps in every worker) is
+        bit-equal to the in-process vector sweep."""
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = engine.sharded_backend(jobs=2, prune=True)
+        backend.min_process_work = 0
+        try:
+            vector = engine.analyze(backend="vector", prune=True)
+            sharded = engine.analyze(backend="sharded", jobs=2, prune=True)
+            assert backend.pool_started
+        finally:
+            backend.close()
+        assert backend.rows == "auto"
+        assert_results_match(vector, sharded)
+
+    def test_worker_rows_knob_forwarded(self):
+        """rows="full" must reach worker backends through the payload."""
+        from repro.core.epp_shard import _shard_worker_init, _worker_backend
+
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = engine.sharded_backend(jobs=2, rows="full")
+        assert backend.rows == "full"
+        _shard_worker_init(backend.payload(), backend.payload_key())
+        try:
+            worker_backend = _worker_backend()
+            assert worker_backend.rows == "full"
+        finally:
+            import repro.core.epp_shard as shard_module
+
+            shard_module._WORKER_PAYLOAD = None
+            shard_module._WORKER_BACKENDS.clear()
+            shard_module._WORKER_STATS["plans_built"] = 0
 
     def test_worker_prune_knob_forwarded(self):
         """prune=False must reach worker backends through the payload."""
@@ -353,6 +414,35 @@ class TestShardedSelection:
         engine = EPPEngine(s27())
         with pytest.raises(AnalysisError, match="jobs"):
             engine.analyze(backend="sharded", jobs=bad)
+
+    @pytest.mark.parametrize("backend", [None, "vector", "scalar"])
+    def test_invalid_jobs_rejected_at_analyze_boundary(self, backend):
+        """jobs < 1 fails with the jobs error before any backend is
+        resolved or constructed — even paired with a non-sharded backend,
+        where the mutual-exclusion error used to mask it."""
+        engine = EPPEngine(s27())
+        with pytest.raises(AnalysisError, match="jobs must be >= 1"):
+            engine.analyze(backend=backend, jobs=0)
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_invalid_batch_size_rejected_with_caller_local_backend(self, bad):
+        """A caller-supplied local backend used to bypass batch_size
+        validation entirely, shipping a zero/negative chunk width straight
+        into every worker."""
+        engine = EPPEngine(generate_iscas("s953"))
+        with pytest.raises(AnalysisError, match="batch_size"):
+            ShardedEPPEngine(
+                engine.compiled, engine._sp, jobs=2, batch_size=bad,
+                local_backend=engine.vector_backend(),
+            )
+
+    def test_worker_chunk_width_never_rounds_to_zero(self):
+        """jobs far above the circuit's budgeted width: the divided
+        per-worker chunk budget must clamp to >= 1 site per chunk."""
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = ShardedEPPEngine(engine.compiled, engine._sp, jobs=4096)
+        assert backend.worker_batch_size >= 1
+        assert not backend.pool_started  # construction alone spawns nothing
 
     def test_analyzer_jobs_passthrough(self):
         circuit = generate_iscas("s953")

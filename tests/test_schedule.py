@@ -19,14 +19,17 @@ from repro.core.cone import ConeExtractor
 from repro.core.epp import EPPEngine
 from repro.core.epp_batch import BatchPlan
 from repro.core.schedule import (
+    ChunkCache,
     ConeIndex,
     adaptive_chunk_spans,
+    chunk_cache_key,
     chunk_prune_saturated,
     cone_cluster_order,
     resolve_prune,
     resolve_schedule,
     validate_cells,
     validate_chunking,
+    validate_rows,
     validate_schedule,
 )
 from repro.errors import AnalysisError
@@ -127,6 +130,74 @@ class TestClusterOrder:
         site = compiled.index["G10"]
         order = cone_cluster_order(compiled, [site, site, site])
         assert order.tolist() == [0, 1, 2]
+
+
+class TestChunkCache:
+    def test_key_depends_on_order_and_content(self):
+        """Column assignment follows site order, so the key must too."""
+        assert chunk_cache_key([1, 2, 3]) == chunk_cache_key([1, 2, 3])
+        assert chunk_cache_key([1, 2, 3]) != chunk_cache_key([3, 2, 1])
+        assert chunk_cache_key([1, 2, 3]) != chunk_cache_key([1, 2, 4])
+        assert chunk_cache_key(np.asarray([5, 7], dtype=np.intp)) == \
+            chunk_cache_key([5, 7])
+
+    def test_fifo_eviction_bounds_entries(self):
+        cache = ChunkCache(max_entries=3)
+        for index in range(5):
+            cache.put(chunk_cache_key([index]), index)
+        assert len(cache) == 3
+        assert cache.get(chunk_cache_key([0])) is None  # evicted first
+        assert cache.get(chunk_cache_key([4])) == 4
+
+    def test_overwrite_does_not_evict(self):
+        cache = ChunkCache(max_entries=2)
+        key = chunk_cache_key([9])
+        cache.put(key, "a")
+        cache.put(chunk_cache_key([10]), "b")
+        cache.put(key, "c")  # overwrite in place, nothing evicted
+        assert len(cache) == 2
+        assert cache.get(key) == "c"
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_saturation_verdict_memoized_per_chunk(self):
+        """The prune="auto" predicate is computed once per distinct chunk
+        and shared through the plan's cache (sat: keys)."""
+        engine = EPPEngine(generate_iscas("s953"))
+        backend = engine.vector_backend(prune=True, schedule="cone")
+        backend.min_vector_work = 0
+        ids = np.asarray(
+            [engine._cones.resolve(s) for s in engine.default_sites()][:16],
+            dtype=np.intp,
+        )
+        verdict = backend._chunk_saturated(ids)
+        assert verdict == chunk_prune_saturated(engine.compiled, ids)
+        key = b"sat:" + chunk_cache_key(ids)
+        assert backend.plan.chunk_cache.get(key) == verdict
+        # A second backend over the same compiled circuit shares the memo.
+        other = engine.vector_backend(prune=False)
+        assert other.plan.chunk_cache is backend.plan.chunk_cache
+
+
+class TestRowsKnob:
+    def test_validate_accepts_known_values(self):
+        assert validate_rows(None) == "auto"
+        for value in ("auto", "compact", "full"):
+            assert validate_rows(value) == value
+
+    def test_validate_rejects_unknown(self):
+        with pytest.raises(AnalysisError, match="unknown rows"):
+            validate_rows("sparse")
+
+    def test_engine_rejects_bad_rows(self):
+        engine = EPPEngine(s27())
+        with pytest.raises(AnalysisError, match="unknown rows"):
+            engine.analyze(backend="vector", rows="narrow")
+
+    def test_scalar_backend_rejects_bad_rows_too(self):
+        engine = EPPEngine(s27())
+        with pytest.raises(AnalysisError, match="unknown rows"):
+            engine.analyze(backend="scalar", rows="narrow")
 
 
 class TestScheduleKnob:
