@@ -178,6 +178,27 @@ def build_parser() -> argparse.ArgumentParser:
         "cached remap; full restores the PR-4 full-circuit buffers)",
     )
     analyze.add_argument(
+        "--retries",
+        type=int,
+        help="extra attempts per failed shard for the sharded backend "
+        "(default: 2; crashes, timeouts and worker errors all re-run "
+        "the shard bit-identically)",
+    )
+    analyze.add_argument(
+        "--shard-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-shard deadline for the sharded backend; a slow shard "
+        "is re-enqueued with backoff (wedged workers respawn the pool)",
+    )
+    analyze.add_argument(
+        "--on-worker-failure",
+        choices=("retry", "degrade", "raise"),
+        help="terminal action once a shard's retry budget is spent: "
+        "retry raises RetryBudgetExceededError, degrade finishes the "
+        "shard in-process (bit-identical), raise fails fast",
+    )
+    analyze.add_argument(
         "--multi-cycle",
         type=int,
         metavar="CYCLES",
@@ -275,6 +296,9 @@ def _dispatch(args: argparse.Namespace) -> int:
             cells=None if args.cells == "auto" else args.cells,
             chunking=None if args.chunking == "auto" else args.chunking,
             rows=None if args.rows == "auto" else args.rows,
+            retries=args.retries,
+            shard_timeout=args.shard_timeout,
+            on_failure=args.on_worker_failure,
         )
         print(report.format_table(top=args.top))
         if args.csv:

@@ -189,6 +189,10 @@ class SERAnalyzer:
         cells: str | None = None,
         chunking: str | None = None,
         rows: str | None = None,
+        retries: int | None = None,
+        shard_timeout: float | None = None,
+        on_failure: str | None = None,
+        deadline: float | None = None,
     ) -> CircuitSERReport:
         """Analyze many sites (default: every combinational gate output).
 
@@ -200,13 +204,19 @@ class SERAnalyzer:
         cell-compacted kernels, compacted union-of-cones state matrices
         and cone-clustered cost-aware chunks by default), ``"sharded"``
         (or just passing ``jobs=``) for the multi-process site-sharded
-        driver.
+        driver.  ``retries``/``shard_timeout``/``on_failure``/
+        ``deadline`` configure the sharded driver's
+        :class:`~repro.core.resilience.FaultPolicy` — shard retry
+        budget, per-shard and global deadlines, and whether an exhausted
+        shard raises or degrades to the in-process backend
+        (bit-identical either way).
         """
         results = self.engine.analyze(
             sites=sites, sample=sample, seed=seed,
             backend=backend, batch_size=batch_size, jobs=jobs,
             prune=prune, schedule=schedule, cells=cells, chunking=chunking,
-            rows=rows,
+            rows=rows, retries=retries, shard_timeout=shard_timeout,
+            on_failure=on_failure, deadline=deadline,
         )
         report = CircuitSERReport(self.circuit.name)
         for site, result in results.items():

@@ -417,11 +417,27 @@ class EPPEngine:
         cells: str | None = None,
         chunking: str | None = None,
         rows: str | None = None,
+        retries: int | None = None,
+        shard_timeout: float | None = None,
+        on_failure: str | None = None,
+        deadline: float | None = None,
+        fault_injector=None,
     ):
         from repro.core.epp_shard import ShardedEPPEngine, default_jobs
+        from repro.core.resilience import FaultPolicy
 
         effective_jobs = int(jobs) if jobs is not None else default_jobs()
         requested_batch = None if batch_size is None else int(batch_size)
+        # Resolve the knobs to a full policy *before* the cache check:
+        # the policy is part of the backend's identity, so changing (say)
+        # the retry budget rebuilds the pool rather than silently reusing
+        # one configured differently.
+        policy = FaultPolicy.from_knobs(
+            retries=retries,
+            shard_timeout=shard_timeout,
+            on_failure=on_failure,
+            deadline=deadline,
+        )
         local = self._get_vector_backend(
             batch_size, prune, schedule, cells, chunking, rows
         )
@@ -431,6 +447,8 @@ class EPPEngine:
             or backend.jobs != effective_jobs
             or backend.requested_batch_size != requested_batch
             or backend.local is not local
+            or backend.policy != policy
+            or backend.fault_injector is not fault_injector
         ):
             if backend is not None:
                 backend.close()
@@ -446,6 +464,8 @@ class EPPEngine:
                 cells=cells,
                 chunking=chunking,
                 rows=rows,
+                policy=policy,
+                fault_injector=fault_injector,
             )
             self._sharded_backend = backend
         return backend
@@ -459,6 +479,11 @@ class EPPEngine:
         cells: str | None = None,
         chunking: str | None = None,
         rows: str | None = None,
+        retries: int | None = None,
+        shard_timeout: float | None = None,
+        on_failure: str | None = None,
+        deadline: float | None = None,
+        fault_injector=None,
     ):
         """The multi-process sharded driver bound to this engine.
 
@@ -466,16 +491,19 @@ class EPPEngine:
         the pool lifecycle (``warm``/``close``) and the crossover knob
         (``min_process_work``); raises :class:`~repro.errors.AnalysisError`
         when NumPy is unavailable.  The engine holds one cache slot: the
-        *most recent* ``(jobs, batch_size)`` configuration is reused across
-        calls, and requesting a different configuration closes the previous
-        instance's worker pool before building the new one (so the engine
-        never accumulates live pools).  Alternate configurations per call
-        by constructing :class:`~repro.core.epp_shard.ShardedEPPEngine`
-        instances directly instead.
+        *most recent* configuration — ``(jobs, batch_size)`` plus the
+        resolved :class:`~repro.core.resilience.FaultPolicy` — is reused
+        across calls, and requesting a different configuration closes the
+        previous instance's worker pool before building the new one (so
+        the engine never accumulates live pools).  Alternate
+        configurations per call by constructing
+        :class:`~repro.core.epp_shard.ShardedEPPEngine` instances
+        directly instead.
         """
         self._resolve_backend("sharded")
         return self._get_sharded_backend(
-            jobs, batch_size, prune, schedule, cells, chunking, rows
+            jobs, batch_size, prune, schedule, cells, chunking, rows,
+            retries, shard_timeout, on_failure, deadline, fault_injector,
         )
 
     def vector_backend(
@@ -526,11 +554,16 @@ class EPPEngine:
         cells: str | None = None,
         chunking: str | None = None,
         rows: str | None = None,
+        retries: int | None = None,
+        shard_timeout: float | None = None,
+        on_failure: str | None = None,
+        deadline: float | None = None,
     ) -> dict[str, EPPResult]:
         if backend == "sharded":
             site_ids = [self._cones.resolve(site) for site in sites]
             return self._get_sharded_backend(
-                jobs, batch_size, prune, schedule, cells, chunking, rows
+                jobs, batch_size, prune, schedule, cells, chunking, rows,
+                retries, shard_timeout, on_failure, deadline,
             ).analyze_sites(site_ids)
         if backend == "vector":
             site_ids = [self._cones.resolve(site) for site in sites]
@@ -557,6 +590,10 @@ class EPPEngine:
         cells: str | None = None,
         chunking: str | None = None,
         rows: str | None = None,
+        retries: int | None = None,
+        shard_timeout: float | None = None,
+        on_failure: str | None = None,
+        deadline: float | None = None,
     ) -> dict[str, EPPResult]:
         """EPP for many sites (default: every combinational gate output).
 
@@ -603,6 +640,17 @@ class EPPEngine:
         through a cached row remap, eliminating the full-template
         restore; ``"full"`` keeps the PR-4 full-circuit buffers) — all
         bit-identical; they change how much is computed, never any value.
+
+        The resilience knobs apply to the sharded backend only (like
+        ``jobs``): ``retries`` is the extra attempts allowed per failed
+        shard, ``shard_timeout`` the per-shard deadline (seconds) past
+        which a slow shard is re-enqueued with backoff, ``deadline`` the
+        global analysis deadline, and ``on_failure`` the terminal action
+        once a shard's budget is spent — ``"retry"`` (raise
+        :class:`~repro.errors.RetryBudgetExceededError`), ``"degrade"``
+        (finish the shard in-process, bit-identical) or ``"raise"``
+        (fail fast on the first shard failure).  See
+        :class:`~repro.core.resilience.FaultPolicy`.
         """
         if sites is None:
             sites = self.default_sites()
@@ -620,6 +668,20 @@ class EPPEngine:
         if jobs is not None and backend != "sharded":
             raise AnalysisError(
                 f"jobs= applies to the 'sharded' backend only, got backend={backend!r}"
+            )
+        resilience_knobs = {
+            "retries": retries,
+            "shard_timeout": shard_timeout,
+            "on_failure": on_failure,
+            "deadline": deadline,
+        }
+        requested = [k for k, v in resilience_knobs.items() if v is not None]
+        if requested and backend != "sharded":
+            # Mirror the jobs= guard: a retry budget on the scalar path
+            # would be silently meaningless, which reads like coverage.
+            raise AnalysisError(
+                f"{'/'.join(requested)} apply to the 'sharded' backend "
+                f"only, got backend={backend!r}"
             )
         # Validate the knob values up front, whatever the backend: the
         # scalar path *ignores* schedule/cells/chunking/rows (it is
@@ -640,7 +702,7 @@ class EPPEngine:
         if not collapse:
             return self._analyze_sites(
                 sites, backend, batch_size, jobs, prune, schedule, cells,
-                chunking, rows,
+                chunking, rows, retries, shard_timeout, on_failure, deadline,
             )
 
         from repro.core.collapse import collapse_seu_sites
@@ -656,7 +718,7 @@ class EPPEngine:
             by_representative.setdefault(rep, []).append(name)
         rep_results = self._analyze_sites(
             list(by_representative), backend, batch_size, jobs, prune, schedule,
-            cells, chunking, rows,
+            cells, chunking, rows, retries, shard_timeout, on_failure, deadline,
         )
         results = {}
         for rep, members in by_representative.items():

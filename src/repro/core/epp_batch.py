@@ -285,12 +285,15 @@ class BatchPlan:
         incrementally, now run once per distinct chunk and memoized:
         repeated sweeps of the same chunk (benchmark repeats, long-lived
         analyzers re-analyzing a module) skip straight to the remapped
-        index arrays.
+        index arrays.  Built through ``get_or_create`` so concurrent
+        sweeps of the same chunk construct exactly one plan.
         """
         key = b"rows:" + chunk_cache_key(site_ids)
-        cached = self.chunk_cache.get(key)
-        if cached is not None:
-            return cached
+        return self.chunk_cache.get_or_create(
+            key, lambda: self._build_compact_chunk_plan(site_ids)
+        )
+
+    def _build_compact_chunk_plan(self, site_ids: np.ndarray) -> CompactChunkPlan:
         total = self.n + 2
         # reach: on the union of the chunk's fanout cones (what the full
         # sweep calls on_path); needed: additionally every row an active
@@ -340,7 +343,6 @@ class BatchPlan:
         present = needed[self.sink_ids]
         plan.sink_rows = remap[self.sink_ids[present]]
         plan.sink_positions = np.nonzero(present)[0]
-        self.chunk_cache.put(key, plan)
         return plan
 
     @staticmethod
@@ -605,13 +607,13 @@ class BatchEPPBackend:
         cache — repeated sweeps of the same chunk (and the whole-call
         check of :meth:`_schedule_order`) pay the walk once.
         """
-        cache = self.plan.chunk_cache
         key = b"sat:" + chunk_cache_key(site_ids)
-        verdict = cache.get(key)
-        if verdict is None:
-            verdict = chunk_prune_saturated(self.compiled, site_ids)
-            cache.put(key, verdict)
-        return verdict
+        # get_or_create, not get/put: the verdict is a plain bool (False
+        # is a valid cached value), and concurrent sweeps of one chunk
+        # must agree on a single walk.
+        return self.plan.chunk_cache.get_or_create(
+            key, lambda: chunk_prune_saturated(self.compiled, site_ids)
+        )
 
     def _sweep(self, site_ids: np.ndarray, slot: int = 0):
         """One level-synchronized pass for a chunk of sites.

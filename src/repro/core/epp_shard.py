@@ -48,25 +48,55 @@ Design
   run on the in-process vector backend — an s27-sized circuit never pays
   process spin-up, mirroring the vector backend's own scalar-crossover
   guard.
+* **Fault tolerance.**  Column independence makes every shard *exactly
+  re-runnable*, so the driver recovers from failures without perturbing
+  results: a broken pool (crashed/OOMed worker) is respawned from the
+  cached payload, the dead workers' shared-memory segments are
+  quarantined (workers export under deterministic
+  ``repro_epp_<pid>_<seq>`` names so the parent can find orphans), and
+  only *unfinished* shards are re-submitted — delivered packed arrays
+  are kept, the merge stays exactly-once.  Slow shards are re-enqueued
+  with deterministic seeded backoff once past their per-shard deadline
+  (a wedged worker is killed by respawning the pool); a failed shm
+  export is retried once on the pickle transport *inside the worker*
+  before anything counts as a failure.  The
+  :class:`~repro.core.resilience.FaultPolicy` decides what happens when
+  a shard exhausts its retry budget: raise a typed error
+  (:mod:`repro.errors`), or — ``on_failure="degrade"`` — finish the
+  remaining shards on an in-process backend built with the *worker's*
+  knobs, so results stay bit-identical even then.  Every recovery is
+  ``np.array_equal`` to a clean run; :mod:`repro.testing.faults` is the
+  seeded harness that proves it.
 
 Selection: ``EPPEngine.analyze(backend="sharded", jobs=4)`` (CLI:
 ``--backend sharded --jobs 4``); passing ``jobs=`` alone implies the
-sharded backend.
+sharded backend.  Resilience knobs: ``retries=``, ``shard_timeout=``,
+``on_failure=`` (CLI: ``--retries``, ``--shard-timeout``,
+``--on-worker-failure``).
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import pickle
+import time
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
-from repro.errors import AnalysisError
+from repro.core.resilience import Deadline, FaultPolicy, ShardOutcome
+from repro.errors import (
+    AnalysisError,
+    RetryBudgetExceededError,
+    ShardTimeoutError,
+    WorkerCrashError,
+)
 
 __all__ = [
+    "PickleFallback",
     "ShardedEPPEngine",
     "ShmHandle",
     "default_jobs",
@@ -153,6 +183,35 @@ def partition_shards(items: list, n_shards: int) -> list[list]:
 
 # ------------------------------------------------------------ shm transport
 
+#: Prefix of worker-exported segment names: ``repro_epp_<pid>_<seq>``.
+#: Deterministic names are the recovery hook — a crashed worker leaves
+#: its undelivered exports in ``/dev/shm`` under its own pid, so the
+#: parent can quarantine (unlink) exactly the dead workers' orphans
+#: without guessing at the random ``psm_*`` names anonymous segments get.
+_SHM_NAME_PREFIX = "repro_epp_"
+
+#: Per-process counter behind :func:`_segment_name` (workers only).
+_SHM_SEQ = itertools.count()
+
+
+def _segment_name() -> str:
+    """A fresh deterministic segment name for this process's next export."""
+    return f"{_SHM_NAME_PREFIX}{os.getpid()}_{next(_SHM_SEQ)}"
+
+
+@dataclass(frozen=True)
+class PickleFallback:
+    """A shard result demoted to the executor's pickle channel.
+
+    Wraps the arrays a worker ships after its shared-memory export
+    failed: the sweep had already produced a correct result, so the
+    worker retries *delivery* (not the shard) on the pickle transport —
+    the wrapper is how the parent tells a deliberate ``transport=
+    "pickle"`` shard from a fallback, and counts the latter.
+    """
+
+    payload: object
+
 
 @dataclass(frozen=True)
 class ShmHandle:
@@ -185,12 +244,16 @@ def _untrack_shm(shm) -> None:
         pass
 
 
-def export_shm(arrays: Sequence) -> ShmHandle:
+def export_shm(arrays: Sequence, name: str | None = None) -> ShmHandle:
     """Copy a tuple of arrays into one fresh shared-memory segment.
 
     Offsets are 64-byte aligned.  The segment is closed (not unlinked) and
     unregistered from the calling process's resource tracker before the
     handle is returned: the receiver owns the lifetime from here.
+    ``name`` requests a deterministic segment name (workers pass
+    :func:`_segment_name` so the parent can quarantine a dead worker's
+    orphans); a collision with a stale segment falls back to an
+    anonymous name rather than failing the export.
     """
     import numpy as np
     from multiprocessing import shared_memory
@@ -211,7 +274,14 @@ def export_shm(arrays: Sequence) -> ShmHandle:
         fields.append((array.shape, array.dtype.str, offset))
         offset += array.nbytes
         offset = (offset + 63) & ~63
-    shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
+    size = max(1, offset)
+    if name is None:
+        shm = shared_memory.SharedMemory(create=True, size=size)
+    else:
+        try:
+            shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+        except FileExistsError:
+            shm = shared_memory.SharedMemory(create=True, size=size)
     try:
         for array, (shape, dtype, start) in zip(contiguous, fields):
             view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=start)
@@ -272,11 +342,17 @@ _WORKER_PAYLOAD: tuple[str, bytes] | None = None
 _WORKER_BACKENDS: dict[str, object] = {}
 _WORKER_STATS = {"plans_built": 0}
 
+#: The pool's :class:`~repro.testing.faults.FaultInjector`, if any —
+#: ``None`` in production pools.  Consulted by :func:`_run_shard` at the
+#: ``"kernel"`` and ``"export"`` stages of every shard attempt.
+_WORKER_INJECTOR = None
 
-def _shard_worker_init(payload: bytes, key: str) -> None:
+
+def _shard_worker_init(payload: bytes, key: str, injector=None) -> None:
     """Executor initializer: stash the payload; planning happens lazily."""
-    global _WORKER_PAYLOAD
+    global _WORKER_PAYLOAD, _WORKER_INJECTOR
     _WORKER_PAYLOAD = (key, payload)
+    _WORKER_INJECTOR = injector
 
 
 def _worker_backend():
@@ -313,22 +389,43 @@ def _worker_backend():
     return backend
 
 
-def _run_shard(site_ids: list[int], full: bool, transport: str):
-    """One shard's sweep in a worker: packed results or bare P_sensitized.
+def _run_shard(
+    site_ids: list[int],
+    full: bool,
+    transport: str,
+    shard_index: int = 0,
+    attempt: int = 1,
+):
+    """One shard's sweep in a worker: ``(worker_pid, result)``.
 
     Under ``transport="shm"`` the result arrays are written into a shared-
-    memory segment and only a :class:`ShmHandle` goes back through the
-    executor's pickle channel; under ``"pickle"`` the arrays themselves do
-    (the PR-2 wire format).
+    memory segment (named ``repro_epp_<pid>_<seq>`` so the parent can
+    quarantine orphans after a crash) and only a :class:`ShmHandle` goes
+    back through the executor's pickle channel; under ``"pickle"`` the
+    arrays themselves do (the PR-2 wire format).  A failed shm export is
+    *not* a failed shard — the sweep already produced correct arrays, so
+    they are demoted to the pickle channel (wrapped in
+    :class:`PickleFallback` so the parent counts the fallback) before
+    anything counts as a failure.  ``shard_index``/``attempt`` identify
+    this submission to the pool's fault injector, if one is installed.
     """
+    injector = _WORKER_INJECTOR
+    if injector is not None:
+        injector.fire("kernel", shard_index, attempt)
     backend = _worker_backend()
     if full:
         arrays = backend.pack_sites(site_ids)
     else:
         arrays = (backend.p_sensitized_many(site_ids),)
+    result = arrays if full else arrays[0]
     if transport == "shm":
-        return export_shm(arrays)
-    return arrays if full else arrays[0]
+        try:
+            if injector is not None:
+                injector.fire("export", shard_index, attempt)
+            return os.getpid(), export_shm(arrays, name=_segment_name())
+        except Exception:
+            return os.getpid(), PickleFallback(result)
+    return os.getpid(), result
 
 
 def _worker_warmup(delay: float) -> int:
@@ -416,12 +513,26 @@ class ShardedEPPEngine:
         executor's result channel.  Per-shard traffic is tallied in
         :attr:`stats` (``shm_shards``/``pickle_shards``/``shm_bytes``/
         ``pickled_array_bytes``).
+    policy:
+        A :class:`~repro.core.resilience.FaultPolicy` governing shard
+        retries, backoff, deadlines and the terminal ``on_failure``
+        action.  Mutually exclusive with the individual knobs below.
+    retries / shard_timeout / on_failure / deadline:
+        Shorthand for the matching :class:`FaultPolicy` fields (``None``
+        means "the policy default") — the shapes ``EPPEngine.analyze``
+        and the CLI thread through.
+    fault_injector:
+        A :class:`~repro.testing.faults.FaultInjector` shipped through
+        the pool initializer — test-only machinery for staging worker
+        crashes, stalls and transport failures deterministically.
 
     The worker pool is created lazily on the first sharded call and reused
     across calls; :meth:`close` (or the context-manager protocol) tears it
     down and releases the local backend's state buffers.  Results are
-    identical to ``backend="vector"`` — neither sharding nor scheduling
-    can reorder any per-site arithmetic.
+    identical to ``backend="vector"`` — neither sharding, scheduling nor
+    any recovery path can reorder any per-site arithmetic.  After each
+    sharded call, :attr:`last_outcomes` holds one
+    :class:`~repro.core.resilience.ShardOutcome` audit record per shard.
     """
 
     def __init__(
@@ -441,6 +552,12 @@ class ShardedEPPEngine:
         chunking: str | None = None,
         rows: str | None = None,
         transport: str | None = None,
+        policy: FaultPolicy | None = None,
+        retries: int | None = None,
+        shard_timeout: float | None = None,
+        on_failure: str | None = None,
+        deadline: float | None = None,
+        fault_injector=None,
     ):
         from repro.core.schedule import (
             resolve_prune,
@@ -475,17 +592,52 @@ class ShardedEPPEngine:
                 f"unknown transport {transport!r}; choose from {TRANSPORTS}"
             )
         self.transport = transport
-        #: Per-engine wire accounting, reset never: ``shm_shards`` /
-        #: ``pickle_shards`` count shard results per transport,
-        #: ``shm_bytes`` totals segment sizes, ``pickled_array_bytes``
-        #: totals the array payloads that crossed the pickle channel
-        #: (zero for every shm shard — the acceptance the transport tests
-        #: pin).
+        if policy is None:
+            policy = FaultPolicy.from_knobs(
+                retries=retries,
+                shard_timeout=shard_timeout,
+                on_failure=on_failure,
+                deadline=deadline,
+            )
+        elif any(
+            knob is not None
+            for knob in (retries, shard_timeout, on_failure, deadline)
+        ):
+            raise AnalysisError(
+                "pass either policy= or the individual resilience knobs "
+                "(retries/shard_timeout/on_failure/deadline), not both"
+            )
+        self.policy = policy
+        self.fault_injector = fault_injector
+        #: One :class:`~repro.core.resilience.ShardOutcome` per shard of
+        #: the most recent sharded call (empty until one runs).
+        self.last_outcomes: list[ShardOutcome] = []
+        #: Per-engine accounting, reset never.  Wire traffic:
+        #: ``shm_shards`` / ``pickle_shards`` count shard results per
+        #: transport, ``shm_bytes`` totals segment sizes,
+        #: ``pickled_array_bytes`` totals the array payloads that crossed
+        #: the pickle channel (zero for every shm shard — the acceptance
+        #: the transport tests pin).  Resilience: ``retries`` counts
+        #: re-submissions, ``respawns`` pool rebuilds, ``worker_crashes``
+        #: pool-break events, ``shard_errors`` in-worker exceptions,
+        #: ``shard_timeouts`` per-shard deadline expiries,
+        #: ``transport_fallbacks`` shm-export failures demoted to pickle,
+        #: ``degraded_shards`` shards finished on the in-process backend,
+        #: ``quarantined_segments`` orphaned ``/dev/shm`` segments
+        #: unlinked after worker death.
         self.stats = {
             "shm_shards": 0,
             "pickle_shards": 0,
             "shm_bytes": 0,
             "pickled_array_bytes": 0,
+            "retries": 0,
+            "respawns": 0,
+            "worker_crashes": 0,
+            "shard_errors": 0,
+            "shard_timeouts": 0,
+            "transport_fallbacks": 0,
+            "degraded_shards": 0,
+            "quarantined_segments": 0,
         }
         if local_backend is None:
             from repro.core.epp_batch import BatchEPPBackend
@@ -532,6 +684,12 @@ class ShardedEPPEngine:
         #: between a worker's ``export_shm`` and the parent's receive, or
         #: a suspended result generator that never reaches its cleanup.
         self._inflight: set = set()
+        #: Lazily built in-process backend with the *worker's* knobs
+        #: (``min_vector_work=0``, ``schedule="input"``, the worker chunk
+        #: width) for ``on_failure="degrade"`` — degraded shards must run
+        #: the exact code path a worker would, so the merged result stays
+        #: bit-identical to a clean sharded run.
+        self._degraded_backend = None
 
     # ------------------------------------------------------------- lifecycle
 
@@ -578,11 +736,15 @@ class ShardedEPPEngine:
                 max_workers=self.jobs,
                 mp_context=context,
                 initializer=_shard_worker_init,
-                initargs=(self.payload(), self.payload_key()),
+                initargs=(
+                    self.payload(),
+                    self.payload_key(),
+                    self.fault_injector,
+                ),
             )
         return self._pool
 
-    def warm(self) -> "ShardedEPPEngine":
+    def warm(self, timeout: float | None = 60.0) -> "ShardedEPPEngine":
         """Fork and initialize every worker now, not inside a timed region.
 
         ``ProcessPoolExecutor`` spawns workers lazily on submit, so merely
@@ -591,20 +753,37 @@ class ShardedEPPEngine:
         worker, so all ``jobs`` processes fork and run the payload
         initializer here.  A bounded retry with a longer hold covers the
         race where an early worker finishes before the last one forks.
-        """
-        from concurrent.futures import wait
 
+        ``timeout`` bounds the *whole* barrier (all escalation rounds):
+        a wedged worker used to hang this call forever; now it raises
+        :class:`~repro.errors.ShardTimeoutError` once the budget is spent
+        (``None`` restores the unbounded wait).
+        """
         pool = self._ensure_pool()
+        countdown = Deadline(timeout)
         delay = 0.02
         for _ in range(3):
-            wait([pool.submit(_worker_warmup, delay) for _ in range(self.jobs)])
+            futures = [
+                pool.submit(_worker_warmup, delay) for _ in range(self.jobs)
+            ]
+            _, not_done = wait(futures, timeout=countdown.remaining())
+            if not_done:
+                for future in not_done:
+                    future.cancel()
+                raise ShardTimeoutError(
+                    "worker pool warmup barrier timed out (wedged worker?); "
+                    "close() the engine to respawn the pool",
+                    timeout=timeout,
+                )
             processes = getattr(pool, "_processes", None)
             if processes is None or len(processes) >= self.jobs:
                 break
             delay *= 4
         return self
 
-    def worker_stats(self) -> dict[int, dict[str, int]]:
+    def worker_stats(
+        self, timeout: float | None = 60.0
+    ) -> dict[int, dict[str, int]]:
         """Per-worker plan-cache counters, probed over the live pool.
 
         Returns ``{pid: {"plans_built": n, "cached_circuits": m}}``.  One
@@ -612,12 +791,13 @@ class ShardedEPPEngine:
         worker answers for itself; the counters cover the worker's whole
         lifetime — a worker that served many shards of one circuit
         reports ``plans_built == 1``, which is what the plan-cache tests
-        pin.
+        pin.  Like :meth:`warm`, ``timeout`` bounds the whole barrier and
+        raises :class:`~repro.errors.ShardTimeoutError` instead of
+        hanging on a wedged worker.
         """
-        from concurrent.futures import wait
-
         pool = self._ensure_pool()
         stats: dict[int, dict[str, int]] = {}
+        countdown = Deadline(timeout)
         # The warm() escalation: a fixed barrier delay can let one worker
         # answer two probes on a loaded host, leaving another unprobed —
         # retry with a longer hold until every worker has reported.
@@ -627,7 +807,15 @@ class ShardedEPPEngine:
                 pool.submit(_worker_cache_stats, delay)
                 for _ in range(self.jobs)
             ]
-            wait(futures)
+            _, not_done = wait(futures, timeout=countdown.remaining())
+            if not_done:
+                for future in not_done:
+                    future.cancel()
+                raise ShardTimeoutError(
+                    "worker-stats barrier timed out (wedged worker?); "
+                    "close() the engine to respawn the pool",
+                    timeout=timeout,
+                )
             for future in futures:
                 pid, plans_built, cached = future.result()
                 stats[pid] = {
@@ -638,33 +826,107 @@ class ShardedEPPEngine:
             delay *= 4
         return stats
 
-    def _drain_inflight(self, wait_for_results: bool) -> None:
+    def _drain_inflight_strict(self) -> None:
         """Reclaim the segments of every undelivered shard future.
 
         Workers relinquish segment ownership the moment they export, so a
         shard result nobody receives — the pool torn down between a
         worker's ``export_shm`` and the parent's future resolution — must
         be unlinked here or it outlives the process in ``/dev/shm``.
-        ``wait_for_results`` blocks until uncancelled shards finish and
-        discards them synchronously (the deterministic :meth:`close`
-        path); ``False`` attaches done-callbacks instead (the best-effort
-        ``__del__`` path, which must never block).
+        The deterministic :meth:`close` path: blocks until uncancelled
+        shards finish and discards them synchronously, and lets any
+        unexpected error propagate — this path must never *mask* a leak.
         """
-        from concurrent.futures import wait
-
         leftovers, self._inflight = list(self._inflight), set()
         for future in leftovers:
             future.cancel()
         pending = [f for f in leftovers if not f.cancelled()]
         if not pending:
             return
-        if wait_for_results:
-            wait(pending)
-            for future in pending:
-                self._discard_shard(future)
-        else:  # pragma: no cover - interpreter-shutdown best effort
-            for future in pending:
-                future.add_done_callback(self._discard_shard)
+        wait(pending)
+        for future in pending:
+            self._discard_shard(future)
+
+    def _drain_inflight_best_effort(self) -> None:
+        """The ``__del__``-time drain: never blocks, never raises.
+
+        At interpreter shutdown, module globals (``wait``, even builtins)
+        may already be torn down and executor threads half-dead — every
+        step is individually guarded and failures are swallowed, because
+        raising from ``__del__`` here would mask the caller's real error.
+        Normal teardown must use :meth:`close` (strict drain) instead;
+        keeping the two paths separate is what stops shutdown-race
+        tolerance from hiding genuine shm leaks.
+        """
+        try:
+            leftovers, self._inflight = list(self._inflight), set()
+        except BaseException:
+            return
+        for future in leftovers:
+            try:
+                future.cancel()
+                if not future.cancelled():
+                    future.add_done_callback(self._discard_shard)
+            except BaseException:
+                pass
+
+    def _quarantine_segments(self, pids) -> int:
+        """Unlink ``/dev/shm`` segments exported by dead worker ``pids``.
+
+        A worker that died between ``export_shm`` and its future's
+        resolution leaves an orphaned segment no handle will ever reach.
+        Deterministic names (``repro_epp_<pid>_<seq>``) make the orphans
+        findable: everything under a dead pid's prefix is garbage — the
+        parent holds handles only for *delivered* results, which it has
+        already copied out and unlinked.  Returns the number removed.
+        """
+        prefixes = tuple(f"{_SHM_NAME_PREFIX}{pid}_" for pid in pids)
+        if not prefixes or os.name != "posix":
+            return 0
+        try:
+            entries = os.listdir("/dev/shm")
+        except OSError:  # pragma: no cover - no /dev/shm on this host
+            return 0
+        removed = 0
+        for entry in entries:
+            if entry.startswith(prefixes):
+                try:
+                    os.unlink(os.path.join("/dev/shm", entry))
+                    removed += 1
+                except OSError:  # pragma: no cover - concurrent unlink
+                    pass
+        self.stats["quarantined_segments"] += removed
+        return removed
+
+    def _respawn_pool(self) -> None:
+        """Tear down a broken or wedged pool and quarantine its segments.
+
+        ``ProcessPoolExecutor`` cannot kill one task, so a wedged worker
+        costs the whole pool: terminate every worker, shut the executor
+        down without waiting, and unlink whatever segments the dead pids
+        left in ``/dev/shm``.  The pool rebuilds lazily from the cached
+        payload on the next submit; worker plan caches rebuild the same
+        way (counted by ``plans_built``).  The caller must have already
+        unregistered — and, for delivered results, received — every
+        tracked future: after this, their segments are gone.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        processes = dict(getattr(pool, "_processes", None) or {})
+        for process in processes.values():
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already reaped
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes.values():
+            try:
+                process.join(timeout=5.0)
+            except Exception:  # pragma: no cover - already reaped
+                pass
+        self._quarantine_segments(processes.keys())
+        self.stats["respawns"] += 1
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent; pool respawns on next use).
@@ -679,10 +941,13 @@ class ShardedEPPEngine:
         footprint after ``analyze()`` (buffers rebuild lazily on the next
         bulk call).
         """
-        self._drain_inflight(wait_for_results=True)
+        self._drain_inflight_strict()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._degraded_backend is not None:
+            self._degraded_backend.release_buffers()
+            self._degraded_backend = None
         self.local.release_buffers()
 
     def __enter__(self) -> "ShardedEPPEngine":
@@ -693,10 +958,10 @@ class ShardedEPPEngine:
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:
-            self._drain_inflight(wait_for_results=False)
+            self._drain_inflight_best_effort()
             if self._pool is not None:
                 self._pool.shutdown(wait=False)
-        except Exception:
+        except BaseException:
             pass
 
     # -------------------------------------------------------------- sharding
@@ -750,14 +1015,16 @@ class ShardedEPPEngine:
         return shards, position_shards
 
     def _receive(self, payload, full: bool):
-        """Normalize one worker result to in-process arrays, tallying stats.
+        """Normalize one worker result: ``(arrays, transport_label)``.
 
         Shared-memory shards are attached, copied out in one memcpy per
         array (far cheaper than the pickle round-trip they replace — and
         every view must be dropped before the segment can close), then
         closed and unlinked here so segment lifetime never escapes this
         method.  Pickle shards pass through with their array payload
-        counted.
+        counted; a :class:`PickleFallback` (a worker's failed shm export
+        demoted to the pickle channel) additionally bumps
+        ``transport_fallbacks``.
         """
         if isinstance(payload, ShmHandle):
             views, shm = import_shm(payload)
@@ -771,11 +1038,14 @@ class ShardedEPPEngine:
                     shm.unlink()  # never skipped, even if close() raises
             self.stats["shm_shards"] += 1
             self.stats["shm_bytes"] += payload.nbytes
-            return arrays if full else arrays[0]
+            return (arrays if full else arrays[0]), "shm"
+        if isinstance(payload, PickleFallback):
+            self.stats["transport_fallbacks"] += 1
+            payload = payload.payload
         arrays = payload if full else (payload,)
         self.stats["pickle_shards"] += 1
         self.stats["pickled_array_bytes"] += sum(array.nbytes for array in arrays)
-        return payload
+        return payload, "pickle"
 
     @staticmethod
     def _discard_shard(future) -> None:
@@ -787,8 +1057,10 @@ class ShardedEPPEngine:
         """
         try:
             payload = future.result()
-        except Exception:
+        except BaseException:
             return  # failed/cancelled shard: no segment was handed over
+        if isinstance(payload, tuple) and len(payload) == 2:
+            payload = payload[1]  # strip the (worker_pid, result) wrapper
         if isinstance(payload, ShmHandle):
             try:
                 _, shm = import_shm(payload)
@@ -797,38 +1069,315 @@ class ShardedEPPEngine:
             except Exception:  # pragma: no cover - already gone
                 pass
 
+    def _degrade_backend(self):
+        """The in-process backend degraded shards run on (built lazily).
+
+        Mirrors :func:`_worker_backend` exactly — ``min_vector_work=0``
+        (no scalar crossover on small shards), ``schedule="input"``
+        (shards arrive pre-cone-ordered), the worker chunk width — so a
+        degraded shard takes the same code path a worker would and the
+        merged analysis stays bit-identical to a clean sharded run.
+        ``self.local`` would not do: its scalar-crossover guard and
+        scheduler could route a small shard differently.
+        """
+        if self._degraded_backend is None:
+            from repro.core.epp_batch import BatchEPPBackend
+
+            self._degraded_backend = BatchEPPBackend(
+                self.compiled,
+                self.local.sp,
+                track_polarity=self.track_polarity,
+                batch_size=self.worker_batch_size,
+                min_vector_work=0,
+                prune=self.prune,
+                schedule="input",
+                cells=self.cells,
+                chunking=self.chunking,
+                rows=self.rows,
+            )
+        return self._degraded_backend
+
+    def _run_degraded(self, site_ids: list[int], full: bool):
+        """One shard on the in-process degrade backend (terminal fallback)."""
+        self.stats["degraded_shards"] += 1
+        backend = self._degrade_backend()
+        if full:
+            return backend.pack_sites(site_ids)
+        return backend.p_sensitized_many(site_ids)
+
     def _map_shards(self, shards: list[list[int]], full: bool):
         """Yield ``(shard_index, worker_result)`` as shards complete.
 
-        On any abnormal exit — a worker exception, a dead pool, or the
-        consumer abandoning the generator — every shard result that was
-        not delivered is drained and its shared-memory segment unlinked,
-        so failed analyses cannot leak ``/dev/shm`` space.
+        The resilient scheduler.  Per-column shard independence makes
+        every shard exactly re-runnable, so failures are handled by
+        re-running — never by perturbing results:
+
+        * A **broken pool** (crashed/OOMed worker) first delivers every
+          shard that finished before the break (exactly-once merge: a
+          delivered shard is never resubmitted), then respawns the pool
+          — quarantining the dead workers' orphaned segments — and
+          charges one attempt to each in-flight shard (the executor
+          cannot say which one killed the worker).
+        * A shard past its **per-shard deadline** is cancelled and
+          re-enqueued with deterministic seeded backoff; if it was
+          already running the wedged pool is respawned first (collateral
+          shards are refunded their attempt and resubmitted at once).
+        * A shard that **fails in the worker** is retried with backoff
+          until its budget runs out; then ``on_failure`` decides:
+          ``"raise"`` fails fast with a typed error, ``"retry"`` raises
+          :class:`~repro.errors.RetryBudgetExceededError`, ``"degrade"``
+          finishes the shard on the in-process worker-knob backend.
+        * Past the **global deadline** the analysis raises — or, under
+          ``"degrade"``, finishes every unfinished shard in-process.
+
+        On any abnormal exit — including the consumer abandoning the
+        generator — every undelivered shard result is drained and its
+        shared-memory segment unlinked, so failed analyses cannot leak
+        ``/dev/shm`` space.
         """
-        pool = self._ensure_pool()
-        futures = {
-            pool.submit(_run_shard, shard, full, self.transport): index
-            for index, shard in enumerate(shards)
-        }
-        self._inflight.update(futures)
-        delivered = set()
+        policy = self.policy
+        countdown = Deadline(policy.deadline)
+        n = len(shards)
+        attempts = [0] * n
+        first_start = [0.0] * n
+        pending: dict = {}  # future -> shard index
+        started: dict = {}  # future -> submission time (monotonic)
+        ready_at: dict[int, float] = {}  # shard index -> backoff wakeup
+        outcomes = self.last_outcomes = []
+
+        def submit(index: int) -> None:
+            attempts[index] += 1
+            future = self._ensure_pool().submit(
+                _run_shard,
+                shards[index],
+                full,
+                self.transport,
+                index,
+                attempts[index],
+            )
+            now = time.monotonic()
+            if attempts[index] == 1:
+                first_start[index] = now
+            pending[future] = index
+            started[future] = now
+            self._inflight.add(future)
+
+        def unregister(future) -> int:
+            index = pending.pop(future)
+            started.pop(future, None)
+            self._inflight.discard(future)
+            return index
+
+        def receive(index: int, future):
+            worker_pid, body = future.result()
+            result, transport = self._receive(body, full)
+            outcomes.append(
+                ShardOutcome(
+                    shard=index,
+                    sites=len(shards[index]),
+                    attempts=attempts[index],
+                    worker_pid=worker_pid,
+                    transport=transport,
+                    elapsed=time.monotonic() - first_start[index],
+                )
+            )
+            return result
+
+        def degrade(index: int):
+            result = self._run_degraded(shards[index], full)
+            outcomes.append(
+                ShardOutcome(
+                    shard=index,
+                    sites=len(shards[index]),
+                    attempts=attempts[index],
+                    worker_pid=None,
+                    transport="local",
+                    elapsed=time.monotonic()
+                    - (first_start[index] or time.monotonic()),
+                    degraded=True,
+                )
+            )
+            return result
+
+        def record_failure(index: int, error) -> str:
+            """One failed attempt: schedule a retry (with backoff) or
+            return ``"degrade"``; raises when the policy says stop."""
+            if policy.on_failure == "raise":
+                raise error
+            if attempts[index] >= policy.max_attempts:
+                if policy.on_failure == "degrade":
+                    return "degrade"
+                raise RetryBudgetExceededError(
+                    f"shard {index} failed on all {attempts[index]} "
+                    f"attempt(s)",
+                    site_ids=shards[index],
+                    attempts=attempts[index],
+                ) from error
+            self.stats["retries"] += 1
+            ready_at[index] = time.monotonic() + policy.backoff_delay(
+                index, attempts[index]
+            )
+            return "retry"
+
+        def split_pending() -> tuple[list, list[int]]:
+            """Unregister everything in flight: the successfully finished
+            futures come back as ``(index, future)`` pairs (deliver them
+            *before* any respawn/quarantine touches their segments), the
+            rest as bare indices for the caller's recovery path."""
+            done_ok: list = []
+            rest: list[int] = []
+            for future in list(pending):
+                index = unregister(future)
+                if (
+                    future.done()
+                    and not future.cancelled()
+                    and future.exception() is None
+                ):
+                    done_ok.append((index, future))
+                else:
+                    future.cancel()
+                    future.add_done_callback(self._discard_shard)
+                    rest.append(index)
+            return done_ok, rest
+
         try:
-            for future in as_completed(futures):
-                delivered.add(future)
-                self._inflight.discard(future)
-                yield futures[future], self._receive(future.result(), full)
-        except BrokenProcessPool as exc:
-            self._pool = None  # the pool is dead; let a later call respawn it
-            raise AnalysisError(
-                "sharded EPP worker pool died mid-analysis (worker killed or "
-                "out of memory); rerun with fewer jobs or a smaller batch_size"
-            ) from exc
+            for index in range(n):
+                submit(index)
+            while pending or ready_at:
+                now = time.monotonic()
+                if countdown.expired():
+                    # Global deadline: fail, or finish in-process.
+                    if policy.on_failure != "degrade":
+                        unfinished = len(pending) + len(ready_at)
+                        raise ShardTimeoutError(
+                            f"analysis deadline expired with {unfinished} "
+                            f"of {n} shard(s) unfinished",
+                            timeout=policy.deadline,
+                        )
+                    leftover = sorted(ready_at)
+                    ready_at.clear()
+                    done_ok, rest = split_pending()
+                    for index, future in done_ok:
+                        yield index, receive(index, future)
+                    for index in sorted(leftover + rest):
+                        yield index, degrade(index)
+                    return
+                # Shards whose backoff has elapsed go back to the pool.
+                for index in [i for i, at in ready_at.items() if at <= now]:
+                    del ready_at[index]
+                    submit(index)
+                if not pending:
+                    # Everything is waiting out a backoff: sleep to the
+                    # earliest wakeup (bounded by the global deadline).
+                    doze = min(ready_at.values()) - now
+                    remaining = countdown.remaining()
+                    if remaining is not None:
+                        doze = min(doze, remaining)
+                    if doze > 0:
+                        time.sleep(doze)
+                    continue
+                # Block until the first completion — or the earliest of
+                # the per-shard deadlines, backoff wakeups and the global
+                # deadline, whichever comes first.
+                marks = []
+                if policy.shard_timeout is not None and started:
+                    marks.append(min(started.values()) + policy.shard_timeout)
+                if ready_at:
+                    marks.append(min(ready_at.values()))
+                remaining = countdown.remaining()
+                if remaining is not None:
+                    marks.append(now + remaining)
+                timeout = max(0.0, min(marks) - now) if marks else None
+                done, _ = wait(
+                    list(pending), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                broken = None
+                victims: list[int] = []
+                for future in done:
+                    index = unregister(future)
+                    if future.cancelled():
+                        # A shutdown race cancelled a queued shard; the
+                        # attempt never ran, so resubmit without charge.
+                        attempts[index] -= 1
+                        ready_at[index] = time.monotonic()
+                        continue
+                    error = future.exception()
+                    if error is None:
+                        yield index, receive(index, future)
+                    elif isinstance(error, BrokenProcessPool):
+                        broken = error
+                        victims.append(index)
+                    else:
+                        self.stats["shard_errors"] += 1
+                        if record_failure(index, error) == "degrade":
+                            yield index, degrade(index)
+                if broken is not None:
+                    # The pool is dead: every pending future carries the
+                    # same BrokenProcessPool, so deliver what finished
+                    # first, respawn (quarantining dead-pid segments),
+                    # then charge one attempt to each in-flight shard.
+                    self.stats["worker_crashes"] += 1
+                    done_ok, rest = split_pending()
+                    for index, future in done_ok:
+                        yield index, receive(index, future)
+                    self._respawn_pool()
+                    for index in sorted(victims + rest):
+                        error = WorkerCrashError(
+                            "sharded EPP worker died mid-shard (killed, "
+                            "out of memory, or crashed)",
+                            site_ids=shards[index],
+                            attempts=attempts[index],
+                        )
+                        error.__cause__ = broken
+                        if record_failure(index, error) == "degrade":
+                            yield index, degrade(index)
+                    continue
+                if policy.shard_timeout is None or not pending:
+                    continue
+                now = time.monotonic()
+                overdue = [
+                    (future, index)
+                    for future, index in pending.items()
+                    if now - started[future] >= policy.shard_timeout
+                    and not future.done()
+                ]
+                if not overdue:
+                    continue
+                wedged = False
+                timed_out: list[int] = []
+                for future, index in overdue:
+                    unregister(future)
+                    timed_out.append(index)
+                    if not future.cancel():
+                        # Already running: the executor cannot kill one
+                        # task, so the wedged worker costs the pool.
+                        wedged = True
+                    future.add_done_callback(self._discard_shard)
+                if wedged:
+                    done_ok, rest = split_pending()
+                    for index, future in done_ok:
+                        yield index, receive(index, future)
+                    self._respawn_pool()
+                    for index in rest:
+                        # Collateral of the respawn, not slow: refund the
+                        # attempt and resubmit immediately.
+                        attempts[index] -= 1
+                        ready_at[index] = now
+                for index in timed_out:
+                    self.stats["shard_timeouts"] += 1
+                    error = ShardTimeoutError(
+                        f"shard {index} exceeded its deadline",
+                        site_ids=shards[index],
+                        attempts=attempts[index],
+                        timeout=policy.shard_timeout,
+                    )
+                    if record_failure(index, error) == "degrade":
+                        yield index, degrade(index)
         finally:
-            leftovers = [f for f in futures if f not in delivered]
-            for future in leftovers:
-                future.cancel()
-            for future in leftovers:
+            for future in list(pending):
+                pending.pop(future, None)
                 self._inflight.discard(future)
+                future.cancel()
                 if not future.cancelled():
                     # Done callbacks run immediately for finished futures
                     # and from the executor thread otherwise, so an

@@ -345,6 +345,30 @@ class ChunkCache:
                 entries.pop(next(iter(entries)))
             entries[key] = value
 
+    def get_or_create(self, key: bytes, factory):
+        """The memoized value for ``key``, building it at most once.
+
+        Double-checked under the put lock so concurrent callers — the
+        sweeper thread and a service-layer thread hammering the same
+        plan — agree on a *single* constructed artifact: whichever
+        thread wins the race publishes, every later caller gets that
+        exact object and ``factory`` runs once per resident key.  The
+        stored value may be falsy (the saturation verdict is a plain
+        ``False``), so presence is ``is not None``, never truthiness.
+        """
+        value = self._entries.get(key)
+        if value is not None:
+            return value
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                value = factory()
+                entries = self._entries
+                if key not in entries and len(entries) >= self.max_entries:
+                    entries.pop(next(iter(entries)))
+                entries[key] = value
+        return value
+
     def discard(self, key: bytes) -> None:
         """Drop one entry if present — for artifacts the caller knows
         will never be used again (e.g. an oversized candidate chunk plan

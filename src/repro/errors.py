@@ -61,5 +61,95 @@ class AnalysisError(ReproError):
     """EPP / SER analysis failure (unknown node, missing SP, bad model...)."""
 
 
+class ResilienceError(AnalysisError):
+    """Base class for sharded-analysis fault-tolerance failures.
+
+    Every subclass carries enough structure to act on programmatically —
+    the shard's site ids, how many attempts were made, and (when known)
+    the worker pid — instead of a raw traceback pickled across the
+    process boundary.  ``site_ids`` is truncated to the first few ids in
+    the message but kept complete on the attribute.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        site_ids: tuple[int, ...] = (),
+        attempts: int = 0,
+        worker_pid: int | None = None,
+    ):
+        self.site_ids = tuple(int(site_id) for site_id in site_ids)
+        self.attempts = int(attempts)
+        self.worker_pid = worker_pid
+        details = []
+        if self.site_ids:
+            head = ", ".join(str(s) for s in self.site_ids[:4])
+            extra = len(self.site_ids) - 4
+            sites = f"[{head}{f', ... +{extra}' if extra > 0 else ''}]"
+            details.append(f"shard sites {sites}")
+        if self.attempts:
+            details.append(f"attempt {self.attempts}")
+        if self.worker_pid is not None:
+            details.append(f"worker pid {self.worker_pid}")
+        if details:
+            message = f"{message} ({'; '.join(details)})"
+        super().__init__(message)
+
+
+class WorkerCrashError(ResilienceError):
+    """A sharded-analysis worker process died mid-shard.
+
+    Raised (or retried, per the engine's
+    :class:`~repro.core.resilience.FaultPolicy`) when the worker pool
+    breaks while a shard is in flight — a killed/OOMed worker, a hard
+    crash in a native kernel, an ``os._exit``.
+    """
+
+
+class ShardTimeoutError(ResilienceError):
+    """A shard (or a pool barrier) exceeded its deadline.
+
+    Covers the per-shard ``shard_timeout``, the global analysis
+    ``deadline``, and the hard timeouts on the pool barriers
+    (:meth:`~repro.core.epp_shard.ShardedEPPEngine.warm` /
+    :meth:`~repro.core.epp_shard.ShardedEPPEngine.worker_stats`), which
+    previously could block forever on a wedged worker.
+
+    ``timeout`` is the budget (seconds) that was exceeded.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        site_ids: tuple[int, ...] = (),
+        attempts: int = 0,
+        worker_pid: int | None = None,
+        timeout: float | None = None,
+    ):
+        self.timeout = timeout
+        if timeout is not None:
+            message = f"{message} after {timeout:g}s"
+        super().__init__(message, site_ids, attempts, worker_pid)
+
+
+class TransportError(ResilienceError):
+    """A shard result could not cross the process boundary.
+
+    Raised when the shared-memory export of a shard's packed arrays
+    fails; the worker retries the shard's result once on the pickle
+    transport before this counts as a shard failure.
+    """
+
+
+class RetryBudgetExceededError(ResilienceError):
+    """A shard failed on every attempt its retry budget allowed.
+
+    ``__cause__`` carries the final attempt's error; ``attempts`` counts
+    every submission (first try included).  Under
+    ``on_failure="degrade"`` the engine runs the shard on the in-process
+    vector backend instead of raising this.
+    """
+
+
 class ConfigError(ReproError):
     """Invalid model or experiment configuration values."""

@@ -1,0 +1,17 @@
+"""Deterministic test machinery shipped with the library.
+
+* :mod:`repro.testing.faults` — the seeded fault-injection harness the
+  chaos tests thread into sharded worker pools: crash a worker at a
+  chosen shard, stall it past its deadline, poison a shared-memory
+  export, or raise mid-kernel — every one deterministic, so each
+  recovery path of :class:`~repro.core.epp_shard.ShardedEPPEngine` can
+  be pinned bit-identical against a clean run.
+
+Shipped as a package (not buried in ``tests/``) because downstream
+service layers want the same harness: a deployment's smoke test can
+inject the exact failure modes its runbook claims to survive.
+"""
+
+from repro.testing.faults import FaultInjector, FaultSpec, InjectedFault
+
+__all__ = ["FaultInjector", "FaultSpec", "InjectedFault"]

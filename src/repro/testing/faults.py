@@ -1,0 +1,155 @@
+"""Deterministic fault injection for the sharded EPP worker pool.
+
+A :class:`FaultInjector` is a picklable, *seeded* description of
+failures to stage inside worker processes.  The sharded driver threads
+it through the executor initializer
+(``ShardedEPPEngine(fault_injector=...)``); every worker consults it at
+two well-defined stages of :func:`repro.core.epp_shard._run_shard`:
+
+* ``"kernel"`` — immediately before the shard's sweep: ``crash`` kills
+  the worker process outright (``os._exit``, the BrokenProcessPool
+  shape), ``stall`` sleeps past any per-shard deadline (the wedged-
+  worker shape), ``kernel_error`` raises :class:`InjectedFault` (the
+  mid-kernel exception shape).
+* ``"export"`` — inside the shared-memory export of the shard's packed
+  result: ``shm_poison`` raises :class:`~repro.errors.TransportError`
+  before a segment is created (the failed-``/dev/shm``-export shape,
+  which the worker must survive by falling back to the pickle
+  transport).
+
+Matching is exact and deterministic: a :class:`FaultSpec` names the
+shard index and attempt number it fires on (``None`` wildcards either),
+plus an optional firing ``probability`` drawn from a generator seeded by
+``(seed, kind, shard, attempt)`` — the *same* decision in every process
+and every rerun.  Determinism is the point: each recovery path is pinned
+in tests with ``np.array_equal`` against a clean run, which only means
+something if the failure schedule is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError, TransportError
+
+__all__ = ["FAULT_KINDS", "FaultInjector", "FaultSpec", "InjectedFault"]
+
+#: The failure modes the harness can stage, and the stage each fires at.
+FAULT_KINDS = ("crash", "stall", "kernel_error", "shm_poison")
+
+_STAGE_BY_KIND = {
+    "crash": "kernel",
+    "stall": "kernel",
+    "kernel_error": "kernel",
+    "shm_poison": "export",
+}
+
+
+class InjectedFault(RuntimeError):
+    """The exception an injected ``kernel_error`` raises mid-shard.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: real kernel
+    failures (a NumPy error, a MemoryError) are arbitrary exceptions,
+    and the driver's recovery paths must not depend on the library's own
+    hierarchy.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One staged failure: what, where, and when.
+
+    ``shard`` / ``attempt`` match the driver's shard index and 1-based
+    submission count (``None`` matches any).  ``probability < 1``
+    converts the spec into a seeded coin flip per ``(shard, attempt)``
+    pair — deterministic chaos, for soak tests that want randomized but
+    replayable failure schedules.  ``stall_s`` is how long a ``stall``
+    sleeps; make it comfortably larger than the policy's
+    ``shard_timeout`` so the deadline, not the stall, ends the wait.
+    """
+
+    kind: str
+    shard: int | None = None
+    attempt: int | None = 1
+    probability: float = 1.0
+    stall_s: float = 30.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise AnalysisError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise AnalysisError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.stall_s < 0.0:
+            raise AnalysisError(f"stall_s must be >= 0, got {self.stall_s}")
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """A seeded, picklable schedule of worker-side failures.
+
+    Built in the parent, shipped once through the pool initializer, and
+    consulted by every worker at each stage of every shard attempt.
+    Stateless by design — firing decisions are pure functions of
+    ``(seed, spec, shard, attempt)`` — so the injector needs no
+    cross-process coordination and survives pool respawns unchanged:
+    a fault specified for attempt 1 does *not* re-fire when the respawned
+    pool re-runs the shard as attempt 2, which is exactly how the chaos
+    tests let recovery succeed.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self):
+        # Accept any iterable of specs but store a hashable tuple.
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def _fires(self, spec: FaultSpec, shard: int, attempt: int) -> bool:
+        if spec.shard is not None and spec.shard != shard:
+            return False
+        if spec.attempt is not None and spec.attempt != attempt:
+            return False
+        if spec.probability >= 1.0:
+            return True
+        rng = random.Random(f"{self.seed}:{spec.kind}:{shard}:{attempt}")
+        return rng.random() < spec.probability
+
+    def matching(self, stage: str, shard: int, attempt: int):
+        """The specs firing at ``stage`` for this ``(shard, attempt)``."""
+        return [
+            spec
+            for spec in self.specs
+            if _STAGE_BY_KIND[spec.kind] == stage
+            and self._fires(spec, shard, attempt)
+        ]
+
+    def fire(self, stage: str, shard: int, attempt: int) -> None:
+        """Stage any matching failure *inside the worker process*.
+
+        ``crash`` never returns (the process exits immediately, without
+        flushing or cleanup — exactly what a SIGKILL'd or OOMed worker
+        looks like to the parent pool).  ``stall`` returns after
+        sleeping.  ``kernel_error`` / ``shm_poison`` raise.
+        """
+        for spec in self.matching(stage, shard, attempt):
+            if spec.kind == "crash":
+                os._exit(17)
+            if spec.kind == "stall":
+                time.sleep(spec.stall_s)
+            elif spec.kind == "kernel_error":
+                raise InjectedFault(
+                    f"injected kernel fault (shard {shard}, attempt {attempt})"
+                )
+            elif spec.kind == "shm_poison":
+                raise TransportError(
+                    "injected shm export failure",
+                    attempts=attempt,
+                    worker_pid=os.getpid(),
+                )

@@ -1,0 +1,590 @@
+"""Fault tolerance of the sharded EPP driver (PR 6).
+
+Every recovery path is pinned against the *same* invariant: per-column
+shard independence makes shards exactly re-runnable, so an analysis that
+survived an injected worker crash, a wedged worker past its deadline, a
+poisoned shared-memory export, or a mid-kernel exception must be
+``np.array_equal`` — bit-identical, not approximately equal — to a clean
+run.  The faults come from :mod:`repro.testing.faults`, a seeded
+injector threaded into the worker pool's initializer, so the failure
+schedule is deterministic run to run.
+
+Test names deliberately carry "crash" / "poison": the CI fast job's
+fault-injection smoke selects them with ``-k``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import SERAnalyzer
+from repro.core.epp import EPPEngine
+from repro.core.epp_shard import (
+    _SHM_NAME_PREFIX,
+    PickleFallback,
+    ShardedEPPEngine,
+    default_transport,
+)
+from repro.core.resilience import Deadline, FaultPolicy, ShardOutcome
+from repro.errors import (
+    AnalysisError,
+    ReproError,
+    ResilienceError,
+    RetryBudgetExceededError,
+    ShardTimeoutError,
+    TransportError,
+    WorkerCrashError,
+)
+from repro.netlist.generate import generate_iscas
+from repro.testing import FaultInjector, FaultSpec, InjectedFault
+
+shm_only = pytest.mark.skipif(
+    default_transport() != "shm",
+    reason="POSIX shared memory unavailable on this platform",
+)
+
+
+def chaos_backend(engine: EPPEngine, jobs: int = 2, **knobs) -> ShardedEPPEngine:
+    """A sharded driver with the crossover guard disabled so worker
+    processes are exercised even on circuits below the threshold."""
+    backend = engine.sharded_backend(jobs=jobs, **knobs)
+    backend.min_process_work = 0
+    return backend
+
+
+def repro_segments() -> set[str]:
+    """The deterministically named worker segments currently in /dev/shm."""
+    if not os.path.isdir("/dev/shm"):
+        return set()
+    return {
+        name for name in os.listdir("/dev/shm")
+        if name.startswith(_SHM_NAME_PREFIX)
+    }
+
+
+@pytest.fixture(scope="module")
+def s953():
+    engine = EPPEngine(generate_iscas("s953"))
+    site_ids = [engine._cones.resolve(s) for s in engine.default_sites()]
+    with chaos_backend(engine) as clean:
+        reference = clean.p_sensitized_many(site_ids)
+    return engine, site_ids, reference
+
+
+# ------------------------------------------------------------------ policy
+
+
+class TestFaultPolicy:
+    def test_defaults_and_max_attempts(self):
+        policy = FaultPolicy()
+        assert policy.retries == 2
+        assert policy.max_attempts == 3
+        assert policy.on_failure == "retry"
+        assert policy.shard_timeout is None
+        assert policy.deadline is None
+
+    def test_from_knobs_none_means_default(self):
+        assert FaultPolicy.from_knobs() == FaultPolicy()
+        assert FaultPolicy.from_knobs(retries=0).retries == 0
+        assert FaultPolicy.from_knobs(shard_timeout=1.5).shard_timeout == 1.5
+        assert FaultPolicy.from_knobs(on_failure="degrade").on_failure == "degrade"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"retries": -1},
+            {"backoff_base": -0.1},
+            {"backoff_factor": 0.5},
+            {"jitter": 1.5},
+            {"shard_timeout": 0.0},
+            {"deadline": -1.0},
+            {"on_failure": "panic"},
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(AnalysisError):
+            FaultPolicy(**bad)
+
+    def test_backoff_deterministic_and_bounded(self):
+        policy = FaultPolicy(backoff_base=0.05, backoff_factor=2.0,
+                             backoff_max=0.3, jitter=0.25, seed=7)
+        schedule = [policy.backoff_delay(3, attempt) for attempt in (1, 2, 3, 4)]
+        again = [policy.backoff_delay(3, attempt) for attempt in (1, 2, 3, 4)]
+        assert schedule == again  # a pure function of (policy, shard, attempt)
+        # Exponential below the cap, capped (plus jitter) above it.
+        assert 0.05 <= schedule[0] <= 0.05 * 1.25
+        assert 0.10 <= schedule[1] <= 0.10 * 1.25
+        assert all(delay <= 0.3 * 1.25 for delay in schedule)
+        # Different shards jitter differently (no retry stampede).
+        assert policy.backoff_delay(0, 1) != policy.backoff_delay(1, 1)
+
+    def test_backoff_without_jitter_is_exact(self):
+        policy = FaultPolicy(backoff_base=0.1, backoff_factor=3.0,
+                             backoff_max=10.0, jitter=0.0)
+        assert policy.backoff_delay(0, 1) == pytest.approx(0.1)
+        assert policy.backoff_delay(0, 2) == pytest.approx(0.3)
+        assert policy.backoff_delay(0, 3) == pytest.approx(0.9)
+
+    def test_policy_and_knobs_mutually_exclusive(self, s953):
+        engine, _, _ = s953
+        with pytest.raises(AnalysisError, match="not both"):
+            ShardedEPPEngine(
+                engine.compiled, engine._sp,
+                policy=FaultPolicy(), retries=1,
+            )
+
+    def test_deadline_countdown(self):
+        unbounded = Deadline(None)
+        assert unbounded.remaining() is None
+        assert not unbounded.expired()
+        expired = Deadline(1e-9)
+        time.sleep(0.001)
+        assert expired.expired()
+        assert expired.remaining() == 0.0
+
+
+# ---------------------------------------------------------------- injector
+
+
+class TestFaultInjector:
+    def test_spec_validation(self):
+        with pytest.raises(AnalysisError, match="unknown fault kind"):
+            FaultSpec(kind="meteor")
+        with pytest.raises(AnalysisError, match="probability"):
+            FaultSpec(kind="crash", probability=2.0)
+
+    def test_exact_and_wildcard_matching(self):
+        injector = FaultInjector(
+            specs=(FaultSpec(kind="kernel_error", shard=2, attempt=1),)
+        )
+        assert injector.matching("kernel", 2, 1)
+        assert not injector.matching("kernel", 2, 2)  # retry is clean
+        assert not injector.matching("kernel", 1, 1)  # other shards clean
+        assert not injector.matching("export", 2, 1)  # wrong stage
+        anywhere = FaultInjector(
+            specs=(FaultSpec(kind="shm_poison", shard=None, attempt=None),)
+        )
+        assert anywhere.matching("export", 5, 3)
+
+    def test_probability_is_seeded(self):
+        injector = FaultInjector(
+            specs=(FaultSpec(kind="kernel_error", shard=None,
+                             attempt=None, probability=0.5),),
+            seed=42,
+        )
+        decisions = [bool(injector.matching("kernel", shard, 1))
+                     for shard in range(32)]
+        assert decisions == [bool(injector.matching("kernel", shard, 1))
+                             for shard in range(32)]  # replayable
+        assert any(decisions) and not all(decisions)  # a real coin
+
+    def test_kernel_error_fires(self):
+        injector = FaultInjector(specs=(FaultSpec(kind="kernel_error"),))
+        with pytest.raises(InjectedFault):
+            injector.fire("kernel", 0, 1)
+        injector.fire("kernel", 0, 2)  # attempt 2: clean
+
+    def test_injector_pickles(self):
+        import pickle
+
+        injector = FaultInjector(
+            specs=(FaultSpec(kind="crash", shard=1),), seed=3
+        )
+        assert pickle.loads(pickle.dumps(injector)) == injector
+
+
+# ------------------------------------------------------------- typed errors
+
+
+class TestTypedErrors:
+    def test_hierarchy(self):
+        for cls in (WorkerCrashError, ShardTimeoutError, TransportError,
+                    RetryBudgetExceededError):
+            assert issubclass(cls, ResilienceError)
+            assert issubclass(cls, AnalysisError)
+            assert issubclass(cls, ReproError)
+
+    def test_site_ids_truncated_in_message_complete_on_attribute(self):
+        error = WorkerCrashError(
+            "worker died", site_ids=tuple(range(10)), attempts=2,
+            worker_pid=1234,
+        )
+        assert error.site_ids == tuple(range(10))
+        assert "+6" in str(error)  # 4 shown, 6 elided
+        assert "attempt 2" in str(error)
+        assert "worker pid 1234" in str(error)
+
+    def test_timeout_suffix(self):
+        error = ShardTimeoutError("shard too slow", timeout=1.5)
+        assert error.timeout == 1.5
+        assert "after 1.5s" in str(error)
+
+
+# ------------------------------------------------------- crash recovery
+
+
+class TestWorkerCrashRecovery:
+    def test_crash_recovers_bit_identical(self, s953):
+        engine, site_ids, reference = s953
+        injector = FaultInjector(
+            specs=(FaultSpec(kind="crash", shard=1, attempt=1),)
+        )
+        before = repro_segments()
+        with chaos_backend(engine, fault_injector=injector) as backend:
+            recovered = backend.p_sensitized_many(site_ids)
+            assert np.array_equal(reference, recovered)
+            assert backend.stats["worker_crashes"] == 1
+            assert backend.stats["respawns"] == 1
+            assert backend.stats["retries"] >= 1
+            # Exactly-once merge: one outcome per shard, no duplicates.
+            outcomes = backend.last_outcomes
+            assert sorted(o.shard for o in outcomes) == list(range(len(outcomes)))
+            assert any(o.attempts > 1 for o in outcomes)
+        assert repro_segments() <= before  # no orphaned segments
+
+    def test_crash_mid_analyze_sites_recovers(self, s953):
+        engine, site_ids, _ = s953
+        injector = FaultInjector(
+            specs=(FaultSpec(kind="crash", shard=0, attempt=1),)
+        )
+        with chaos_backend(engine) as clean:
+            reference = clean.analyze_sites(site_ids)
+        with chaos_backend(engine, fault_injector=injector) as backend:
+            recovered = backend.analyze_sites(site_ids)
+        assert list(reference) == list(recovered)
+        for site, expected in reference.items():
+            assert recovered[site].p_sensitized == expected.p_sensitized
+
+    def test_crash_with_raise_policy_is_typed(self, s953):
+        engine, site_ids, _ = s953
+        injector = FaultInjector(
+            specs=(FaultSpec(kind="crash", shard=0, attempt=1),)
+        )
+        with chaos_backend(
+            engine, fault_injector=injector, on_failure="raise"
+        ) as backend:
+            with pytest.raises(WorkerCrashError) as info:
+                backend.p_sensitized_many(site_ids)
+            assert info.value.site_ids  # carries the shard's sites
+
+    def test_crash_every_attempt_exhausts_budget(self, s953):
+        engine, site_ids, _ = s953
+        injector = FaultInjector(
+            specs=(FaultSpec(kind="crash", shard=0, attempt=None),)
+        )
+        with chaos_backend(
+            engine, fault_injector=injector, retries=1
+        ) as backend:
+            with pytest.raises(RetryBudgetExceededError) as info:
+                backend.p_sensitized_many(site_ids)
+            assert info.value.attempts == 2  # first try + one retry
+
+    def test_pool_respawns_from_cached_payload(self, s953):
+        """After a crash the next analysis reuses the engine — the pool
+        rebuilds lazily from the cached payload, no re-pickling."""
+        engine, site_ids, reference = s953
+        injector = FaultInjector(
+            specs=(FaultSpec(kind="crash", shard=1, attempt=1),)
+        )
+        with chaos_backend(engine, fault_injector=injector) as backend:
+            payload_before = backend.payload()
+            backend.p_sensitized_many(site_ids)
+            assert backend.payload() is payload_before
+            again = backend.p_sensitized_many(site_ids)
+            assert np.array_equal(reference, again)
+
+
+# --------------------------------------------------- kernel-error retries
+
+
+class TestKernelErrorRetry:
+    def test_kernel_error_retried_bit_identical(self, s953):
+        engine, site_ids, reference = s953
+        injector = FaultInjector(
+            specs=(FaultSpec(kind="kernel_error", shard=2, attempt=1),)
+        )
+        with chaos_backend(engine, fault_injector=injector) as backend:
+            recovered = backend.p_sensitized_many(site_ids)
+            assert np.array_equal(reference, recovered)
+            assert backend.stats["shard_errors"] == 1
+            assert backend.stats["retries"] == 1
+            assert backend.stats["respawns"] == 0  # no pool break
+
+    def test_raise_mode_fails_fast_with_original_error(self, s953):
+        engine, site_ids, _ = s953
+        injector = FaultInjector(
+            specs=(FaultSpec(kind="kernel_error", shard=0, attempt=1),)
+        )
+        with chaos_backend(
+            engine, fault_injector=injector, on_failure="raise"
+        ) as backend:
+            with pytest.raises(InjectedFault):
+                backend.p_sensitized_many(site_ids)
+
+    def test_degrade_finishes_in_process_bit_identical(self, s953):
+        engine, site_ids, reference = s953
+        injector = FaultInjector(  # shard 1 fails on *every* attempt
+            specs=(FaultSpec(kind="kernel_error", shard=1, attempt=None),)
+        )
+        with chaos_backend(
+            engine, fault_injector=injector, retries=1, on_failure="degrade"
+        ) as backend:
+            recovered = backend.p_sensitized_many(site_ids)
+            assert np.array_equal(reference, recovered)
+            assert backend.stats["degraded_shards"] == 1
+            degraded = [o for o in backend.last_outcomes if o.degraded]
+            assert len(degraded) == 1
+            assert degraded[0].transport == "local"
+            assert degraded[0].worker_pid is None
+
+    def test_budget_exhaustion_raises_typed_error(self, s953):
+        engine, site_ids, _ = s953
+        injector = FaultInjector(
+            specs=(FaultSpec(kind="kernel_error", shard=1, attempt=None),)
+        )
+        with chaos_backend(
+            engine, fault_injector=injector, retries=1
+        ) as backend:
+            with pytest.raises(RetryBudgetExceededError) as info:
+                backend.p_sensitized_many(site_ids)
+            assert isinstance(info.value.__cause__, InjectedFault)
+
+
+# ------------------------------------------------------ transport poison
+
+
+class TestShmPoisonFallback:
+    @shm_only
+    def test_poisoned_export_falls_back_to_pickle(self, s953):
+        """A failed shm export is not a failed shard: the worker demotes
+        the already-computed arrays to the pickle channel, so there is no
+        retry, no recomputation, and the result is bit-identical."""
+        engine, site_ids, reference = s953
+        injector = FaultInjector(
+            specs=(FaultSpec(kind="shm_poison", shard=1, attempt=1),)
+        )
+        before = repro_segments()
+        with chaos_backend(engine, fault_injector=injector) as backend:
+            recovered = backend.p_sensitized_many(site_ids)
+            assert np.array_equal(reference, recovered)
+            assert backend.stats["transport_fallbacks"] == 1
+            assert backend.stats["pickle_shards"] == 1
+            assert backend.stats["retries"] == 0  # delivery, not failure
+            assert backend.stats["shard_errors"] == 0
+            fallbacks = [o for o in backend.last_outcomes
+                         if o.transport == "pickle"]
+            assert len(fallbacks) == 1 and fallbacks[0].attempts == 1
+        assert repro_segments() <= before
+
+    @shm_only
+    def test_poison_everywhere_still_completes(self, s953):
+        engine, site_ids, reference = s953
+        injector = FaultInjector(
+            specs=(FaultSpec(kind="shm_poison", shard=None, attempt=None),)
+        )
+        with chaos_backend(engine, fault_injector=injector) as backend:
+            recovered = backend.p_sensitized_many(site_ids)
+            assert np.array_equal(reference, recovered)
+            assert backend.stats["shm_shards"] == 0
+            assert backend.stats["transport_fallbacks"] == len(
+                backend.last_outcomes
+            )
+
+    def test_pickle_fallback_wrapper_shape(self):
+        wrapped = PickleFallback(payload=(1, 2, 3))
+        assert wrapped.payload == (1, 2, 3)
+
+
+# ------------------------------------------------------ deadlines / stalls
+
+
+class TestDeadlines:
+    def test_stalled_shard_times_out_and_recovers(self, s953):
+        """A worker stalled far past the per-shard deadline: the wedged
+        pool is respawned (the executor cannot kill one task) and the
+        shard re-runs — attempt 2 is clean — bit-identical."""
+        engine, site_ids, reference = s953
+        injector = FaultInjector(
+            specs=(FaultSpec(kind="stall", shard=0, attempt=1, stall_s=15.0),)
+        )
+        with chaos_backend(
+            engine, fault_injector=injector, shard_timeout=0.5, retries=3
+        ) as backend:
+            started = time.monotonic()
+            recovered = backend.p_sensitized_many(site_ids)
+            elapsed = time.monotonic() - started
+            assert np.array_equal(reference, recovered)
+            assert backend.stats["shard_timeouts"] >= 1
+            assert backend.stats["respawns"] >= 1
+            assert elapsed < 10.0  # the deadline, not the stall, ruled
+
+    def test_global_deadline_raises_typed_error(self, s953):
+        engine, site_ids, _ = s953
+        with chaos_backend(engine, deadline=1e-6) as backend:
+            with pytest.raises(ShardTimeoutError, match="deadline expired"):
+                backend.p_sensitized_many(site_ids)
+
+    def test_global_deadline_degrades_bit_identical(self, s953):
+        engine, site_ids, reference = s953
+        with chaos_backend(
+            engine, deadline=1e-6, on_failure="degrade"
+        ) as backend:
+            recovered = backend.p_sensitized_many(site_ids)
+            assert np.array_equal(reference, recovered)
+            assert backend.stats["degraded_shards"] == len(backend.last_outcomes)
+            assert all(o.degraded for o in backend.last_outcomes)
+
+    def test_degraded_analyze_sites_matches(self, s953):
+        engine, site_ids, _ = s953
+        with chaos_backend(engine) as clean:
+            reference = clean.analyze_sites(site_ids)
+        with chaos_backend(
+            engine, deadline=1e-6, on_failure="degrade"
+        ) as backend:
+            degraded = backend.analyze_sites(site_ids)
+        assert list(reference) == list(degraded)
+        for site, expected in reference.items():
+            assert degraded[site].p_sensitized == expected.p_sensitized
+
+
+# ------------------------------------------------------- barrier timeouts
+
+
+class TestBarrierTimeouts:
+    def test_worker_stats_times_out_on_wedged_pool(self, s953):
+        """The PR-5 hang: a wedged worker made worker_stats() block
+        forever.  Now the barrier gives up and raises."""
+        engine, _, _ = s953
+        backend = chaos_backend(engine, jobs=1)
+        try:
+            pool = backend._ensure_pool()
+            blocker = pool.submit(time.sleep, 2.0)  # wedge the only worker
+            with pytest.raises(ShardTimeoutError, match="barrier"):
+                backend.worker_stats(timeout=0.3)
+            blocker.cancel()
+        finally:
+            backend.close()
+
+    def test_warm_times_out_on_wedged_pool(self, s953):
+        engine, _, _ = s953
+        backend = chaos_backend(engine, jobs=1)
+        try:
+            pool = backend._ensure_pool()
+            blocker = pool.submit(time.sleep, 2.0)
+            with pytest.raises(ShardTimeoutError, match="warmup"):
+                backend.warm(timeout=0.3)
+            blocker.cancel()
+        finally:
+            backend.close()
+
+    def test_healthy_pool_barriers_still_work(self, s953):
+        engine, _, _ = s953
+        with chaos_backend(engine, jobs=2) as backend:
+            backend.warm(timeout=30.0)
+            stats = backend.worker_stats(timeout=30.0)
+            assert len(stats) == 2
+
+
+# ----------------------------------------------------------- drain split
+
+
+class _ExplodingFuture:
+    """A future whose every method raises — the interpreter-shutdown
+    shape where executor internals are already torn down."""
+
+    def cancel(self):
+        raise RuntimeError("interpreter is shutting down")
+
+    def cancelled(self):
+        raise RuntimeError("interpreter is shutting down")
+
+
+class TestDrainSplit:
+    def test_best_effort_drain_swallows_shutdown_races(self, s953):
+        engine, _, _ = s953
+        backend = chaos_backend(engine)
+        backend._inflight.add(_ExplodingFuture())
+        backend._drain_inflight_best_effort()  # must not raise
+        assert not backend._inflight
+        backend.close()
+
+    def test_strict_drain_does_not_mask_errors(self, s953):
+        """close() must surface what __del__ swallows — otherwise the
+        shutdown tolerance would hide real shm leaks."""
+        engine, _, _ = s953
+        backend = chaos_backend(engine)
+        backend._inflight.add(_ExplodingFuture())
+        with pytest.raises(RuntimeError, match="shutting down"):
+            backend._drain_inflight_strict()
+        backend._inflight.clear()
+        backend.close()
+
+    @shm_only
+    def test_close_mid_flight_reclaims_named_segments(self, s953):
+        engine, site_ids, _ = s953
+        backend = chaos_backend(engine)
+        before = repro_segments()
+        shards = [site_ids[:200], site_ids[200:]]
+        results = backend._map_shards(shards, full=True)
+        next(results)
+        backend.close()
+        assert repro_segments() <= before
+        results.close()
+
+
+# ------------------------------------------------------- knob threading
+
+
+class TestKnobThreading:
+    def test_engine_rejects_knobs_off_the_sharded_backend(self, s953):
+        engine, _, _ = s953
+        with pytest.raises(AnalysisError, match="sharded"):
+            engine.analyze(backend="vector", retries=1)
+        with pytest.raises(AnalysisError, match="sharded"):
+            engine.analyze(backend="scalar", shard_timeout=1.0)
+
+    def test_engine_cache_keyed_by_policy(self, s953):
+        engine, _, _ = s953
+        first = engine.sharded_backend(jobs=2, retries=1)
+        assert first.policy.retries == 1
+        same = engine.sharded_backend(jobs=2, retries=1)
+        assert same is first
+        rebuilt = engine.sharded_backend(jobs=2, retries=5)
+        assert rebuilt is not first
+        assert rebuilt.policy.retries == 5
+        rebuilt.close()
+
+    def test_analyzer_threads_resilience_knobs(self):
+        analyzer = SERAnalyzer(generate_iscas("s953"))
+        report = analyzer.analyze(jobs=2, retries=1, on_failure="degrade")
+        assert report.total_fit > 0
+        backend = analyzer.engine._sharded_backend
+        assert backend.policy.retries == 1
+        assert backend.policy.on_failure == "degrade"
+
+    def test_cli_resilience_flags(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "analyze", "s953", "--jobs", "2",
+            "--retries", "1", "--shard-timeout", "60",
+            "--on-worker-failure", "degrade", "--top", "3",
+        ]) == 0
+        assert "SER" in capsys.readouterr().out
+
+    def test_stats_expose_resilience_counters(self, s953):
+        engine, site_ids, _ = s953
+        with chaos_backend(engine) as backend:
+            backend.p_sensitized_many(site_ids)
+            for counter in ("retries", "respawns", "worker_crashes",
+                            "shard_timeouts", "transport_fallbacks",
+                            "degraded_shards", "quarantined_segments"):
+                assert backend.stats[counter] == 0  # clean run
+            assert all(
+                isinstance(o, ShardOutcome) and o.attempts == 1
+                for o in backend.last_outcomes
+            )

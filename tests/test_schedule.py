@@ -10,6 +10,7 @@ a pure permutation with sites of identical cone signature adjacent.
 """
 
 import pickle
+import time
 
 import pytest
 
@@ -177,6 +178,93 @@ class TestChunkCache:
         # A second backend over the same compiled circuit shares the memo.
         other = engine.vector_backend(prune=False)
         assert other.plan.chunk_cache is backend.plan.chunk_cache
+
+
+class TestChunkCacheConcurrency:
+    """get_or_create under contention: the plan cache is shared between
+    the sweeper thread and whatever thread drives the analysis, so a
+    race must never construct twice or tear a read."""
+
+    def test_hammer_builds_exactly_once(self):
+        import threading
+
+        cache = ChunkCache(max_entries=8)
+        key = chunk_cache_key([1, 2, 3])
+        builds = []
+        barrier = threading.Barrier(8)
+
+        def factory():
+            builds.append(threading.get_ident())
+            time.sleep(0.01)  # widen the race window
+            return {"plan": object()}
+
+        results = [None] * 8
+
+        def worker(slot):
+            barrier.wait()
+            results[slot] = cache.get_or_create(key, factory)
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,)) for slot in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(builds) == 1  # single construction under contention
+        # No torn reads: every thread observed the one published object.
+        assert all(result is results[0] for result in results)
+        assert cache.get(key) is results[0]
+
+    def test_distinct_keys_build_independently(self):
+        import threading
+
+        cache = ChunkCache(max_entries=64)
+        built = []
+
+        def worker(index):
+            key = chunk_cache_key([index])
+            value = cache.get_or_create(key, lambda: built.append(index) or index)
+            assert value == index
+
+        threads = [
+            threading.Thread(target=worker, args=(index % 16,))
+            for index in range(64)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(set(built)) == list(range(16))
+        assert len(built) == 16  # once per key, not per caller
+
+    def test_falsy_value_cached_not_rebuilt(self):
+        """The saturation verdict is stored as a plain ``False`` —
+        presence must be ``is not None``, never truthiness."""
+        cache = ChunkCache()
+        key = chunk_cache_key([7])
+        calls = []
+        assert cache.get_or_create(key, lambda: calls.append(1) or False) is False
+        assert cache.get_or_create(key, lambda: calls.append(1) or True) is False
+        assert len(calls) == 1
+
+    def test_get_or_create_respects_fifo_cap(self):
+        cache = ChunkCache(max_entries=2)
+        for index in range(4):
+            cache.get_or_create(chunk_cache_key([index]), lambda i=index: i)
+        assert len(cache) == 2
+        assert cache.get(chunk_cache_key([0])) is None  # evicted first
+        assert cache.get(chunk_cache_key([3])) == 3
+
+    def test_existing_entry_skips_factory_and_lock_contention(self):
+        cache = ChunkCache()
+        key = chunk_cache_key([11])
+        cache.put(key, "resident")
+
+        def exploding_factory():
+            raise AssertionError("factory must not run for a resident key")
+
+        assert cache.get_or_create(key, exploding_factory) == "resident"
 
 
 class TestRowsKnob:
