@@ -40,11 +40,20 @@ plus a **clustered-site workload**: one cone-cluster's sites (a module's
 worth of neighbors, the MBU/per-module shape) measured dense
 (``clustered_vector_s``), PR-3 row-sparse (``clustered_sparse_s``),
 PR-4 cell-compacted on full-row buffers (``clustered_full_rows_s``) and
-the compacted-rows default (``clustered_compact_s``).  Results land in a
-JSON document (default ``BENCH_pr6.json``) with host metadata; when the
-committed ``BENCH_pr5.json`` sits next to the output the cross-PR
-ladder ratios (this run vs the *recorded* PR-5 seconds, same container)
-are included per circuit as ``vs_pr5_baseline``.
+the compacted-rows default (``clustered_compact_s``);
+
+plus an **incremental what-if workload** (the PR-7 design loop): a full
+packed ``snapshot`` (``delta_snapshot_s``), then ``analyze_delta`` for a
+representative single-gate edit (``delta_single_s``, with the dirty/
+reused split) and for a 1%-of-sites polarity-swap batch
+(``delta_pct_s``), against a warm full re-analysis of the same edited
+circuit (``delta_full_s``).  ``delta_speedup_vs_full`` is the gated
+ratio; bit-identity of the spliced result is asserted in-run
+(``delta_identical``).  Results land in a JSON document (default
+``BENCH_pr7.json``) with host metadata; when the committed
+``BENCH_pr6.json`` sits next to the output the cross-PR ladder ratios
+(this run vs the *recorded* PR-6 seconds, same container) are included
+per circuit as ``vs_prev_baseline``.
 
 ``--check BASELINE`` compares the *speedup ratios* of a fresh run against
 a committed baseline and exits non-zero on a >``--tolerance`` regression
@@ -82,6 +91,7 @@ CHECKED_RATIOS = (
     "clustered_compact_speedup",
     "speedup_compact_vs_full_rows",
     "clustered_rows_speedup",
+    "delta_speedup_vs_full",
 )
 
 #: The clean-path cost ceiling for the fault-tolerance machinery: an
@@ -330,6 +340,73 @@ def bench_circuit(name: str, jobs: int | None) -> dict:
             row["clustered_full_rows_s"] / row["clustered_compact_s"]
         )
 
+    # ---- incremental what-if workload: snapshot once, edit, re-sweep ----
+    # The design-loop shape the PR-7 layer exists for.  The user SP map
+    # (the Monte-Carlo one every timing above uses) is what a designer
+    # iterating on a netlist would hold fixed, and it keeps the delta's
+    # cost structural: no global SP recompute rides on the timing.
+    import numpy as np
+
+    from repro.experiments.whatif import representative_edit
+    from repro.netlist.gate_types import GateType
+
+    delta_engine = _fresh_engine(circuit, sp)
+    start = time.perf_counter()
+    prev = delta_engine.snapshot()
+    row["delta_snapshot_s"] = time.perf_counter() - start
+    single_edits, _ = representative_edit(prev, max_probes=24)
+
+    def timed_delta(edits) -> tuple[float, object]:
+        holder = {}
+
+        def measure() -> float:
+            start = time.perf_counter()
+            holder["delta"] = delta_engine.analyze_delta(prev, edits)
+            return time.perf_counter() - start
+
+        return _best_of(measure, floor_s=2.0, max_repeats=5), holder["delta"]
+
+    row["delta_single_s"], delta = timed_delta(single_edits)
+    row["delta_single_dirty"] = delta.stats["dirty"]
+    row["delta_single_reused"] = delta.stats["reused"]
+
+    def timed_full(delta) -> float:
+        def measure() -> float:
+            start = time.perf_counter()
+            delta.engine.snapshot(**delta.knobs)
+            return time.perf_counter() - start
+
+        return _best_of(measure, floor_s=2.0, max_repeats=3)
+
+    row["delta_full_s"] = timed_full(delta)
+    full = delta.engine.snapshot(**delta.knobs)
+    row["delta_identical"] = bool(
+        delta.site_names == full.site_names
+        and all(np.array_equal(a, b) for a, b in zip(delta.packed, full.packed))
+    )
+    row["delta_speedup_vs_full"] = row["delta_full_s"] / row["delta_single_s"]
+
+    # 1%-of-sites batch: evenly spaced polarity swaps across the netlist.
+    from repro.core.epp_delta import EditSet
+
+    swaps = {
+        GateType.AND: "nand", GateType.NAND: "and",
+        GateType.OR: "nor", GateType.NOR: "or",
+    }
+    swappable = [g for g in circuit.gates if circuit.node(g).gate_type in swaps]
+    n_batch = max(1, len(sites) // 100)
+    stride = max(1, len(swappable) // n_batch)
+    batch = swappable[::stride][:n_batch]
+    pct_edits = EditSet()
+    for g in batch:
+        pct_edits.replace_gate(g, swaps[circuit.node(g).gate_type])
+    row["delta_pct_edits"] = len(batch)
+    row["delta_pct_s"], pct_delta = timed_delta(pct_edits)
+    row["delta_pct_dirty"] = pct_delta.stats["dirty"]
+    row["delta_pct_speedup_vs_full"] = (
+        timed_full(pct_delta) / row["delta_pct_s"]
+    )
+
     # ---- ratios ----
     row["speedup_sparse_vs_vector"] = row["vector_s"] / row["sparse_s"]
     row["speedup_sparse_vs_pr1_vector"] = row["vector_eager_s"] / row["sparse_s"]
@@ -360,39 +437,40 @@ def host_metadata() -> dict:
     }
 
 
-def attach_pr5_baseline(document: dict, baseline_path: str) -> None:
-    """Cross-PR ladder: this run's seconds vs the committed PR-5 seconds.
+def attach_prev_baseline(document: dict, baseline_path: str) -> None:
+    """Cross-PR ladder: this run's seconds vs the committed previous-PR
+    seconds.
 
     Only meaningful when both were measured on the same class of host
     (the committed trajectory files all come from the CI container); the
-    ratios are stored per circuit under ``vs_pr5_baseline`` and are
+    ratios are stored per circuit under ``vs_prev_baseline`` and are
     informational — the ``--check`` gate compares within-run ratios only.
     """
     if not os.path.exists(baseline_path):
         return
     with open(baseline_path, encoding="utf-8") as handle:
-        pr5 = json.load(handle)
+        prev = json.load(handle)
     for name, row in document["circuits"].items():
-        base = pr5.get("circuits", {}).get(name)
+        base = prev.get("circuits", {}).get(name)
         if not base:
             continue
         ladder = {"baseline": baseline_path}
         if base.get("sparse_s") and row.get("sparse_s"):
-            ladder["full_circuit_vs_pr5_sparse"] = round(
+            ladder["full_circuit_vs_prev_sparse"] = round(
                 base["sparse_s"] / row["sparse_s"], 4
             )
         if base.get("clustered_compact_s") and row.get("clustered_compact_s"):
-            ladder["clustered_vs_pr5_compact"] = round(
+            ladder["clustered_vs_prev_compact"] = round(
                 base["clustered_compact_s"] / row["clustered_compact_s"], 4
             )
         if base.get("sharded_s") and row.get("sharded_s"):
-            ladder["sharded_vs_pr5"] = round(
+            ladder["sharded_vs_prev"] = round(
                 base["sharded_s"] / row["sharded_s"], 4
             )
-        row["vs_pr5_baseline"] = ladder
+        row["vs_prev_baseline"] = ladder
 
 
-def run(circuits, jobs, out_path, verbose=True, pr5_baseline=None) -> dict:
+def run(circuits, jobs, out_path, verbose=True, prev_baseline=None) -> dict:
     document = {"host": host_metadata(), "circuits": {}}
     for name in circuits:
         if verbose:
@@ -409,6 +487,12 @@ def run(circuits, jobs, out_path, verbose=True, pr5_baseline=None) -> dict:
                 f"  resilience-overhead {row['resilience_overhead']:.3f}x"
                 if "resilience_overhead" in row else ""
             )
+            delta = (
+                f"  delta {row['delta_single_s'] * 1e3:.0f}ms "
+                f"({row['delta_single_dirty']}/{row['n_sites']} dirty, "
+                f"{row['delta_speedup_vs_full']:.1f}x vs full)"
+                if "delta_speedup_vs_full" in row else ""
+            )
             print(
                 f"  scalar {row['scalar_s']:.2f}s  vector {row['vector_s']:.2f}s "
                 f"(eager {row['vector_eager_s']:.2f}s)  "
@@ -417,11 +501,11 @@ def run(circuits, jobs, out_path, verbose=True, pr5_baseline=None) -> dict:
                 f"sparse {row['sparse_s']:.2f}s  "
                 f"sharded {row['sharded_s']:.2f}s  "
                 f"sparse-vs-vector {row['speedup_sparse_vs_vector']:.2f}x"
-                f"{resilience}{clustered}",
+                f"{resilience}{clustered}{delta}",
                 flush=True,
             )
-    if pr5_baseline:
-        attach_pr5_baseline(document, pr5_baseline)
+    if prev_baseline:
+        attach_prev_baseline(document, prev_baseline)
     if out_path:
         with open(out_path, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2)
@@ -431,18 +515,25 @@ def run(circuits, jobs, out_path, verbose=True, pr5_baseline=None) -> dict:
     return document
 
 
-def check_resilience_overhead(current: dict) -> list[str]:
-    """The absolute gate: fault machinery must stay <2% on the clean path.
+def check_absolute_gates(current: dict) -> list[str]:
+    """Gates checked on the *fresh* run only (no baseline needed).
 
-    Checked on the *fresh* run only (no baseline needed): wherever worker
+    Fault machinery must stay <2% on the clean path: wherever worker
     processes engaged and the warm sharded run clears the noise floor,
     the armed-policy run may cost at most
     :data:`RESILIENCE_OVERHEAD_CEILING`.  A non-zero resilience counter
     also fails — the bench hitting real worker failures taints every
-    sharded timing in the row.
+    sharded timing in the row.  And the incremental what-if result must
+    be bit-identical to the full re-analysis it raced — a fast delta
+    that disagrees is not a speedup, it's a bug.
     """
     failures = []
     for name, row in current.get("circuits", {}).items():
+        if row.get("delta_identical") is False:
+            failures.append(
+                f"{name}: analyze_delta result is not bit-identical to the "
+                "full re-analysis"
+            )
         stats = row.get("sharded_resilience_stats", {})
         dirty = {key: count for key, count in stats.items() if count}
         if dirty:
@@ -464,7 +555,7 @@ def check_resilience_overhead(current: dict) -> list[str]:
 def check_regression(current: dict, baseline: dict, baseline_path: str,
                      tolerance: float) -> int:
     """Exit status 0 if no checked ratio regressed beyond ``tolerance``."""
-    failures = check_resilience_overhead(current)
+    failures = check_absolute_gates(current)
     for name, base_row in baseline.get("circuits", {}).items():
         row = current["circuits"].get(name)
         if row is None:
@@ -505,7 +596,7 @@ def main(argv=None) -> int:
                         help=f"roster (default: {' '.join(DEFAULT_CIRCUITS)})")
     parser.add_argument("--quick", action="store_true",
                         help=f"short roster ({' '.join(QUICK_CIRCUITS)})")
-    parser.add_argument("--out", default="BENCH_pr6.json",
+    parser.add_argument("--out", default="BENCH_pr7.json",
                         help="output JSON path ('' to skip writing)")
     parser.add_argument("--jobs", type=int, default=None,
                         help="sharded worker count (default: one per core)")
@@ -514,9 +605,9 @@ def main(argv=None) -> int:
                         "(also applies the <2%% resilience-overhead gate)")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed relative ratio drop before failing (0.25)")
-    parser.add_argument("--pr5-baseline", default="BENCH_pr5.json",
-                        help="committed PR-5 trajectory file for the cross-PR "
-                        "ladder ratios ('' to skip)")
+    parser.add_argument("--prev-baseline", default="BENCH_pr6.json",
+                        help="committed previous-PR trajectory file for the "
+                        "cross-PR ladder ratios ('' to skip)")
     args = parser.parse_args(argv)
 
     circuits = args.circuits or (QUICK_CIRCUITS if args.quick else DEFAULT_CIRCUITS)
@@ -530,7 +621,7 @@ def main(argv=None) -> int:
             baseline = json.load(handle)
         if os.path.abspath(args.check) == os.path.abspath(args.out or ""):
             args.out = ""  # never clobber the baseline being checked
-    document = run(circuits, args.jobs, args.out, pr5_baseline=args.pr5_baseline)
+    document = run(circuits, args.jobs, args.out, prev_baseline=args.prev_baseline)
     if baseline is not None:
         return check_regression(document, baseline, args.check, args.tolerance)
     return 0

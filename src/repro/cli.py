@@ -7,6 +7,10 @@ Commands
 * ``table2``  — regenerate the paper's Table 2 comparison.
 * ``analyze`` — SER-analyze a circuit (``.bench`` file, library name, or
   ISCAS'89 profile name) and print the vulnerability ranking.
+* ``analyze-delta`` — apply what-if edits (harden/TMR/rewire/SP changes)
+  and re-analyze incrementally, re-sweeping only affected sites.
+* ``harden`` — greedy selective-hardening loop under an area budget,
+  driven by the incremental analyzer.
 * ``stats``   — print circuit statistics.
 * ``generate`` — emit a synthetic ISCAS'89-profile circuit as ``.bench``.
 * ``list``    — list embedded circuits and known profiles.
@@ -52,6 +56,99 @@ def resolve_circuit(spec: str) -> Circuit:
         f"cannot resolve circuit {spec!r}: not a file, not one of the library "
         f"circuits ({', '.join(list_circuits())}), and not an ISCAS profile"
     )
+
+
+def _add_delta_knob_args(parser: argparse.ArgumentParser) -> None:
+    """Analysis knobs shared by the incremental subcommands."""
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "vector", "sharded"),
+        default="auto",
+        help="EPP backend for the packed sweeps (no scalar: the "
+        "incremental layer splices packed arrays)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, help="sites per chunk for the vector backend"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        help="worker processes (implies --backend sharded unless forced)",
+    )
+    parser.add_argument(
+        "--schedule", choices=("auto", "cone", "input"), default="auto",
+        help="chunk scheduling (auto: cone-cluster multi-chunk site lists)",
+    )
+    parser.add_argument(
+        "--no-prune", action="store_true",
+        help="disable the cone-aware sparse sweep",
+    )
+    parser.add_argument(
+        "--cells", choices=("auto", "on", "off"), default="auto",
+        help="cell-compaction mode of pruned sweeps",
+    )
+    parser.add_argument(
+        "--chunking", choices=("auto", "adaptive", "fixed"), default="auto",
+        help="chunk-width strategy",
+    )
+    parser.add_argument(
+        "--rows", choices=("auto", "compact", "full"), default="auto",
+        help="state-matrix row layout of pruned sweeps",
+    )
+
+
+def _delta_knobs(args: argparse.Namespace) -> dict:
+    return dict(
+        backend=None if args.backend == "auto" else args.backend,
+        batch_size=args.batch_size,
+        jobs=args.jobs,
+        prune=False if args.no_prune else None,
+        schedule=None if args.schedule == "auto" else args.schedule,
+        cells=None if args.cells == "auto" else args.cells,
+        chunking=None if args.chunking == "auto" else args.chunking,
+        rows=None if args.rows == "auto" else args.rows,
+    )
+
+
+def _build_edit_set(args: argparse.Namespace):
+    """Translate the repeatable --harden/--set-sp/... options into an EditSet."""
+    from repro.core.epp_delta import EditSet
+
+    edits = EditSet()
+    for spec in args.harden or ():
+        node, _, factor = spec.partition(":")
+        try:
+            edits.harden(node, float(factor) if factor else 10.0)
+        except ValueError:
+            raise ReproError(
+                f"--harden expects NODE[:FACTOR], got {spec!r}"
+            ) from None
+    for spec in args.set_sp or ():
+        node, sep, probability = spec.partition("=")
+        if not sep:
+            raise ReproError(f"--set-sp expects NODE=P, got {spec!r}")
+        try:
+            edits.set_sp(node, float(probability))
+        except ValueError:
+            raise ReproError(f"--set-sp expects NODE=P, got {spec!r}") from None
+    for node in args.tmr or ():
+        edits.tmr(node)
+    for spec in args.rewire or ():
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ReproError(f"--rewire expects GATE:OLD:NEW, got {spec!r}")
+        edits.rewire(*parts)
+    for spec in args.replace or ():
+        node, sep, gate_type = spec.partition(":")
+        if not sep or not gate_type:
+            raise ReproError(f"--replace expects NODE:TYPE, got {spec!r}")
+        edits.replace_gate(node, gate_type)
+    if not len(edits):
+        raise ReproError(
+            "no edits given; pass at least one of --harden/--set-sp/--tmr/"
+            "--rewire/--replace"
+        )
+    return edits
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -206,6 +303,94 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument("--csv", help="write the per-node SER rows to a CSV file")
 
+    delta = commands.add_parser(
+        "analyze-delta",
+        help="apply what-if edits and re-analyze incrementally",
+    )
+    delta.add_argument("circuit", help=".bench file, library name, or profile name")
+    delta.add_argument(
+        "--harden",
+        action="append",
+        metavar="NODE[:FACTOR]",
+        help="upsize a gate by a drive-strength factor (default 10); "
+        "repeatable",
+    )
+    delta.add_argument(
+        "--set-sp",
+        action="append",
+        metavar="NODE=P",
+        help="override a node's signal probability; repeatable",
+    )
+    delta.add_argument(
+        "--tmr",
+        action="append",
+        metavar="NODE",
+        help="locally triplicate a gate with a majority voter; repeatable",
+    )
+    delta.add_argument(
+        "--rewire",
+        action="append",
+        metavar="GATE:OLD:NEW",
+        help="replace fanin OLD of GATE by NEW; repeatable",
+    )
+    delta.add_argument(
+        "--replace",
+        action="append",
+        metavar="NODE:TYPE",
+        help="swap a gate's type in place (e.g. g5:nand); repeatable",
+    )
+    delta.add_argument("--top", type=int, default=10, help="ranking rows to print")
+    delta.add_argument(
+        "--sp-method",
+        default="topological",
+        choices=("topological", "cut", "monte_carlo", "exact"),
+        help="signal-probability backend",
+    )
+    delta.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run a full re-analysis of the edited circuit and check "
+        "the incremental result is bit-identical",
+    )
+    _add_delta_knob_args(delta)
+
+    harden = commands.add_parser(
+        "harden",
+        help="greedy selective hardening under an area budget",
+    )
+    harden.add_argument("circuit", help=".bench file, library name, or profile name")
+    harden.add_argument(
+        "--budget",
+        type=float,
+        required=True,
+        help="area budget (upsizing a gate costs strength-1; TMR costs 3)",
+    )
+    harden.add_argument(
+        "--strength",
+        type=float,
+        default=10.0,
+        help="drive-strength factor per upsized gate (default 10)",
+    )
+    harden.add_argument(
+        "--action",
+        choices=("upsize", "tmr"),
+        default="upsize",
+        help="hardening move per step (tmr demonstrates the documented "
+        "EPP limitation: estimated FIT usually rises, steps are rejected)",
+    )
+    harden.add_argument(
+        "--max-steps",
+        type=int,
+        help="bound on evaluated candidates (accepted or rejected)",
+    )
+    harden.add_argument(
+        "--sp-method",
+        default="topological",
+        choices=("topological", "cut", "monte_carlo", "exact"),
+        help="signal-probability backend",
+    )
+    _add_delta_knob_args(harden)
+
     stats = commands.add_parser("stats", help="print circuit statistics")
     stats.add_argument("circuit", help=".bench file, library name, or profile name")
 
@@ -313,6 +498,52 @@ def _dispatch(args: argparse.Namespace) -> int:
                 f"multi-cycle observability of {top_node} over "
                 f"{args.multi_cycle} cycles: {value:.4f}"
             )
+        return 0
+
+    if args.command == "analyze-delta":
+        from repro.core.analysis import SERAnalyzer
+
+        circuit = resolve_circuit(args.circuit)
+        analyzer = SERAnalyzer(circuit, sp_method=args.sp_method)
+        edits = _build_edit_set(args)
+        snap = analyzer.snapshot(**_delta_knobs(args))
+        delta = analyzer.analyze_delta(snap, edits)
+        stats = delta.stats
+        print(
+            f"delta analysis of {circuit.name}: re-swept {stats['dirty']} of "
+            f"{stats['sites']} sites (reused {stats['reused']}, edit "
+            f"frontier {stats['frontier']} nodes)"
+        )
+        report = analyzer.report_for(delta)
+        print(report.format_table(top=args.top))
+        if args.verify:
+            import numpy as np
+
+            full = delta.engine.snapshot(**delta.knobs)
+            identical = all(
+                np.array_equal(left, right)
+                for left, right in zip(delta.packed, full.packed)
+            ) and delta.site_names == full.site_names
+            print(f"verify: incremental == full re-analysis: {identical}")
+            if not identical:
+                return 1
+        return 0
+
+    if args.command == "harden":
+        from repro.core.analysis import SERAnalyzer
+        from repro.ser.hardening import optimize_hardening
+
+        circuit = resolve_circuit(args.circuit)
+        analyzer = SERAnalyzer(circuit, sp_method=args.sp_method)
+        plan = optimize_hardening(
+            analyzer,
+            area_budget=args.budget,
+            strength_factor=args.strength,
+            action=args.action,
+            max_steps=args.max_steps,
+            **_delta_knobs(args),
+        )
+        print(plan.format())
         return 0
 
     if args.command == "stats":

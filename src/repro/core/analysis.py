@@ -113,6 +113,7 @@ class SERAnalyzer:
         signal_probs: Mapping[str, float] | None = None,
         sp_method: str = "topological",
         engine: EPPEngine | None = None,
+        hardening_factors: Mapping[str, float] | None = None,
     ):
         self.circuit = circuit
         self.seu_model = seu_model if seu_model is not None else SEURateModel()
@@ -126,6 +127,17 @@ class SERAnalyzer:
             else EPPEngine(circuit, signal_probs=signal_probs, sp_method=sp_method)
         )
         self.compiled = self.engine.compiled
+        # Per-node drive-strength factors: upsizing by ``s`` divides the
+        # node's sensitive cross section — R_SEU, SER and FIT — by ``s``
+        # while leaving P_sensitized untouched (Mohanram & Touba's model,
+        # see ser/hardening.py).  Incremental what-if analyses carry their
+        # own accumulated factors, which compose with these.
+        self.hardening_factors: dict[str, float] = dict(hardening_factors or {})
+        for node, factor in self.hardening_factors.items():
+            if factor <= 0.0:
+                raise AnalysisError(
+                    f"hardening factor for {node!r} must be positive, got {factor}"
+                )
 
     # ------------------------------------------------------------- per node
 
@@ -135,9 +147,27 @@ class SERAnalyzer:
         return self._assemble(site, result)
 
     def _assemble(self, site: str, result: EPPResult) -> NodeSER:
-        node_id = self.compiled.index[site]
-        gate_type = self.compiled.gate_type(node_id)
-        r_seu = self.seu_model.rate(gate_type, site)
+        return self._assemble_on(
+            self.compiled, site, result, self.hardening_factors.get(site, 1.0)
+        )
+
+    def _assemble_on(
+        self,
+        compiled,
+        site: str,
+        result: EPPResult,
+        hardening_factor: float = 1.0,
+    ) -> NodeSER:
+        """Assemble one site's SER against an explicit compiled view.
+
+        Incremental what-if results (:meth:`report_for`) live on *edited*
+        circuit revisions whose compiled view differs from the analyzer's
+        own; everything here indexes through the ``compiled`` argument so
+        both paths share one assembly.
+        """
+        node_id = compiled.index[site]
+        gate_type = compiled.gate_type(node_id)
+        r_seu = self.seu_model.rate(gate_type, site) / hardening_factor
 
         if self.electrical_model is None:
             p_latched = self.latching_model.p_latched()
@@ -147,12 +177,12 @@ class SERAnalyzer:
             # apply the latching window at flip-flop sinks (primary outputs
             # observe any surviving pulse).
             p_latched = 1.0  # folded into the per-sink combination below
-            site_level = self.compiled.level[node_id]
-            output_set = set(self.compiled.output_ids)
+            site_level = compiled.level[node_id]
+            output_set = set(compiled.output_ids)
             terms = []
             for sink_name, value in result.sink_values.items():
-                sink_id = self.compiled.index[sink_name]
-                depth = max(0, self.compiled.level[sink_id] - site_level)
+                sink_id = compiled.index[sink_name]
+                depth = max(0, compiled.level[sink_id] - site_level)
                 width = self.electrical_model.width_after(
                     self.latching_model.nominal_pulse_width, depth
                 )
@@ -221,6 +251,46 @@ class SERAnalyzer:
         report = CircuitSERReport(self.circuit.name)
         for site, result in results.items():
             report.nodes[site] = self._assemble(site, result)
+        return report
+
+    # ------------------------------------------------- incremental what-if
+
+    def snapshot(self, sites: Sequence[str] | None = None, **knobs):
+        """A full packed analysis ready for incremental what-if edits.
+
+        Returns a :class:`~repro.core.epp_delta.DeltaAnalysis`; feed it to
+        :meth:`analyze_delta` with an
+        :class:`~repro.core.epp_delta.EditSet`, and read SER numbers off
+        any revision with :meth:`report_for`.  Knobs are the vector/
+        sharded analysis knobs (``backend``/``jobs``/``batch_size``/...).
+        """
+        return self.engine.snapshot(sites=sites, **knobs)
+
+    def analyze_delta(self, prev, edits, sites: Sequence[str] | None = None, **knobs):
+        """Re-analyze after ``edits``, re-sweeping only affected sites.
+
+        ``prev`` may be the analyzer's own :meth:`snapshot` or any later
+        delta — each revision carries the engine of its own circuit, so
+        this dispatches to ``prev.engine`` (not necessarily ours).
+        """
+        return prev.engine.analyze_delta(prev, edits, sites=sites, **knobs)
+
+    def report_for(self, delta) -> CircuitSERReport:
+        """SER report for one what-if revision.
+
+        Assembles against the revision's own compiled circuit and applies
+        the revision's accumulated hardening factors (composed with the
+        analyzer's, if any) — an upsized gate's R_SEU is divided by its
+        factor, exactly as :mod:`repro.ser.hardening` models it.
+        """
+        compiled = delta.engine.compiled
+        report = CircuitSERReport(delta.engine.circuit.name)
+        for site, result in delta.results().items():
+            factor = (
+                self.hardening_factors.get(site, 1.0)
+                * delta.hardening.get(site, 1.0)
+            )
+            report.nodes[site] = self._assemble_on(compiled, site, result, factor)
         return report
 
     def release_buffers(self) -> None:

@@ -191,10 +191,23 @@ class EPPEngine:
     ):
         self.circuit = circuit
         self.compiled: CompiledCircuit = circuit.compiled()
+        # Captured so every public query can detect that the circuit was
+        # mutated after construction: the compiled view, the SP vector and
+        # every backend cache below describe the *pre-edit* circuit, and
+        # silently answering from them is the stale-read bug class this
+        # guard exists to close (see ``_check_current``).
+        self._mutation_at_build = circuit.mutation_token
         self.track_polarity = track_polarity
+        # SP provenance, recorded for the incremental-analysis layer
+        # (:mod:`repro.core.epp_delta`): whether the caller supplied the
+        # map (then edits must supply SPs for any new node) or the engine
+        # computed it (then a delta recomputes with the same method).
+        self._user_sp = signal_probs is not None
+        self._sp_method = sp_method
+        self._sp_options = dict(sp_options) if sp_options else {}
         if signal_probs is None:
             signal_probs = signal_probabilities(
-                circuit, method=sp_method, **(dict(sp_options) if sp_options else {})
+                circuit, method=sp_method, **self._sp_options
             )
         self._sp: list[float] = [0.0] * self.compiled.n
         for node_id in range(self.compiled.n):
@@ -245,6 +258,25 @@ class EPPEngine:
         self._vector_backend = None
         self._sharded_backend = None
 
+    # ------------------------------------------------------------- staleness
+
+    def _check_current(self) -> None:
+        """Refuse to answer from a pre-edit snapshot of the circuit.
+
+        The engine captures ``circuit.compiled()`` (plus the SP vector,
+        cone cache, per-gate dispatch tables and any vector/sharded
+        backend) at construction.  Mutating the :class:`Circuit`
+        afterwards leaves all of that silently describing the old
+        netlist — results would come back numerically plausible and
+        wrong.  Every public query calls this first and raises instead.
+        """
+        if self.circuit.mutation_token != self._mutation_at_build:
+            raise AnalysisError(
+                f"circuit {self.circuit.name!r} was mutated after this "
+                "engine was built; rebuild the engine, or apply the edits "
+                "through analyze_delta() to reuse the previous results"
+            )
+
     # ----------------------------------------------------------------- sites
 
     def default_sites(
@@ -276,6 +308,7 @@ class EPPEngine:
 
     def node_epp(self, site: int | str) -> EPPResult:
         """Full EPP analysis of one error site (per-sink vectors included)."""
+        self._check_current()
         site_id = self._cones.resolve(site)
         cone = self._cones.cone(site_id)
         self._propagate(site_id, cone)
@@ -297,6 +330,7 @@ class EPPEngine:
 
     def p_sensitized(self, site: int | str) -> float:
         """``P_sensitized`` only — the fast path used by the benchmarks."""
+        self._check_current()
         site_id = self._cones.resolve(site)
         cone = self._cones.cone(site_id)
         self._propagate(site_id, cone)
@@ -500,6 +534,7 @@ class EPPEngine:
         :class:`~repro.core.epp_shard.ShardedEPPEngine` instances
         directly instead.
         """
+        self._check_current()
         self._resolve_backend("sharded")
         return self._get_sharded_backend(
             jobs, batch_size, prune, schedule, cells, chunking, rows,
@@ -524,6 +559,7 @@ class EPPEngine:
         The instance is cached per effective
         (batch size, prune, schedule, cells, chunking) configuration.
         """
+        self._check_current()
         self._resolve_backend("vector")
         return self._get_vector_backend(
             batch_size, prune, schedule, cells, chunking, rows
@@ -652,6 +688,7 @@ class EPPEngine:
         (fail fast on the first shard failure).  See
         :class:`~repro.core.resilience.FaultPolicy`.
         """
+        self._check_current()
         if sites is None:
             sites = self.default_sites()
         sites = list(sites)
@@ -738,6 +775,64 @@ class EPPEngine:
                 )
         return results
 
+    # ------------------------------------------------------- incremental
+
+    def snapshot(
+        self,
+        sites: Sequence[int | str] | None = None,
+        backend: str | None = None,
+        batch_size: int | None = None,
+        jobs: int | None = None,
+        prune: bool | None = None,
+        schedule: str | None = None,
+        cells: str | None = None,
+        chunking: str | None = None,
+        rows: str | None = None,
+    ):
+        """A full analysis packaged for incremental what-if edits.
+
+        Returns a :class:`~repro.core.epp_delta.DeltaAnalysis`: the packed
+        per-site result arrays of a full vectorized sweep plus everything
+        :meth:`analyze_delta` needs to re-sweep only the sites an edit can
+        affect — the resolved SP map (with its provenance), the site-list
+        semantics (an omitted ``sites`` re-derives the default site list
+        after structural edits) and the backend knobs.  The packed arrays
+        are exactly ``pack_sites`` output, so a later delta's splice is
+        ``np.array_equal``-identical to re-running this snapshot on the
+        edited circuit.
+        """
+        from repro.core.epp_delta import snapshot as _snapshot
+
+        return _snapshot(
+            self, sites=sites, backend=backend, batch_size=batch_size,
+            jobs=jobs, prune=prune, schedule=schedule, cells=cells,
+            chunking=chunking, rows=rows,
+        )
+
+    def analyze_delta(self, prev, edits, sites: Sequence[int | str] | None = None, **knobs):
+        """Re-analyze after ``edits``, reusing every unaffected column.
+
+        ``prev`` is a :class:`~repro.core.epp_delta.DeltaAnalysis` from
+        :meth:`snapshot` (or a previous delta) over *this* engine's
+        circuit; ``edits`` an :class:`~repro.core.epp_delta.EditSet`.  The
+        edit set is applied to a copy of the circuit, the dirty site set
+        is derived from reverse reachability over both the old and new
+        netlists, only dirty columns are re-swept, and the fresh packed
+        arrays are spliced into the retained ones — bit-identical
+        (``np.array_equal``) to a full re-analysis of the edited circuit.
+        Keyword knobs (``backend``/``jobs``/``batch_size``/...) override
+        the snapshot's for the re-sweep.
+        """
+        from repro.core.epp_delta import analyze_delta as _analyze_delta
+
+        if prev.engine is not self:
+            raise AnalysisError(
+                "analyze_delta: the previous DeltaAnalysis belongs to a "
+                "different engine; call it on prev.engine (each delta "
+                "carries the engine of its own circuit revision)"
+            )
+        return _analyze_delta(prev, edits, sites=sites, **knobs)
+
     def dominant_path(self, site: int | str, sink: str | None = None) -> list[tuple[str, float]]:
         """The highest-probability error path from ``site`` to a sink.
 
@@ -748,6 +843,7 @@ class EPPEngine:
         site to the sink — the diagnostic a designer reads to see *where*
         a vulnerable node's error escapes.
         """
+        self._check_current()
         site_id = self._cones.resolve(site)
         cone = self._cones.cone(site_id)
         self._propagate(site_id, cone)

@@ -1410,6 +1410,37 @@ class ShardedEPPEngine:
         names = self.compiled.names
         return {names[site_id]: collected[names[site_id]] for site_id in site_ids}
 
+    def pack_sites(self, site_ids: Sequence[int]):
+        """Packed per-site arrays for many sites, in input order.
+
+        The sharded counterpart of ``BatchEPPBackend.pack_sites`` — the
+        incremental layer (:mod:`repro.core.epp_delta`) splices these
+        arrays, so they must be bit-identical to the local backend's for
+        the same sites.  They are: columns are computed independently of
+        shard membership, shards' packed parts concatenate in shard
+        order (which is the concatenated ``position_shards`` order), and
+        one inverse permutation restores input order exactly as the
+        local backend's ``ordered=True`` path does.
+        """
+        import numpy as np
+
+        site_ids = [int(site_id) for site_id in site_ids]
+        if not site_ids or self._use_local(len(site_ids)):
+            return self.local.pack_sites(site_ids)
+        shards, position_shards = self._shards(site_ids)
+        parts: list = [None] * len(shards)
+        for index, packed in self._map_shards(shards, full=True):
+            parts[index] = packed
+        packed = tuple(
+            np.concatenate([part[i] for part in parts]) for i in range(5)
+        )
+        positions = np.concatenate(
+            [np.asarray(chunk, dtype=np.intp) for chunk in position_shards]
+        )
+        inverse = np.empty(len(site_ids), dtype=np.intp)
+        inverse[positions] = np.arange(len(site_ids), dtype=np.intp)
+        return self.local._reorder_packed(packed, inverse)
+
     def p_sensitized_many(self, site_ids: Sequence[int]):
         """``P_sensitized`` for many sites, aligned with ``site_ids``."""
         import numpy as np

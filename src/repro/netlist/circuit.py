@@ -149,6 +149,54 @@ class Circuit:
         self._nodes[name] = Node(node.name, node.gate_type, fanin)
         self._mutation += 1
 
+    def replace_gate(
+        self,
+        name: str,
+        gate_type: GateType | str | None = None,
+        fanin: Sequence[str] | None = None,
+    ) -> str:
+        """Swap an existing combinational gate's type and/or fanin in place.
+
+        The node keeps its name, its declaration-order position and its
+        output marking; every user keeps referencing it unchanged.  Only
+        combinational gates can be replaced (inputs, constants and DFFs
+        have structural roles an in-place swap would silently break).
+        """
+        node = self.node(name)
+        if not node.gate_type.is_combinational:
+            raise NetlistError(
+                f"replace_gate({name!r}): only combinational gates can be "
+                f"replaced, not {node.gate_type.value}"
+            )
+        if gate_type is None:
+            gate_type = node.gate_type
+        elif isinstance(gate_type, str):
+            try:
+                gate_type = GateType[gate_type.upper()]
+            except KeyError:
+                raise NetlistError(
+                    f"unknown gate type {gate_type!r} for node {name!r}"
+                ) from None
+        if not gate_type.is_combinational:
+            raise NetlistError(
+                f"replace_gate({name!r}): {gate_type.value} is not a "
+                "combinational gate"
+            )
+        new_fanin = node.fanin if fanin is None else tuple(fanin)
+        self._nodes[name] = Node(name, gate_type, new_fanin)
+        self._mutation += 1
+        return name
+
+    @property
+    def mutation_token(self) -> int:
+        """Monotonic edit counter — changes whenever the circuit mutates.
+
+        Consumers holding derived state (a compiled view, an analysis
+        engine) capture the token at build time and compare later to
+        detect that their snapshot went stale.
+        """
+        return self._mutation
+
     # ------------------------------------------------------------------ query
 
     def node(self, name: str) -> Node:

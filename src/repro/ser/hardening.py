@@ -34,6 +34,9 @@ __all__ = [
     "HardeningStep",
     "HardeningCurve",
     "selective_hardening_curve",
+    "WhatIfStep",
+    "HardeningPlan",
+    "optimize_hardening",
     "TMRComparison",
     "evaluate_tmr",
 ]
@@ -60,14 +63,50 @@ class HardeningCurve:
     steps: list[HardeningStep] = field(default_factory=list)
 
     def step_for_budget(self, max_nodes: int) -> HardeningStep:
-        """The deepest step within a node budget."""
+        """The best step within a node budget.
+
+        Among the steps hardening at most ``max_nodes`` nodes, returns the
+        *cheapest* one achieving the maximum FIT reduction — deeper steps
+        that only add zero-FIT nodes (ties on the curve) buy nothing, so
+        they are not preferred over the step that already got there.  A
+        budget below the smallest step raises :class:`ConfigError` naming
+        that smallest step, so the caller knows the feasible floor.
+        """
         eligible = [s for s in self.steps if s.n_hardened <= max_nodes]
         if not eligible:
-            raise ConfigError(f"no hardening step within budget {max_nodes}")
-        return eligible[-1]
+            smallest = self.steps[0].n_hardened if self.steps else None
+            detail = (
+                f"; the smallest step hardens {smallest} node(s)"
+                if smallest is not None
+                else "; the curve is empty"
+            )
+            raise ConfigError(
+                f"no hardening step within budget {max_nodes}{detail}"
+            )
+        best = max(step.fit_reduction_pct for step in eligible)
+        for step in eligible:
+            if step.fit_reduction_pct >= best:
+                return step
+        raise AssertionError("unreachable: eligible is non-empty")
 
     def nodes_for_target(self, target_reduction_pct: float) -> HardeningStep | None:
-        """The cheapest step achieving a target FIT reduction (None if unreachable)."""
+        """The cheapest step achieving a target FIT reduction.
+
+        A target of 0% (or below) is already met by hardening nothing, so
+        a synthetic zero-node step at the baseline FIT is returned — not
+        the first curve step.  Unreachable targets (including 100%, which
+        a finite strength factor can never reach on a circuit with any
+        FIT) return ``None``; the curve is non-decreasing, so the first
+        step at or past the target is the cheapest.
+        """
+        if target_reduction_pct <= 0.0:
+            return HardeningStep(
+                n_hardened=0,
+                hardened_nodes=(),
+                total_fit=self.baseline_fit,
+                fit_reduction_pct=0.0,
+                area_cost=0.0,
+            )
         for step in self.steps:
             if step.fit_reduction_pct >= target_reduction_pct:
                 return step
@@ -113,6 +152,174 @@ def selective_hardening_curve(
 
 
 @dataclass(frozen=True)
+class WhatIfStep:
+    """One evaluated candidate in the incremental hardening loop."""
+
+    action: str  # "upsize" | "tmr"
+    node: str
+    accepted: bool
+    area_cost: float  # paid only if accepted
+    fit_before: float
+    fit_after: float  # the candidate's total FIT, kept or discarded
+    dirty_sites: int  # how many site columns the delta re-swept
+    reused_sites: int
+
+
+@dataclass
+class HardeningPlan:
+    """Result of the incremental selective-hardening optimizer."""
+
+    circuit_name: str
+    action: str
+    area_budget: float
+    strength_factor: float
+    baseline_fit: float
+    final_fit: float
+    area_used: float
+    steps: list[WhatIfStep] = field(default_factory=list)
+    result: object = field(default=None, repr=False)  # final DeltaAnalysis
+
+    @property
+    def accepted_nodes(self) -> tuple[str, ...]:
+        return tuple(step.node for step in self.steps if step.accepted)
+
+    @property
+    def fit_reduction_pct(self) -> float:
+        if self.baseline_fit == 0.0:
+            return 0.0
+        return 100.0 * (self.baseline_fit - self.final_fit) / self.baseline_fit
+
+    def format(self) -> str:
+        lines = [
+            f"hardening plan for {self.circuit_name} "
+            f"(action={self.action}, budget={self.area_budget:g}, "
+            f"strength={self.strength_factor:g}):",
+            f"  baseline {self.baseline_fit:.4e} FIT -> final "
+            f"{self.final_fit:.4e} FIT ({self.fit_reduction_pct:.1f}% lower), "
+            f"area used {self.area_used:g}/{self.area_budget:g}",
+            f"  {'step':<5} {'action':<7} {'node':<16} {'verdict':<9} "
+            f"{'FIT after':>12} {'re-swept':>9}",
+        ]
+        for i, step in enumerate(self.steps, start=1):
+            verdict = "accepted" if step.accepted else "rejected"
+            lines.append(
+                f"  {i:<5} {step.action:<7} {step.node:<16} {verdict:<9} "
+                f"{step.fit_after:>12.4e} "
+                f"{step.dirty_sites:>4}/{step.dirty_sites + step.reused_sites}"
+            )
+        if not self.steps:
+            lines.append("  (no candidates evaluated)")
+        return "\n".join(lines)
+
+
+def optimize_hardening(
+    analyzer: SERAnalyzer,
+    area_budget: float,
+    strength_factor: float = 10.0,
+    action: str = "upsize",
+    max_steps: int | None = None,
+    sites=None,
+    **knobs,
+) -> HardeningPlan:
+    """Greedy selective hardening driven by incremental re-analysis.
+
+    The interactive design loop the incremental layer exists for: rank the
+    current revision's sites by SER contribution, try hardening the top
+    contributor, re-analyze *only what the edit can affect*
+    (``analyze_delta``), and keep the edit iff the circuit FIT strictly
+    drops within the remaining area budget.  Rejected candidates stay
+    rejected; accepted ones update the revision the next candidate is
+    ranked against.
+
+    ``action="upsize"`` upsizes by ``strength_factor`` (area cost
+    ``strength_factor - 1`` per gate, FIT contribution divided by the
+    factor — a metadata-only edit, so deltas are nearly free).
+    ``action="tmr"`` inserts local triplicate-and-vote structure (area
+    cost 3.0: two replicas plus a voter) — a real structural edit whose
+    re-sweep exercises the dirty-set machinery.  Note the documented EPP
+    limitation (module docstring): EPP cannot see cross-replica masking,
+    so the *estimated* FIT after local TMR usually rises (three copies'
+    cross section, no credited masking) and such steps are honestly
+    rejected; the accept test is what keeps the optimizer truthful to its
+    own model.  Candidates are drawn from the baseline report's sites
+    only, so voters/replicas created by accepted TMR steps never become
+    candidates themselves.
+
+    ``max_steps`` bounds *evaluated* candidates (accepted or not);
+    remaining knobs are the snapshot's analysis knobs.
+    """
+    from repro.core.epp_delta import EditSet
+
+    if area_budget <= 0.0:
+        raise ConfigError(f"area_budget must be > 0, got {area_budget}")
+    if action not in ("upsize", "tmr"):
+        raise ConfigError(
+            f"unknown hardening action {action!r}; choose 'upsize' or 'tmr'"
+        )
+    if action == "upsize" and strength_factor <= 1.0:
+        raise ConfigError(f"strength_factor must be > 1, got {strength_factor}")
+    step_cost = (strength_factor - 1.0) if action == "upsize" else 3.0
+
+    delta = analyzer.snapshot(sites=sites, **knobs)
+    report = analyzer.report_for(delta)
+    baseline_fit = report.total_fit
+    candidate_pool = set(report.nodes)
+
+    plan = HardeningPlan(
+        circuit_name=analyzer.circuit.name,
+        action=action,
+        area_budget=float(area_budget),
+        strength_factor=float(strength_factor),
+        baseline_fit=baseline_fit,
+        final_fit=baseline_fit,
+        area_used=0.0,
+    )
+    tried: set[str] = set()
+    while (max_steps is None or len(plan.steps) < max_steps) and (
+        plan.area_used + step_cost <= area_budget
+    ):
+        candidate = next(
+            (
+                entry.node
+                for entry in report.ranked()
+                if entry.node in candidate_pool
+                and entry.node not in tried
+                and entry.fit > 0.0
+            ),
+            None,
+        )
+        if candidate is None:
+            break
+        tried.add(candidate)
+        edits = EditSet()
+        if action == "upsize":
+            edits.harden(candidate, strength_factor)
+        else:
+            edits.tmr(candidate)
+        trial = delta.apply(edits)
+        trial_report = analyzer.report_for(trial)
+        accepted = trial_report.total_fit < report.total_fit
+        plan.steps.append(
+            WhatIfStep(
+                action=action,
+                node=candidate,
+                accepted=accepted,
+                area_cost=step_cost if accepted else 0.0,
+                fit_before=report.total_fit,
+                fit_after=trial_report.total_fit,
+                dirty_sites=trial.stats["dirty"],
+                reused_sites=trial.stats["reused"],
+            )
+        )
+        if accepted:
+            delta, report = trial, trial_report
+            plan.area_used += step_cost
+    plan.final_fit = report.total_fit
+    plan.result = delta
+    return plan
+
+
+@dataclass(frozen=True)
 class TMRComparison:
     """Original-vs-TMR soft-error masking, by fault injection and by EPP.
 
@@ -146,7 +353,11 @@ def evaluate_tmr(
     sites = [g for g in circuit.gates]
     if max_sites is not None:
         sites = sites[:max_sites]
-    tmr_sites = [f"{site}__r0" for site in sites]
+    # Use the suffixes triplicate actually chose — a circuit that already
+    # contains __r0-style names makes it escalate, and guessing "__r0"
+    # here would query the wrong (or a missing) node.
+    replica_suffix = tmr.tmr_suffixes[0]
+    tmr_sites = [f"{site}{replica_suffix}" for site in sites]
 
     original = RandomSimulationEstimator(circuit, n_vectors=n_vectors, seed=seed)
     originals = original.estimate(sites)

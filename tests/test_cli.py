@@ -153,3 +153,59 @@ class TestCommands:
         )
         assert code == 1
         assert "circuit_jobs" in capsys.readouterr().err
+
+
+class TestAnalyzeDelta:
+    def test_single_edit_with_verify(self, capsys):
+        code = main(["analyze-delta", "c17", "--replace", "N10:nor",
+                     "--verify", "--top", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "re-swept" in out
+        assert "incremental == full re-analysis: True" in out
+
+    def test_mixed_edits_sharded(self, capsys):
+        code = main(["analyze-delta", "s27", "--tmr", "G10",
+                     "--set-sp", "G0=0.3", "--jobs", "2", "--verify"])
+        assert code == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_harden_edit_resweeps_nothing(self, capsys):
+        code = main(["analyze-delta", "c17", "--harden", "N10:8"])
+        assert code == 0
+        assert "re-swept 0 of" in capsys.readouterr().out
+
+    def test_no_edits_fails_cleanly(self, capsys):
+        code = main(["analyze-delta", "c17"])
+        assert code == 1
+        assert "no edits" in capsys.readouterr().err
+
+    def test_bad_edit_spec_fails_cleanly(self, capsys):
+        code = main(["analyze-delta", "c17", "--set-sp", "N10"])
+        assert code == 1
+        assert "set-sp" in capsys.readouterr().err.lower()
+
+    def test_unknown_node_fails_cleanly(self, capsys):
+        code = main(["analyze-delta", "c17", "--replace", "ghost:nor"])
+        assert code == 1
+        assert capsys.readouterr().err
+
+
+class TestHardenCommand:
+    def test_upsize_plan(self, capsys):
+        code = main(["harden", "s27", "--budget", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hardening plan for s27" in out
+        assert "accepted" in out
+
+    def test_tmr_action(self, capsys):
+        code = main(["harden", "s27", "--budget", "12", "--action", "tmr",
+                     "--max-steps", "2"])
+        assert code == 0
+        assert "hardening plan" in capsys.readouterr().out
+
+    def test_bad_budget_fails_cleanly(self, capsys):
+        code = main(["harden", "s27", "--budget", "0"])
+        assert code == 1
+        assert "budget" in capsys.readouterr().err

@@ -1,0 +1,505 @@
+"""Incremental what-if analysis: staleness guards, edit sets, dirty sets, splicing.
+
+The tentpole invariant under test: ``analyze_delta(prev, edits)`` is
+``np.array_equal`` — bit-identical, not merely close — to a full
+``snapshot`` of the edited circuit, across every backend tier (vector,
+sharded, compact/full rows), because retained columns are spliced
+byte-for-byte and dirty columns run through the very same sweep.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.analysis import SERAnalyzer
+from repro.core.epp import EPPEngine
+from repro.core.epp_delta import EditSet, dirty_mask, edit_impact
+from repro.errors import AnalysisError, NetlistError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+from repro.netlist.generate import random_combinational
+from repro.netlist.library import c17, s27
+
+
+def assert_bit_identical(delta, full):
+    assert delta.site_names == full.site_names
+    for left, right in zip(delta.packed, full.packed):
+        assert np.array_equal(left, right)
+
+
+def full_resnapshot(delta):
+    """A from-scratch snapshot of the delta's own circuit revision."""
+    return delta.engine.snapshot(
+        sites=None if delta.default_sites else delta.site_names,
+        **delta.knobs,
+    )
+
+
+# ------------------------------------------------------------------ staleness
+
+
+class TestStalenessGuard:
+    """Mutating a circuit under a live engine must raise, not mis-answer.
+
+    Each test first *reproduces the stale read* the guard exists for:
+    before the guard, the engine kept answering from its build-time
+    compiled snapshot, returning numerically plausible values for the
+    pre-edit netlist.
+    """
+
+    def test_replace_gate_invalidates_queries(self):
+        circuit = c17()
+        engine = EPPEngine(circuit)
+        before = engine.p_sensitized("N10")
+        # Swapping N16 changes its SP, which N10's error reads off-path
+        # at N22 = NAND(N10, N16): the pre-edit answer IS stale.
+        circuit.replace_gate("N16", "nor")
+        assert EPPEngine(circuit).p_sensitized("N10") != pytest.approx(before)
+        with pytest.raises(AnalysisError, match="mutated after"):
+            engine.p_sensitized("N10")
+
+    def test_mark_output_invalidates_queries(self):
+        circuit = c17()
+        engine = EPPEngine(circuit)
+        engine.node_epp("N10")
+        circuit.mark_output("N10")
+        with pytest.raises(AnalysisError, match="mutated after"):
+            engine.node_epp("N10")
+
+    def test_replace_fanin_invalidates_analyze(self):
+        circuit = c17()
+        engine = EPPEngine(circuit)
+        engine.analyze()
+        circuit.replace_fanin("N22", "N10", "N1")
+        with pytest.raises(AnalysisError, match="mutated after"):
+            engine.analyze()
+
+    def test_mutation_invalidates_snapshot(self):
+        circuit = c17()
+        engine = EPPEngine(circuit)
+        circuit.add_gate("extra", GateType.NOT, ["N1"])
+        with pytest.raises(AnalysisError, match="mutated after"):
+            engine.snapshot()
+
+    def test_every_mutator_bumps_the_token(self):
+        circuit = c17()
+        seen = {circuit.mutation_token}
+
+        def bumped():
+            token = circuit.mutation_token
+            assert token not in seen, "mutator did not bump mutation_token"
+            seen.add(token)
+
+        circuit.add_gate("t1", GateType.NOT, ["N1"])
+        bumped()
+        circuit.replace_gate("t1", "buf")
+        bumped()
+        circuit.replace_fanin("t1", "N1", "N2")
+        bumped()
+        circuit.mark_output("t1")
+        bumped()
+        circuit.add_input("t2")
+        bumped()
+        circuit.add_dff("t3", "t1")
+        bumped()
+
+    def test_rebuilt_engine_answers(self):
+        circuit = c17()
+        engine = EPPEngine(circuit)
+        circuit.replace_gate("N10", "nor")
+        with pytest.raises(AnalysisError):
+            engine.p_sensitized("N10")
+        assert 0.0 <= EPPEngine(circuit).p_sensitized("N10") <= 1.0
+
+    def test_error_message_points_to_analyze_delta(self):
+        circuit = c17()
+        engine = EPPEngine(circuit)
+        circuit.mark_output("N10")
+        with pytest.raises(AnalysisError, match="analyze_delta"):
+            engine.analyze()
+
+
+# ------------------------------------------------------------------- edit set
+
+
+class TestEditSet:
+    def test_fluent_and_counts(self):
+        edits = (
+            EditSet()
+            .replace_gate("g", "nand")
+            .set_sp("a", 0.25)
+            .harden("g", 4.0)
+            .tmr("h")
+        )
+        assert len(edits) == 4
+        assert edits.structural_ops == 2  # set_sp/harden are metadata-only
+
+    def test_set_sp_out_of_range(self):
+        with pytest.raises(AnalysisError, match="out of"):
+            EditSet().set_sp("a", 1.5)
+
+    def test_harden_needs_factor_above_one(self):
+        with pytest.raises(AnalysisError, match="must be > 1"):
+            EditSet().harden("g", 1.0)
+
+    def test_tmr_needs_names(self):
+        with pytest.raises(AnalysisError, match="at least one"):
+            EditSet().tmr()
+
+    def test_apply_never_mutates_the_original(self):
+        circuit = c17()
+        token = circuit.mutation_token
+        edited, touched = EditSet().replace_gate("N10", "nor").apply(circuit)
+        assert circuit.mutation_token == token
+        assert circuit.node("N10").gate_type is GateType.NAND
+        assert edited.node("N10").gate_type is GateType.NOR
+        assert touched == {"N10"}
+
+    def test_touched_is_exactly_the_edited_nodes(self):
+        circuit = c17()
+        edited, touched = (
+            EditSet()
+            .rewire("N22", "N10", "N16")
+            .add_gate("extra", GateType.AND, ["N1", "N2"])
+            .mark_output("extra")
+            .apply(circuit)
+        )
+        # Fanins of edited nodes are NOT touched: reverse reachability
+        # follows each side's own edges, so seeding them would only
+        # inflate the dirty set.
+        assert touched == {"N22", "extra"}
+
+    def test_tmr_touches_replicas_and_aliases_their_sp(self):
+        circuit = c17()
+        edits = EditSet().tmr("N10")
+        edited, touched = edits.apply(circuit)
+        assert "N10" in touched and len(touched) == 4
+        replicas = sorted(touched - {"N10"})
+        assert edited.node("N10").gate_type is GateType.MAJ
+        for replica in replicas:
+            assert edits.sp_aliases[replica] == "N10"
+            assert edited.node(replica).gate_type is GateType.NAND
+
+    def test_remove_node_requires_it_unused(self):
+        circuit = c17()
+        with pytest.raises(NetlistError, match="still drives"):
+            EditSet().remove_node("N10").apply(circuit)
+
+    def test_sp_override_must_name_a_surviving_node(self):
+        circuit = c17()
+        with pytest.raises(NetlistError, match="unknown node"):
+            EditSet().set_sp("ghost", 0.5).apply(circuit)
+
+    def test_harden_unknown_node_rejected(self):
+        with pytest.raises(NetlistError):
+            EditSet().harden("ghost", 2.0).apply(c17())
+
+
+# ----------------------------------------------------------------- dirty mask
+
+
+class TestDirtyMask:
+    def build_chain(self):
+        """a -> g1 -> g2 -> g3 -> out, with a side PO on g1."""
+        circuit = Circuit("chain")
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_gate("g1", GateType.AND, ["a", "b"])
+        circuit.add_gate("g2", GateType.NOT, ["g1"])
+        circuit.add_gate("g3", GateType.OR, ["g2", "b"])
+        circuit.mark_output("g1")
+        circuit.mark_output("g3")
+        return circuit
+
+    def test_structural_edit_dirties_upstream_not_downstream(self):
+        compiled = self.build_chain().compiled()
+        mask = dirty_mask(compiled, {"g2"})
+        flags = {compiled.names[i]: bool(mask[i]) for i in range(compiled.n)}
+        # g2's column changes; anything whose cone contains g2 (g1, a, b)
+        # changes; g3 is merely *downstream* -- its cone never contains
+        # g2, so its column only reads g2's SP, which is handled by the
+        # SP diff, not the structural seed.
+        assert flags["g2"] and flags["g1"] and flags["a"] and flags["b"]
+        assert not flags["g3"]
+
+    def test_sp_change_dirties_users_and_upstream(self):
+        compiled = self.build_chain().compiled()
+        mask = dirty_mask(compiled, set(), {"g1"})
+        flags = {compiled.names[i]: bool(mask[i]) for i in range(compiled.n)}
+        # g2 *reads* g1's SP as an on/off-path value -> dirty; and
+        # everything reaching g2 follows.
+        assert flags["g1"] and flags["g2"] and flags["a"] and flags["b"]
+        assert not flags["g3"]
+
+    def test_dff_edit_seeds_the_d_driver(self):
+        circuit = Circuit("seq")
+        circuit.add_input("a")
+        circuit.add_gate("g", GateType.NOT, ["a"])
+        circuit.add_dff("q", "g")
+        circuit.mark_output("q")
+        compiled = circuit.compiled()
+        mask = dirty_mask(compiled, {"q"})
+        flags = {compiled.names[i]: bool(mask[i]) for i in range(compiled.n)}
+        # Cones stop at D pins, so reachability alone would never reach
+        # the DFF; the D driver is seeded explicitly (its sink list
+        # derives from the DFF).
+        assert flags["g"] and flags["a"]
+
+    def test_unknown_names_ignored(self):
+        compiled = self.build_chain().compiled()
+        mask = dirty_mask(compiled, {"only_on_the_other_side"}, {"ghost"})
+        assert not any(mask)
+
+
+# --------------------------------------------------------------- bit identity
+
+#: The backend tiers the acceptance criteria pin: default vector, both
+#: row layouts, and the sharded pool.
+TIERS = [
+    {},
+    {"rows": "compact"},
+    {"rows": "full", "schedule": "input"},
+    {"backend": "sharded", "jobs": 2},
+]
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("knobs", TIERS)
+    def test_single_gate_swap(self, knobs):
+        circuit = random_combinational(6, 60, seed=11)
+        engine = EPPEngine(circuit)
+        prev = engine.snapshot(**knobs)
+        target = circuit.gates[len(circuit.gates) // 2]
+        delta = engine.analyze_delta(prev, EditSet().replace_gate(target, "xor"))
+        assert delta.stats["dirty"] + delta.stats["reused"] == delta.stats["sites"]
+        assert_bit_identical(delta, full_resnapshot(delta))
+
+    @pytest.mark.parametrize("knobs", TIERS)
+    def test_structural_mix(self, knobs):
+        circuit = random_combinational(6, 40, seed=23)
+        engine = EPPEngine(circuit)
+        prev = engine.snapshot(**knobs)
+        gates = circuit.gates
+        edits = (
+            EditSet()
+            .replace_gate(gates[5], "nor")
+            .add_gate("extra", GateType.AND, [gates[0], gates[1]])
+            .mark_output("extra")
+            .tmr(gates[-1])
+        )
+        delta = engine.analyze_delta(prev, edits)
+        assert_bit_identical(delta, full_resnapshot(delta))
+
+    def test_cone_shrink_and_grow(self):
+        circuit = random_combinational(6, 40, seed=7)
+        engine = EPPEngine(circuit)
+        prev = engine.snapshot()
+        wide = next(
+            name for name in circuit.gates
+            if len(circuit.node(name).fanin) >= 3
+            and circuit.node(name).gate_type
+            in (GateType.AND, GateType.OR, GateType.NAND, GateType.NOR)
+        )
+        shrunk = engine.analyze_delta(
+            prev, EditSet().replace_gate(wide, fanin=circuit.node(wide).fanin[:2])
+        )
+        assert_bit_identical(shrunk, full_resnapshot(shrunk))
+        narrow = next(
+            name for name in shrunk.engine.circuit.gates
+            if len(shrunk.engine.circuit.node(name).fanin) == 2
+            and shrunk.engine.circuit.node(name).gate_type
+            in (GateType.AND, GateType.OR)
+        )
+        grown_fanin = shrunk.engine.circuit.node(narrow).fanin + (
+            shrunk.engine.circuit.inputs[0],
+        )
+        grown = shrunk.apply(EditSet().replace_gate(narrow, fanin=grown_fanin))
+        assert_bit_identical(grown, full_resnapshot(grown))
+
+    def test_chained_deltas(self):
+        circuit = s27()
+        engine = EPPEngine(circuit)
+        prev = engine.snapshot()
+        d1 = engine.analyze_delta(prev, EditSet().tmr("G10"))
+        d2 = d1.apply(EditSet().set_sp("G0", 0.3))
+        d3 = d2.apply(EditSet().replace_gate("G11", "or"))
+        assert d3.stats["chain_length"] == 3
+        assert_bit_identical(d3, full_resnapshot(d3))
+
+    def test_empty_edit_set_reuses_everything(self):
+        engine = EPPEngine(c17())
+        prev = engine.snapshot()
+        delta = engine.analyze_delta(prev, EditSet())
+        assert delta.stats["dirty"] == 0
+        assert delta.stats["reused"] == delta.stats["sites"]
+        assert_bit_identical(delta, full_resnapshot(delta))
+
+    def test_harden_only_edit_resweeps_nothing(self):
+        engine = EPPEngine(c17())
+        prev = engine.snapshot()
+        delta = engine.analyze_delta(prev, EditSet().harden("N10", 10.0))
+        assert delta.stats["dirty"] == 0
+        chained = delta.apply(EditSet().harden("N10", 2.0))
+        assert chained.hardening["N10"] == pytest.approx(20.0)
+        assert_bit_identical(chained, full_resnapshot(chained))
+
+    def test_scalar_oracle_agreement(self):
+        engine = EPPEngine(s27())
+        prev = engine.snapshot()
+        delta = engine.analyze_delta(prev, EditSet().replace_gate("G10", "nor"))
+        for name, value in zip(delta.site_names, delta.p_sensitized):
+            assert value == pytest.approx(
+                delta.engine.p_sensitized(name), abs=1e-9
+            ), name
+
+    def test_explicit_site_list_is_preserved(self):
+        engine = EPPEngine(c17())
+        sites = ["N22", "N10"]
+        prev = engine.snapshot(sites=sites)
+        assert not prev.default_sites
+        delta = engine.analyze_delta(prev, EditSet().replace_gate("N16", "nor"))
+        assert delta.site_names == sites
+        full = delta.engine.snapshot(sites=sites)
+        assert_bit_identical(delta, full)
+
+    def test_default_sites_rederived_after_add(self):
+        engine = EPPEngine(c17())
+        prev = engine.snapshot()
+        delta = engine.analyze_delta(
+            prev,
+            EditSet().add_gate("extra", GateType.AND, ["N1", "N2"]).mark_output(
+                "extra"
+            ),
+        )
+        assert "extra" in delta.site_names
+        assert_bit_identical(delta, full_resnapshot(delta))
+
+    def test_removed_site_drops_from_retained_list(self):
+        circuit = c17()
+        circuit.add_gate("spare", GateType.NOT, ["N1"])
+        circuit.mark_output("spare")
+        engine = EPPEngine(circuit)
+        prev = engine.snapshot(sites=["N22", "spare"])
+        dropped = engine.analyze_delta(prev, EditSet().remove_node("spare"))
+        assert dropped.site_names == ["N22"]
+        assert_bit_identical(dropped, dropped.engine.snapshot(sites=["N22"]))
+
+    def test_wrong_engine_rejected(self):
+        engine_a = EPPEngine(c17())
+        engine_b = EPPEngine(c17())
+        prev = engine_a.snapshot()
+        with pytest.raises(AnalysisError, match="different engine"):
+            engine_b.analyze_delta(prev, EditSet())
+
+    def test_scalar_backend_rejected(self):
+        engine = EPPEngine(c17())
+        with pytest.raises(AnalysisError, match="scalar"):
+            engine.snapshot(backend="scalar")
+
+    def test_unknown_knob_rejected(self):
+        engine = EPPEngine(c17())
+        prev = engine.snapshot()
+        with pytest.raises(AnalysisError, match="unknown analysis knob"):
+            engine.analyze_delta(prev, EditSet(), bogus=1)
+
+    def test_knob_override_merges_per_key(self):
+        engine = EPPEngine(c17())
+        prev = engine.snapshot(rows="compact", schedule="cone")
+        delta = engine.analyze_delta(
+            prev, EditSet().replace_gate("N10", "nor"), rows="full"
+        )
+        assert delta.knobs["rows"] == "full"
+        assert delta.knobs["schedule"] == "cone"  # untouched keys survive
+        assert_bit_identical(delta, full_resnapshot(delta))
+
+    def test_edit_impact_matches_analyze_delta(self):
+        circuit = random_combinational(6, 60, seed=3)
+        engine = EPPEngine(circuit)
+        prev = engine.snapshot()
+        edits = EditSet().replace_gate(circuit.gates[-1], "xnor")
+        impact = edit_impact(prev, edits)
+        delta = engine.analyze_delta(prev, edits)
+        assert impact["dirty"] == delta.stats["dirty"]
+        assert impact["reused"] == delta.stats["reused"]
+        assert impact["sites"] == delta.stats["sites"]
+
+
+class TestUserSuppliedSP:
+    def make_engine(self):
+        circuit = c17()
+        base = EPPEngine(circuit)
+        user_sp = {
+            base.compiled.names[i]: base._sp[i] for i in range(base.compiled.n)
+        }
+        return circuit, EPPEngine(circuit, signal_probs=user_sp)
+
+    def test_new_node_without_sp_is_an_error(self):
+        _, engine = self.make_engine()
+        prev = engine.snapshot()
+        with pytest.raises(AnalysisError, match="set_sp"):
+            engine.analyze_delta(
+                prev, EditSet().add_gate("extra", GateType.AND, ["N1", "N2"])
+            )
+
+    def test_new_node_with_set_sp_works(self):
+        _, engine = self.make_engine()
+        prev = engine.snapshot()
+        delta = engine.analyze_delta(
+            prev,
+            EditSet()
+            .add_gate("extra", GateType.AND, ["N1", "N2"])
+            .mark_output("extra")
+            .set_sp("extra", 0.25),
+        )
+        assert_bit_identical(delta, full_resnapshot(delta))
+
+    def test_tmr_replicas_inherit_sp_via_alias(self):
+        _, engine = self.make_engine()
+        prev = engine.snapshot()
+        # No set_sp for the replicas: they inherit N10's user SP.
+        delta = engine.analyze_delta(prev, EditSet().tmr("N10"))
+        assert_bit_identical(delta, full_resnapshot(delta))
+        replicas = [n for n in delta.sp_map if n not in prev.sp_map and n != "N10"]
+        assert len(replicas) == 3
+        for replica in replicas:
+            assert delta.sp_map[replica] == prev.sp_map["N10"]
+
+    def test_swap_under_user_sp_stays_local(self):
+        """With a user SP map, a gate swap dirties only TFI(gate): no SP
+        ripple exists because the user's map is authoritative."""
+        _, engine = self.make_engine()
+        prev = engine.snapshot()
+        impact = edit_impact(prev, EditSet().replace_gate("N22", "and"))
+        # N22 is a PO with nothing downstream: its TFI covers the sites
+        # reaching it, and N19/N7 (in c17's other cone) stay clean.
+        assert 0 < impact["dirty"] < impact["sites"]
+
+
+# --------------------------------------------------------------- SER analyzer
+
+
+class TestSERAnalyzerDelta:
+    def test_report_for_applies_hardening(self):
+        analyzer = SERAnalyzer(s27())
+        prev = analyzer.snapshot()
+        baseline = analyzer.report_for(prev)
+        hardened = analyzer.analyze_delta(prev, EditSet().harden("G10", 10.0))
+        report = analyzer.report_for(hardened)
+        assert report.total_fit < baseline.total_fit
+        assert report.nodes["G10"].fit == pytest.approx(
+            baseline.nodes["G10"].fit / 10.0
+        )
+
+    def test_report_matches_full_analyze_without_edits(self):
+        analyzer = SERAnalyzer(s27())
+        report = analyzer.report_for(analyzer.snapshot())
+        direct = analyzer.analyze()
+        assert report.total_fit == pytest.approx(direct.total_fit)
+
+    def test_chained_report_on_edited_circuit(self):
+        analyzer = SERAnalyzer(s27())
+        prev = analyzer.snapshot()
+        delta = analyzer.analyze_delta(prev, EditSet().replace_gate("G11", "or"))
+        report = analyzer.report_for(delta)
+        rebuilt = SERAnalyzer(delta.engine.circuit).analyze()
+        assert report.total_fit == pytest.approx(rebuilt.total_fit)

@@ -7,6 +7,7 @@ from repro.errors import ConfigError
 from repro.netlist.library import c17, s27
 from repro.ser.hardening import (
     evaluate_tmr,
+    optimize_hardening,
     selective_hardening_curve,
 )
 
@@ -68,6 +69,111 @@ class TestSelectiveHardening:
     def test_strength_validation(self, s27_report):
         with pytest.raises(ConfigError):
             selective_hardening_curve(s27_report, strength_factor=1.0)
+
+
+class TestCurveEdgeCases:
+    """The satellite sweep: budget/target queries at the boundaries."""
+
+    def test_budget_below_smallest_step_names_the_floor(self, s27_report):
+        curve = selective_hardening_curve(s27_report)
+        # Steps grow one node at a time, so the smallest step is 1 and
+        # only a non-positive budget can be infeasible -- which the
+        # explicit validation rejects first.
+        with pytest.raises(ConfigError, match="budget"):
+            curve.step_for_budget(0)
+
+    def test_budget_on_empty_curve_says_so(self):
+        from repro.ser.hardening import HardeningCurve
+
+        curve = HardeningCurve("empty", 10.0, 0.0)
+        with pytest.raises(ConfigError, match="curve is empty"):
+            curve.step_for_budget(5)
+
+    def test_budget_tie_returns_cheapest_step(self, s27_report):
+        """Deeper steps that only add zero-gain nodes must not win ties."""
+        from repro.ser.hardening import HardeningStep
+
+        curve = selective_hardening_curve(s27_report, strength_factor=10.0)
+        plateau = curve.steps[-1]
+        curve.steps.append(
+            HardeningStep(
+                n_hardened=plateau.n_hardened + 1,
+                hardened_nodes=plateau.hardened_nodes + ("dead_gate",),
+                total_fit=plateau.total_fit,
+                fit_reduction_pct=plateau.fit_reduction_pct,
+                area_cost=plateau.area_cost + 9.0,
+            )
+        )
+        best = curve.step_for_budget(plateau.n_hardened + 1)
+        assert best.n_hardened == plateau.n_hardened
+
+    def test_target_of_zero_is_the_empty_step(self, s27_report):
+        curve = selective_hardening_curve(s27_report)
+        step = curve.nodes_for_target(0.0)
+        assert step.n_hardened == 0
+        assert step.hardened_nodes == ()
+        assert step.total_fit == pytest.approx(curve.baseline_fit)
+        assert curve.nodes_for_target(-5.0).n_hardened == 0
+
+    def test_target_of_one_hundred_pct_unreachable(self, s27_report):
+        curve = selective_hardening_curve(s27_report, strength_factor=10.0)
+        assert curve.nodes_for_target(100.0) is None
+
+    def test_monotone_nondecreasing_reduction(self, s27_report):
+        curve = selective_hardening_curve(s27_report)
+        reductions = [step.fit_reduction_pct for step in curve.steps]
+        assert reductions == sorted(reductions)
+
+
+class TestOptimizeHardening:
+    def test_upsize_plan_reduces_fit_within_budget(self):
+        analyzer = SERAnalyzer(s27())
+        plan = optimize_hardening(analyzer, area_budget=30.0, strength_factor=10.0)
+        assert plan.accepted_nodes
+        assert plan.final_fit < plan.baseline_fit
+        assert plan.area_used <= plan.area_budget
+        # Upsizing is metadata-only: no columns should have been re-swept.
+        assert all(
+            step.dirty_sites == 0 for step in plan.steps if step.accepted
+        )
+        # Greedy order: accepted nodes follow the baseline ranking.
+        ranking = [entry.node for entry in analyzer.analyze().ranked()]
+        assert list(plan.accepted_nodes) == ranking[: len(plan.accepted_nodes)]
+
+    def test_tmr_steps_are_honestly_rejected_by_epp(self):
+        """EPP cannot credit cross-replica masking (documented limitation),
+        so local-TMR trials raise the *estimated* FIT and the optimizer
+        must reject them rather than report phantom gains."""
+        analyzer = SERAnalyzer(s27())
+        plan = optimize_hardening(
+            analyzer, area_budget=30.0, action="tmr", max_steps=3
+        )
+        assert plan.steps, "candidates should have been evaluated"
+        assert not plan.accepted_nodes
+        assert plan.final_fit == pytest.approx(plan.baseline_fit)
+        # The structural trials exercised the delta machinery for real.
+        assert all(step.dirty_sites > 0 for step in plan.steps)
+
+    def test_max_steps_bounds_evaluations(self):
+        analyzer = SERAnalyzer(s27())
+        plan = optimize_hardening(analyzer, area_budget=100.0, max_steps=2)
+        assert len(plan.steps) == 2
+
+    def test_budget_validation(self):
+        analyzer = SERAnalyzer(s27())
+        with pytest.raises(ConfigError, match="area_budget"):
+            optimize_hardening(analyzer, area_budget=0.0)
+        with pytest.raises(ConfigError, match="action"):
+            optimize_hardening(analyzer, area_budget=5.0, action="pray")
+        with pytest.raises(ConfigError, match="strength_factor"):
+            optimize_hardening(analyzer, area_budget=5.0, strength_factor=1.0)
+
+    def test_plan_format_smoke(self):
+        analyzer = SERAnalyzer(s27())
+        plan = optimize_hardening(analyzer, area_budget=9.0)
+        text = plan.format()
+        assert "hardening plan for s27" in text
+        assert "baseline" in text and "accepted" in text
 
 
 class TestTMR:

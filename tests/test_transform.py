@@ -5,7 +5,7 @@ import pytest
 from repro.errors import NetlistError
 from repro.netlist.circuit import Circuit
 from repro.netlist.gate_types import GateType
-from repro.netlist.generate import random_combinational
+from repro.netlist.generate import generate_iscas, random_combinational
 from repro.netlist.library import c17, counter, s27
 from repro.netlist.transform import (
     extract_cone,
@@ -13,7 +13,9 @@ from repro.netlist.transform import (
     sweep_buffers,
     to_combinational,
     triplicate,
+    triplicate_nodes,
 )
+from repro.netlist.validate import validate_circuit
 from repro.sim.fault_sim import FaultInjector
 from repro.sim.vectors import RandomVectorSource
 
@@ -198,3 +200,144 @@ class TestTriplicate:
     def test_duplicate_suffixes_rejected(self):
         with pytest.raises(NetlistError):
             triplicate(c17(), suffixes=("_a", "_a", "_b"))
+
+    def test_records_suffixes_used(self):
+        tmr = triplicate(c17())
+        assert tmr.tmr_suffixes == ("__r0", "__r1", "__r2")
+        assert "N10__r0" in tmr
+
+    def test_default_suffixes_escalate_past_existing_names(self):
+        """A circuit already holding a ``__r0`` name must not explode —
+        the auto suffixes deterministically escalate instead."""
+        circuit = c17()
+        circuit.add_gate("N10__r0", GateType.NOT, ["N1"])
+        circuit.mark_output("N10__r0")
+        tmr = triplicate(circuit)
+        assert tmr.tmr_suffixes == ("__r0_", "__r1_", "__r2_")
+        # the pre-existing __r0 node is replicated like any other gate
+        assert "N10__r0__r0_" in tmr
+        validate_circuit(tmr, strict=True)
+
+    def test_explicit_suffix_collision_raises(self):
+        circuit = c17()
+        circuit.add_gate("N10_a", GateType.NOT, ["N1"])
+        circuit.mark_output("N10_a")
+        with pytest.raises(NetlistError, match="collide"):
+            triplicate(circuit, suffixes=("_a", "_b", "_c"))
+
+
+class TestTriplicateNodes:
+    def test_voter_replaces_gate_in_place(self):
+        circuit = c17()
+        mapping = triplicate_nodes(circuit, ["N10"])
+        assert mapping == {"N10": ("N10__r0", "N10__r1", "N10__r2")}
+        assert circuit.node("N10").gate_type is GateType.MAJ
+        assert circuit.node("N10").fanin == mapping["N10"]
+        for replica in mapping["N10"]:
+            assert circuit.node(replica).gate_type is GateType.NAND
+            assert circuit.node(replica).fanin == ("N1", "N3")
+        # users of N10 are untouched
+        assert "N10" in circuit.node("N22").fanin
+        validate_circuit(circuit, strict=True)
+
+    def test_functional_equivalence(self):
+        original = c17()
+        edited = original.copy()
+        triplicate_nodes(edited, ["N10", "N16"])
+        for pattern in range(32):
+            assignment = {
+                name: (pattern >> k) & 1
+                for k, name in enumerate(original.inputs)
+            }
+            expected = original.evaluate(assignment)
+            got = edited.evaluate(assignment)
+            for output in original.outputs:
+                assert expected[output] == got[output]
+
+    def test_single_replica_fault_is_masked(self):
+        circuit = c17()
+        triplicate_nodes(circuit, ["N10"])
+        injector = FaultInjector(circuit)
+        words = RandomVectorSource(circuit.inputs, seed=5).next_words(512)
+        good = injector.simulator.run(words, 512)
+        assert injector.detection_count(good, "N10__r0", 512) == 0
+
+    def test_repeated_local_tmr_escalates_suffixes(self):
+        circuit = c17()
+        triplicate_nodes(circuit, ["N10"])
+        mapping = triplicate_nodes(circuit, ["N10"])  # re-TMR the voter
+        assert mapping["N10"] == ("N10__r0_", "N10__r1_", "N10__r2_")
+        validate_circuit(circuit, strict=True)
+
+    def test_duplicate_targets_rejected(self):
+        with pytest.raises(NetlistError, match="duplicate"):
+            triplicate_nodes(c17(), ["N10", "N10"])
+
+    def test_non_combinational_targets_rejected(self):
+        circuit = s27()
+        with pytest.raises(NetlistError, match="combinational"):
+            triplicate_nodes(circuit, ["G0"])  # primary input
+        with pytest.raises(NetlistError, match="combinational"):
+            triplicate_nodes(circuit, ["G5"])  # flip-flop
+
+    def test_sequential_users_untouched(self):
+        circuit = s27()
+        # G10 drives DFF G5's D pin; local TMR must keep that wiring.
+        triplicate_nodes(circuit, ["G10"])
+        assert circuit.node("G5").fanin == ("G10",)
+        validate_circuit(circuit, strict=True)
+
+
+class TestTransformSweepOnISCAS:
+    """validate + logic-sim equivalence of the transforms on profile-matched
+    ISCAS circuits (the satellite sweep: transforms must neither corrupt
+    the netlist nor change the observable logic)."""
+
+    @pytest.mark.parametrize("profile", ["c432", "s953"])
+    def test_transforms_validate(self, profile):
+        circuit = generate_iscas(profile, seed=3)
+        validate_circuit(circuit, strict=True)
+        validate_circuit(sweep_buffers(circuit), strict=True)
+        validate_circuit(propagate_constants(circuit), strict=True)
+        edited = circuit.copy()
+        targets = [
+            name for name in edited.gates[:4]
+            if edited.node(name).gate_type.is_combinational
+        ]
+        triplicate_nodes(edited, targets)
+        validate_circuit(edited, strict=True)
+
+    def test_cone_boundaries_respect_through_dff(self):
+        circuit = generate_iscas("s953", seed=3)
+        root = circuit.outputs[0]
+        stopped = extract_cone(circuit, [root])
+        assert not stopped.is_sequential
+        through = extract_cone(circuit, [root], through_dff=True)
+        validate_circuit(stopped, strict=True)
+        validate_circuit(through, strict=True)
+        # stopping at D pins only ever *excludes* logic: the stopped
+        # cone's names are a subset of the through-DFF cone's, and every
+        # DFF the stopped cone met became one of its inputs.
+        stopped_names = {node.name for node in stopped}
+        through_names = {node.name for node in through}
+        assert stopped_names <= through_names
+        dffs_met = {
+            name for name in stopped.inputs
+            if circuit.node(name).gate_type is GateType.DFF
+        }
+        assert dffs_met, "profile should put state in the output cone"
+        assert stopped_names < through_names  # D-pin fanin was pulled in
+
+    def test_sim_equivalence_after_buffer_sweep(self):
+        circuit = generate_iscas("c432", seed=3)
+        swept = sweep_buffers(circuit)
+        rng_patterns = [17, 255, 4095, 2**30 - 1, 123456789]
+        for pattern in rng_patterns:
+            assignment = {
+                name: (pattern >> k) & 1
+                for k, name in enumerate(circuit.inputs)
+            }
+            expected = circuit.evaluate(assignment)
+            got = swept.evaluate(assignment)
+            for output in circuit.outputs:
+                assert expected[output] == got[output]
