@@ -49,10 +49,18 @@ reused split) and for a 1%-of-sites polarity-swap batch
 (``delta_pct_s``), against a warm full re-analysis of the same edited
 circuit (``delta_full_s``).  ``delta_speedup_vs_full`` is the gated
 ratio; bit-identity of the spliced result is asserted in-run
-(``delta_identical``).  Results land in a JSON document (default
-``BENCH_pr7.json``) with host metadata; when the committed
-``BENCH_pr6.json`` sits next to the output the cross-PR ladder ratios
-(this run vs the *recorded* PR-6 seconds, same container) are included
+(``delta_identical``);
+
+plus the **SER-as-a-service workload** (the PR-8 server): per circuit,
+a cold one-shot CLI ``analyze`` subprocess (``serve_cold_s``) against
+the first (``serve_first_s``), fresh-sweep (``serve_resweep_s``) and
+artifact-cached repeat (``serve_warm_s``) latencies of one long-lived
+``repro serve`` instance.  ``serve_warm_speedup`` is gated absolutely
+at :data:`SERVE_WARM_SPEEDUP_FLOOR` where the cold run clears its
+noise floor.  Results land in a JSON document (default
+``BENCH_pr8.json``) with host metadata; when the committed
+``BENCH_pr7.json`` sits next to the output the cross-PR ladder ratios
+(this run vs the *recorded* PR-7 seconds, same container) are included
 per circuit as ``vs_prev_baseline``.
 
 ``--check BASELINE`` compares the *speedup ratios* of a fresh run against
@@ -92,7 +100,16 @@ CHECKED_RATIOS = (
     "speedup_compact_vs_full_rows",
     "clustered_rows_speedup",
     "delta_speedup_vs_full",
+    "serve_warm_speedup",
 )
+
+#: The PR-8 service gate: a repeat request against the warm server must
+#: beat the cold one-shot CLI by at least this factor — the server's
+#: whole reason to exist is amortizing interpreter start, netlist build
+#: and the sweep across requests.  Only gated where the cold run clears
+#: the noise floor (interpreter startup dominates tiny circuits).
+SERVE_WARM_SPEEDUP_FLOOR = 5.0
+SERVE_COLD_NOISE_FLOOR_S = 1.0
 
 #: The clean-path cost ceiling for the fault-tolerance machinery: an
 #: armed policy (per-shard deadline + retry budget) may cost at most 2%
@@ -424,6 +441,103 @@ def bench_circuit(name: str, jobs: int | None) -> dict:
     return row
 
 
+def bench_server(document: dict, circuits, verbose: bool = True) -> None:
+    """The SER-as-a-service workload (PR 8): warm server vs cold CLI.
+
+    Per circuit, three latencies around the same ``analyze`` request:
+
+    * ``serve_cold_s``  — a one-shot ``python -m repro analyze`` child
+      process (interpreter start + netlist build + sweep + report), the
+      pre-server cost of every single what-if;
+    * ``serve_first_s`` — the first request against an already-running
+      server (netlist build + sweep; the interpreter is amortized);
+    * ``serve_resweep_s`` — a fresh sweep against the warm engine
+      (coalescing disabled, cache-missing request: engine and plan
+      reuse without the artifact store);
+    * ``serve_warm_s``  — the repeat of an identical request (artifact
+      cache hit: integrity-checked bytes straight off the store).
+
+    ``serve_warm_speedup = serve_cold_s / serve_warm_s`` is gated
+    absolutely at :data:`SERVE_WARM_SPEEDUP_FLOOR` wherever the cold
+    run clears :data:`SERVE_COLD_NOISE_FLOOR_S`.
+    """
+    import signal
+    import subprocess
+    import tempfile
+
+    from repro.server.client import ServeClient
+
+    src = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+
+    def cold_cli(name: str) -> float:
+        start = time.perf_counter()
+        subprocess.run(
+            [sys.executable, "-m", "repro", "analyze", name, "--top", "1"],
+            check=True, capture_output=True, env=env,
+        )
+        return time.perf_counter() - start
+
+    sock = os.path.join(tempfile.mkdtemp(prefix="repro-bench-"), "repro.sock")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", sock, "--workers", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+    )
+    try:
+        deadline = time.monotonic() + 60.0
+        while not os.path.exists(sock):
+            if proc.poll() is not None or time.monotonic() > deadline:
+                raise RuntimeError(
+                    "analysis server did not come up: "
+                    + proc.stderr.read().decode(errors="replace")
+                )
+            time.sleep(0.1)
+        with ServeClient(sock, timeout=600.0) as client:
+            for name in circuits:
+                row = document["circuits"][name]
+                row["serve_cold_s"] = cold_cli(name)
+                start = time.perf_counter()
+                client.analyze(circuit=name, fit=True, top=1)
+                row["serve_first_s"] = time.perf_counter() - start
+                start = time.perf_counter()
+                resweep = client.analyze(
+                    circuit=name, fit=True, top=2, coalesce=False
+                )
+                row["serve_resweep_s"] = time.perf_counter() - start
+                start = time.perf_counter()
+                warm = client.analyze(circuit=name, fit=True, top=1)
+                row["serve_warm_s"] = time.perf_counter() - start
+                if not warm["result"]["cached"] or resweep["result"]["cached"]:
+                    raise RuntimeError(
+                        f"{name}: serve workload measured the wrong cache "
+                        "path (warm must hit, resweep must miss)"
+                    )
+                row["serve_warm_speedup"] = (
+                    row["serve_cold_s"] / row["serve_warm_s"]
+                )
+                for key in ("serve_cold_s", "serve_first_s",
+                            "serve_resweep_s", "serve_warm_s",
+                            "serve_warm_speedup"):
+                    row[key] = round(row[key], 4)
+                if verbose:
+                    print(
+                        f"[bench] {name} serve: cold {row['serve_cold_s']:.2f}s  "
+                        f"first {row['serve_first_s']:.2f}s  "
+                        f"resweep {row['serve_resweep_s']:.2f}s  "
+                        f"warm {row['serve_warm_s'] * 1e3:.1f}ms  "
+                        f"({row['serve_warm_speedup']:.0f}x vs cold)",
+                        flush=True,
+                    )
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.communicate(timeout=120)
+        except subprocess.TimeoutExpired:  # pragma: no cover - wedged server
+            proc.kill()
+            proc.communicate()
+
+
 def host_metadata() -> dict:
     import numpy
 
@@ -504,6 +618,7 @@ def run(circuits, jobs, out_path, verbose=True, prev_baseline=None) -> dict:
                 f"{resilience}{clustered}{delta}",
                 flush=True,
             )
+    bench_server(document, circuits, verbose=verbose)
     if prev_baseline:
         attach_prev_baseline(document, prev_baseline)
     if out_path:
@@ -538,6 +653,17 @@ def check_absolute_gates(current: dict) -> list[str]:
         dirty = {key: count for key, count in stats.items() if count}
         if dirty:
             failures.append(f"{name}: bench run hit worker failures {dirty}")
+        speedup = row.get("serve_warm_speedup")
+        if (
+            speedup is not None
+            and row.get("serve_cold_s", 0.0) >= SERVE_COLD_NOISE_FLOOR_S
+            and speedup < SERVE_WARM_SPEEDUP_FLOOR
+        ):
+            failures.append(
+                f"{name}.serve_warm_speedup: {speedup:.1f} < "
+                f"{SERVE_WARM_SPEEDUP_FLOOR} (a warm-server repeat request "
+                "must beat the cold one-shot CLI)"
+            )
         overhead = row.get("resilience_overhead")
         if overhead is None:
             continue
@@ -596,7 +722,7 @@ def main(argv=None) -> int:
                         help=f"roster (default: {' '.join(DEFAULT_CIRCUITS)})")
     parser.add_argument("--quick", action="store_true",
                         help=f"short roster ({' '.join(QUICK_CIRCUITS)})")
-    parser.add_argument("--out", default="BENCH_pr7.json",
+    parser.add_argument("--out", default="BENCH_pr8.json",
                         help="output JSON path ('' to skip writing)")
     parser.add_argument("--jobs", type=int, default=None,
                         help="sharded worker count (default: one per core)")
@@ -605,7 +731,7 @@ def main(argv=None) -> int:
                         "(also applies the <2%% resilience-overhead gate)")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed relative ratio drop before failing (0.25)")
-    parser.add_argument("--prev-baseline", default="BENCH_pr6.json",
+    parser.add_argument("--prev-baseline", default="BENCH_pr7.json",
                         help="committed previous-PR trajectory file for the "
                         "cross-PR ladder ratios ('' to skip)")
     args = parser.parse_args(argv)

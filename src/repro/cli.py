@@ -11,6 +11,8 @@ Commands
   and re-analyze incrementally, re-sweeping only affected sites.
 * ``harden`` — greedy selective-hardening loop under an area budget,
   driven by the incremental analyzer.
+* ``serve`` — run the long-lived analysis service on a unix socket
+  (admission control, request deadlines, artifact cache, degradation).
 * ``stats``   — print circuit statistics.
 * ``generate`` — emit a synthetic ISCAS'89-profile circuit as ``.bench``.
 * ``list``    — list embedded circuits and known profiles.
@@ -405,6 +407,84 @@ def build_parser() -> argparse.ArgumentParser:
     ablations.add_argument("--full", action="store_true", help="more circuits/vectors")
     ablations.add_argument("--seed", type=int, default=0)
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the long-lived analysis service on a unix socket",
+    )
+    serve.add_argument(
+        "socket",
+        help="unix-domain socket path to listen on (unlinked at shutdown)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=32,
+        help="admission-queue bound; beyond it requests are shed with a "
+        "retriable queue-full error carrying a retry_after estimate",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="concurrent request executors (each sweep runs in a thread "
+        "and may itself fan out over a sharded process pool)",
+    )
+    serve.add_argument(
+        "--client-inflight",
+        type=int,
+        default=4,
+        help="per-client cap on admitted-but-unanswered requests",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        help="default sharded worker count for sweeps (default: stay on "
+        "the in-process vector backend unless a request asks)",
+    )
+    serve.add_argument(
+        "--request-deadline",
+        type=float,
+        metavar="SECONDS",
+        help="default end-to-end budget for requests that carry none; "
+        "checked at the queue, plan and merge boundaries",
+    )
+    serve.add_argument(
+        "--max-engines",
+        type=int,
+        default=4,
+        help="live per-circuit engines kept; least-recently-used ones "
+        "are closed (pools shut down) on overflow",
+    )
+    serve.add_argument(
+        "--store-mb",
+        type=int,
+        default=64,
+        help="artifact-store budget in MiB (checksummed circuits and "
+        "finished results, LRU-evicted)",
+    )
+    serve.add_argument(
+        "--warm",
+        action="append",
+        metavar="CIRCUIT",
+        help="pre-load a circuit at start (engine built; the sharded "
+        "pool is warmed too when --jobs is set); repeatable",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="consecutive sharded failures before the circuit breaker "
+        "trips to the in-process backend",
+    )
+    serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long a tripped breaker stays open before a half-open "
+        "probe may try the pool again",
+    )
+
     commands.add_parser("list", help="list embedded circuits and profiles")
     return parser
 
@@ -567,6 +647,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(report.format())
         return 0
 
+    if args.command == "serve":
+        return _run_serve(args)
+
     if args.command == "list":
         print("library circuits: " + ", ".join(list_circuits()))
         print("ISCAS'89 profiles: " + ", ".join(sorted(ISCAS89_PROFILES)))
@@ -574,6 +657,44 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.resilience import FaultPolicy
+    from repro.errors import ConfigError
+    from repro.server.service import AnalysisService
+
+    if args.workers < 1:
+        raise ConfigError(f"--workers must be >= 1, got {args.workers}")
+    if args.max_queue < 1:
+        raise ConfigError(f"--max-queue must be >= 1, got {args.max_queue}")
+    if args.request_deadline is not None:
+        # Same validation path the sharded policy uses: rejects <= 0.
+        FaultPolicy.from_knobs(deadline=args.request_deadline)
+    service = AnalysisService(
+        args.socket,
+        max_queue=args.max_queue,
+        workers=args.workers,
+        client_inflight=args.client_inflight,
+        jobs=args.jobs,
+        default_deadline=args.request_deadline,
+        max_engines=args.max_engines,
+        store_bytes=args.store_mb * 1024 * 1024,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        warm=tuple(args.warm or ()),
+    )
+
+    async def _serve() -> None:
+        await service.start()
+        print(f"serving on {service.socket_path}", flush=True)
+        await service.run()
+        print("drained", flush=True)
+
+    asyncio.run(_serve())
+    return 0
 
 
 if __name__ == "__main__":

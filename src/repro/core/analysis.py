@@ -96,6 +96,32 @@ class CircuitSERReport:
         lines += [entry.format_row() for entry in self.ranked(top)]
         return "\n".join(lines)
 
+    def to_dict(self, top: int | None = None) -> dict:
+        """JSON-ready view of the report (ranked, optionally truncated).
+
+        Floats pass through untouched — ``repr`` round-trips them exactly
+        through JSON, so a report served over the analysis-service wire
+        is numerically identical to one assembled in-process.
+        """
+        return {
+            "circuit": self.circuit_name,
+            "sites": len(self.nodes),
+            "total_fit": self.total_fit,
+            "nodes": [
+                {
+                    "node": entry.node,
+                    "gate_type": entry.gate_type,
+                    "r_seu": entry.r_seu,
+                    "p_latched": entry.p_latched,
+                    "p_sensitized": entry.p_sensitized,
+                    "ser": entry.ser,
+                    "fit": entry.fit,
+                    "cone_size": entry.cone_size,
+                }
+                for entry in self.ranked(top)
+            ],
+        }
+
 
 class SERAnalyzer:
     """Full-circuit SER analysis on top of an :class:`EPPEngine`.

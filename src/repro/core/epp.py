@@ -23,6 +23,7 @@ evaluations per site instead.
 from __future__ import annotations
 
 import random
+import threading
 from collections.abc import Mapping, Sequence
 from repro.errors import AnalysisError
 from repro.core.cone import ConeExtractor, OnPathCone
@@ -257,6 +258,15 @@ class EPPEngine:
                 self._rule_by_gate[node_id] = _RULES_BY_CODE[code]
         self._vector_backend = None
         self._sharded_backend = None
+        # Serializes every sweep that touches the engine's shared mutable
+        # state: the scalar scratch arrays above, the cone cache, and the
+        # vector/sharded backend cache slots.  The analysis service
+        # coalesces concurrent requests over one engine from a thread
+        # pool; without this lock two overlapping pack_sites calls would
+        # interleave generation stamps and chunk buffers.  Reentrant
+        # because the vector backend's scalar fallback re-enters
+        # ``node_epp`` from inside a locked sweep.
+        self._sweep_lock = threading.RLock()
 
     # ------------------------------------------------------------- staleness
 
@@ -309,37 +319,40 @@ class EPPEngine:
     def node_epp(self, site: int | str) -> EPPResult:
         """Full EPP analysis of one error site (per-sink vectors included)."""
         self._check_current()
-        site_id = self._cones.resolve(site)
-        cone = self._cones.cone(site_id)
-        self._propagate(site_id, cone)
-        compiled = self.compiled
-        sink_values: dict[str, EPPValue] = {}
-        error_probs: list[float] = []
-        for sink in cone.sinks:
-            value = EPPValue.clamped(
-                self._pa[sink], self._pa_bar[sink], self._p0[sink], self._p1[sink]
+        with self._sweep_lock:
+            site_id = self._cones.resolve(site)
+            cone = self._cones.cone(site_id)
+            self._propagate(site_id, cone)
+            compiled = self.compiled
+            sink_values: dict[str, EPPValue] = {}
+            error_probs: list[float] = []
+            for sink in cone.sinks:
+                value = EPPValue.clamped(
+                    self._pa[sink], self._pa_bar[sink],
+                    self._p0[sink], self._p1[sink],
+                )
+                sink_values[compiled.names[sink]] = value
+                error_probs.append(value.error_probability)
+            return EPPResult(
+                site=compiled.names[site_id],
+                p_sensitized=combine_sensitization(error_probs),
+                sink_values=sink_values,
+                cone_size=cone.size,
             )
-            sink_values[compiled.names[sink]] = value
-            error_probs.append(value.error_probability)
-        return EPPResult(
-            site=compiled.names[site_id],
-            p_sensitized=combine_sensitization(error_probs),
-            sink_values=sink_values,
-            cone_size=cone.size,
-        )
 
     def p_sensitized(self, site: int | str) -> float:
         """``P_sensitized`` only — the fast path used by the benchmarks."""
         self._check_current()
-        site_id = self._cones.resolve(site)
-        cone = self._cones.cone(site_id)
-        self._propagate(site_id, cone)
-        pa = self._pa
-        pa_bar = self._pa_bar
-        survive_none = 1.0
-        for sink in cone.sinks:
-            survive_none *= 1.0 - (pa[sink] + pa_bar[sink])
-        return 1.0 - survive_none
+        with self._sweep_lock:
+            site_id = self._cones.resolve(site)
+            cone = self._cones.cone(site_id)
+            self._propagate(site_id, cone)
+            pa = self._pa
+            pa_bar = self._pa_bar
+            survive_none = 1.0
+            for sink in cone.sinks:
+                survive_none *= 1.0 - (pa[sink] + pa_bar[sink])
+            return 1.0 - survive_none
 
     def _propagate(self, site_id: int, cone: OnPathCone) -> None:
         """One topological pass over the cone (paper step 3)."""
@@ -595,22 +608,23 @@ class EPPEngine:
         on_failure: str | None = None,
         deadline: float | None = None,
     ) -> dict[str, EPPResult]:
-        if backend == "sharded":
-            site_ids = [self._cones.resolve(site) for site in sites]
-            return self._get_sharded_backend(
-                jobs, batch_size, prune, schedule, cells, chunking, rows,
-                retries, shard_timeout, on_failure, deadline,
-            ).analyze_sites(site_ids)
-        if backend == "vector":
-            site_ids = [self._cones.resolve(site) for site in sites]
-            return self._get_vector_backend(
-                batch_size, prune, schedule, cells, chunking, rows
-            ).analyze_sites(site_ids)
-        results: dict[str, EPPResult] = {}
-        for site in sites:
-            result = self.node_epp(site)
-            results[result.site] = result
-        return results
+        with self._sweep_lock:
+            if backend == "sharded":
+                site_ids = [self._cones.resolve(site) for site in sites]
+                return self._get_sharded_backend(
+                    jobs, batch_size, prune, schedule, cells, chunking, rows,
+                    retries, shard_timeout, on_failure, deadline,
+                ).analyze_sites(site_ids)
+            if backend == "vector":
+                site_ids = [self._cones.resolve(site) for site in sites]
+                return self._get_vector_backend(
+                    batch_size, prune, schedule, cells, chunking, rows
+                ).analyze_sites(site_ids)
+            results: dict[str, EPPResult] = {}
+            for site in sites:
+                result = self.node_epp(site)
+                results[result.site] = result
+            return results
 
     def analyze(
         self,
@@ -788,6 +802,11 @@ class EPPEngine:
         cells: str | None = None,
         chunking: str | None = None,
         rows: str | None = None,
+        retries: int | None = None,
+        shard_timeout: float | None = None,
+        on_failure: str | None = None,
+        deadline: float | None = None,
+        fault_injector=None,
     ):
         """A full analysis packaged for incremental what-if edits.
 
@@ -800,13 +819,21 @@ class EPPEngine:
         are exactly ``pack_sites`` output, so a later delta's splice is
         ``np.array_equal``-identical to re-running this snapshot on the
         edited circuit.
+
+        The resilience knobs (``retries``/``shard_timeout``/
+        ``on_failure``/``deadline``) apply to the sharded backend only,
+        exactly as in :meth:`analyze` — the analysis service uses
+        ``deadline`` to push a request's remaining budget into the sweep
+        itself.
         """
         from repro.core.epp_delta import snapshot as _snapshot
 
         return _snapshot(
             self, sites=sites, backend=backend, batch_size=batch_size,
             jobs=jobs, prune=prune, schedule=schedule, cells=cells,
-            chunking=chunking, rows=rows,
+            chunking=chunking, rows=rows, retries=retries,
+            shard_timeout=shard_timeout, on_failure=on_failure,
+            deadline=deadline, fault_injector=fault_injector,
         )
 
     def analyze_delta(self, prev, edits, sites: Sequence[int | str] | None = None, **knobs):

@@ -66,10 +66,23 @@ __all__ = [
     "snapshot",
 ]
 
-#: The analysis knobs a snapshot records and a delta may override.
+#: The analysis knobs a snapshot records and a delta may override.  The
+#: resilience knobs (sharded backend only, like ``jobs``) let a caller —
+#: the analysis service most of all — propagate a request's end-to-end
+#: deadline into :class:`~repro.core.resilience.FaultPolicy` for the
+#: sweep itself, not just the boundaries around it.
 KNOB_KEYS = (
     "backend", "batch_size", "jobs", "prune", "schedule", "cells",
-    "chunking", "rows",
+    "chunking", "rows", "retries", "shard_timeout", "on_failure", "deadline",
+    "fault_injector",
+)
+
+#: The subset of :data:`KNOB_KEYS` that only the sharded backend honors.
+#: ``fault_injector`` is the chaos harness's hook
+#: (:class:`repro.testing.faults.FaultInjector`) — testing only, never
+#: accepted over the analysis-service wire.
+RESILIENCE_KNOB_KEYS = (
+    "retries", "shard_timeout", "on_failure", "deadline", "fault_injector",
 )
 
 
@@ -381,17 +394,18 @@ class DeltaAnalysis:
         truth for splicing either way.
         """
         if self._results is None:
-            backend = self.engine.vector_backend(
-                batch_size=self.knobs.get("batch_size"),
-                prune=self.knobs.get("prune"),
-                schedule=self.knobs.get("schedule"),
-                cells=self.knobs.get("cells"),
-                chunking=self.knobs.get("chunking"),
-                rows=self.knobs.get("rows"),
-            )
-            collected: dict = {}
-            backend.materialize(self.site_ids, self.packed, collected)
-            self._results = collected
+            with self.engine._sweep_lock:
+                backend = self.engine.vector_backend(
+                    batch_size=self.knobs.get("batch_size"),
+                    prune=self.knobs.get("prune"),
+                    schedule=self.knobs.get("schedule"),
+                    cells=self.knobs.get("cells"),
+                    chunking=self.knobs.get("chunking"),
+                    rows=self.knobs.get("rows"),
+                )
+                collected: dict = {}
+                backend.materialize(self.site_ids, self.packed, collected)
+                self._results = collected
         return self._results
 
     def apply(self, edits: EditSet, sites=None, **knobs) -> "DeltaAnalysis":
@@ -440,10 +454,23 @@ def _pack_backend(engine: EPPEngine, knobs: Mapping):
             cells=knobs.get("cells"),
             chunking=knobs.get("chunking"),
             rows=knobs.get("rows"),
+            retries=knobs.get("retries"),
+            shard_timeout=knobs.get("shard_timeout"),
+            on_failure=knobs.get("on_failure"),
+            deadline=knobs.get("deadline"),
+            fault_injector=knobs.get("fault_injector"),
         )
     if jobs is not None:
         raise AnalysisError(
             f"jobs= applies to the 'sharded' backend only, got backend={backend!r}"
+        )
+    requested = [key for key in RESILIENCE_KNOB_KEYS if knobs.get(key) is not None]
+    if requested:
+        # Mirror analyze()'s guard: a retry budget or deadline on the
+        # in-process path would be silently meaningless.
+        raise AnalysisError(
+            f"{'/'.join(requested)} apply to the 'sharded' backend only, "
+            f"got backend={backend!r}"
         )
     return engine.vector_backend(
         batch_size=knobs.get("batch_size"),
@@ -473,15 +500,22 @@ def snapshot(
     """A full packed analysis plus the context for incremental deltas."""
     engine._check_current()
     resolved = _normalize_knobs(knobs)
-    backend = _pack_backend(engine, resolved)
-    site_names, defaulted = _resolve_site_names(engine, sites)
-    site_ids = [engine._cones.resolve(name) for name in site_names]
+    # The sweep lock serializes the engine's shared scratch — backend
+    # cache slots, cone cache, chunk-width state matrices — so the
+    # service's coalescing layer can snapshot one engine from several
+    # threads without corrupting a sweep in flight.  Reentrant: the
+    # vector backend's scalar fallback re-enters through node_epp.
+    with engine._sweep_lock:
+        backend = _pack_backend(engine, resolved)
+        site_names, defaulted = _resolve_site_names(engine, sites)
+        site_ids = [engine._cones.resolve(name) for name in site_names]
+        packed = backend.pack_sites(site_ids)
 
     delta = DeltaAnalysis()
     delta.engine = engine
     delta.site_names = site_names
     delta.site_ids = site_ids
-    delta.packed = backend.pack_sites(site_ids)
+    delta.packed = packed
     delta.default_sites = defaulted
     delta.user_sp = engine._user_sp
     delta.sp_method = engine._sp_method
@@ -705,7 +739,8 @@ def analyze_delta(
     clean_positions = np.nonzero(~dirty_flags)[0]
     dirty_ids = [site_ids[int(position)] for position in dirty_positions]
     if dirty_ids:
-        fresh = _pack_backend(new_engine, merged_knobs).pack_sites(dirty_ids)
+        with new_engine._sweep_lock:
+            fresh = _pack_backend(new_engine, merged_knobs).pack_sites(dirty_ids)
     else:
         fresh = _empty_packed()
 

@@ -81,6 +81,7 @@ import itertools
 import multiprocessing
 import os
 import pickle
+import threading
 import time
 from collections.abc import Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -677,6 +678,13 @@ class ShardedEPPEngine:
         self._mp_context = mp_context
         self._pool: ProcessPoolExecutor | None = None
         self._payload: bytes | None = None
+        #: Serializes :meth:`close` against itself: the server's drain
+        #: path, a context-manager exit and ``__del__`` can all race to
+        #: tear the same engine down, and an unserialized double-close
+        #: could drain the same in-flight futures twice — unlinking each
+        #: shared-memory segment twice (the second unlink of a reused
+        #: name could hit a *new* segment).
+        self._close_lock = threading.Lock()
         #: Shard futures submitted but not yet delivered to a consumer.
         #: Tracked engine-wide (not just inside the ``_map_shards``
         #: generator) so :meth:`close` can drain undelivered shared-memory
@@ -940,15 +948,22 @@ class ShardedEPPEngine:
         :class:`~repro.core.analysis.SERAnalyzer` reclaims the full
         footprint after ``analyze()`` (buffers rebuild lazily on the next
         bulk call).
+
+        Safe to call repeatedly and from concurrent threads: the server's
+        drain path, a ``with``-block exit and ``__del__`` may all reach
+        here, and the whole teardown runs under a lock so two closers can
+        never drain the same in-flight futures (and unlink the same
+        ``/dev/shm`` segments) twice.
         """
-        self._drain_inflight_strict()
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        if self._degraded_backend is not None:
-            self._degraded_backend.release_buffers()
-            self._degraded_backend = None
-        self.local.release_buffers()
+        with self._close_lock:
+            self._drain_inflight_strict()
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            if self._degraded_backend is not None:
+                self._degraded_backend.release_buffers()
+                self._degraded_backend = None
+            self.local.release_buffers()
 
     def __enter__(self) -> "ShardedEPPEngine":
         return self
@@ -958,9 +973,17 @@ class ShardedEPPEngine:
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:
-            self._drain_inflight_best_effort()
-            if self._pool is not None:
-                self._pool.shutdown(wait=False)
+            # Never *block* on the close lock from a finalizer — but if a
+            # concurrent close() holds it, that thread owns the teardown
+            # and this one must not race it through the same futures.
+            if not self._close_lock.acquire(blocking=False):
+                return
+            try:
+                self._drain_inflight_best_effort()
+                if self._pool is not None:
+                    self._pool.shutdown(wait=False)
+            finally:
+                self._close_lock.release()
         except BaseException:
             pass
 

@@ -36,7 +36,7 @@ import random
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, ConfigError
 
 __all__ = [
     "Deadline",
@@ -134,7 +134,25 @@ class FaultPolicy:
         The single resolution point for ``EPPEngine.analyze`` /
         ``SERAnalyzer`` / the CLI: ``None`` means "the default", so the
         engine-level backend cache can compare policies structurally.
+
+        Non-positive timeouts are rejected *here*, with
+        :class:`~repro.errors.ConfigError` naming the user-facing knob:
+        these values arrive from ``--shard-timeout``/``--request-deadline``
+        style flags, and before this check a bad value would surface deep
+        in the shard scheduler as an opaque :class:`AnalysisError`.
         """
+        if shard_timeout is not None and float(shard_timeout) <= 0.0:
+            raise ConfigError(
+                f"--shard-timeout must be > 0 seconds, got {shard_timeout} "
+                "(omit the flag to disable the per-shard deadline)"
+            )
+        if deadline is not None and float(deadline) <= 0.0:
+            raise ConfigError(
+                f"--request-deadline must be > 0 seconds, got {deadline} "
+                "(omit the flag to disable the global deadline)"
+            )
+        if retries is not None and int(retries) < 0:
+            raise ConfigError(f"--retries must be >= 0, got {retries}")
         kwargs = {}
         if retries is not None:
             kwargs["retries"] = int(retries)
@@ -197,10 +215,23 @@ class ShardOutcome:
 
 @dataclass
 class Deadline:
-    """Monotonic countdown: ``None`` budget means "never expires"."""
+    """Monotonic countdown: ``None`` budget means "never expires".
+
+    A negative budget is clamped to ``0.0`` at construction — the
+    countdown is *already expired*, which is the only coherent reading
+    of "you had less than no time".  Before the clamp a negative budget
+    leaked into ``started + budget - now`` arithmetic and every wait
+    computed from :meth:`remaining` still behaved, but consumers doing
+    their own ``budget - elapsed`` math (the server's queue accounting)
+    saw nonsense negatives.
+    """
 
     budget: float | None
     started: float = field(default_factory=time.monotonic)
+
+    def __post_init__(self):
+        if self.budget is not None and self.budget < 0.0:
+            self.budget = 0.0
 
     def remaining(self) -> float | None:
         """Seconds left (clamped at 0), or ``None`` when unbounded."""

@@ -153,3 +153,58 @@ class RetryBudgetExceededError(ResilienceError):
 
 class ConfigError(ReproError):
     """Invalid model or experiment configuration values."""
+
+
+class ServerError(ReproError):
+    """Base class for analysis-service failures (:mod:`repro.server`).
+
+    Every subclass carries ``retriable`` — whether a client that retries
+    the same request (after ``retry_after`` seconds, when given) can
+    expect it to succeed — so the wire-protocol error taxonomy is
+    decided where the error is raised, not reverse-engineered from
+    messages.  Library errors that are *not* ``ServerError`` map through
+    :func:`repro.server.protocol.error_info` instead (resilience errors
+    are retriable, config/netlist/analysis errors are terminal).
+    """
+
+    #: Whether retrying the identical request can succeed.
+    retriable: bool = False
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class QueueFullError(ServerError):
+    """The service shed this request: the admission queue (or the
+    client's in-flight cap) is at capacity.
+
+    ``retry_after`` is the server's estimate of when capacity frees up —
+    the load-shedding contract: the work was *not* started.
+    """
+
+    retriable = True
+
+
+class DeadlineExceededError(ServerError):
+    """The request's end-to-end deadline expired before a result.
+
+    Terminal for *this* request by construction — the caller already
+    gave up — though a client may of course submit a fresh request with
+    a larger budget.  Raised at the service's admission, queue-dequeue,
+    plan-build and merge boundaries; inside a sharded sweep the same
+    budget travels as ``FaultPolicy.deadline`` and surfaces as
+    :class:`ShardTimeoutError`, which the service translates back.
+    """
+
+    retriable = False
+
+
+class ServiceUnavailableError(ServerError):
+    """The service is draining (SIGTERM received) or already closed.
+
+    Retriable against a *replacement* instance: in-flight requests are
+    finished during a drain, queued-but-unstarted ones get this.
+    """
+
+    retriable = True

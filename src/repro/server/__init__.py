@@ -1,0 +1,24 @@
+"""SER as a service: the long-lived analysis server (PR 8).
+
+* :mod:`repro.server.service` — :class:`AnalysisService`: admission
+  control, end-to-end deadlines, request coalescing, circuit breaker,
+  graceful drain.
+* :mod:`repro.server.artifacts` — :class:`ArtifactStore`:
+  content-addressed, checksummed, mutation-token-aware cache.
+* :mod:`repro.server.protocol` — the JSON-lines wire protocol and the
+  retriable/terminal error taxonomy.
+* :mod:`repro.server.client` — :class:`ServeClient`, the blocking
+  client used by tests, benchmarks and scripts.
+"""
+
+from repro.server.artifacts import ArtifactStore, digest_of
+from repro.server.client import ServeClient
+from repro.server.service import AnalysisService, CircuitBreaker
+
+__all__ = [
+    "AnalysisService",
+    "ArtifactStore",
+    "CircuitBreaker",
+    "ServeClient",
+    "digest_of",
+]

@@ -1,0 +1,182 @@
+"""Content-addressed artifact store with integrity checking.
+
+The analysis service amortizes work across requests by caching what it
+builds: parsed circuits, resolved SP maps, and finished analysis
+payloads.  A long-lived cache is a liability unless it defends itself,
+so every entry here is stored as *verified bytes*:
+
+* **Content addressing** — keys are blake2b digests of the request
+  content (:func:`digest_of`), so two clients asking for the same
+  circuit + knobs share one entry and a changed request can never alias
+  a stale one.
+* **Integrity checksums** — each entry keeps the blake2b digest of its
+  pickled payload, recomputed on every load.  A mismatch (bit rot, a
+  buggy writer, the chaos harness flipping bytes) quarantines the entry:
+  it is dropped, the key is recorded, and the caller recomputes from
+  scratch — a corrupt artifact can degrade latency, never correctness.
+* **Mutation tokens** — entries derived from a live
+  :class:`~repro.netlist.circuit.Circuit` record its ``mutation_token``
+  (the PR-7 staleness guard); a lookup presenting a different token
+  drops the entry instead of serving pre-edit results.
+* **Bounded LRU eviction** — the store holds at most ``max_bytes`` of
+  payload; least-recently-used entries are evicted on insert, and an
+  object bigger than the whole budget is simply not stored.
+
+The store is thread-safe: the service calls it from worker threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import threading
+from collections import OrderedDict
+
+__all__ = ["ArtifactStore", "digest_of"]
+
+
+def digest_of(*parts) -> str:
+    """A stable blake2b content digest over heterogeneous parts.
+
+    Each part is serialized to its ``repr`` (bytes pass through raw) and
+    length-prefixed before hashing, so ``("ab", "c")`` and ``("a", "bc")``
+    never collide.  ``repr`` keeps the digest exact for floats and stable
+    for the JSON-shaped values the wire protocol produces (strings,
+    numbers, lists, dicts round-tripped by ``json``).
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        blob = part if isinstance(part, bytes) else repr(part).encode()
+        h.update(str(len(blob)).encode())
+        h.update(b":")
+        h.update(blob)
+    return h.hexdigest()
+
+
+def _checksum(payload: bytes) -> str:
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+class _Entry:
+    __slots__ = ("payload", "checksum", "nbytes", "token")
+
+    def __init__(self, payload: bytes, token):
+        self.payload = payload
+        self.checksum = _checksum(payload)
+        self.nbytes = len(payload)
+        self.token = token
+
+
+class ArtifactStore:
+    """Bounded, checksummed, token-aware pickle cache.
+
+    Parameters
+    ----------
+    max_bytes:
+        Total payload budget.  Inserts evict least-recently-used entries
+        until the new entry fits; an entry larger than the whole budget
+        is rejected (counted in ``stats()["oversize"]``).
+    """
+
+    def __init__(self, max_bytes: int = 64 * 1024 * 1024):
+        self.max_bytes = int(max_bytes)
+        self._entries: OrderedDict[tuple[str, str], _Entry] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        #: Keys dropped on checksum mismatch, kept for inspection until
+        #: a fresh put() rehabilitates them.
+        self.quarantined: set[tuple[str, str]] = set()
+        self._stats = {
+            "hits": 0, "misses": 0, "stale": 0, "corrupt": 0,
+            "evictions": 0, "oversize": 0, "puts": 0,
+        }
+
+    # ----------------------------------------------------------------- api
+
+    def put(self, kind: str, key: str, obj, token=None) -> bool:
+        """Store ``obj`` under ``(kind, key)``; returns False if oversize.
+
+        A successful put rehabilitates a quarantined key — the fresh
+        payload has a fresh checksum, so the corrupt bytes are gone.
+        """
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        entry = _Entry(payload, token)
+        with self._lock:
+            self._stats["puts"] += 1
+            if entry.nbytes > self.max_bytes:
+                self._stats["oversize"] += 1
+                return False
+            self._drop((kind, key))
+            while self._bytes + entry.nbytes > self.max_bytes and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self._stats["evictions"] += 1
+            self._entries[(kind, key)] = entry
+            self._bytes += entry.nbytes
+            self.quarantined.discard((kind, key))
+        return True
+
+    def get(self, kind: str, key: str, token=None):
+        """Load ``(kind, key)`` or ``None`` (miss / stale / corrupt).
+
+        ``token`` is compared against the token recorded at put time;
+        a mismatch means the source circuit was mutated since — the
+        entry is dropped and the lookup misses (never serve stale).
+        A checksum mismatch quarantines the entry the same way.
+        """
+        with self._lock:
+            entry = self._entries.get((kind, key))
+            if entry is None:
+                self._stats["misses"] += 1
+                return None
+            if entry.token != token:
+                self._drop((kind, key))
+                self._stats["stale"] += 1
+                return None
+            if _checksum(entry.payload) != entry.checksum:
+                self._drop((kind, key))
+                self.quarantined.add((kind, key))
+                self._stats["corrupt"] += 1
+                return None
+            self._entries.move_to_end((kind, key))
+            self._stats["hits"] += 1
+            payload = entry.payload
+        return pickle.loads(payload)
+
+    def corrupt(self, kind: str, key: str) -> bool:
+        """Flip a byte of a stored payload (chaos-harness hook).
+
+        Returns True if the entry existed.  The next :meth:`get` of the
+        key detects the mismatch and quarantines it — this is how the
+        service chaos suite pins the integrity path end to end.
+        """
+        with self._lock:
+            entry = self._entries.get((kind, key))
+            if entry is None:
+                return False
+            mutated = bytearray(entry.payload)
+            mutated[len(mutated) // 2] ^= 0xFF
+            entry.payload = bytes(mutated)
+        return True
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                **self._stats,
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "quarantined": len(self.quarantined),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    # ------------------------------------------------------------ internals
+
+    def _drop(self, full_key: tuple[str, str]) -> None:
+        entry = self._entries.pop(full_key, None)
+        if entry is not None:
+            self._bytes -= entry.nbytes

@@ -1,0 +1,181 @@
+"""Blocking client for the analysis service (tests, benchmarks, scripts).
+
+:class:`ServeClient` speaks the JSON-lines protocol over the unix
+socket.  Error responses re-raise as the *typed* exceptions of the wire
+taxonomy — a caller catches :class:`~repro.errors.QueueFullError` and
+backs off for ``retry_after`` seconds, exactly as it would in-process::
+
+    with ServeClient("/tmp/repro.sock") as client:
+        result = client.analyze(circuit="c432", fit=True)
+        delta = client.analyze_delta(
+            circuit="c432", edits=[["harden", "g123", 10.0]]
+        )
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ReproError,
+    ServiceUnavailableError,
+)
+
+__all__ = ["ServeClient", "ServeRequestError"]
+
+#: Wire error type -> local exception class for re-raising.
+_ERROR_TYPES = {
+    "QueueFullError": QueueFullError,
+    "DeadlineExceededError": DeadlineExceededError,
+    "ServiceUnavailableError": ServiceUnavailableError,
+}
+
+
+class ServeRequestError(ReproError):
+    """A typed error response that is not a :class:`ServerError` subclass.
+
+    Carries the wire taxonomy so callers still branch on retriability
+    without string matching.
+    """
+
+    def __init__(self, info: dict):
+        self.type = info.get("type", "InternalError")
+        self.retriable = bool(info.get("retriable", False))
+        self.retry_after = info.get("retry_after")
+        super().__init__(f"{self.type}: {info.get('message', '')}")
+
+
+def _raise_for(info: dict):
+    cls = _ERROR_TYPES.get(info.get("type"))
+    if cls is not None:
+        exc = cls(info.get("message", ""), retry_after=info.get("retry_after"))
+        raise exc
+    raise ServeRequestError(info)
+
+
+class ServeClient:
+    """One connection to an :class:`~repro.server.service.AnalysisService`.
+
+    ``timeout`` is the *socket* timeout (transport stalls); request
+    deadlines are a separate, server-enforced concept passed per call.
+    """
+
+    def __init__(self, socket_path, timeout: float = 120.0, client_id: str = "anon"):
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+        self.client_id = client_id
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def connect(self) -> "ServeClient":
+        if self._sock is None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+            self._sock = sock
+            self._file = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- raw I/O
+
+    def request(self, payload: dict) -> dict:
+        """Send one request object, return the raw response object."""
+        self.connect()
+        line = json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+        self._sock.sendall(line)
+        reply = self._file.readline()
+        if not reply:
+            raise ServiceUnavailableError(
+                "connection closed by the analysis service", retry_after=1.0
+            )
+        return json.loads(reply)
+
+    def call(self, payload: dict) -> dict:
+        """``request`` + raise typed errors; returns the full ok response."""
+        response = self.request(payload)
+        if not response.get("ok"):
+            _raise_for(response.get("error") or {})
+        return response
+
+    # ------------------------------------------------------------------ ops
+
+    def ping(self) -> dict:
+        return self.call({"op": "ping"})["result"]
+
+    def stats(self) -> dict:
+        return self.call({"op": "stats"})["result"]
+
+    def analyze(
+        self,
+        bench: str | None = None,
+        circuit: str | None = None,
+        sites=None,
+        knobs: dict | None = None,
+        deadline: float | None = None,
+        fit: bool = False,
+        top: int | None = None,
+        coalesce: bool = True,
+    ) -> dict:
+        """Full sweep; returns the ok response (``result`` + meta)."""
+        return self.call({
+            "op": "analyze",
+            "bench": bench,
+            "circuit": circuit,
+            "sites": sites,
+            "knobs": knobs or {},
+            "deadline": deadline,
+            "client": self.client_id,
+            "fit": fit,
+            "top": top,
+            "coalesce": coalesce,
+        })
+
+    def analyze_delta(
+        self,
+        edits: list,
+        bench: str | None = None,
+        circuit: str | None = None,
+        sites=None,
+        knobs: dict | None = None,
+        deadline: float | None = None,
+        fit: bool = False,
+        top: int | None = None,
+    ) -> dict:
+        """Incremental what-if step on the server-held chain."""
+        return self.call({
+            "op": "analyze_delta",
+            "bench": bench,
+            "circuit": circuit,
+            "sites": sites,
+            "knobs": knobs or {},
+            "deadline": deadline,
+            "client": self.client_id,
+            "fit": fit,
+            "top": top,
+            "edits": edits,
+        })

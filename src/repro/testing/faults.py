@@ -35,7 +35,15 @@ from dataclasses import dataclass
 
 from repro.errors import AnalysisError, TransportError
 
-__all__ = ["FAULT_KINDS", "FaultInjector", "FaultSpec", "InjectedFault"]
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "SERVICE_FAULT_KINDS",
+    "ServiceFaultInjector",
+    "ServiceFaultSpec",
+]
 
 #: The failure modes the harness can stage, and the stage each fires at.
 FAULT_KINDS = ("crash", "stall", "kernel_error", "shm_poison")
@@ -152,4 +160,110 @@ class FaultInjector:
                     "injected shm export failure",
                     attempts=attempt,
                     worker_pid=os.getpid(),
+                )
+
+
+# --------------------------------------------------------------------------
+# Service-level chaos (PR 8): faults staged inside the analysis service.
+# --------------------------------------------------------------------------
+
+#: The service-level failure modes:
+#:
+#: * ``corrupt_artifact`` — flip a byte of the request's artifact-store
+#:   entry before the lookup, so the integrity check must quarantine it
+#:   and the service must recompute (pinned ``np.array_equal`` to clean).
+#: * ``stall_request`` — sleep inside the worker thread before the sweep
+#:   (the slow-backend shape, for deadline and queue-saturation tests).
+#: * ``worker_error`` — raise a synthetic
+#:   :class:`~repro.errors.WorkerCrashError` before the sweep (the
+#:   mid-request pool-failure shape, driving the circuit breaker without
+#:   needing a live pool; pair with :class:`FaultInjector` via
+#:   ``AnalysisService(engine_faults=...)`` for *real* worker crashes).
+SERVICE_FAULT_KINDS = ("corrupt_artifact", "stall_request", "worker_error")
+
+
+@dataclass(frozen=True)
+class ServiceFaultSpec:
+    """One staged service failure.
+
+    ``op`` matches the request op (``None``: any); ``request`` matches
+    the service's 0-based admitted-request index (``None``: any).
+    ``probability < 1`` is a seeded per-request coin flip, exactly like
+    :class:`FaultSpec` — deterministic chaos schedules.
+    """
+
+    kind: str
+    op: str | None = None
+    request: int | None = None
+    probability: float = 1.0
+    stall_s: float = 0.2
+
+    def __post_init__(self):
+        if self.kind not in SERVICE_FAULT_KINDS:
+            raise AnalysisError(
+                f"unknown service fault kind {self.kind!r}; "
+                f"choose from {SERVICE_FAULT_KINDS}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise AnalysisError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.stall_s < 0.0:
+            raise AnalysisError(f"stall_s must be >= 0, got {self.stall_s}")
+
+
+@dataclass(frozen=True)
+class ServiceFaultInjector:
+    """A seeded schedule of service-level failures.
+
+    The :class:`~repro.server.service.AnalysisService` consults it per
+    admitted request: :meth:`apply` stages the in-band faults (stall,
+    synthetic worker error) at the start of request execution, and
+    :meth:`should` answers side-channel questions ("corrupt this
+    request's artifact entry?") the service acts on itself.  Stateless
+    and deterministic, like :class:`FaultInjector`: firing is a pure
+    function of ``(seed, spec, op, request index)``.
+    """
+
+    specs: tuple[ServiceFaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def _fires(self, spec: ServiceFaultSpec, op: str, index: int) -> bool:
+        if spec.op is not None and spec.op != op:
+            return False
+        if spec.request is not None and spec.request != index:
+            return False
+        if spec.probability >= 1.0:
+            return True
+        rng = random.Random(f"{self.seed}:{spec.kind}:{op}:{index}")
+        return rng.random() < spec.probability
+
+    def matching(self, op: str, index: int):
+        return [spec for spec in self.specs if self._fires(spec, op, index)]
+
+    def should(self, kind: str, op: str, index: int) -> bool:
+        """Does a ``kind`` spec fire for this request? (side-channel)"""
+        return any(spec.kind == kind for spec in self.matching(op, index))
+
+    def apply(self, stage: str, op: str, index: int) -> None:
+        """Stage the in-band faults for this request (worker thread).
+
+        ``stall_request`` sleeps, ``worker_error`` raises; the
+        side-channel ``corrupt_artifact`` is queried via :meth:`should`
+        instead.  ``stage`` is recorded for symmetry with
+        :meth:`FaultInjector.fire` (currently only ``"request"``).
+        """
+        del stage
+        for spec in self.matching(op, index):
+            if spec.kind == "stall_request":
+                time.sleep(spec.stall_s)
+            elif spec.kind == "worker_error":
+                from repro.errors import WorkerCrashError
+
+                raise WorkerCrashError(
+                    f"injected service worker fault (request {index})",
+                    attempts=1,
                 )

@@ -503,3 +503,126 @@ class TestSERAnalyzerDelta:
         report = analyzer.report_for(delta)
         rebuilt = SERAnalyzer(delta.engine.circuit).analyze()
         assert report.total_fit == pytest.approx(rebuilt.total_fit)
+
+
+# ------------------------------------------------------------- thread safety
+
+
+class TestConcurrentSweeps:
+    """The engine sweep lock (PR 8): one engine, many threads.
+
+    The analysis service runs sweeps from worker threads against shared
+    per-circuit engines, so concurrent ``snapshot()`` and
+    ``analyze_delta()`` calls must serialize on the engine's internal
+    scratch (scalar caches, cone caches, cached backend slots) and every
+    thread must still get the bit-identical answer.
+    """
+
+    def test_concurrent_snapshots_are_identical(self):
+        import threading
+
+        engine = EPPEngine(random_combinational(8, 180, seed=11))
+        reference = engine.snapshot()
+        barrier = threading.Barrier(8)
+        results: list = [None] * 8
+        errors: list = []
+
+        def sweep(slot):
+            try:
+                barrier.wait(timeout=10)
+                results[slot] = engine.snapshot()
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=sweep, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        for snap in results:
+            assert snap is not None
+            assert_bit_identical(snap, reference)
+
+    def test_concurrent_deltas_from_shared_base(self):
+        import threading
+
+        engine = EPPEngine(random_combinational(8, 180, seed=12))
+        base = engine.snapshot()
+        gates = [name for name, _ in zip(engine.circuit.gates, range(6))]
+        # Sequential references first: each edit set applied to the base.
+        references = [
+            engine.analyze_delta(base, EditSet().harden(name, 10.0))
+            for name in gates
+        ]
+        barrier = threading.Barrier(len(gates))
+        results: list = [None] * len(gates)
+        errors: list = []
+
+        def what_if(slot, name):
+            try:
+                barrier.wait(timeout=10)
+                results[slot] = engine.analyze_delta(
+                    base, EditSet().harden(name, 10.0)
+                )
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=what_if, args=(i, name))
+            for i, name in enumerate(gates)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        for got, want in zip(results, references):
+            assert got is not None
+            assert got.site_names == want.site_names
+            assert np.array_equal(got.p_sensitized, want.p_sensitized)
+
+    def test_mixed_snapshot_and_delta_threads(self):
+        import threading
+
+        engine = EPPEngine(s27())
+        base = engine.snapshot()
+        snap_ref = np.asarray(base.p_sensitized)
+        delta_ref = np.asarray(
+            engine.analyze_delta(base, EditSet().harden("G10", 10.0)).p_sensitized
+        )
+        errors: list = []
+        barrier = threading.Barrier(6)
+
+        def snapshotter():
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(5):
+                    assert np.array_equal(
+                        np.asarray(engine.snapshot().p_sensitized), snap_ref
+                    )
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        def deltaist():
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(5):
+                    delta = engine.analyze_delta(
+                        base, EditSet().harden("G10", 10.0)
+                    )
+                    assert np.array_equal(
+                        np.asarray(delta.p_sensitized), delta_ref
+                    )
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=snapshotter) for _ in range(3)]
+        threads += [threading.Thread(target=deltaist) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors

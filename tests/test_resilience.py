@@ -32,6 +32,7 @@ from repro.core.epp_shard import (
 from repro.core.resilience import Deadline, FaultPolicy, ShardOutcome
 from repro.errors import (
     AnalysisError,
+    ConfigError,
     ReproError,
     ResilienceError,
     RetryBudgetExceededError,
@@ -145,6 +146,32 @@ class TestFaultPolicy:
         time.sleep(0.001)
         assert expired.expired()
         assert expired.remaining() == 0.0
+
+    def test_deadline_clamps_negative_budget(self):
+        # "Less than no time" reads as already expired: the clamp keeps
+        # consumers doing their own budget arithmetic (the server's
+        # queue accounting) from ever seeing a negative remainder.
+        clamped = Deadline(-5.0)
+        assert clamped.budget == 0.0
+        assert clamped.expired()
+        assert clamped.remaining() == 0.0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"shard_timeout": 0.0},
+            {"shard_timeout": -1.0},
+            {"deadline": 0.0},
+            {"deadline": -2.5},
+            {"retries": -1},
+        ],
+    )
+    def test_from_knobs_rejects_bad_values_as_config_errors(self, bad):
+        # The knob-resolution path rejects user-facing flag values with
+        # ConfigError naming the flag (the constructor keeps raising
+        # AnalysisError for programmatic misuse — see test_validation).
+        with pytest.raises(ConfigError, match="--"):
+            FaultPolicy.from_knobs(**bad)
 
 
 # ---------------------------------------------------------------- injector
@@ -534,6 +561,52 @@ class TestDrainSplit:
         backend.close()
         assert repro_segments() <= before
         results.close()
+
+    def test_close_is_idempotent(self, s953):
+        engine, site_ids, reference = s953
+        backend = chaos_backend(engine)
+        assert np.array_equal(backend.p_sensitized_many(site_ids), reference)
+        before = repro_segments()
+        backend.close()
+        backend.close()  # second close: no double-drain, no double-unlink
+        assert repro_segments() <= before
+        # The pool respawns on next use: close is teardown, not poison.
+        assert np.array_equal(backend.p_sensitized_many(site_ids), reference)
+        backend.close()
+
+    @shm_only
+    def test_concurrent_close_single_teardown(self, s953):
+        """Racing closers (server drain + with-exit + finalizer) must
+        serialize: in-flight segments are drained exactly once and no
+        thread sees a half-torn pool."""
+        import threading
+
+        engine, site_ids, _ = s953
+        for _ in range(3):  # a few rounds to give a real race a chance
+            backend = chaos_backend(engine)
+            shards = [site_ids[:200], site_ids[200:]]
+            results = backend._map_shards(shards, full=True)
+            next(results)  # leave one shard's result in flight
+            before = repro_segments()
+            barrier = threading.Barrier(6)
+            errors = []
+
+            def closer():
+                try:
+                    barrier.wait(timeout=10)
+                    backend.close()
+                except Exception as exc:  # pragma: no cover - failure detail
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=closer) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not errors
+            assert all(not thread.is_alive() for thread in threads)
+            assert repro_segments() <= before
+            results.close()
 
 
 # ------------------------------------------------------- knob threading

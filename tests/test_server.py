@@ -1,0 +1,736 @@
+"""SER-as-a-service: the long-lived analysis server (PR 8).
+
+The service chaos suite pins the same invariant the sharded driver's
+does: every degraded, recomputed or recovered response must be
+``np.array_equal`` — bit-identical — to a clean in-process run, and
+every shed request must carry a *typed*, retriable error.  Requests are
+driven through the real asyncio machinery (``service._respond`` takes
+raw wire lines) plus a socket/CLI smoke at the end.
+
+Test names deliberately carry "crash" / "chaos": the CI fast job's
+fault-injection smoke selects them with ``-k``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.epp import EPPEngine
+from repro.core.epp_delta import EditSet
+from repro.errors import (
+    AnalysisError,
+    ConfigError,
+    ParseError,
+    QueueFullError,
+    ResilienceError,
+    ServiceUnavailableError,
+    WorkerCrashError,
+)
+from repro.netlist.library import c17
+from repro.server import AnalysisService, CircuitBreaker, ServeClient
+from repro.server import protocol
+from repro.server.protocol import (
+    WIRE_KNOB_KEYS,
+    decode_line,
+    edits_from_wire,
+    error_info,
+    parse_request,
+)
+from repro.testing import ServiceFaultInjector, ServiceFaultSpec
+
+
+# ----------------------------------------------------------------- helpers
+
+
+def repro_segments() -> set[str]:
+    """The deterministically named worker segments currently in /dev/shm."""
+    from repro.core.epp_shard import _SHM_NAME_PREFIX
+
+    if not os.path.isdir("/dev/shm"):
+        return set()
+    return {
+        name for name in os.listdir("/dev/shm")
+        if name.startswith(_SHM_NAME_PREFIX)
+    }
+
+
+def wire(**obj) -> bytes:
+    return json.dumps(obj).encode() + b"\n"
+
+
+@contextlib.asynccontextmanager
+async def serving(tmp_path, **kwargs):
+    service = AnalysisService(tmp_path / "repro.sock", **kwargs)
+    await service.start()
+    try:
+        yield service
+    finally:
+        await service.drain()
+
+
+@pytest.fixture(scope="module")
+def c17_ref():
+    """Clean in-process reference: (p_sensitized, site order)."""
+    snap = EPPEngine(c17()).snapshot()
+    return np.asarray(snap.p_sensitized), list(snap.site_names)
+
+
+def assert_matches_reference(result: dict, c17_ref) -> None:
+    reference, sites = c17_ref
+    assert result["sites"] == sites
+    assert np.array_equal(np.asarray(result["p_sensitized"]), reference)
+
+
+# ----------------------------------------------------------- circuit breaker
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=30.0)
+        assert breaker.state == "closed"
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow_sharded()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow_sharded()
+        assert breaker.trips == 1
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # streak broken, not cumulative
+
+    def test_half_open_probe(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=0.05)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        time.sleep(0.06)
+        assert breaker.state == "half-open" and breaker.allow_sharded()
+        breaker.record_failure()  # probe failed: re-open immediately
+        assert breaker.state == "open" and breaker.trips == 2
+        time.sleep(0.06)
+        breaker.record_success()  # probe succeeded: close
+        assert breaker.state == "closed" and breaker.allow_sharded()
+
+
+# ------------------------------------------------------- service fault specs
+
+
+class TestServiceFaults:
+    def test_spec_validation(self):
+        with pytest.raises(AnalysisError):
+            ServiceFaultSpec("no_such_kind")
+        with pytest.raises(AnalysisError):
+            ServiceFaultSpec("stall_request", probability=1.5)
+        with pytest.raises(AnalysisError):
+            ServiceFaultSpec("stall_request", stall_s=-1.0)
+
+    def test_matching_filters_op_and_request(self):
+        faults = ServiceFaultInjector([
+            ServiceFaultSpec("worker_error", op="analyze", request=2),
+        ])
+        assert faults.should("worker_error", "analyze", 2)
+        assert not faults.should("worker_error", "analyze", 1)
+        assert not faults.should("worker_error", "analyze_delta", 2)
+        assert not faults.should("corrupt_artifact", "analyze", 2)
+
+    def test_probabilistic_firing_is_deterministic(self):
+        spec = ServiceFaultSpec("stall_request", probability=0.5)
+        first = ServiceFaultInjector([spec], seed=7)
+        second = ServiceFaultInjector([spec], seed=7)
+        decisions = [first.should("stall_request", "analyze", i) for i in range(64)]
+        assert decisions == [
+            second.should("stall_request", "analyze", i) for i in range(64)
+        ]
+        assert any(decisions) and not all(decisions)
+
+    def test_apply_stalls_and_raises(self):
+        faults = ServiceFaultInjector([
+            ServiceFaultSpec("stall_request", stall_s=0.05, request=0),
+            ServiceFaultSpec("worker_error", request=1),
+        ])
+        started = time.monotonic()
+        faults.apply("sweep", "analyze", 0)
+        assert time.monotonic() - started >= 0.04
+        with pytest.raises(WorkerCrashError):
+            faults.apply("sweep", "analyze", 1)
+        faults.apply("sweep", "analyze", 2)  # no spec: no-op
+
+
+# ----------------------------------------------------------------- protocol
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("obj", [
+        {"op": "explode"},
+        {"op": "analyze"},  # neither bench nor circuit
+        {"op": "analyze", "circuit": "c17", "knobs": {"bogus": 1}},
+        # The testing-only engine hook must not be reachable over the wire.
+        {"op": "analyze", "circuit": "c17", "knobs": {"fault_injector": 1}},
+        {"op": "analyze", "circuit": "c17", "knobs": []},
+        {"op": "analyze", "circuit": "c17", "deadline": 0},
+        {"op": "analyze", "circuit": "c17", "deadline": -1.5},
+        {"op": "analyze", "circuit": "c17", "sites": "g1"},
+        {"op": "analyze", "circuit": 17},
+        {"op": "analyze_delta", "circuit": "c17"},  # no edits
+        {"op": "analyze_delta", "circuit": "c17", "edits": []},
+    ])
+    def test_parse_request_rejects(self, obj):
+        with pytest.raises(ConfigError):
+            parse_request(obj)
+
+    def test_parse_request_defaults(self):
+        req = parse_request({"op": "analyze", "circuit": "c17"})
+        assert req.client == "anon" and req.coalesce and not req.fit
+        assert req.deadline is None and req.circuit_spec == "c17"
+        bench = parse_request({"op": "analyze", "bench": "INPUT(a)\n"})
+        assert bench.circuit_spec == "INPUT(a)\n"
+
+    def test_decode_line_rejects_junk(self):
+        with pytest.raises(ParseError):
+            decode_line(b"not json\n")
+        with pytest.raises(ParseError):
+            decode_line(b"[1, 2]\n")
+
+    def test_decode_line_rejects_oversize(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_LINE_BYTES", 16)
+        with pytest.raises(ParseError):
+            decode_line(b"x" * 17)
+
+    def test_edits_from_wire_round_trip(self, c17_ref):
+        _, sites = c17_ref
+        edits = edits_from_wire([
+            ["harden", sites[0], 10.0],
+            ["set_sp", "N1", 0.25],
+        ])
+        assert isinstance(edits, EditSet)
+
+    @pytest.mark.parametrize("ops", [
+        [["no_such_kind", "g1"]],
+        [["harden"]],  # missing node
+        ["harden"],  # not a list op
+        [["replace_gate", "g1", "no_such_type"]],
+    ])
+    def test_edits_from_wire_rejects(self, ops):
+        with pytest.raises(ConfigError):
+            edits_from_wire(ops)
+
+    def test_error_taxonomy(self):
+        info = error_info(QueueFullError("full", retry_after=1.25))
+        assert info["retriable"] and info["retry_after"] == 1.25
+        assert info["type"] == "QueueFullError"
+        assert error_info(WorkerCrashError("boom", attempts=1))["retriable"]
+        assert not error_info(ParseError("bad"))["retriable"]
+        internal = error_info(ValueError("surprise"))
+        assert internal["type"] == "InternalError" and not internal["retriable"]
+        assert "ValueError" in internal["message"]
+
+    def test_wire_knobs_exclude_local_hooks(self):
+        assert "fault_injector" not in WIRE_KNOB_KEYS
+        assert "deadline" not in WIRE_KNOB_KEYS  # top-level field, not a knob
+
+
+# ------------------------------------------------------------- service: core
+
+
+class TestServiceCore:
+    def test_ping_stats_and_analyze(self, tmp_path, c17_ref):
+        async def main():
+            async with serving(tmp_path) as svc:
+                pong = await svc._respond(wire(op="ping"))
+                assert pong["ok"] and pong["result"]["pong"]
+                response = await svc._respond(wire(
+                    op="analyze", circuit="c17", fit=True, top=3
+                ))
+                assert response["ok"] and not response["result"]["degraded"]
+                assert_matches_reference(response["result"], c17_ref)
+                assert len(response["result"]["fit"]["nodes"]) == 3
+                assert response["result"]["fit"]["total_fit"] > 0
+                stats = (await svc._respond(wire(op="stats")))["result"]
+                assert stats["counters"]["completed"] == 1
+                assert stats["breaker"]["state"] == "closed"
+                assert stats["artifacts"]["entries"] >= 1
+        asyncio.run(main())
+
+    def test_bench_text_matches_library_circuit(self, tmp_path, c17_ref):
+        from repro.netlist.bench import write_bench
+
+        text = write_bench(c17())
+
+        async def main():
+            async with serving(tmp_path) as svc:
+                response = await svc._respond(wire(op="analyze", bench=text))
+                assert response["ok"]
+                assert_matches_reference(response["result"], c17_ref)
+        asyncio.run(main())
+
+    def test_result_cache_hit_is_identical(self, tmp_path, c17_ref):
+        async def main():
+            async with serving(tmp_path) as svc:
+                first = await svc._respond(wire(op="analyze", circuit="c17"))
+                second = await svc._respond(wire(op="analyze", circuit="c17"))
+                assert not first["result"]["cached"]
+                assert second["result"]["cached"]
+                assert_matches_reference(second["result"], c17_ref)
+                assert svc.counters["cache_hits"] == 1
+        asyncio.run(main())
+
+    def test_bad_request_is_typed_terminal_error(self, tmp_path):
+        async def main():
+            async with serving(tmp_path) as svc:
+                response = await svc._respond(wire(op="analyze"))
+                assert not response["ok"]
+                assert response["error"]["type"] == "ConfigError"
+                assert not response["error"]["retriable"]
+        asyncio.run(main())
+
+    def test_delta_chain_matches_in_process(self, tmp_path, c17_ref):
+        _, sites = c17_ref
+        engine = EPPEngine(c17())
+        base = engine.snapshot()
+        first = EditSet().harden(sites[0], 10.0)
+        second = EditSet().set_sp("N1", 0.25)
+        local1 = engine.analyze_delta(base, first)
+        local2 = local1.engine.analyze_delta(local1, second)
+
+        async def main():
+            async with serving(tmp_path) as svc:
+                await svc._respond(wire(op="analyze", circuit="c17"))
+                d1 = await svc._respond(wire(
+                    op="analyze_delta", circuit="c17",
+                    edits=[["harden", sites[0], 10.0]],
+                ))
+                d2 = await svc._respond(wire(
+                    op="analyze_delta", circuit="c17",
+                    edits=[["set_sp", "N1", 0.25]],
+                ))
+                assert d1["result"]["revision"] == 1
+                assert d2["result"]["revision"] == 2
+                assert np.array_equal(
+                    np.asarray(d1["result"]["p_sensitized"]),
+                    np.asarray(local1.p_sensitized),
+                )
+                assert np.array_equal(
+                    np.asarray(d2["result"]["p_sensitized"]),
+                    np.asarray(local2.p_sensitized),
+                )
+        asyncio.run(main())
+
+
+# -------------------------------------------------- admission & backpressure
+
+
+class TestAdmission:
+    def test_queue_full_sheds_with_retry_after(self, tmp_path):
+        async def main():
+            async with serving(tmp_path, workers=1, max_queue=1) as svc:
+                responses = await asyncio.gather(*(
+                    svc._respond(wire(
+                        op="analyze", circuit="c17",
+                        coalesce=False, client=f"client-{i}",
+                    ))
+                    for i in range(4)
+                ))
+                served = [r for r in responses if r["ok"]]
+                shed = [r for r in responses if not r["ok"]]
+                assert len(served) == 1 and len(shed) == 3
+                for response in shed:
+                    error = response["error"]
+                    assert error["type"] == "QueueFullError"
+                    assert error["retriable"]
+                    assert error["retry_after"] >= 0.0
+                assert svc.counters["shed"] == 3
+                assert svc.counters["accepted"] == 1
+        asyncio.run(main())
+
+    def test_per_client_inflight_cap(self, tmp_path):
+        async def main():
+            async with serving(tmp_path, workers=1, client_inflight=1) as svc:
+                responses = await asyncio.gather(
+                    svc._respond(wire(
+                        op="analyze", circuit="c17",
+                        coalesce=False, client="greedy",
+                    )),
+                    svc._respond(wire(
+                        op="analyze", circuit="c17", fit=True,
+                        coalesce=False, client="greedy",
+                    )),
+                )
+                shed = [r for r in responses if not r["ok"]]
+                assert len(shed) == 1
+                assert shed[0]["error"]["type"] == "QueueFullError"
+                assert "greedy" in shed[0]["error"]["message"]
+                # The cap releases with the request: a later one is served.
+                again = await svc._respond(wire(
+                    op="analyze", circuit="c17", coalesce=False, client="greedy",
+                ))
+                assert again["ok"]
+        asyncio.run(main())
+
+    def test_coalescing_shares_one_sweep(self, tmp_path, c17_ref):
+        async def main():
+            async with serving(tmp_path, workers=1) as svc:
+                responses = await asyncio.gather(*(
+                    svc._respond(wire(op="analyze", circuit="c17"))
+                    for _ in range(4)
+                ))
+                for response in responses:
+                    assert response["ok"]
+                    assert_matches_reference(response["result"], c17_ref)
+                assert svc.counters["coalesced"] == 3
+                assert svc.counters["accepted"] == 1  # one admitted sweep
+                assert sum(r["coalesced"] for r in responses) == 3
+                assert not svc._sweeps  # no leaked shared futures
+        asyncio.run(main())
+
+    def test_delta_outranks_cold_sweep(self, tmp_path, c17_ref):
+        _, sites = c17_ref
+        faults = ServiceFaultInjector([
+            ServiceFaultSpec("stall_request", stall_s=0.25, request=0),
+        ])
+        order = []
+
+        async def tagged(svc, tag, line):
+            response = await svc._respond(line)
+            order.append(tag)
+            return response
+
+        async def main():
+            async with serving(tmp_path, workers=1, faults=faults) as svc:
+                blocker = asyncio.create_task(tagged(svc, "blocker", wire(
+                    op="analyze", circuit="c17", coalesce=False,
+                )))
+                await asyncio.sleep(0.05)  # the worker is now stalled on it
+                cold = asyncio.create_task(tagged(svc, "cold", wire(
+                    op="analyze", circuit="c17", fit=True, coalesce=False,
+                )))
+                await asyncio.sleep(0)  # cold is enqueued first...
+                delta = asyncio.create_task(tagged(svc, "delta", wire(
+                    op="analyze_delta", circuit="c17",
+                    edits=[["harden", sites[0], 10.0]],
+                )))
+                responses = await asyncio.gather(blocker, cold, delta)
+                assert all(r["ok"] for r in responses)
+                # ...but the incremental request is served before it.
+                assert order.index("delta") < order.index("cold")
+        asyncio.run(main())
+
+
+# ------------------------------------------------------------------ deadlines
+
+
+class TestDeadlines:
+    def test_wait_and_queue_boundaries(self, tmp_path):
+        faults = ServiceFaultInjector([
+            ServiceFaultSpec("stall_request", stall_s=0.4, request=0),
+        ])
+
+        async def main():
+            async with serving(tmp_path, workers=1, faults=faults) as svc:
+                blocker = asyncio.create_task(svc._respond(wire(
+                    op="analyze", circuit="c17", coalesce=False, client="a",
+                )))
+                await asyncio.sleep(0.05)
+                # Queued behind the stalled request with a 0.15s budget:
+                # the submitter's wait expires first...
+                bounded = await svc._respond(wire(
+                    op="analyze", circuit="c17", coalesce=False,
+                    client="b", deadline=0.15,
+                ))
+                assert not bounded["ok"]
+                assert bounded["error"]["type"] == "DeadlineExceededError"
+                assert not bounded["error"]["retriable"]
+                assert svc.counters["deadline_wait"] == 1
+                # ...and when the worker finally dequeues it, the queue
+                # boundary refuses to start work for a dead caller.
+                blocked = await blocker
+                assert blocked["ok"]
+                for _ in range(100):
+                    if svc.counters["deadline_queue"]:
+                        break
+                    await asyncio.sleep(0.02)
+                assert svc.counters["deadline_queue"] == 1
+        asyncio.run(main())
+
+    def test_generous_deadline_succeeds(self, tmp_path, c17_ref):
+        async def main():
+            async with serving(tmp_path, default_deadline=30.0) as svc:
+                response = await svc._respond(wire(op="analyze", circuit="c17"))
+                assert response["ok"]
+                assert_matches_reference(response["result"], c17_ref)
+        asyncio.run(main())
+
+
+# ---------------------------------------------------------------- chaos paths
+
+
+class TestServiceChaos:
+    def test_corrupt_artifact_recomputes_identically(self, tmp_path, c17_ref):
+        faults = ServiceFaultInjector([
+            ServiceFaultSpec("corrupt_artifact", op="analyze", request=1),
+        ])
+
+        async def main():
+            async with serving(tmp_path, faults=faults) as svc:
+                first = await svc._respond(wire(op="analyze", circuit="c17"))
+                # The chaos hook flips a byte of the stored result right
+                # before this lookup: integrity check -> quarantine ->
+                # recompute, never a wrong answer.
+                second = await svc._respond(wire(op="analyze", circuit="c17"))
+                assert second["ok"]
+                assert second["result"]["recomputed"]
+                assert not second["result"]["cached"]
+                assert_matches_reference(second["result"], c17_ref)
+                assert np.array_equal(
+                    np.asarray(second["result"]["p_sensitized"]),
+                    np.asarray(first["result"]["p_sensitized"]),
+                )
+                assert svc.counters["recomputed"] == 1
+                assert svc.store.stats()["corrupt"] == 1
+                # The recompute rehabilitated the entry: next hit caches.
+                third = await svc._respond(wire(op="analyze", circuit="c17"))
+                assert third["result"]["cached"]
+        asyncio.run(main())
+
+    def test_worker_crash_trips_breaker_and_degrades_identically(
+        self, tmp_path, c17_ref
+    ):
+        faults = ServiceFaultInjector([
+            ServiceFaultSpec("worker_error", request=0),
+            ServiceFaultSpec("worker_error", request=1),
+        ])
+
+        async def main():
+            async with serving(
+                tmp_path, jobs=2, faults=faults,
+                breaker_threshold=2, breaker_cooldown=0.3,
+            ) as svc:
+                # Two synthetic pool failures: each degrades in-line...
+                for index in range(2):
+                    response = await svc._respond(wire(
+                        op="analyze", circuit="c17", fit=True, top=index + 1,
+                    ))
+                    assert response["ok"]
+                    assert response["result"]["degraded"]
+                    assert_matches_reference(response["result"], c17_ref)
+                assert svc.breaker.state == "open"
+                assert svc.breaker.trips == 1
+                # ...and the open breaker short-circuits the next request
+                # straight to the in-process backend (no fault staged).
+                shorted = await svc._respond(wire(
+                    op="analyze", circuit="c17", fit=True, top=3,
+                ))
+                assert shorted["ok"] and shorted["result"]["degraded"]
+                assert_matches_reference(shorted["result"], c17_ref)
+                assert svc.counters["degraded"] == 3
+                assert svc.counters["failed"] == 0
+                # After the cooldown a half-open probe runs sharded again
+                # and its success closes the breaker.
+                await asyncio.sleep(0.35)
+                probe = await svc._respond(wire(
+                    op="analyze", circuit="c17", fit=True, top=4,
+                ))
+                assert probe["ok"] and not probe["result"]["degraded"]
+                assert_matches_reference(probe["result"], c17_ref)
+                assert svc.breaker.state == "closed"
+        asyncio.run(main())
+
+    def test_chaos_error_without_sharded_backend_is_retriable(self, tmp_path):
+        # No jobs configured: nothing to degrade *to*, so the synthetic
+        # fault surfaces as a typed retriable infrastructure error.
+        faults = ServiceFaultInjector([ServiceFaultSpec("worker_error", request=0)])
+
+        async def main():
+            async with serving(tmp_path, faults=faults) as svc:
+                response = await svc._respond(wire(op="analyze", circuit="c17"))
+                assert not response["ok"]
+                assert response["error"]["type"] == "WorkerCrashError"
+                assert response["error"]["retriable"]
+                assert svc.counters["failed"] == 1
+        asyncio.run(main())
+
+
+# ------------------------------------------------------------------- lifecycle
+
+
+class TestLifecycle:
+    def test_drain_rejects_queued_and_cleans_up(self, tmp_path):
+        faults = ServiceFaultInjector([
+            ServiceFaultSpec("stall_request", stall_s=0.3, request=0),
+        ])
+        before = repro_segments()
+
+        async def main():
+            svc = AnalysisService(
+                tmp_path / "repro.sock", workers=1, faults=faults
+            )
+            await svc.start()
+            running = asyncio.create_task(svc._respond(wire(
+                op="analyze", circuit="c17", coalesce=False, client="a",
+            )))
+            await asyncio.sleep(0.05)
+            queued = asyncio.create_task(svc._respond(wire(
+                op="analyze", circuit="c17", coalesce=False, client="b",
+            )))
+            await asyncio.sleep(0)
+            await svc.drain()
+            finished, rejected = await asyncio.gather(running, queued)
+            # The in-flight request finishes; the queued one is shed with
+            # a retriable error so a replacement instance can take it.
+            assert finished["ok"]
+            assert rejected["error"]["type"] == "ServiceUnavailableError"
+            assert rejected["error"]["retriable"]
+            assert svc.counters["drained"] == 1
+            # Admission after drain sheds immediately.
+            late = await svc._respond(wire(op="analyze", circuit="c17"))
+            assert late["error"]["type"] == "ServiceUnavailableError"
+            assert not os.path.exists(svc.socket_path)
+            # drain() is idempotent.
+            await svc.drain()
+        asyncio.run(main())
+        assert repro_segments() == before  # no /dev/shm leaks
+
+    def test_drain_before_start_is_safe(self, tmp_path):
+        async def main():
+            svc = AnalysisService(tmp_path / "repro.sock")
+            await svc.drain()
+            response = await svc._respond(wire(op="analyze", circuit="c17"))
+            assert response["error"]["type"] == "ServiceUnavailableError"
+        asyncio.run(main())
+
+    def test_engine_lru_eviction_closes_state(self, tmp_path):
+        async def main():
+            async with serving(tmp_path, max_engines=1) as svc:
+                await svc._respond(wire(op="analyze", circuit="c17"))
+                await svc._respond(wire(op="analyze", circuit="s27"))
+                assert len(svc._circuits) == 1
+                stats = (await svc._respond(wire(op="stats")))["result"]
+                assert stats["engines"] == 1
+        asyncio.run(main())
+
+
+# --------------------------------------------------------- socket & CLI smoke
+
+
+class TestSocketAndCLI:
+    def test_socket_round_trip_matches_in_process(self, tmp_path, c17_ref):
+        async def main():
+            async with serving(tmp_path, workers=2) as svc:
+                def drive():
+                    with ServeClient(svc.socket_path) as client:
+                        assert client.ping()["pong"]
+                        return client.analyze(circuit="c17")["result"]
+                result = await asyncio.to_thread(drive)
+                assert_matches_reference(result, c17_ref)
+        asyncio.run(main())
+
+    def test_socket_garbage_gets_typed_errors(self, tmp_path):
+        async def main():
+            async with serving(tmp_path) as svc:
+                def drive():
+                    with ServeClient(svc.socket_path) as client:
+                        response = client.request({"op": "nonsense"})
+                        assert response["error"]["type"] == "ConfigError"
+                        # Raw junk on the same connection: still a typed,
+                        # terminal ParseError, not a dropped socket.
+                        client._sock.sendall(b"this is not json\n")
+                        reply = json.loads(client._file.readline())
+                        assert reply["error"]["type"] == "ParseError"
+                        assert not reply["error"]["retriable"]
+                        # Typed client-side re-raise of wire errors.
+                        from repro.server.client import ServeRequestError
+
+                        with pytest.raises(ServeRequestError) as excinfo:
+                            client.call({"op": "nonsense"})
+                        assert excinfo.value.type == "ConfigError"
+                        assert not excinfo.value.retriable
+                await asyncio.to_thread(drive)
+        asyncio.run(main())
+
+    def test_serve_cli_smoke_sigterm_drains(self, tmp_path, c17_ref):
+        """The CI fast server smoke: start, round-trip, SIGTERM, no leaks."""
+        sock = tmp_path / "cli.sock"
+        before = repro_segments()
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(sock),
+             "--workers", "1", "--max-queue", "8"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            for _ in range(200):
+                if sock.exists():
+                    break
+                time.sleep(0.05)
+            assert sock.exists(), proc.stderr.read() if proc.poll() else "slow start"
+            with ServeClient(sock) as client:
+                assert client.ping()["pong"]
+                result = client.analyze(circuit="c17", fit=True)["result"]
+                assert_matches_reference(result, c17_ref)
+                _, sites = c17_ref
+                delta = client.analyze_delta(
+                    circuit="c17", edits=[["harden", sites[0], 10.0]]
+                )["result"]
+                assert delta["revision"] == 1
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=60)
+        assert proc.returncode == 0, err
+        assert "drained" in out
+        assert not sock.exists()
+        assert repro_segments() == before
+
+
+# ----------------------------------------------------- real pool chaos (slow)
+
+
+@pytest.mark.slow
+def test_real_worker_crash_through_service_recovers(tmp_path):
+    """Kernel-level chaos *through* the service: a worker process is
+    killed mid-shard on the first attempt; the pool self-heals and the
+    response is bit-identical to a clean in-process sweep."""
+    from repro.netlist.generate import generate_iscas
+    from repro.server.protocol import parse_request as _parse
+    from repro.testing import FaultInjector, FaultSpec
+
+    engine_faults = FaultInjector([FaultSpec("crash", shard=0, attempt=1)])
+    circuit = generate_iscas("s953")
+    reference = np.asarray(EPPEngine(circuit).snapshot().p_sensitized)
+
+    async def main():
+        async with serving(
+            tmp_path, jobs=2, engine_faults=engine_faults
+        ) as svc:
+            # Pre-build the state whiteboxed so the crossover guard can
+            # be disabled: worker processes must actually run (and die).
+            req = _parse({"op": "analyze", "circuit": "s953"})
+            state = await asyncio.to_thread(svc._state_for, req)
+            backend = state.engine.sharded_backend(
+                jobs=2, fault_injector=engine_faults
+            )
+            backend.min_process_work = 0
+            response = await svc._respond(wire(op="analyze", circuit="s953"))
+            assert response["ok"]
+            assert not response["result"]["degraded"]
+            assert np.array_equal(
+                np.asarray(response["result"]["p_sensitized"]), reference
+            )
+            assert backend.stats["worker_crashes"] >= 1
+            assert svc.breaker.state == "closed"
+    asyncio.run(main())

@@ -1,0 +1,153 @@
+"""The content-addressed artifact store behind the analysis service (PR 8).
+
+The store's contract is "verified bytes or nothing": every load
+re-checks the payload checksum, every token mismatch misses instead of
+serving pre-edit results, and the byte budget is enforced by LRU
+eviction.  Corruption can cost a recompute, never a wrong answer.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.server.artifacts import ArtifactStore, digest_of
+
+
+class TestDigestOf:
+    def test_deterministic(self):
+        parts = ("analyze", "c17", [("jobs", 2)], None, True, 10)
+        assert digest_of(*parts) == digest_of(*parts)
+
+    def test_order_and_boundaries_matter(self):
+        assert digest_of("ab", "c") != digest_of("a", "bc")
+        assert digest_of("a", "b") != digest_of("b", "a")
+
+    def test_bytes_and_values_distinct(self):
+        assert digest_of(b"ab") != digest_of("ab")
+        assert digest_of(1.0) != digest_of(1)
+        assert digest_of(None) != digest_of("None2")
+
+    def test_float_exactness(self):
+        # repr round-trips floats exactly; nearby floats must not collide.
+        a, b = 0.1 + 0.2, 0.3
+        assert a != b
+        assert digest_of(a) != digest_of(b)
+
+
+class TestArtifactStore:
+    def test_round_trip(self):
+        store = ArtifactStore()
+        obj = {"p": [0.5, 0.25], "sweep": {"sites": 2}}
+        assert store.put("result", "k", obj)
+        assert store.get("result", "k") == obj
+        stats = store.stats()
+        assert stats["hits"] == 1 and stats["entries"] == 1
+
+    def test_miss(self):
+        store = ArtifactStore()
+        assert store.get("result", "nope") is None
+        assert store.stats()["misses"] == 1
+
+    def test_kinds_do_not_alias(self):
+        store = ArtifactStore()
+        store.put("circuit", "k", "a-circuit")
+        store.put("result", "k", "a-result")
+        assert store.get("circuit", "k") == "a-circuit"
+        assert store.get("result", "k") == "a-result"
+
+    def test_token_staleness_drops_entry(self):
+        store = ArtifactStore()
+        store.put("result", "k", {"rev": 1}, token=1)
+        assert store.get("result", "k", token=1) == {"rev": 1}
+        # The circuit mutated since: same key, new token -> never served.
+        assert store.get("result", "k", token=2) is None
+        assert store.stats()["stale"] == 1
+        # The stale entry is gone outright, not just hidden.
+        assert store.get("result", "k", token=1) is None
+
+    def test_corruption_quarantines_and_put_rehabilitates(self):
+        store = ArtifactStore()
+        store.put("result", "k", {"rev": 1})
+        assert store.corrupt("result", "k")
+        assert store.get("result", "k") is None
+        assert ("result", "k") in store.quarantined
+        assert store.stats()["corrupt"] == 1
+        # Recompute-and-store clears the quarantine; the fresh entry loads.
+        store.put("result", "k", {"rev": 1})
+        assert ("result", "k") not in store.quarantined
+        assert store.get("result", "k") == {"rev": 1}
+
+    def test_corrupt_missing_entry_is_false(self):
+        assert not ArtifactStore().corrupt("result", "nope")
+
+    def test_lru_eviction_by_bytes(self):
+        payload = b"x" * 400
+        store = ArtifactStore(max_bytes=1000)
+        store.put("blob", "a", payload)
+        store.put("blob", "b", payload)
+        assert store.get("blob", "a") is not None  # 'a' is now most recent
+        store.put("blob", "c", payload)  # evicts LRU 'b', not 'a'
+        assert store.get("blob", "b") is None
+        assert store.get("blob", "a") is not None
+        assert store.get("blob", "c") is not None
+        assert store.stats()["evictions"] == 1
+        assert store.stats()["bytes"] <= 1000
+
+    def test_oversize_rejected(self):
+        store = ArtifactStore(max_bytes=64)
+        assert not store.put("blob", "big", b"x" * 1024)
+        assert store.get("blob", "big") is None
+        assert store.stats()["oversize"] == 1
+
+    def test_replacing_entry_does_not_leak_bytes(self):
+        store = ArtifactStore(max_bytes=10_000)
+        for _ in range(20):
+            store.put("blob", "k", b"y" * 400)
+        assert store.stats()["entries"] == 1
+        assert store.stats()["bytes"] < 1000
+
+    def test_clear(self):
+        store = ArtifactStore()
+        store.put("blob", "k", b"x")
+        store.clear()
+        assert store.stats()["entries"] == 0
+        assert store.stats()["bytes"] == 0
+        assert store.get("blob", "k") is None
+
+    def test_thread_safety_under_churn(self):
+        store = ArtifactStore(max_bytes=50_000)
+        errors = []
+
+        def worker(tag):
+            try:
+                for i in range(200):
+                    key = f"{tag}-{i % 7}"
+                    store.put("blob", key, bytes(200))
+                    loaded = store.get("blob", key)
+                    assert loaded is None or loaded == bytes(200)
+                    if i % 50 == 0:
+                        store.corrupt("blob", key)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = store.stats()
+        assert stats["bytes"] <= store.max_bytes
+        # Invariant: tracked byte count matches the surviving entries.
+        assert stats["bytes"] == sum(
+            e.nbytes for e in store._entries.values()
+        )
+
+
+@pytest.mark.parametrize("budget", [0, 1])
+def test_tiny_budget_stores_nothing(budget):
+    store = ArtifactStore(max_bytes=budget)
+    assert not store.put("blob", "k", b"payload")
+    assert store.stats()["entries"] == 0
