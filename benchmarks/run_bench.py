@@ -57,10 +57,25 @@ the first (``serve_first_s``), fresh-sweep (``serve_resweep_s``) and
 artifact-cached repeat (``serve_warm_s``) latencies of one long-lived
 ``repro serve`` instance.  ``serve_warm_speedup`` is gated absolutely
 at :data:`SERVE_WARM_SPEEDUP_FLOOR` where the cold run clears its
-noise floor.  Results land in a JSON document (default
-``BENCH_pr8.json``) with host metadata; when the committed
-``BENCH_pr7.json`` sits next to the output the cross-PR ladder ratios
-(this run vs the *recorded* PR-7 seconds, same container) are included
+noise floor;
+
+plus the **crash-durability workload** (the PR-9 checkpoint layer):
+per circuit, a plain sharded sweep (``durab_plain_s``), the same sweep
+journaling every finished shard to a checkpoint directory
+(``durab_cold_s``; their ratio ``checkpoint_overhead`` is the clean-path
+cost of durability) and a fresh engine resuming from that directory
+(``durab_resume_s``, every shard served checksum-verified from disk,
+no worker pool spun up).  ``resume_speedup = durab_plain_s /
+durab_resume_s`` is a checked ratio, and ``resume_identical`` — the
+resumed result ``np.array_equal`` to the clean run — hard-fails the
+``--check`` gate when false: a fast restart that disagrees is not
+recovery, it's corruption.
+
+Results land in a JSON document (default ``BENCH_pr9.json``, written
+atomically: temp file + rename, so a crashed bench never leaves a
+truncated baseline) with host metadata; when the committed
+``BENCH_pr8.json`` sits next to the output the cross-PR ladder ratios
+(this run vs the *recorded* PR-8 seconds, same container) are included
 per circuit as ``vs_prev_baseline``.
 
 ``--check BASELINE`` compares the *speedup ratios* of a fresh run against
@@ -101,6 +116,7 @@ CHECKED_RATIOS = (
     "clustered_rows_speedup",
     "delta_speedup_vs_full",
     "serve_warm_speedup",
+    "resume_speedup",
 )
 
 #: The PR-8 service gate: a repeat request against the warm server must
@@ -538,6 +554,100 @@ def bench_server(document: dict, circuits, verbose: bool = True) -> None:
             proc.communicate()
 
 
+def bench_durability(document: dict, circuits, jobs, verbose: bool = True) -> None:
+    """The crash-durability workload (PR 9): checkpointed sharded sweeps.
+
+    Per circuit, three sharded ``pack_sites`` runs over the full site
+    roster (``min_process_work=0`` so the process path always engages):
+
+    * ``durab_plain_s``  — no checkpoint: the baseline cost of the sweep
+      including pool spin-up, exactly what a crashed run loses;
+    * ``durab_cold_s``   — journaling every finished shard to a fresh
+      checkpoint directory (``checkpoint_overhead`` is the ratio: the
+      clean-path price of durability);
+    * ``durab_resume_s`` — a *fresh* engine pointed at the populated
+      directory: every shard is loaded checksum-verified from disk and
+      no worker pool starts.
+
+    ``resume_speedup = durab_plain_s / durab_resume_s`` joins the
+    checked ratios; ``resume_identical`` asserts all three runs produce
+    ``np.array_equal`` packed arrays *and* that the resume run never
+    started a pool — it hard-fails ``--check`` when false.
+    """
+    import shutil
+    import tempfile
+
+    import numpy as np
+
+    from repro.core.epp_shard import ShardedEPPEngine
+
+    for name in circuits:
+        row = document["circuits"][name]
+        circuit, sp = _build(name)
+        engine = _fresh_engine(circuit, sp)
+        ids = [engine.compiled.index[site] for site in engine.default_sites()]
+        workdir = tempfile.mkdtemp(prefix="repro-durab-")
+        ckpt = os.path.join(workdir, "ckpt")
+
+        def sharded(checkpoint=None):
+            return ShardedEPPEngine(
+                engine.compiled, engine._sp, jobs=jobs,
+                min_process_work=0, checkpoint=checkpoint,
+            )
+
+        try:
+            plain = sharded()
+            start = time.perf_counter()
+            ref = plain.pack_sites(ids)
+            row["durab_plain_s"] = time.perf_counter() - start
+            plain.close()
+
+            cold = sharded(ckpt)
+            start = time.perf_counter()
+            packed_cold = cold.pack_sites(ids)
+            row["durab_cold_s"] = time.perf_counter() - start
+            row["durab_shards_journaled"] = cold.stats["checkpointed_shards"]
+            cold.close()
+
+            resume = sharded(ckpt)
+            start = time.perf_counter()
+            packed_resume = resume.pack_sites(ids)
+            row["durab_resume_s"] = time.perf_counter() - start
+            row["durab_shards_resumed"] = resume.stats["checkpoint_shards"]
+            resume_pool_started = resume.pool_started
+            resume.close()
+
+            row["resume_identical"] = bool(
+                all(np.array_equal(a, b) for a, b in zip(ref, packed_cold))
+                and all(np.array_equal(a, b) for a, b in zip(ref, packed_resume))
+                and not resume_pool_started
+            )
+            if row["durab_plain_s"] > 0.0:
+                row["checkpoint_overhead"] = (
+                    row["durab_cold_s"] / row["durab_plain_s"]
+                )
+            if row["durab_resume_s"] > 0.0:
+                row["resume_speedup"] = (
+                    row["durab_plain_s"] / row["durab_resume_s"]
+                )
+            for key in ("durab_plain_s", "durab_cold_s", "durab_resume_s",
+                        "checkpoint_overhead", "resume_speedup"):
+                if key in row:
+                    row[key] = round(row[key], 4)
+            if verbose:
+                print(
+                    f"[bench] {name} durability: plain "
+                    f"{row['durab_plain_s']:.2f}s  journaled "
+                    f"{row['durab_cold_s']:.2f}s  resume "
+                    f"{row['durab_resume_s'] * 1e3:.0f}ms "
+                    f"({row.get('resume_speedup', float('nan')):.0f}x, "
+                    f"identical={row['resume_identical']})",
+                    flush=True,
+                )
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
 def host_metadata() -> dict:
     import numpy
 
@@ -619,12 +729,16 @@ def run(circuits, jobs, out_path, verbose=True, prev_baseline=None) -> dict:
                 flush=True,
             )
     bench_server(document, circuits, verbose=verbose)
+    bench_durability(document, circuits, jobs, verbose=verbose)
     if prev_baseline:
         attach_prev_baseline(document, prev_baseline)
     if out_path:
-        with open(out_path, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, indent=2)
-            handle.write("\n")
+        # Atomic: a bench killed mid-write must never leave a truncated
+        # JSON where the committed regression baseline used to be.
+        from repro.core.durable import atomic_write_bytes
+
+        blob = (json.dumps(document, indent=2) + "\n").encode()
+        atomic_write_bytes(out_path, blob)
         if verbose:
             print(f"[bench] wrote {out_path}")
     return document
@@ -648,6 +762,11 @@ def check_absolute_gates(current: dict) -> list[str]:
             failures.append(
                 f"{name}: analyze_delta result is not bit-identical to the "
                 "full re-analysis"
+            )
+        if row.get("resume_identical") is False:
+            failures.append(
+                f"{name}: checkpoint-resumed sharded sweep is not "
+                "bit-identical to the clean run (or restarted the pool)"
             )
         stats = row.get("sharded_resilience_stats", {})
         dirty = {key: count for key, count in stats.items() if count}
@@ -722,7 +841,7 @@ def main(argv=None) -> int:
                         help=f"roster (default: {' '.join(DEFAULT_CIRCUITS)})")
     parser.add_argument("--quick", action="store_true",
                         help=f"short roster ({' '.join(QUICK_CIRCUITS)})")
-    parser.add_argument("--out", default="BENCH_pr8.json",
+    parser.add_argument("--out", default="BENCH_pr9.json",
                         help="output JSON path ('' to skip writing)")
     parser.add_argument("--jobs", type=int, default=None,
                         help="sharded worker count (default: one per core)")
@@ -731,7 +850,7 @@ def main(argv=None) -> int:
                         "(also applies the <2%% resilience-overhead gate)")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed relative ratio drop before failing (0.25)")
-    parser.add_argument("--prev-baseline", default="BENCH_pr7.json",
+    parser.add_argument("--prev-baseline", default="BENCH_pr8.json",
                         help="committed previous-PR trajectory file for the "
                         "cross-PR ladder ratios ('' to skip)")
     args = parser.parse_args(argv)

@@ -298,6 +298,13 @@ def build_parser() -> argparse.ArgumentParser:
         "shard in-process (bit-identical), raise fails fast",
     )
     analyze.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        help="journal each finished shard of a sharded sweep to DIR; a "
+        "re-run after a crash loads finished shards from disk "
+        "(checksum-verified, bit-identical) and only re-sweeps the rest",
+    )
+    analyze.add_argument(
         "--multi-cycle",
         type=int,
         metavar="CYCLES",
@@ -463,6 +470,27 @@ def build_parser() -> argparse.ArgumentParser:
         "finished results, LRU-evicted)",
     )
     serve.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        help="disk tier for the artifact store: results, idempotency "
+        "journal and per-circuit sweep checkpoints live in DIR "
+        "(content-addressed, checksummed, atomically written) so a "
+        "restarted server answers warm",
+    )
+    serve.add_argument(
+        "--disk-mb",
+        type=int,
+        default=512,
+        help="disk-tier budget in MiB for --store-dir (LRU-evicted)",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover a crashed/drained server from --store-dir: reap "
+        "orphan shared-memory segments, report requests persisted at "
+        "the last drain as retriable, and serve journaled results warm",
+    )
+    serve.add_argument(
         "--warm",
         action="append",
         metavar="CIRCUIT",
@@ -564,6 +592,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             retries=args.retries,
             shard_timeout=args.shard_timeout,
             on_failure=args.on_worker_failure,
+            checkpoint=args.checkpoint,
         )
         print(report.format_table(top=args.top))
         if args.csv:
@@ -673,6 +702,8 @@ def _run_serve(args: argparse.Namespace) -> int:
     if args.request_deadline is not None:
         # Same validation path the sharded policy uses: rejects <= 0.
         FaultPolicy.from_knobs(deadline=args.request_deadline)
+    if args.resume and not args.store_dir:
+        raise ConfigError("--resume needs --store-dir (nothing to recover from)")
     service = AnalysisService(
         args.socket,
         max_queue=args.max_queue,
@@ -685,11 +716,21 @@ def _run_serve(args: argparse.Namespace) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
         warm=tuple(args.warm or ()),
+        store_dir=args.store_dir,
+        disk_bytes=args.disk_mb * 1024 * 1024,
+        resume=args.resume,
     )
 
     async def _serve() -> None:
         await service.start()
         print(f"serving on {service.socket_path}", flush=True)
+        if service.recovered_pending:
+            print(
+                f"recovered {len(service.recovered_pending)} pending "
+                "request(s) from the last drain; clients may retry them "
+                "against warm artifacts",
+                flush=True,
+            )
         await service.run()
         print("drained", flush=True)
 

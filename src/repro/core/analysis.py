@@ -249,6 +249,7 @@ class SERAnalyzer:
         shard_timeout: float | None = None,
         on_failure: str | None = None,
         deadline: float | None = None,
+        checkpoint=None,
     ) -> CircuitSERReport:
         """Analyze many sites (default: every combinational gate output).
 
@@ -265,14 +266,17 @@ class SERAnalyzer:
         :class:`~repro.core.resilience.FaultPolicy` — shard retry
         budget, per-shard and global deadlines, and whether an exhausted
         shard raises or degrades to the in-process backend
-        (bit-identical either way).
+        (bit-identical either way).  ``checkpoint`` names the sharded
+        sweep-journal directory (:mod:`repro.core.checkpoint`): completed
+        shards survive the process and an identical re-run resumes from
+        them, bit-identical.
         """
         results = self.engine.analyze(
             sites=sites, sample=sample, seed=seed,
             backend=backend, batch_size=batch_size, jobs=jobs,
             prune=prune, schedule=schedule, cells=cells, chunking=chunking,
             rows=rows, retries=retries, shard_timeout=shard_timeout,
-            on_failure=on_failure, deadline=deadline,
+            on_failure=on_failure, deadline=deadline, checkpoint=checkpoint,
         )
         report = CircuitSERReport(self.circuit.name)
         for site, result in results.items():

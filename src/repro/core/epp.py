@@ -22,6 +22,7 @@ evaluations per site instead.
 
 from __future__ import annotations
 
+import os
 import random
 import threading
 from collections.abc import Mapping, Sequence
@@ -469,6 +470,7 @@ class EPPEngine:
         on_failure: str | None = None,
         deadline: float | None = None,
         fault_injector=None,
+        checkpoint=None,
     ):
         from repro.core.epp_shard import ShardedEPPEngine, default_jobs
         from repro.core.resilience import FaultPolicy
@@ -496,6 +498,9 @@ class EPPEngine:
             or backend.local is not local
             or backend.policy != policy
             or backend.fault_injector is not fault_injector
+            or backend.checkpoint != (
+                None if checkpoint is None else os.fspath(checkpoint)
+            )
         ):
             if backend is not None:
                 backend.close()
@@ -513,6 +518,7 @@ class EPPEngine:
                 rows=rows,
                 policy=policy,
                 fault_injector=fault_injector,
+                checkpoint=checkpoint,
             )
             self._sharded_backend = backend
         return backend
@@ -531,6 +537,7 @@ class EPPEngine:
         on_failure: str | None = None,
         deadline: float | None = None,
         fault_injector=None,
+        checkpoint=None,
     ):
         """The multi-process sharded driver bound to this engine.
 
@@ -552,6 +559,7 @@ class EPPEngine:
         return self._get_sharded_backend(
             jobs, batch_size, prune, schedule, cells, chunking, rows,
             retries, shard_timeout, on_failure, deadline, fault_injector,
+            checkpoint,
         )
 
     def vector_backend(
@@ -607,13 +615,15 @@ class EPPEngine:
         shard_timeout: float | None = None,
         on_failure: str | None = None,
         deadline: float | None = None,
+        checkpoint=None,
     ) -> dict[str, EPPResult]:
         with self._sweep_lock:
             if backend == "sharded":
                 site_ids = [self._cones.resolve(site) for site in sites]
                 return self._get_sharded_backend(
                     jobs, batch_size, prune, schedule, cells, chunking, rows,
-                    retries, shard_timeout, on_failure, deadline,
+                    retries, shard_timeout, on_failure, deadline, None,
+                    checkpoint,
                 ).analyze_sites(site_ids)
             if backend == "vector":
                 site_ids = [self._cones.resolve(site) for site in sites]
@@ -644,6 +654,7 @@ class EPPEngine:
         shard_timeout: float | None = None,
         on_failure: str | None = None,
         deadline: float | None = None,
+        checkpoint=None,
     ) -> dict[str, EPPResult]:
         """EPP for many sites (default: every combinational gate output).
 
@@ -701,6 +712,13 @@ class EPPEngine:
         (finish the shard in-process, bit-identical) or ``"raise"``
         (fail fast on the first shard failure).  See
         :class:`~repro.core.resilience.FaultPolicy`.
+
+        ``checkpoint`` (sharded only, like ``jobs``) names a directory
+        for the per-shard sweep journal (:mod:`repro.core.checkpoint`):
+        completed shards are journaled as they merge, and re-running the
+        identical analysis — including after the process was killed
+        mid-sweep — loads the journaled shards back checksum-verified
+        and re-sweeps only the rest, bit-identical to a clean run.
         """
         self._check_current()
         if sites is None:
@@ -725,6 +743,7 @@ class EPPEngine:
             "shard_timeout": shard_timeout,
             "on_failure": on_failure,
             "deadline": deadline,
+            "checkpoint": checkpoint,
         }
         requested = [k for k, v in resilience_knobs.items() if v is not None]
         if requested and backend != "sharded":
@@ -754,6 +773,7 @@ class EPPEngine:
             return self._analyze_sites(
                 sites, backend, batch_size, jobs, prune, schedule, cells,
                 chunking, rows, retries, shard_timeout, on_failure, deadline,
+                checkpoint,
             )
 
         from repro.core.collapse import collapse_seu_sites
@@ -770,6 +790,7 @@ class EPPEngine:
         rep_results = self._analyze_sites(
             list(by_representative), backend, batch_size, jobs, prune, schedule,
             cells, chunking, rows, retries, shard_timeout, on_failure, deadline,
+            checkpoint,
         )
         results = {}
         for rep, members in by_representative.items():
@@ -807,6 +828,7 @@ class EPPEngine:
         on_failure: str | None = None,
         deadline: float | None = None,
         fault_injector=None,
+        checkpoint=None,
     ):
         """A full analysis packaged for incremental what-if edits.
 
@@ -834,6 +856,7 @@ class EPPEngine:
             chunking=chunking, rows=rows, retries=retries,
             shard_timeout=shard_timeout, on_failure=on_failure,
             deadline=deadline, fault_injector=fault_injector,
+            checkpoint=checkpoint,
         )
 
     def analyze_delta(self, prev, edits, sites: Sequence[int | str] | None = None, **knobs):

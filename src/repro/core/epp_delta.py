@@ -74,15 +74,19 @@ __all__ = [
 KNOB_KEYS = (
     "backend", "batch_size", "jobs", "prune", "schedule", "cells",
     "chunking", "rows", "retries", "shard_timeout", "on_failure", "deadline",
-    "fault_injector",
+    "fault_injector", "checkpoint",
 )
 
 #: The subset of :data:`KNOB_KEYS` that only the sharded backend honors.
 #: ``fault_injector`` is the chaos harness's hook
 #: (:class:`repro.testing.faults.FaultInjector`) — testing only, never
-#: accepted over the analysis-service wire.
+#: accepted over the analysis-service wire.  ``checkpoint`` (the sweep
+#: journal directory, :mod:`repro.core.checkpoint`) is likewise
+#: server-controlled, never wire-reachable: a client must not pick
+#: filesystem paths on the service host.
 RESILIENCE_KNOB_KEYS = (
     "retries", "shard_timeout", "on_failure", "deadline", "fault_injector",
+    "checkpoint",
 )
 
 
@@ -459,6 +463,7 @@ def _pack_backend(engine: EPPEngine, knobs: Mapping):
             on_failure=knobs.get("on_failure"),
             deadline=knobs.get("deadline"),
             fault_injector=knobs.get("fault_injector"),
+            checkpoint=knobs.get("checkpoint"),
         )
     if jobs is not None:
         raise AnalysisError(

@@ -106,6 +106,7 @@ __all__ = [
     "import_shm",
     "partition_shards",
     "preferred_mp_context",
+    "reap_orphan_segments",
 ]
 
 #: Result transports: ``shm`` round-trips packed arrays through
@@ -198,6 +199,58 @@ _SHM_SEQ = itertools.count()
 def _segment_name() -> str:
     """A fresh deterministic segment name for this process's next export."""
     return f"{_SHM_NAME_PREFIX}{os.getpid()}_{next(_SHM_SEQ)}"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        pass
+    # Signal 0 succeeds on zombies, but a zombie can never touch its
+    # segments again — without this, a crashed host's not-yet-reaped
+    # workers would keep their orphan exports pinned in /dev/shm.
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as handle:
+            stat = handle.read()
+        if stat[stat.rindex(b")") + 2 : stat.rindex(b")") + 3] == b"Z":
+            return False
+    except (OSError, ValueError):
+        pass
+    return True
+
+
+def reap_orphan_segments() -> int:
+    """Unlink ``repro_epp_*`` segments whose creating process is dead.
+
+    The in-process quarantine path
+    (:meth:`ShardedEPPEngine._quarantine_segments`) cleans up after
+    workers the *parent* watched die.  When the parent itself is killed
+    (kill -9 mid-sweep), exported-but-undelivered segments outlive
+    everyone; their deterministic ``repro_epp_<pid>_<seq>`` names make
+    them reapable by the next process that resumes the work.  Called on
+    checkpoint resume and at server startup; only segments whose
+    embedded pid no longer exists are touched, so live sweeps in other
+    processes are never disturbed.  Returns the number unlinked.
+    """
+    shm_dir = "/dev/shm"
+    if os.name != "posix" or not os.path.isdir(shm_dir):
+        return 0
+    removed = 0
+    for name in os.listdir(shm_dir):
+        if not name.startswith(_SHM_NAME_PREFIX):
+            continue
+        tail = name[len(_SHM_NAME_PREFIX):]
+        pid_text = tail.split("_", 1)[0]
+        if not pid_text.isdigit() or _pid_alive(int(pid_text)):
+            continue
+        try:
+            os.unlink(os.path.join(shm_dir, name))
+        except OSError:
+            continue
+        removed += 1
+    return removed
 
 
 @dataclass(frozen=True)
@@ -559,6 +612,7 @@ class ShardedEPPEngine:
         on_failure: str | None = None,
         deadline: float | None = None,
         fault_injector=None,
+        checkpoint=None,
     ):
         from repro.core.schedule import (
             resolve_prune,
@@ -610,6 +664,15 @@ class ShardedEPPEngine:
             )
         self.policy = policy
         self.fault_injector = fault_injector
+        #: Directory for the per-shard sweep journal
+        #: (:mod:`repro.core.checkpoint`), or ``None`` to disable.  Each
+        #: full-result sweep journals completed shards there and resumes
+        #: from whatever a previous (possibly killed) process left.
+        self.checkpoint = None if checkpoint is None else os.fspath(checkpoint)
+        #: Test hook threaded into :class:`ShardCheckpoint` — called as
+        #: ``(shard_index, stored_count)`` after each shard file lands;
+        #: the kill-9 chaos test dies here at a deterministic point.
+        self._checkpoint_on_store = None
         #: One :class:`~repro.core.resilience.ShardOutcome` per shard of
         #: the most recent sharded call (empty until one runs).
         self.last_outcomes: list[ShardOutcome] = []
@@ -625,7 +688,10 @@ class ShardedEPPEngine:
         #: ``transport_fallbacks`` shm-export failures demoted to pickle,
         #: ``degraded_shards`` shards finished on the in-process backend,
         #: ``quarantined_segments`` orphaned ``/dev/shm`` segments
-        #: unlinked after worker death.
+        #: unlinked after worker death.  Durability:
+        #: ``checkpoint_shards`` counts shards served from the sweep
+        #: journal instead of re-sweeping, ``checkpointed_shards`` the
+        #: shards journaled to disk as they completed.
         self.stats = {
             "shm_shards": 0,
             "pickle_shards": 0,
@@ -639,6 +705,8 @@ class ShardedEPPEngine:
             "transport_fallbacks": 0,
             "degraded_shards": 0,
             "quarantined_segments": 0,
+            "checkpoint_shards": 0,
+            "checkpointed_shards": 0,
         }
         if local_backend is None:
             from repro.core.epp_batch import BatchEPPBackend
@@ -1408,6 +1476,55 @@ class ShardedEPPEngine:
                     # of blocking here until every in-flight sweep ends.
                     future.add_done_callback(self._discard_shard)
 
+    def _map_with_checkpoint(self, shards: list[list[int]], full: bool):
+        """:meth:`_map_shards` behind the sweep journal, when configured.
+
+        With no ``checkpoint`` directory this is exactly
+        :meth:`_map_shards`.  With one, shards already journaled by a
+        previous (possibly killed) process over the *identical* sweep —
+        same payload digest, same partition — are yielded immediately
+        from disk (``stats["checkpoint_shards"]``), then only the
+        unfinished shards go to the pool; each one is journaled
+        (``stats["checkpointed_shards"]``) the moment it completes,
+        *before* it is merged, so a crash between two merges loses at
+        most the shard in flight.  Exactly-once merge is preserved: a
+        shard comes from the journal or from the pool, never both.
+        """
+        if self.checkpoint is None:
+            yield from self._map_shards(shards, full)
+            return
+        from repro.core.checkpoint import ShardCheckpoint
+
+        journal = ShardCheckpoint.open(
+            self.checkpoint, f"{self.payload_key()}|full={bool(full)}",
+            shards, on_store=self._checkpoint_on_store,
+        )
+        if journal.stats["resumed"]:
+            # A previous process may have died mid-export: its workers'
+            # undelivered segments are orphaned under dead pids.
+            self.stats["quarantined_segments"] += reap_orphan_segments()
+        pending: list[int] = []
+        for index in range(len(shards)):
+            packed = journal.load(index)
+            if packed is None:
+                pending.append(index)
+                continue
+            self.stats["checkpoint_shards"] += 1
+            yield index, packed
+        if not pending:
+            return
+        for sub_index, packed in self._map_shards(
+            [shards[i] for i in pending], full
+        ):
+            index = pending[sub_index]
+            journal.store(index, packed)
+            self.stats["checkpointed_shards"] += 1
+            yield index, packed
+        # _map_shards rebound last_outcomes and numbered them within the
+        # pending subset; restore full-partition indices for the audit.
+        for outcome in self.last_outcomes:
+            outcome.shard = pending[outcome.shard]
+
     # --------------------------------------------------------------- queries
 
     def analyze_sites(self, site_ids: Sequence[int]):
@@ -1426,7 +1543,7 @@ class ShardedEPPEngine:
             return self.local.analyze_sites(site_ids)
         shards, _ = self._shards(site_ids)
         collected: dict = {}
-        for index, packed in self._map_shards(shards, full=True):
+        for index, packed in self._map_with_checkpoint(shards, full=True):
             self.local.materialize(shards[index], packed, collected)
         # Shards complete out of order and the cone-clustered partition
         # permutes sites besides; one rebuild restores input order.
@@ -1452,7 +1569,7 @@ class ShardedEPPEngine:
             return self.local.pack_sites(site_ids)
         shards, position_shards = self._shards(site_ids)
         parts: list = [None] * len(shards)
-        for index, packed in self._map_shards(shards, full=True):
+        for index, packed in self._map_with_checkpoint(shards, full=True):
             parts[index] = packed
         packed = tuple(
             np.concatenate([part[i] for part in parts]) for i in range(5)

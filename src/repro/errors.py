@@ -151,6 +151,18 @@ class RetryBudgetExceededError(ResilienceError):
     """
 
 
+class CheckpointError(AnalysisError):
+    """A sweep checkpoint directory could not be used as configured.
+
+    Raised for *setup* problems only — an unwritable/unmakeable
+    ``checkpoint`` directory, or a path that exists but is not a
+    directory.  Corrupt or stale checkpoint *contents* are never an
+    error: they are quarantined (or discarded) and the affected shards
+    simply re-sweep, so a damaged checkpoint can cost time, not
+    correctness.
+    """
+
+
 class ConfigError(ReproError):
     """Invalid model or experiment configuration values."""
 
@@ -205,6 +217,19 @@ class ServiceUnavailableError(ServerError):
 
     Retriable against a *replacement* instance: in-flight requests are
     finished during a drain, queued-but-unstarted ones get this.
+    """
+
+    retriable = True
+
+
+class ConnectionLostError(ServiceUnavailableError):
+    """The client's connection to the service dropped mid-request.
+
+    Raised by :class:`~repro.server.client.ServeClient` when the socket
+    closes without a reply — the restarted-server shape.  A subclass of
+    :class:`ServiceUnavailableError` so existing ``except`` clauses and
+    the wire taxonomy keep working; the client's auto-retry treats it as
+    a transport failure and reconnects before retrying.
     """
 
     retriable = True

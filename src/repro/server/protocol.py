@@ -17,7 +17,11 @@ Requests
   end-to-end), ``client`` (in-flight accounting id), ``fit`` (also
   assemble the SER report), ``top`` (truncate the report), and
   ``coalesce`` (default true: identical concurrent requests share one
-  sweep).
+  sweep), and ``idempotency_key`` (opt-in exactly-once semantics: a
+  duplicate submission with the same client + key — including after a
+  reconnect to a restarted server — returns the journaled or in-flight
+  result instead of re-sweeping; reusing a key for a *different* request
+  is a terminal error).
 * ``analyze_delta`` — incremental what-if step on the server-held chain
   for the circuit: ``edits`` is a list of edit ops (see
   :func:`edits_from_wire`), remaining fields as for ``analyze``.
@@ -79,7 +83,7 @@ class Request:
 
     __slots__ = (
         "op", "bench", "circuit", "sites", "knobs", "deadline", "client",
-        "fit", "top", "coalesce", "edits",
+        "fit", "top", "coalesce", "edits", "idempotency",
     )
 
     def __init__(self, **fields):
@@ -149,6 +153,14 @@ def parse_request(obj: dict) -> Request:
     sites = obj.get("sites")
     if sites is not None and not isinstance(sites, list):
         raise ConfigError("'sites' must be a list of site names")
+    idempotency = obj.get("idempotency_key")
+    if idempotency is not None:
+        if not isinstance(idempotency, str) or not idempotency:
+            raise ConfigError("'idempotency_key' must be a non-empty string")
+        if op not in ("analyze", "analyze_delta"):
+            raise ConfigError(
+                f"'idempotency_key' applies to analysis ops only, got {op!r}"
+            )
     edits = obj.get("edits")
     if op == "analyze_delta":
         if not isinstance(edits, list) or not edits:
@@ -166,6 +178,7 @@ def parse_request(obj: dict) -> Request:
         top=None if top is None else int(top),
         coalesce=bool(obj.get("coalesce", True)),
         edits=edits,
+        idempotency=idempotency,
     )
 
 

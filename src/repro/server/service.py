@@ -33,6 +33,15 @@ robustness-first; the moving parts are:
 * **Drain on SIGTERM** — in-flight requests finish, queued ones get a
   retriable ``ServiceUnavailableError``, worker pools are closed (no
   /dev/shm leaks), the socket is unlinked.
+* **Crash durability** — with ``store_dir`` set, artifacts write through
+  to a checksummed disk tier, sharded sweeps journal completed shards
+  per circuit under ``store_dir/checkpoints/`` (a restarted server
+  resumes a killed sweep instead of restarting it), requests carrying an
+  ``idempotency_key`` are journaled so duplicates — including after a
+  reconnect to a restarted server — return the recorded result instead
+  of re-sweeping, and a SIGTERM drain persists queued-request metadata
+  that ``resume=True`` (CLI: ``repro serve --resume``) reports back as
+  retriable with warm artifacts.
 """
 
 from __future__ import annotations
@@ -40,6 +49,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import itertools
+import json
 import os
 import signal
 import threading
@@ -48,6 +58,7 @@ from collections import OrderedDict
 
 from repro.core.resilience import Deadline
 from repro.errors import (
+    ConfigError,
     DeadlineExceededError,
     QueueFullError,
     ResilienceError,
@@ -76,7 +87,7 @@ _PRIORITY = {"analyze_delta": 0, "analyze": 1}
 #: degrades to the in-process vector backend.
 _SHARDED_ONLY = (
     "jobs", "retries", "shard_timeout", "on_failure", "deadline",
-    "fault_injector",
+    "fault_injector", "checkpoint",
 )
 
 
@@ -154,13 +165,16 @@ class _CircuitState:
 
 
 class _Item:
-    __slots__ = ("req", "deadline", "future", "key", "index", "enqueued_at")
+    __slots__ = (
+        "req", "deadline", "future", "key", "jkey", "index", "enqueued_at",
+    )
 
-    def __init__(self, req, deadline, future, key, index):
+    def __init__(self, req, deadline, future, key, jkey, index):
         self.req = req
         self.deadline = deadline
         self.future = future
         self.key = key
+        self.jkey = jkey
         self.index = index
         self.enqueued_at = time.monotonic()
 
@@ -191,7 +205,19 @@ class AnalysisService:
         Live per-circuit engines kept; least-recently-used ones are
         closed (pools shut down) on overflow.
     store_bytes:
-        Artifact-store budget (see :class:`ArtifactStore`).
+        Artifact-store memory budget (see :class:`ArtifactStore`).
+    store_dir:
+        Durability directory, or ``None`` (everything in RAM, the PR-8
+        behavior).  Enables the artifact disk tier, per-circuit sweep
+        checkpoints and the idempotency journal.
+    disk_bytes:
+        Disk-tier budget for the artifact store.
+    resume:
+        Recover a predecessor's persisted queued-request metadata from
+        ``store_dir`` at start and reap orphaned ``/dev/shm`` segments
+        left by a killed sweep; recovered entries are reported in
+        ``stats()["recovered_pending"]`` (the artifacts themselves are
+        already warm via the disk tier).
     warm:
         Circuit specs to pre-load at start (engine built; the sharded
         pool is warmed too when ``jobs`` is set).
@@ -216,6 +242,9 @@ class AnalysisService:
         default_deadline: float | None = None,
         max_engines: int = 4,
         store_bytes: int = 64 * 1024 * 1024,
+        store_dir=None,
+        disk_bytes: int = 512 * 1024 * 1024,
+        resume: bool = False,
         breaker_threshold: int = 3,
         breaker_cooldown: float = 30.0,
         warm: tuple = (),
@@ -232,7 +261,16 @@ class AnalysisService:
         self.warm = tuple(warm)
         self.faults = faults
         self.engine_faults = engine_faults
-        self.store = ArtifactStore(max_bytes=store_bytes)
+        self.store = ArtifactStore(
+            max_bytes=store_bytes, store_dir=store_dir, disk_bytes=disk_bytes
+        )
+        self.resume = bool(resume)
+        #: Queued-request metadata a drained predecessor persisted,
+        #: recovered at start under ``resume=True``.  These requests were
+        #: *rejected retriable* at drain time — recovery means telling
+        #: the operator (and any client reading ``stats``) exactly what
+        #: is safe to resubmit against the now-warm artifacts.
+        self.recovered_pending: list[dict] = []
         self.breaker = CircuitBreaker(breaker_threshold, breaker_cooldown)
 
         self._server = None
@@ -243,6 +281,15 @@ class AnalysisService:
         self._seq = itertools.count()
         self._request_index = itertools.count()
         self._sweeps: dict[str, asyncio.Future] = {}
+        #: Open client connections, so drain can actually hang up.  A
+        #: SIGTERM'd process would drop them at exit anyway; closing
+        #: them here keeps an in-process (embedded/test) drain faithful
+        #: to that — clients observe the disconnect and fail over.
+        self._connections: set = set()
+        #: In-flight idempotency keys -> the future computing them, so a
+        #: duplicate submission arriving *during* execution shares the
+        #: result instead of racing a second sweep.
+        self._journal: dict[str, asyncio.Future] = {}
         self._inflight: dict[str, int] = {}
         self._circuits: OrderedDict[str, _CircuitState] = OrderedDict()
         self._circuits_lock = threading.Lock()
@@ -252,6 +299,8 @@ class AnalysisService:
             "coalesced": 0, "cache_hits": 0, "degraded": 0,
             "deadline_queue": 0, "deadline_plan": 0, "deadline_merge": 0,
             "deadline_wait": 0, "drained": 0, "recomputed": 0,
+            "journal_hits": 0, "journal_coalesced": 0,
+            "pending_persisted": 0, "pending_recovered": 0,
         }
 
     # ------------------------------------------------------------ lifecycle
@@ -265,6 +314,8 @@ class AnalysisService:
         self._server = await asyncio.start_unix_server(
             self._handle_client, path=self.socket_path, limit=MAX_LINE_BYTES
         )
+        if self.resume:
+            await asyncio.to_thread(self._recover)
         if self.warm:
             await asyncio.to_thread(self._prewarm)
 
@@ -280,6 +331,58 @@ class AnalysisService:
                         jobs=self.jobs, fault_injector=self.engine_faults
                     )
                     backend.warm(timeout=60.0)
+
+    def _pending_path(self) -> str | None:
+        if self.store.store_dir is None:
+            return None
+        return os.path.join(self.store.store_dir, "pending_requests.json")
+
+    def _recover(self) -> None:
+        """Resume-time recovery: predecessor's pending queue + orphans.
+
+        Reads (and removes) the ``pending_requests.json`` a draining
+        predecessor persisted, and reaps ``/dev/shm`` segments whose
+        owning processes are dead — a kill -9 mid-sweep leaves exported
+        shard results nobody will ever attach.
+        """
+        from repro.core.epp_shard import reap_orphan_segments
+
+        reap_orphan_segments()
+        path = self._pending_path()
+        if path is None:
+            return
+        try:
+            with open(path, "rb") as handle:
+                entries = json.loads(handle.read())
+        except FileNotFoundError:
+            return
+        except (OSError, ValueError):
+            entries = []
+        if isinstance(entries, list):
+            self.recovered_pending = [e for e in entries if isinstance(e, dict)]
+            self.counters["pending_recovered"] = len(self.recovered_pending)
+        with contextlib.suppress(OSError):
+            os.unlink(path)
+
+    def _persist_pending(self, entries: list[dict]) -> None:
+        """Drain-time persistence of queued-but-unstarted request metadata.
+
+        The load-shedding contract says this work never started, so the
+        metadata is everything a successor needs to report the requests
+        retriable: op, client, circuit digest, idempotency key.  Written
+        atomically — a crash mid-drain leaves the previous file (or
+        none), never a torn one.
+        """
+        path = self._pending_path()
+        if path is None or not entries:
+            return
+        from repro.core.durable import atomic_write_bytes
+
+        with contextlib.suppress(OSError):
+            atomic_write_bytes(
+                path, json.dumps(entries, indent=2, sort_keys=True).encode()
+            )
+            self.counters["pending_persisted"] = len(entries)
 
     async def run(self, handle_signals: bool = True) -> None:
         """Serve until SIGTERM/SIGINT, then drain and return."""
@@ -305,6 +408,7 @@ class AnalysisService:
         # Queued-but-unstarted requests are rejected (retriable): the
         # load-shedding contract says their work never started, so a
         # replacement instance can take them verbatim.
+        pending_meta: list[dict] = []
         while True:
             try:
                 _, _, item = self._queue.get_nowait()
@@ -312,6 +416,13 @@ class AnalysisService:
                 break
             if item is not None:
                 self.counters["drained"] += 1
+                pending_meta.append({
+                    "op": item.req.op,
+                    "client": item.req.client,
+                    "circuit": digest_of("circuit", item.req.circuit_spec),
+                    "idempotency_key": item.req.idempotency,
+                    "retriable": True,
+                })
                 self._finish(
                     item,
                     exc=ServiceUnavailableError(
@@ -321,11 +432,19 @@ class AnalysisService:
                 )
                 self._release(item.req)
             self._queue.task_done()
+        await asyncio.to_thread(self._persist_pending, pending_meta)
         for _ in self._worker_tasks:
             await self._queue.put((-1, next(self._seq), None))
         await asyncio.gather(*self._worker_tasks, return_exceptions=True)
         if self._server is not None:
             await self._server.wait_closed()
+        # Hang up on connected clients: the drained instance is done, and
+        # their retry logic should fail over to the replacement (which can
+        # serve journaled results warm).  A dying process would close
+        # these sockets anyway; an embedded drain must do it explicitly.
+        for writer in list(self._connections):
+            with contextlib.suppress(Exception):
+                writer.close()
         with self._circuits_lock:
             states = list(self._circuits.values())
             self._circuits.clear()
@@ -338,6 +457,7 @@ class AnalysisService:
     # ------------------------------------------------------------- protocol
 
     async def _handle_client(self, reader, writer):
+        self._connections.add(writer)
         try:
             while True:
                 try:
@@ -358,6 +478,7 @@ class AnalysisService:
         except (ConnectionResetError, BrokenPipeError):
             pass  # vanished client; any shared sweep keeps running
         finally:
+            self._connections.discard(writer)
             with contextlib.suppress(Exception):
                 writer.close()
                 await writer.wait_closed()
@@ -381,6 +502,21 @@ class AnalysisService:
         return digest_of(
             "analyze", req.circuit_spec, sorted(req.knobs.items()),
             req.sites, req.fit, req.top,
+        )
+
+    def _journal_key(self, req) -> str | None:
+        if req.idempotency is None:
+            return None
+        # Client-scoped: two clients independently choosing key "a" must
+        # never alias each other's results.
+        return digest_of("journal", req.client, req.idempotency)
+
+    @staticmethod
+    def _request_digest(req) -> str:
+        """What an idempotency key must stay bound to: the request body."""
+        return digest_of(
+            "request", req.op, req.circuit_spec, sorted(req.knobs.items()),
+            req.sites, req.fit, req.top, req.edits,
         )
 
     def _retry_after(self) -> float:
@@ -419,6 +555,34 @@ class AnalysisService:
         started = time.monotonic()
         budget = req.deadline if req.deadline is not None else self.default_deadline
         deadline = Deadline(budget)
+        jkey = self._journal_key(req)
+        if jkey is not None:
+            # Journaled duplicate: the request already ran to completion
+            # (possibly in a previous server process — the journal lives
+            # in the artifact store, disk tier included).  Serve the
+            # recorded result; never re-sweep.
+            record = await asyncio.to_thread(self.store.get, "journal", jkey)
+            if record is not None:
+                if record.get("request") != self._request_digest(req):
+                    return error_response(ConfigError(
+                        f"idempotency_key {req.idempotency!r} was already "
+                        f"used by client {req.client!r} for a different "
+                        f"request"
+                    ))
+                self.counters["journal_hits"] += 1
+                payload = dict(record.get("payload") or {})
+                payload["journaled"] = True
+                return ok_response(payload, served_s=round(
+                    time.monotonic() - started, 6
+                ), coalesced=False)
+            shared = self._journal.get(jkey)
+            if shared is not None:
+                # In-flight duplicate: share the computing future, each
+                # subscriber under its own deadline (as with coalescing).
+                self.counters["journal_coalesced"] += 1
+                return await self._await_future(
+                    shared, deadline, started, coalesced=True
+                )
         key = self._coalesce_key(req)
         if key is not None:
             shared = self._sweeps.get(key)
@@ -433,9 +597,11 @@ class AnalysisService:
             self.counters["shed"] += 1
             return error_response(exc)
         future = asyncio.get_running_loop().create_future()
-        item = _Item(req, deadline, future, key, next(self._request_index))
+        item = _Item(req, deadline, future, key, jkey, next(self._request_index))
         if key is not None:
             self._sweeps[key] = future
+        if jkey is not None:
+            self._journal[jkey] = future
         # No await between _admit's full() check and this put: admission
         # and enqueue are atomic on the event loop.
         self._queue.put_nowait((_PRIORITY[req.op], next(self._seq), item))
@@ -520,6 +686,8 @@ class AnalysisService:
     def _finish(self, item: _Item, payload=None, exc=None) -> None:
         if item.key is not None and self._sweeps.get(item.key) is item.future:
             del self._sweeps[item.key]
+        if item.jkey is not None and self._journal.get(item.jkey) is item.future:
+            del self._journal[item.jkey]
         if item.future.done():
             return
         if exc is not None:
@@ -594,6 +762,14 @@ class AnalysisService:
         knobs.setdefault("backend", "sharded")
         if self.engine_faults is not None:
             knobs["fault_injector"] = self.engine_faults
+        if self.store.store_dir is not None:
+            # Server-controlled (never wire-reachable) sweep journal, one
+            # directory per circuit: a sweep the server dies inside is
+            # resumed — not restarted — by its successor.
+            knobs["checkpoint"] = os.path.join(
+                self.store.store_dir, "checkpoints",
+                digest_of("circuit", req.circuit_spec),
+            )
         if dedicated:
             # Explicit (possibly None) so a delta re-sweep never inherits
             # a *previous* request's deadline through the snapshot knobs.
@@ -617,8 +793,17 @@ class AnalysisService:
     def _run_request(self, req, deadline, index) -> dict:
         state = self._state_for(req)
         if req.op == "analyze":
-            return self._run_analyze(req, state, deadline, index)
-        return self._run_delta(req, state, deadline, index)
+            payload = self._run_analyze(req, state, deadline, index)
+        else:
+            payload = self._run_delta(req, state, deadline, index)
+        jkey = self._journal_key(req)
+        if jkey is not None:
+            # Journal successes only: errors stay retriable by design.
+            self.store.put("journal", jkey, {
+                "request": self._request_digest(req),
+                "payload": payload,
+            })
+        return payload
 
     def _sweep(self, req, state, deadline, run, dedicated, index) -> tuple:
         """Run one sweep under the breaker: returns (delta, degraded).
@@ -770,4 +955,5 @@ class AnalysisService:
             "counters": dict(self.counters),
             "artifacts": self.store.stats(),
             "retry_after": self._retry_after(),
+            "recovered_pending": list(self.recovered_pending),
         }

@@ -40,6 +40,7 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "InjectedFault",
+    "KillAfterShards",
     "SERVICE_FAULT_KINDS",
     "ServiceFaultInjector",
     "ServiceFaultSpec",
@@ -161,6 +162,33 @@ class FaultInjector:
                     attempts=attempt,
                     worker_pid=os.getpid(),
                 )
+
+
+# --------------------------------------------------------------------------
+# Checkpoint chaos (PR 9): kill the *host* process mid-sweep.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KillAfterShards:
+    """SIGKILL the calling process after ``n`` shards reach the journal.
+
+    Wire it to ``ShardedEPPEngine._checkpoint_on_store`` in a sacrificial
+    subprocess: the checkpoint calls the hook *after* each shard record
+    is durably on disk and *before* the shard's result is merged, so a
+    fire at ``stored == n`` is the exact "power cut between journal write
+    and merge" point the restart-recovery pin needs.  ``signal.SIGKILL``
+    (not ``os._exit``) so no ``atexit``/``finally`` cleanup runs — the
+    crashed process leaves its temp files and shm segments behind, and
+    recovery must sweep them.
+    """
+
+    n: int
+
+    def __call__(self, index: int, stored: int) -> None:
+        del index
+        if stored >= self.n:
+            os.kill(os.getpid(), 9)
 
 
 # --------------------------------------------------------------------------

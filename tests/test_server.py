@@ -734,3 +734,333 @@ def test_real_worker_crash_through_service_recovers(tmp_path):
             assert backend.stats["worker_crashes"] >= 1
             assert svc.breaker.state == "closed"
     asyncio.run(main())
+
+
+# ------------------------------------------- crash durability (PR 9)
+
+
+class TestDurableServiceJournal:
+    def test_durable_idempotent_duplicate_served_from_journal(self, tmp_path):
+        async def main():
+            async with serving(
+                tmp_path, store_dir=str(tmp_path / "store")
+            ) as svc:
+                req = dict(
+                    op="analyze", circuit="c17", client="a",
+                    idempotency_key="k1", coalesce=False,
+                )
+                first = await svc._respond(wire(**req))
+                assert first["ok"]
+                assert "journaled" not in first["result"]
+                again = await svc._respond(wire(**req))
+                assert again["result"]["journaled"] is True
+                assert svc.counters["journal_hits"] == 1
+                assert np.array_equal(
+                    np.asarray(first["result"]["p_sensitized"]),
+                    np.asarray(again["result"]["p_sensitized"]),
+                )
+        asyncio.run(main())
+
+    def test_durable_journal_keys_are_client_scoped(self, tmp_path):
+        async def main():
+            async with serving(
+                tmp_path, store_dir=str(tmp_path / "store")
+            ) as svc:
+                base = dict(
+                    op="analyze", circuit="c17",
+                    idempotency_key="shared-key", coalesce=False,
+                )
+                await svc._respond(wire(client="a", **base))
+                other = await svc._respond(wire(client="b", **base))
+                # Client b's first use of the key computes; no aliasing.
+                assert other["ok"]
+                assert "journaled" not in other["result"]
+                assert svc.counters["journal_hits"] == 0
+        asyncio.run(main())
+
+    def test_durable_reused_key_for_different_request_rejected(self, tmp_path):
+        async def main():
+            async with serving(
+                tmp_path, store_dir=str(tmp_path / "store")
+            ) as svc:
+                await svc._respond(wire(
+                    op="analyze", circuit="c17", client="a",
+                    idempotency_key="k1", coalesce=False,
+                ))
+                reused = await svc._respond(wire(
+                    op="analyze", circuit="s27", client="a",
+                    idempotency_key="k1", coalesce=False,
+                ))
+                assert not reused["ok"]
+                assert reused["error"]["type"] == "ConfigError"
+                assert not reused["error"]["retriable"]
+        asyncio.run(main())
+
+    def test_durable_journal_survives_server_restart(self, tmp_path, c17_ref):
+        # The restarted-server shape: a duplicate retried against a brand
+        # new process sharing the --store-dir replays the journaled
+        # result off disk instead of re-sweeping.
+        store = str(tmp_path / "store")
+        req = dict(
+            op="analyze", circuit="c17", client="a",
+            idempotency_key="k1", coalesce=False,
+        )
+
+        async def main():
+            async with serving(tmp_path, store_dir=store) as svc:
+                first = await svc._respond(wire(**req))
+                assert first["ok"]
+            async with serving(tmp_path, store_dir=store, resume=True) as svc:
+                again = await svc._respond(wire(**req))
+                assert again["result"]["journaled"] is True
+                assert svc.counters["journal_hits"] == 1
+                assert_matches_reference(again["result"], c17_ref)
+        asyncio.run(main())
+
+    def test_durable_memory_only_service_skips_journal(self, tmp_path):
+        async def main():
+            async with serving(tmp_path) as svc:  # no store_dir
+                req = dict(
+                    op="analyze", circuit="c17", client="a",
+                    idempotency_key="k1", coalesce=False,
+                )
+                await svc._respond(wire(**req))
+                again = await svc._respond(wire(**req))
+                # Still served from the in-memory journal tier.
+                assert again["result"]["journaled"] is True
+        asyncio.run(main())
+
+    def test_durable_checkpoint_dir_injected_for_sharded_sweeps(self, tmp_path):
+        from repro.core.resilience import Deadline
+        from repro.server.protocol import parse_request
+
+        async def main():
+            async with serving(
+                tmp_path, jobs=2, store_dir=str(tmp_path / "store")
+            ) as svc:
+                req = parse_request({"op": "analyze", "circuit": "c17"})
+                knobs, degraded = svc._sweep_knobs(
+                    req, Deadline(None), dedicated=False
+                )
+                assert not degraded
+                assert knobs["checkpoint"].startswith(
+                    os.path.join(str(tmp_path / "store"), "checkpoints")
+                )
+                # Wire requests can never smuggle a checkpoint path in.
+                assert "checkpoint" not in WIRE_KNOB_KEYS
+        asyncio.run(main())
+
+
+class TestDurableLifecycle:
+    def test_durable_drain_persists_pending_and_resume_recovers(self, tmp_path):
+        faults = ServiceFaultInjector([
+            ServiceFaultSpec("stall_request", stall_s=0.3, request=0),
+        ])
+        store = str(tmp_path / "store")
+        pending_file = os.path.join(store, "pending_requests.json")
+
+        async def main():
+            svc = AnalysisService(
+                tmp_path / "repro.sock", workers=1, faults=faults,
+                store_dir=store,
+            )
+            await svc.start()
+            running = asyncio.create_task(svc._respond(wire(
+                op="analyze", circuit="c17", coalesce=False, client="a",
+            )))
+            await asyncio.sleep(0.05)
+            queued = asyncio.create_task(svc._respond(wire(
+                op="analyze", circuit="c17", coalesce=False, client="b",
+                idempotency_key="retry-me",
+            )))
+            # The journal miss hops through a worker thread before the
+            # request reaches the queue; give it time to be admitted.
+            await asyncio.sleep(0.1)
+            await svc.drain()
+            finished, rejected = await asyncio.gather(running, queued)
+            assert finished["ok"]
+            assert rejected["error"]["retriable"]
+            # The shed request's metadata reached disk atomically.
+            assert os.path.exists(pending_file)
+            with open(pending_file, encoding="utf-8") as handle:
+                entries = json.load(handle)
+            assert len(entries) == 1
+            assert entries[0]["client"] == "b"
+            assert entries[0]["idempotency_key"] == "retry-me"
+            assert entries[0]["retriable"] is True
+
+            successor = AnalysisService(
+                tmp_path / "repro.sock", store_dir=store, resume=True,
+            )
+            await successor.start()
+            assert successor.counters["pending_recovered"] == 1
+            stats = successor.stats()
+            assert stats["recovered_pending"][0]["idempotency_key"] == "retry-me"
+            # Consumed, not replayed forever.
+            assert not os.path.exists(pending_file)
+            await successor.drain()
+        asyncio.run(main())
+
+    def test_durable_resume_without_predecessor_is_clean(self, tmp_path):
+        async def main():
+            svc = AnalysisService(
+                tmp_path / "repro.sock",
+                store_dir=str(tmp_path / "store"), resume=True,
+            )
+            await svc.start()
+            assert svc.counters["pending_recovered"] == 0
+            assert svc.stats()["recovered_pending"] == []
+            response = await svc._respond(wire(op="analyze", circuit="c17"))
+            assert response["ok"]
+            await svc.drain()
+        asyncio.run(main())
+
+
+# -------------------------------------------------- client retry (PR 9)
+
+
+def _stub_server(path, script):
+    """A canned-reply unix-socket server for client retry tests.
+
+    ``script`` is a list consumed one request at a time: a dict is sent
+    back as the JSON reply; the string ``"drop"`` closes the connection
+    without replying (the killed-server shape).
+    """
+    import socket as socket_module
+    import threading
+
+    server = socket_module.socket(
+        socket_module.AF_UNIX, socket_module.SOCK_STREAM
+    )
+    server.bind(str(path))
+    server.listen(8)
+    server.settimeout(30.0)
+
+    def serve():
+        while script:
+            try:
+                conn, _ = server.accept()
+            except OSError:
+                return
+            handle = conn.makefile("rb")
+            while script:
+                line = handle.readline()
+                if not line:
+                    break
+                action = script.pop(0)
+                if action == "drop":
+                    break
+                conn.sendall(json.dumps(action).encode() + b"\n")
+            handle.close()
+            conn.close()
+        server.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestDurableClientRetry:
+    def test_durable_client_retries_retriable_then_succeeds(self, tmp_path):
+        sock = tmp_path / "stub.sock"
+        thread = _stub_server(sock, [
+            {"ok": False, "error": {
+                "type": "QueueFullError", "message": "full",
+                "retriable": True, "retry_after": 0.01,
+            }},
+            {"ok": True, "result": {"pong": True}},
+        ])
+        with ServeClient(sock, retries=1, backoff=0.01) as client:
+            assert client.ping()["pong"]
+            assert client.last_attempts == 2
+        thread.join(timeout=10)
+
+    def test_durable_client_default_raises_immediately(self, tmp_path):
+        sock = tmp_path / "stub.sock"
+        _stub_server(sock, [
+            {"ok": False, "error": {
+                "type": "QueueFullError", "message": "full",
+                "retriable": True, "retry_after": 0.01,
+            }},
+        ])
+        with ServeClient(sock) as client:  # retries=0 preserves PR-8 shape
+            with pytest.raises(QueueFullError):
+                client.ping()
+            assert client.last_attempts == 1
+
+    def test_durable_client_never_retries_terminal_errors(self, tmp_path):
+        from repro.server.client import ServeRequestError
+
+        sock = tmp_path / "stub.sock"
+        _stub_server(sock, [
+            {"ok": False, "error": {
+                "type": "ConfigError", "message": "bad knob",
+                "retriable": False,
+            }},
+        ])
+        with ServeClient(sock, retries=5, backoff=0.01) as client:
+            with pytest.raises(ServeRequestError):
+                client.ping()
+            assert client.last_attempts == 1
+
+    def test_durable_client_reconnects_once_on_drop(self, tmp_path):
+        sock = tmp_path / "stub.sock"
+        _stub_server(sock, [
+            "drop",
+            {"ok": True, "result": {"pong": True}},
+        ])
+        with ServeClient(sock, backoff_cap=0.05) as client:
+            assert client.ping()["pong"]
+            assert client.reconnects == 1
+
+    def test_durable_client_reconnect_disabled_raises(self, tmp_path):
+        from repro.errors import ConnectionLostError
+
+        sock = tmp_path / "stub.sock"
+        _stub_server(sock, ["drop"])
+        with ServeClient(sock, reconnect=False) as client:
+            with pytest.raises(ConnectionLostError):
+                client.ping()
+            # The taxonomy is preserved: callers catching the PR-8
+            # ServiceUnavailableError still catch the drop.
+            assert issubclass(ConnectionLostError, ServiceUnavailableError)
+
+    def test_durable_client_rides_through_server_restart(
+        self, tmp_path, c17_ref
+    ):
+        # The whole PR-9 story end to end: a client holding an open
+        # connection sees its server drain and a successor start on the
+        # same socket + store; its retried idempotent request reconnects
+        # and replays the journaled result bit-identically.
+        store = str(tmp_path / "store")
+        sock = tmp_path / "repro.sock"
+
+        async def main():
+            first = AnalysisService(sock, store_dir=store)
+            await first.start()
+            client = ServeClient(sock, client_id="a", backoff_cap=0.05)
+
+            def ask():
+                return client.analyze(
+                    circuit="c17", idempotency_key="k1", coalesce=False
+                )["result"]
+
+            try:
+                one = await asyncio.to_thread(ask)
+                await first.drain()
+                successor = AnalysisService(sock, store_dir=store, resume=True)
+                await successor.start()
+                try:
+                    two = await asyncio.to_thread(ask)
+                finally:
+                    await successor.drain()
+                assert two["journaled"] is True
+                assert client.reconnects == 1
+                assert_matches_reference(two, c17_ref)
+                assert np.array_equal(
+                    np.asarray(one["p_sensitized"]),
+                    np.asarray(two["p_sensitized"]),
+                )
+            finally:
+                client.close()
+        asyncio.run(main())

@@ -151,3 +151,160 @@ def test_tiny_budget_stores_nothing(budget):
     store = ArtifactStore(max_bytes=budget)
     assert not store.put("blob", "k", b"payload")
     assert store.stats()["entries"] == 0
+
+
+# --------------------------------------------------------------------------
+# The disk tier (PR 9): durable, checksummed, shared between processes.
+# --------------------------------------------------------------------------
+
+
+class TestDiskTierDurability:
+    def test_durable_restart_rehydrates_index(self, tmp_path):
+        first = ArtifactStore(store_dir=tmp_path / "store")
+        first.put("result", "k", {"p": [0.5]})
+        # A brand-new store over the same directory answers warm: the
+        # startup scan rebuilt the index, the read re-verified the
+        # checksum off disk.
+        second = ArtifactStore(store_dir=tmp_path / "store")
+        assert second.stats()["disk_entries"] == 1
+        assert second.get("result", "k") == {"p": [0.5]}
+        assert second.stats()["disk_hits"] == 1
+        # Promotion: the second read is a pure memory hit.
+        assert second.get("result", "k") == {"p": [0.5]}
+        assert second.stats()["disk_hits"] == 1
+        assert second.stats()["hits"] == 1
+
+    def test_durable_memory_eviction_demotes_not_destroys(self, tmp_path):
+        store = ArtifactStore(max_bytes=600, store_dir=tmp_path / "store")
+        store.put("blob", "a", b"x" * 400)
+        store.put("blob", "b", b"y" * 400)  # evicts 'a' from memory
+        assert store.stats()["evictions"] == 1
+        # 'a' survives on disk and is served (and re-promoted) from there.
+        assert store.get("blob", "a") == b"x" * 400
+        assert store.stats()["disk_hits"] == 1
+
+    def test_durable_corrupt_file_quarantined_and_recomputed(self, tmp_path):
+        store_dir = tmp_path / "store"
+        first = ArtifactStore(store_dir=store_dir)
+        first.put("result", "k", {"rev": 1})
+        path = store_dir / "result" / "k.art"
+        blob = bytearray(path.read_bytes())
+        blob[-3] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        second = ArtifactStore(store_dir=store_dir)
+        assert second.get("result", "k") is None
+        assert second.stats()["corrupt"] == 1
+        assert ("result", "k") in second.quarantined
+        assert not path.exists()
+        quarantined = list((store_dir / "quarantine").iterdir())
+        assert len(quarantined) == 1  # moved aside for forensics, not gone
+        # Recompute-and-store rehabilitates both tiers.
+        second.put("result", "k", {"rev": 1})
+        third = ArtifactStore(store_dir=store_dir)
+        assert third.get("result", "k") == {"rev": 1}
+
+    def test_durable_token_staleness_purges_disk(self, tmp_path):
+        store_dir = tmp_path / "store"
+        first = ArtifactStore(store_dir=store_dir)
+        first.put("result", "k", {"rev": 1}, token=1)
+        second = ArtifactStore(store_dir=store_dir)
+        assert second.get("result", "k", token=2) is None
+        assert second.stats()["stale"] == 1
+        assert not (store_dir / "result" / "k.art").exists()
+        # Gone for good, not just hidden from the new token.
+        assert second.get("result", "k", token=1) is None
+
+    def test_durable_disk_lru_eviction_by_bytes(self, tmp_path):
+        store = ArtifactStore(
+            max_bytes=64 * 1024, store_dir=tmp_path / "store", disk_bytes=1200
+        )
+        store.put("blob", "a", b"x" * 400)
+        store.put("blob", "b", b"y" * 400)
+        store.put("blob", "c", b"z" * 400)  # header bytes push 'a' out
+        stats = store.stats()
+        assert stats["disk_evictions"] >= 1
+        assert stats["disk_bytes"] <= 1200
+        assert not (tmp_path / "store" / "blob" / "a.art").exists()
+
+    def test_durable_restart_sweeps_tmp_residue(self, tmp_path):
+        store_dir = tmp_path / "store"
+        ArtifactStore(store_dir=store_dir).put("result", "k", b"payload")
+        # A crash mid-write leaves a temp file next to the records.
+        (store_dir / "result" / ".k.art.123.tmp").write_bytes(b"partial")
+        store = ArtifactStore(store_dir=store_dir)
+        assert store.stats()["tmp_cleaned"] == 1
+        assert list((store_dir / "result").glob("*.tmp")) == []
+        assert store.get("result", "k") == b"payload"
+
+    def test_durable_cross_store_discovery_without_restart(self, tmp_path):
+        # Two live stores over one directory (two server processes): a
+        # put through one is visible to the other without any restart,
+        # because disk gets always probe the filesystem.
+        store_dir = tmp_path / "store"
+        writer = ArtifactStore(store_dir=store_dir)
+        reader = ArtifactStore(store_dir=store_dir)
+        assert reader.get("result", "k") is None
+        writer.put("result", "k", {"rev": 7})
+        assert reader.get("result", "k") == {"rev": 7}
+
+    def test_durable_memory_only_store_unchanged(self):
+        store = ArtifactStore()
+        store.put("blob", "k", b"x")
+        stats = store.stats()
+        assert stats["store_dir"] is None
+        assert stats["disk_entries"] == 0 and stats["disk_hits"] == 0
+
+    def test_durable_clear_disk_unlinks_files(self, tmp_path):
+        store_dir = tmp_path / "store"
+        store = ArtifactStore(store_dir=store_dir)
+        store.put("result", "k", b"payload")
+        store.clear(disk=True)
+        assert store.get("result", "k") is None
+        assert not (store_dir / "result" / "k.art").exists()
+
+
+def _hammer_store(store_dir, tag: str, rounds: int, error_queue) -> None:
+    """Cross-process churn worker: self-validating payloads, shared dir."""
+    try:
+        store = ArtifactStore(max_bytes=256 * 1024, store_dir=store_dir)
+        for i in range(rounds):
+            key = f"k{i % 5}"
+            expected = (key * 50).encode()
+            store.put("blob", key, expected)
+            loaded = store.get("blob", key)
+            # Torn or interleaved writes must surface as a miss (checksum
+            # reject), never as wrong bytes.
+            if loaded is not None and loaded != expected:
+                raise AssertionError(f"{tag}: torn read for {key}")
+    except BaseException as exc:  # pragma: no cover - failure detail
+        error_queue.put(f"{tag}: {exc!r}")
+
+
+class TestDiskTierCrossProcess:
+    def test_durable_two_processes_share_one_store_dir(self, tmp_path):
+        # The two-servers-one---store-dir shape: concurrent writers and
+        # readers over the same keys.  Last-writer-wins is acceptable;
+        # serving a payload that fails its checksum is not.
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("spawn")
+        errors = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_hammer_store,
+                args=(str(tmp_path / "store"), f"p{n}", 200, errors),
+            )
+            for n in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        assert errors.empty()
+        # The survivors still verify from a fresh store.
+        store = ArtifactStore(store_dir=tmp_path / "store")
+        for i in range(5):
+            key = f"k{i}"
+            loaded = store.get("blob", key)
+            assert loaded is None or loaded == (key * 50).encode()
