@@ -59,6 +59,16 @@ artifact-cached repeat (``serve_warm_s``) latencies of one long-lived
 at :data:`SERVE_WARM_SPEEDUP_FLOOR` where the cold run clears its
 noise floor;
 
+plus the **config-layer cost row** (the PR-10 unification): the same
+warm full-circuit vector sweep invoked through the legacy kwargs
+surface (``config_kwargs_s``) and through one prebuilt
+``AnalysisConfig`` object (``config_object_s``).  Both routes funnel
+into the same config internally, so their ratio ``config_overhead``
+isolates exactly what the unification added per call — construction,
+validation and routing of the typed option layer — and is gated
+absolutely at :data:`CONFIG_OVERHEAD_CEILING` wherever the kwargs run
+clears :data:`CONFIG_NOISE_FLOOR_S`;
+
 plus the **crash-durability workload** (the PR-9 checkpoint layer):
 per circuit, a plain sharded sweep (``durab_plain_s``), the same sweep
 journaling every finished shard to a checkpoint directory
@@ -71,11 +81,11 @@ resumed result ``np.array_equal`` to the clean run — hard-fails the
 ``--check`` gate when false: a fast restart that disagrees is not
 recovery, it's corruption.
 
-Results land in a JSON document (default ``BENCH_pr9.json``, written
+Results land in a JSON document (default ``BENCH_pr10.json``, written
 atomically: temp file + rename, so a crashed bench never leaves a
 truncated baseline) with host metadata; when the committed
-``BENCH_pr8.json`` sits next to the output the cross-PR ladder ratios
-(this run vs the *recorded* PR-8 seconds, same container) are included
+``BENCH_pr9.json`` sits next to the output the cross-PR ladder ratios
+(this run vs the *recorded* PR-9 seconds, same container) are included
 per circuit as ``vs_prev_baseline``.
 
 ``--check BASELINE`` compares the *speedup ratios* of a fresh run against
@@ -84,8 +94,10 @@ a committed baseline and exits non-zero on a >``--tolerance`` regression
 host hardware, while the sparse/dense and clustered ratios are properties
 of the execution strategy; circuits present in only one file are skipped,
 as are baseline ratios near parity (<1.2 — not speedup claims to defend).
-The resilience-overhead gate is the one absolute check: the fresh run's
-``resilience_overhead`` must stay under 1.02 wherever it is measurable.
+Two absolute checks ride along: the fresh run's ``resilience_overhead``
+and ``config_overhead`` must each stay under 1.02 wherever they are
+measurable — the fault machinery and the unified config layer both
+promised a <2% clean-path cost.
 """
 
 from __future__ import annotations
@@ -133,6 +145,14 @@ SERVE_COLD_NOISE_FLOOR_S = 1.0
 #: processes actually engaged and the warm run clears the noise floor.
 RESILIENCE_OVERHEAD_CEILING = 1.02
 RESILIENCE_NOISE_FLOOR_S = 0.5
+
+#: The clean-path cost ceiling for the unified AnalysisConfig layer
+#: (PR 10): routing a sweep through one prebuilt config object may cost
+#: at most 2% over the legacy kwargs surface on the same warm engine.
+#: Only gated where the kwargs run clears the noise floor — below it
+#: the ratio measures dispatch jitter, not the option layer.
+CONFIG_OVERHEAD_CEILING = 1.02
+CONFIG_NOISE_FLOOR_S = 0.25
 
 #: The resilience counters snapshotted next to the armed sharded run —
 #: all zero on a healthy host (anything else means the bench itself hit
@@ -259,6 +279,46 @@ def bench_circuit(name: str, jobs: int | None) -> dict:
     sparse_engine.analyze(sites=sites, backend="vector")
     row["sweep_stats"] = _snapshot_stats(sparse_engine.vector_backend())
     row["sparse_s"] = _timed_analyze(sparse_engine, sites)
+
+    # ---- clean-path cost of the unified config layer (PR 10) ----
+    # The same warm vector sweep, differing only in how the knobs
+    # arrive: spelled out as legacy kwargs vs one prebuilt
+    # AnalysisConfig.  Both routes build the same config internally, so
+    # the ratio isolates construction + validation + routing of the
+    # typed option layer — the <2% promise the unification shipped
+    # under.  Best-of-several on both sides for the same reason as the
+    # resilience gate: a ratio gated at 1.02 cannot ride on two single
+    # samples of a shared runner.
+    from repro.core.config import AnalysisConfig
+
+    config_knobs = dict(
+        prune=True, schedule="cone", cells="auto", chunking="auto",
+        rows="auto",
+    )
+    config_object = AnalysisConfig(backend="vector", **config_knobs)
+
+    def timed_config(call) -> float:
+        call()  # warm the plan for this exact knob set before timing
+
+        def measure() -> float:
+            start = time.perf_counter()
+            call()
+            return time.perf_counter() - start
+
+        return _best_of(measure, floor_s=20.0, max_repeats=5)
+
+    row["config_kwargs_s"] = timed_config(
+        lambda: sparse_engine.analyze(
+            sites=sites, backend="vector", **config_knobs
+        )
+    )
+    row["config_object_s"] = timed_config(
+        lambda: sparse_engine.analyze(sites=sites, config=config_object)
+    )
+    if row["config_kwargs_s"] > 0.0:
+        row["config_overhead"] = (
+            row["config_object_s"] / row["config_kwargs_s"]
+        )
 
     # ---- sharded driver, default guard, cold pool included ----
     sharded_engine = _fresh_engine(circuit, sp)
@@ -711,6 +771,10 @@ def run(circuits, jobs, out_path, verbose=True, prev_baseline=None) -> dict:
                 f"  resilience-overhead {row['resilience_overhead']:.3f}x"
                 if "resilience_overhead" in row else ""
             )
+            config_cost = (
+                f"  config-overhead {row['config_overhead']:.3f}x"
+                if "config_overhead" in row else ""
+            )
             delta = (
                 f"  delta {row['delta_single_s'] * 1e3:.0f}ms "
                 f"({row['delta_single_dirty']}/{row['n_sites']} dirty, "
@@ -725,7 +789,7 @@ def run(circuits, jobs, out_path, verbose=True, prev_baseline=None) -> dict:
                 f"sparse {row['sparse_s']:.2f}s  "
                 f"sharded {row['sharded_s']:.2f}s  "
                 f"sparse-vs-vector {row['speedup_sparse_vs_vector']:.2f}x"
-                f"{resilience}{clustered}{delta}",
+                f"{config_cost}{resilience}{clustered}{delta}",
                 flush=True,
             )
     bench_server(document, circuits, verbose=verbose)
@@ -750,11 +814,15 @@ def check_absolute_gates(current: dict) -> list[str]:
     Fault machinery must stay <2% on the clean path: wherever worker
     processes engaged and the warm sharded run clears the noise floor,
     the armed-policy run may cost at most
-    :data:`RESILIENCE_OVERHEAD_CEILING`.  A non-zero resilience counter
-    also fails — the bench hitting real worker failures taints every
-    sharded timing in the row.  And the incremental what-if result must
-    be bit-identical to the full re-analysis it raced — a fast delta
-    that disagrees is not a speedup, it's a bug.
+    :data:`RESILIENCE_OVERHEAD_CEILING`.  The unified config layer made
+    the same promise: routing the sweep through one ``AnalysisConfig``
+    may cost at most :data:`CONFIG_OVERHEAD_CEILING` over the legacy
+    kwargs spelling where the kwargs run clears its noise floor.  A
+    non-zero resilience counter also fails — the bench hitting real
+    worker failures taints every sharded timing in the row.  And the
+    incremental what-if result must be bit-identical to the full
+    re-analysis it raced — a fast delta that disagrees is not a
+    speedup, it's a bug.
     """
     failures = []
     for name, row in current.get("circuits", {}).items():
@@ -782,6 +850,17 @@ def check_absolute_gates(current: dict) -> list[str]:
                 f"{name}.serve_warm_speedup: {speedup:.1f} < "
                 f"{SERVE_WARM_SPEEDUP_FLOOR} (a warm-server repeat request "
                 "must beat the cold one-shot CLI)"
+            )
+        config_overhead = row.get("config_overhead")
+        if (
+            config_overhead is not None
+            and row.get("config_kwargs_s", 0.0) >= CONFIG_NOISE_FLOOR_S
+            and config_overhead > CONFIG_OVERHEAD_CEILING
+        ):
+            failures.append(
+                f"{name}.config_overhead: {config_overhead:.3f} > "
+                f"{CONFIG_OVERHEAD_CEILING} (routing a sweep through one "
+                f"AnalysisConfig must cost <2% over legacy kwargs)"
             )
         overhead = row.get("resilience_overhead")
         if overhead is None:
@@ -841,16 +920,17 @@ def main(argv=None) -> int:
                         help=f"roster (default: {' '.join(DEFAULT_CIRCUITS)})")
     parser.add_argument("--quick", action="store_true",
                         help=f"short roster ({' '.join(QUICK_CIRCUITS)})")
-    parser.add_argument("--out", default="BENCH_pr9.json",
+    parser.add_argument("--out", default="BENCH_pr10.json",
                         help="output JSON path ('' to skip writing)")
     parser.add_argument("--jobs", type=int, default=None,
                         help="sharded worker count (default: one per core)")
     parser.add_argument("--check", metavar="BASELINE",
                         help="compare speedup ratios against a baseline JSON "
-                        "(also applies the <2%% resilience-overhead gate)")
+                        "(also applies the <2%% resilience- and "
+                        "config-overhead gates)")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed relative ratio drop before failing (0.25)")
-    parser.add_argument("--prev-baseline", default="BENCH_pr8.json",
+    parser.add_argument("--prev-baseline", default="BENCH_pr9.json",
                         help="committed previous-PR trajectory file for the "
                         "cross-PR ladder ratios ('' to skip)")
     args = parser.parse_args(argv)

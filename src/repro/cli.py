@@ -13,6 +13,9 @@ Commands
   driven by the incremental analyzer.
 * ``serve`` — run the long-lived analysis service on a unix socket
   (admission control, request deadlines, artifact cache, degradation).
+* ``knobs``   — print the analysis-knob reference, generated from the
+  :class:`~repro.core.config.AnalysisConfig` field metadata (the same
+  table the CLI flags and the wire schema derive from).
 * ``stats``   — print circuit statistics.
 * ``generate`` — emit a synthetic ISCAS'89-profile circuit as ``.bench``.
 * ``list``    — list embedded circuits and known profiles.
@@ -60,56 +63,69 @@ def resolve_circuit(spec: str) -> Circuit:
     )
 
 
-def _add_delta_knob_args(parser: argparse.ArgumentParser) -> None:
-    """Analysis knobs shared by the incremental subcommands."""
-    parser.add_argument(
-        "--backend",
-        choices=("auto", "vector", "sharded"),
-        default="auto",
-        help="EPP backend for the packed sweeps (no scalar: the "
-        "incremental layer splices packed arrays)",
-    )
-    parser.add_argument(
-        "--batch-size", type=int, help="sites per chunk for the vector backend"
-    )
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        help="worker processes (implies --backend sharded unless forced)",
-    )
-    parser.add_argument(
-        "--schedule", choices=("auto", "cone", "input"), default="auto",
-        help="chunk scheduling (auto: cone-cluster multi-chunk site lists)",
-    )
-    parser.add_argument(
-        "--no-prune", action="store_true",
-        help="disable the cone-aware sparse sweep",
-    )
-    parser.add_argument(
-        "--cells", choices=("auto", "on", "off"), default="auto",
-        help="cell-compaction mode of pruned sweeps",
-    )
-    parser.add_argument(
-        "--chunking", choices=("auto", "adaptive", "fixed"), default="auto",
-        help="chunk-width strategy",
-    )
-    parser.add_argument(
-        "--rows", choices=("auto", "compact", "full"), default="auto",
-        help="state-matrix row layout of pruned sweeps",
-    )
+def _add_analysis_flags(
+    parser: argparse.ArgumentParser, *, delta: bool = False
+) -> None:
+    """Analysis-knob flags, generated from the
+    :class:`~repro.core.config.AnalysisConfig` field metadata — a knob
+    added there (or a backend registered in
+    :data:`repro.core.backends.REGISTRY`) shows up on ``analyze`` with
+    zero CLI edits.  ``delta=True`` keeps only the knobs the incremental
+    layer accepts (no resilience/checkpoint surface) and restricts
+    ``--backend`` to pack-capable backends (the incremental layer
+    splices packed arrays, so the scalar oracle is out).
+    """
+    from repro.core.backends import REGISTRY
+    from repro.core.config import KNOB_KEYS, field_metadata
+
+    for name in KNOB_KEYS:
+        meta = field_metadata(name)
+        flag = meta["cli"]
+        if flag is None or (delta and not meta["delta"]):
+            continue
+        if name == "backend":
+            names = REGISTRY.pack_capable_names() if delta else REGISTRY.names()
+            parser.add_argument(
+                flag, choices=("auto",) + tuple(names), default="auto",
+                help=meta["doc"],
+            )
+        elif meta["kind"] == "prune":
+            # The config knob is tri-state (None/auto, True, False); the
+            # CLI exposes only the force-dense side as --no-prune.
+            parser.add_argument(
+                flag, dest=name, action="store_false", default=None,
+                help=meta["doc"],
+            )
+        elif meta["kind"] == "choice":
+            parser.add_argument(
+                flag, dest=name, choices=meta["choices"], help=meta["doc"]
+            )
+        elif meta["kind"] == "int":
+            parser.add_argument(flag, dest=name, type=int, help=meta["doc"])
+        elif meta["kind"] == "float":
+            parser.add_argument(
+                flag, dest=name, type=float, metavar="SECONDS",
+                help=meta["doc"],
+            )
+        else:  # paths and other pass-through strings
+            parser.add_argument(
+                flag, dest=name, metavar="DIR", help=meta["doc"]
+            )
 
 
-def _delta_knobs(args: argparse.Namespace) -> dict:
-    return dict(
-        backend=None if args.backend == "auto" else args.backend,
-        batch_size=args.batch_size,
-        jobs=args.jobs,
-        prune=False if args.no_prune else None,
-        schedule=None if args.schedule == "auto" else args.schedule,
-        cells=None if args.cells == "auto" else args.cells,
-        chunking=None if args.chunking == "auto" else args.chunking,
-        rows=None if args.rows == "auto" else args.rows,
-    )
+def _analysis_knobs(args: argparse.Namespace) -> dict:
+    """The knob subset of parsed args, keyed by config field name."""
+    from repro.core.config import KNOB_KEYS, field_metadata
+
+    knobs = {}
+    for name in KNOB_KEYS:
+        if field_metadata(name)["cli"] is None or not hasattr(args, name):
+            continue
+        value = getattr(args, name)
+        if name == "backend" and value == "auto":
+            value = None
+        knobs[name] = value
+    return knobs
 
 
 def _build_edit_set(args: argparse.Namespace):
@@ -220,90 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("topological", "cut", "monte_carlo", "exact"),
         help="signal-probability backend",
     )
-    analyze.add_argument(
-        "--backend",
-        choices=("auto", "scalar", "vector", "sharded"),
-        default="auto",
-        help="EPP propagation backend (auto: vector when NumPy is available, "
-        "sharded when --jobs is given)",
-    )
-    analyze.add_argument(
-        "--batch-size",
-        type=int,
-        help="sites per chunk for the vector backend (default: cache-sized)",
-    )
-    analyze.add_argument(
-        "--jobs",
-        type=int,
-        help="worker processes for the sharded backend (default: one per "
-        "core; implies --backend sharded unless one is forced)",
-    )
-    analyze.add_argument(
-        "--schedule",
-        choices=("auto", "cone", "input"),
-        default="auto",
-        help="chunk scheduling for the vector/sharded backends: cone "
-        "clusters sites with overlapping fanout cones into shared chunks, "
-        "input keeps the site order (auto: cone for multi-chunk runs)",
-    )
-    analyze.add_argument(
-        "--no-prune",
-        action="store_true",
-        help="disable the cone-aware sparse sweep (dense full-circuit "
-        "kernels, the PR-1 reference behaviour)",
-    )
-    analyze.add_argument(
-        "--cells",
-        choices=("auto", "on", "off"),
-        default="auto",
-        help="cell-compaction mode of pruned sweeps (auto: per-group "
-        "density cost model; on/off force the compacted or row-sparse "
-        "kernels — bit-identical either way)",
-    )
-    analyze.add_argument(
-        "--chunking",
-        choices=("auto", "adaptive", "fixed"),
-        default="auto",
-        help="chunk-width strategy (auto: calibrated full-width chunks, "
-        "widened when compacted rows remove the restore overhead; "
-        "adaptive aligns chunk boundaries to cone clusters)",
-    )
-    analyze.add_argument(
-        "--rows",
-        choices=("auto", "compact", "full"),
-        default="auto",
-        help="state-matrix row layout of pruned sweeps (auto/compact: "
-        "per-chunk buffers hold only the union-of-cones rows via a "
-        "cached remap; full restores the PR-4 full-circuit buffers)",
-    )
-    analyze.add_argument(
-        "--retries",
-        type=int,
-        help="extra attempts per failed shard for the sharded backend "
-        "(default: 2; crashes, timeouts and worker errors all re-run "
-        "the shard bit-identically)",
-    )
-    analyze.add_argument(
-        "--shard-timeout",
-        type=float,
-        metavar="SECONDS",
-        help="per-shard deadline for the sharded backend; a slow shard "
-        "is re-enqueued with backoff (wedged workers respawn the pool)",
-    )
-    analyze.add_argument(
-        "--on-worker-failure",
-        choices=("retry", "degrade", "raise"),
-        help="terminal action once a shard's retry budget is spent: "
-        "retry raises RetryBudgetExceededError, degrade finishes the "
-        "shard in-process (bit-identical), raise fails fast",
-    )
-    analyze.add_argument(
-        "--checkpoint",
-        metavar="DIR",
-        help="journal each finished shard of a sharded sweep to DIR; a "
-        "re-run after a crash loads finished shards from disk "
-        "(checksum-verified, bit-identical) and only re-sweeps the rest",
-    )
+    _add_analysis_flags(analyze)
     analyze.add_argument(
         "--multi-cycle",
         type=int,
@@ -361,7 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run a full re-analysis of the edited circuit and check "
         "the incremental result is bit-identical",
     )
-    _add_delta_knob_args(delta)
+    _add_analysis_flags(delta, delta=True)
 
     harden = commands.add_parser(
         "harden",
@@ -398,7 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("topological", "cut", "monte_carlo", "exact"),
         help="signal-probability backend",
     )
-    _add_delta_knob_args(harden)
+    _add_analysis_flags(harden, delta=True)
 
     stats = commands.add_parser("stats", help="print circuit statistics")
     stats.add_argument("circuit", help=".bench file, library name, or profile name")
@@ -513,6 +446,17 @@ def build_parser() -> argparse.ArgumentParser:
         "probe may try the pool again",
     )
 
+    knobs = commands.add_parser(
+        "knobs",
+        help="print the analysis-knob reference (generated from the "
+        "AnalysisConfig field metadata)",
+    )
+    knobs.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit the Markdown table embedded in the README",
+    )
+
     commands.add_parser("list", help="list embedded circuits and profiles")
     return parser
 
@@ -580,19 +524,11 @@ def _dispatch(args: argparse.Namespace) -> int:
 
         circuit = resolve_circuit(args.circuit)
         analyzer = SERAnalyzer(circuit, sp_method=args.sp_method)
-        backend = None if args.backend == "auto" else args.backend
+        from repro.core.config import AnalysisConfig
+
         report = analyzer.analyze(
-            sample=args.sample, backend=backend, batch_size=args.batch_size,
-            jobs=args.jobs,
-            prune=False if args.no_prune else None,
-            schedule=None if args.schedule == "auto" else args.schedule,
-            cells=None if args.cells == "auto" else args.cells,
-            chunking=None if args.chunking == "auto" else args.chunking,
-            rows=None if args.rows == "auto" else args.rows,
-            retries=args.retries,
-            shard_timeout=args.shard_timeout,
-            on_failure=args.on_worker_failure,
-            checkpoint=args.checkpoint,
+            sample=args.sample,
+            config=AnalysisConfig.from_knobs(**_analysis_knobs(args)),
         )
         print(report.format_table(top=args.top))
         if args.csv:
@@ -615,7 +551,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         circuit = resolve_circuit(args.circuit)
         analyzer = SERAnalyzer(circuit, sp_method=args.sp_method)
         edits = _build_edit_set(args)
-        snap = analyzer.snapshot(**_delta_knobs(args))
+        snap = analyzer.snapshot(**_analysis_knobs(args))
         delta = analyzer.analyze_delta(snap, edits)
         stats = delta.stats
         print(
@@ -650,7 +586,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             strength_factor=args.strength,
             action=args.action,
             max_steps=args.max_steps,
-            **_delta_knobs(args),
+            **_analysis_knobs(args),
         )
         print(plan.format())
         return 0
@@ -674,6 +610,12 @@ def _dispatch(args: argparse.Namespace) -> int:
 
         report = run_ablations(seed=args.seed, quick=not args.full)
         print(report.format())
+        return 0
+
+    if args.command == "knobs":
+        from repro.core.config import knob_reference
+
+        print(knob_reference(markdown=args.markdown), end="")
         return 0
 
     if args.command == "serve":

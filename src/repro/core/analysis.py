@@ -237,46 +237,37 @@ class SERAnalyzer:
         sites: Sequence[str] | None = None,
         sample: int | None = None,
         seed: int = 0,
-        backend: str | None = None,
-        batch_size: int | None = None,
-        jobs: int | None = None,
-        prune: bool | None = None,
-        schedule: str | None = None,
-        cells: str | None = None,
-        chunking: str | None = None,
-        rows: str | None = None,
-        retries: int | None = None,
-        shard_timeout: float | None = None,
-        on_failure: str | None = None,
-        deadline: float | None = None,
-        checkpoint=None,
+        config=None,
+        **knobs,
     ) -> CircuitSERReport:
         """Analyze many sites (default: every combinational gate output).
 
-        ``backend``/``batch_size``/``jobs``/``prune``/``schedule``/
-        ``cells``/``chunking``/``rows`` are forwarded to
-        :meth:`EPPEngine.analyze` — ``"scalar"`` for the per-site
-        reference path, ``"vector"`` for the batched NumPy backend (the
-        default when NumPy is available; cone-aware sparse sweeps,
-        cell-compacted kernels, compacted union-of-cones state matrices
-        and cone-clustered cost-aware chunks by default), ``"sharded"``
-        (or just passing ``jobs=``) for the multi-process site-sharded
-        driver.  ``retries``/``shard_timeout``/``on_failure``/
-        ``deadline`` configure the sharded driver's
+        Analysis knobs — ``backend``/``batch_size``/``jobs``/``prune``/
+        ``schedule``/``cells``/``chunking``/``rows`` plus the resilience
+        set (``retries``/``shard_timeout``/``on_failure``/``deadline``/
+        ``checkpoint``) — are forwarded to :meth:`EPPEngine.analyze`,
+        either individually or as one pre-built
+        :class:`~repro.core.config.AnalysisConfig` via ``config=``:
+        ``"scalar"`` for the per-site reference path, ``"vector"`` for
+        the batched NumPy backend (the default when NumPy is available;
+        cone-aware sparse sweeps, cell-compacted kernels, compacted
+        union-of-cones state matrices and cone-clustered cost-aware
+        chunks by default), ``"sharded"`` (or just passing ``jobs=``)
+        for the multi-process site-sharded driver.
+        ``retries``/``shard_timeout``/``on_failure``/``deadline``
+        configure the sharded driver's
         :class:`~repro.core.resilience.FaultPolicy` — shard retry
         budget, per-shard and global deadlines, and whether an exhausted
         shard raises or degrades to the in-process backend
         (bit-identical either way).  ``checkpoint`` names the sharded
         sweep-journal directory (:mod:`repro.core.checkpoint`): completed
         shards survive the process and an identical re-run resumes from
-        them, bit-identical.
+        them, bit-identical.  Unknown or conflicting knobs raise
+        :class:`~repro.errors.AnalysisConfigError` before any backend
+        is constructed.
         """
         results = self.engine.analyze(
-            sites=sites, sample=sample, seed=seed,
-            backend=backend, batch_size=batch_size, jobs=jobs,
-            prune=prune, schedule=schedule, cells=cells, chunking=chunking,
-            rows=rows, retries=retries, shard_timeout=shard_timeout,
-            on_failure=on_failure, deadline=deadline, checkpoint=checkpoint,
+            sites=sites, sample=sample, seed=seed, config=config, **knobs
         )
         report = CircuitSERReport(self.circuit.name)
         for site, result in results.items():

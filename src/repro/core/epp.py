@@ -26,7 +26,14 @@ import os
 import random
 import threading
 from collections.abc import Mapping, Sequence
-from repro.errors import AnalysisError
+from repro.errors import AnalysisConfigError, AnalysisError
+from repro.core.backends import (
+    REGISTRY,
+    _vector_available,
+    available_backends,
+    default_backend,
+)
+from repro.core.config import AnalysisConfig
 from repro.core.cone import ConeExtractor, OnPathCone
 from repro.core.fourvalue import EPPValue
 from repro.core.rules import merge_polarity, truth_table_rule, _RULES_BY_CODE
@@ -37,31 +44,16 @@ from repro.probability import signal_probabilities
 
 __all__ = ["EPPEngine", "EPPResult", "available_backends", "default_backend"]
 
-#: The engine's propagation backends: ``scalar`` is the per-site reference
-#: oracle (pure Python, one cone walk per site); ``vector`` is the batched
-#: NumPy backend (:mod:`repro.core.epp_batch`) that sweeps every site of a
-#: chunk through one level-parallel pass; ``sharded`` fans site shards out
+#: The built-in propagation backends, kept for backward compatibility.
+#: The authoritative roster is :data:`repro.core.backends.REGISTRY` —
+#: ``scalar`` is the per-site reference oracle (pure Python, one cone
+#: walk per site); ``vector`` is the batched NumPy backend
+#: (:mod:`repro.core.epp_batch`) that sweeps every site of a chunk
+#: through one level-parallel pass; ``sharded`` fans site shards out
 #: across a process pool of vector-backend workers
-#: (:mod:`repro.core.epp_shard`).
+#: (:mod:`repro.core.epp_shard`).  Registered backends beyond these
+#: resolve through the registry, not this tuple.
 BACKENDS = ("scalar", "vector", "sharded")
-
-
-def _vector_available() -> bool:
-    try:
-        import numpy  # noqa: F401
-    except ImportError:
-        return False
-    return True
-
-
-def available_backends() -> tuple[str, ...]:
-    """The analyze() backends usable in this environment."""
-    return BACKENDS if _vector_available() else ("scalar",)
-
-
-def default_backend() -> str:
-    """``vector`` when NumPy is importable, else ``scalar``."""
-    return "vector" if _vector_available() else "scalar"
 
 
 class EPPResult:
@@ -396,45 +388,28 @@ class EPPEngine:
     def _resolve_backend(self, backend: str | None) -> str:
         if backend is None:
             return default_backend()
-        if backend not in BACKENDS:
-            raise AnalysisError(
-                f"unknown EPP backend {backend!r}; choose from {BACKENDS}"
-            )
-        if backend in ("vector", "sharded") and not _vector_available():
+        info = REGISTRY.get(backend)  # unknown-name check
+        if not info.available():
             raise AnalysisError(
                 f"the {backend!r} EPP backend requires NumPy, which is not installed"
             )
         return backend
 
-    def _get_vector_backend(
-        self,
-        batch_size: int | None,
-        prune: bool | None = None,
-        schedule: str | None = None,
-        cells: str | None = None,
-        chunking: str | None = None,
-        rows: str | None = None,
-    ):
+    def _get_vector_backend(self, config: AnalysisConfig):
         from repro.core.epp_batch import BatchEPPBackend, default_batch_size
-        from repro.core.schedule import (
-            resolve_prune,
-            validate_cells,
-            validate_chunking,
-            validate_rows,
-            validate_schedule,
-        )
 
         # Cache keyed by the *effective* configuration: a one-off explicit
         # batch_size/prune/schedule/cells/chunking/rows must not stick to
         # later default calls.
+        resolved = config.resolved()
         effective = (
-            batch_size if batch_size is not None
+            resolved.batch_size if resolved.batch_size is not None
             else default_batch_size(self.compiled.n),
-            resolve_prune(prune),
-            validate_schedule(schedule),
-            validate_cells(cells),
-            validate_chunking(chunking),
-            validate_rows(rows),
+            resolved.prune,
+            resolved.schedule,
+            resolved.cells,
+            resolved.chunking,
+            resolved.rows,
         )
         backend = self._vector_backend
         if backend is None or (
@@ -445,51 +420,27 @@ class EPPEngine:
                 self.compiled,
                 self._sp,
                 track_polarity=self.track_polarity,
-                batch_size=batch_size,
                 scalar_fallback=self.node_epp,
-                prune=prune,
-                schedule=schedule,
-                cells=cells,
-                chunking=chunking,
-                rows=rows,
+                **config.sweep_kwargs(),
             )
             self._vector_backend = backend
         return backend
 
-    def _get_sharded_backend(
-        self,
-        jobs: int | None,
-        batch_size: int | None,
-        prune: bool | None = None,
-        schedule: str | None = None,
-        cells: str | None = None,
-        chunking: str | None = None,
-        rows: str | None = None,
-        retries: int | None = None,
-        shard_timeout: float | None = None,
-        on_failure: str | None = None,
-        deadline: float | None = None,
-        fault_injector=None,
-        checkpoint=None,
-    ):
+    def _get_sharded_backend(self, config: AnalysisConfig):
         from repro.core.epp_shard import ShardedEPPEngine, default_jobs
         from repro.core.resilience import FaultPolicy
 
+        jobs = config.jobs
+        batch_size = config.batch_size
         effective_jobs = int(jobs) if jobs is not None else default_jobs()
         requested_batch = None if batch_size is None else int(batch_size)
         # Resolve the knobs to a full policy *before* the cache check:
         # the policy is part of the backend's identity, so changing (say)
         # the retry budget rebuilds the pool rather than silently reusing
         # one configured differently.
-        policy = FaultPolicy.from_knobs(
-            retries=retries,
-            shard_timeout=shard_timeout,
-            on_failure=on_failure,
-            deadline=deadline,
-        )
-        local = self._get_vector_backend(
-            batch_size, prune, schedule, cells, chunking, rows
-        )
+        policy = FaultPolicy.from_config(config)
+        local = self._get_vector_backend(config)
+        checkpoint = config.checkpoint
         backend = self._sharded_backend
         if (
             backend is None
@@ -497,7 +448,7 @@ class EPPEngine:
             or backend.requested_batch_size != requested_batch
             or backend.local is not local
             or backend.policy != policy
-            or backend.fault_injector is not fault_injector
+            or backend.fault_injector is not config.fault_injector
             or backend.checkpoint != (
                 None if checkpoint is None else os.fspath(checkpoint)
             )
@@ -508,17 +459,8 @@ class EPPEngine:
                 self.compiled,
                 self._sp,
                 track_polarity=self.track_polarity,
-                jobs=effective_jobs,
-                batch_size=batch_size,
                 local_backend=local,
-                prune=prune,
-                schedule=schedule,
-                cells=cells,
-                chunking=chunking,
-                rows=rows,
-                policy=policy,
-                fault_injector=fault_injector,
-                checkpoint=checkpoint,
+                config=config.replace(jobs=effective_jobs),
             )
             self._sharded_backend = backend
         return backend
@@ -538,6 +480,7 @@ class EPPEngine:
         deadline: float | None = None,
         fault_injector=None,
         checkpoint=None,
+        config: AnalysisConfig | None = None,
     ):
         """The multi-process sharded driver bound to this engine.
 
@@ -556,11 +499,16 @@ class EPPEngine:
         """
         self._check_current()
         self._resolve_backend("sharded")
-        return self._get_sharded_backend(
-            jobs, batch_size, prune, schedule, cells, chunking, rows,
-            retries, shard_timeout, on_failure, deadline, fault_injector,
-            checkpoint,
-        )
+        if config is None:
+            config = AnalysisConfig(
+                backend="sharded", jobs=jobs, batch_size=batch_size,
+                prune=prune, schedule=schedule, cells=cells,
+                chunking=chunking, rows=rows, retries=retries,
+                shard_timeout=shard_timeout, on_failure=on_failure,
+                deadline=deadline, fault_injector=fault_injector,
+                checkpoint=checkpoint,
+            )
+        return self._get_sharded_backend(config)
 
     def vector_backend(
         self,
@@ -570,6 +518,7 @@ class EPPEngine:
         cells: str | None = None,
         chunking: str | None = None,
         rows: str | None = None,
+        config: AnalysisConfig | None = None,
     ):
         """The batched NumPy backend bound to this engine (public access).
 
@@ -582,9 +531,12 @@ class EPPEngine:
         """
         self._check_current()
         self._resolve_backend("vector")
-        return self._get_vector_backend(
-            batch_size, prune, schedule, cells, chunking, rows
-        )
+        if config is None:
+            config = AnalysisConfig(
+                batch_size=batch_size, prune=prune, schedule=schedule,
+                cells=cells, chunking=chunking, rows=rows,
+            )
+        return self._get_vector_backend(config)
 
     def release_buffers(self) -> None:
         """Reclaim the vector backend's chunk-width state matrices — and
@@ -601,40 +553,13 @@ class EPPEngine:
             self._sharded_backend.close()
 
     def _analyze_sites(
-        self,
-        sites: Sequence[int | str],
-        backend: str,
-        batch_size: int | None,
-        jobs: int | None = None,
-        prune: bool | None = None,
-        schedule: str | None = None,
-        cells: str | None = None,
-        chunking: str | None = None,
-        rows: str | None = None,
-        retries: int | None = None,
-        shard_timeout: float | None = None,
-        on_failure: str | None = None,
-        deadline: float | None = None,
-        checkpoint=None,
+        self, sites: Sequence[int | str], backend: str, config: AnalysisConfig
     ) -> dict[str, EPPResult]:
         with self._sweep_lock:
-            if backend == "sharded":
-                site_ids = [self._cones.resolve(site) for site in sites]
-                return self._get_sharded_backend(
-                    jobs, batch_size, prune, schedule, cells, chunking, rows,
-                    retries, shard_timeout, on_failure, deadline, None,
-                    checkpoint,
-                ).analyze_sites(site_ids)
-            if backend == "vector":
-                site_ids = [self._cones.resolve(site) for site in sites]
-                return self._get_vector_backend(
-                    batch_size, prune, schedule, cells, chunking, rows
-                ).analyze_sites(site_ids)
-            results: dict[str, EPPResult] = {}
-            for site in sites:
-                result = self.node_epp(site)
-                results[result.site] = result
-            return results
+            info = REGISTRY.get(backend)
+            impl = info.factory(self, config)
+            site_ids = [self._cones.resolve(site) for site in sites]
+            return impl.analyze_sites(site_ids)
 
     def analyze(
         self,
@@ -642,19 +567,8 @@ class EPPEngine:
         sample: int | None = None,
         seed: int = 0,
         collapse: bool = False,
-        backend: str | None = None,
-        batch_size: int | None = None,
-        jobs: int | None = None,
-        prune: bool | None = None,
-        schedule: str | None = None,
-        cells: str | None = None,
-        chunking: str | None = None,
-        rows: str | None = None,
-        retries: int | None = None,
-        shard_timeout: float | None = None,
-        on_failure: str | None = None,
-        deadline: float | None = None,
-        checkpoint=None,
+        config: AnalysisConfig | None = None,
+        **knobs,
     ) -> dict[str, EPPResult]:
         """EPP for many sites (default: every combinational gate output).
 
@@ -719,62 +633,37 @@ class EPPEngine:
         identical analysis — including after the process was killed
         mid-sweep — loads the journaled shards back checksum-verified
         and re-sweeps only the rest, bit-identical to a clean run.
+
+        ``config`` accepts a pre-built
+        :class:`~repro.core.config.AnalysisConfig` carrying all of the
+        above at once; it is mutually exclusive with the individual
+        knobs.  Every knob — named or via ``config`` — is validated by
+        the config layer at this boundary, so unknown names, bad values
+        and conflicting combinations raise
+        :class:`~repro.errors.AnalysisConfigError` before any backend
+        is resolved or constructed.
         """
         self._check_current()
+        if config is not None and knobs:
+            raise AnalysisConfigError(
+                "pass either config= or individual analysis knobs, "
+                f"not both (got config= plus {sorted(knobs)})"
+            )
+        cfg = config if config is not None else AnalysisConfig.from_knobs(**knobs)
         if sites is None:
             sites = self.default_sites()
         sites = list(sites)
         if sample is not None and sample < len(sites):
             sites = random.Random(seed).sample(sites, sample)
-        if jobs is not None and int(jobs) < 1:
-            # Reject at the analyze() boundary, before any backend is
-            # resolved or constructed: a non-positive worker count can
-            # only ever produce zero-width shards and chunk budgets.
-            raise AnalysisError(f"jobs must be >= 1, got {jobs}")
-        if backend is None and jobs is not None:
-            backend = "sharded"
-        backend = self._resolve_backend(backend)
-        if jobs is not None and backend != "sharded":
-            raise AnalysisError(
-                f"jobs= applies to the 'sharded' backend only, got backend={backend!r}"
-            )
-        resilience_knobs = {
-            "retries": retries,
-            "shard_timeout": shard_timeout,
-            "on_failure": on_failure,
-            "deadline": deadline,
-            "checkpoint": checkpoint,
-        }
-        requested = [k for k, v in resilience_knobs.items() if v is not None]
-        if requested and backend != "sharded":
-            # Mirror the jobs= guard: a retry budget on the scalar path
-            # would be silently meaningless, which reads like coverage.
-            raise AnalysisError(
-                f"{'/'.join(requested)} apply to the 'sharded' backend "
-                f"only, got backend={backend!r}"
-            )
-        # Validate the knob values up front, whatever the backend: the
-        # scalar path *ignores* schedule/cells/chunking/rows (it is
-        # per-cone by construction), but a typo should fail identically
-        # everywhere.
-        from repro.core.schedule import (
-            validate_cells,
-            validate_chunking,
-            validate_rows,
-            validate_schedule,
-        )
-
-        validate_schedule(schedule)
-        validate_cells(cells)
-        validate_chunking(chunking)
-        validate_rows(rows)
+        backend = self._resolve_backend(cfg.effective_backend())
+        # Re-check the sharded-only knobs against the *resolved* backend:
+        # construction already rejected conflicts with an explicit
+        # backend, but `retries=` with a defaulted vector backend only
+        # becomes a conflict here.
+        cfg.require_backend_support(backend)
 
         if not collapse:
-            return self._analyze_sites(
-                sites, backend, batch_size, jobs, prune, schedule, cells,
-                chunking, rows, retries, shard_timeout, on_failure, deadline,
-                checkpoint,
-            )
+            return self._analyze_sites(sites, backend, cfg)
 
         from repro.core.collapse import collapse_seu_sites
 
@@ -787,11 +676,7 @@ class EPPEngine:
         for name in site_names:
             rep = equivalence.representative.get(name, name)
             by_representative.setdefault(rep, []).append(name)
-        rep_results = self._analyze_sites(
-            list(by_representative), backend, batch_size, jobs, prune, schedule,
-            cells, chunking, rows, retries, shard_timeout, on_failure, deadline,
-            checkpoint,
-        )
+        rep_results = self._analyze_sites(list(by_representative), backend, cfg)
         results = {}
         for rep, members in by_representative.items():
             rep_result = rep_results[rep]
@@ -815,20 +700,8 @@ class EPPEngine:
     def snapshot(
         self,
         sites: Sequence[int | str] | None = None,
-        backend: str | None = None,
-        batch_size: int | None = None,
-        jobs: int | None = None,
-        prune: bool | None = None,
-        schedule: str | None = None,
-        cells: str | None = None,
-        chunking: str | None = None,
-        rows: str | None = None,
-        retries: int | None = None,
-        shard_timeout: float | None = None,
-        on_failure: str | None = None,
-        deadline: float | None = None,
-        fault_injector=None,
-        checkpoint=None,
+        config: AnalysisConfig | None = None,
+        **knobs,
     ):
         """A full analysis packaged for incremental what-if edits.
 
@@ -850,14 +723,14 @@ class EPPEngine:
         """
         from repro.core.epp_delta import snapshot as _snapshot
 
-        return _snapshot(
-            self, sites=sites, backend=backend, batch_size=batch_size,
-            jobs=jobs, prune=prune, schedule=schedule, cells=cells,
-            chunking=chunking, rows=rows, retries=retries,
-            shard_timeout=shard_timeout, on_failure=on_failure,
-            deadline=deadline, fault_injector=fault_injector,
-            checkpoint=checkpoint,
-        )
+        if config is not None:
+            if knobs:
+                raise AnalysisConfigError(
+                    "pass either config= or individual analysis knobs, "
+                    f"not both (got config= plus {sorted(knobs)})"
+                )
+            knobs = config.knobs()
+        return _snapshot(self, sites=sites, **knobs)
 
     def analyze_delta(self, prev, edits, sites: Sequence[int | str] | None = None, **knobs):
         """Re-analyze after ``edits``, reusing every unaffected column.

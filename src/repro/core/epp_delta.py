@@ -53,7 +53,7 @@ from collections.abc import Mapping, Sequence
 import numpy as np
 
 from repro.errors import AnalysisError, NetlistError
-from repro.core.epp import EPPEngine, default_backend
+from repro.core.epp import EPPEngine
 from repro.netlist.circuit import Circuit, CompiledCircuit
 from repro.probability import signal_probabilities
 
@@ -66,27 +66,24 @@ __all__ = [
     "snapshot",
 ]
 
-#: The analysis knobs a snapshot records and a delta may override.  The
-#: resilience knobs (sharded backend only, like ``jobs``) let a caller —
-#: the analysis service most of all — propagate a request's end-to-end
-#: deadline into :class:`~repro.core.resilience.FaultPolicy` for the
-#: sweep itself, not just the boundaries around it.
-KNOB_KEYS = (
-    "backend", "batch_size", "jobs", "prune", "schedule", "cells",
-    "chunking", "rows", "retries", "shard_timeout", "on_failure", "deadline",
-    "fault_injector", "checkpoint",
-)
-
-#: The subset of :data:`KNOB_KEYS` that only the sharded backend honors.
-#: ``fault_injector`` is the chaos harness's hook
-#: (:class:`repro.testing.faults.FaultInjector`) — testing only, never
-#: accepted over the analysis-service wire.  ``checkpoint`` (the sweep
-#: journal directory, :mod:`repro.core.checkpoint`) is likewise
-#: server-controlled, never wire-reachable: a client must not pick
-#: filesystem paths on the service host.
-RESILIENCE_KNOB_KEYS = (
-    "retries", "shard_timeout", "on_failure", "deadline", "fault_injector",
-    "checkpoint",
+#: The analysis knobs a snapshot records and a delta may override — now
+#: the authoritative tuple of :mod:`repro.core.config`, re-exported so
+#: existing importers keep working.  The resilience knobs (sharded
+#: backend only, like ``jobs``) let a caller — the analysis service most
+#: of all — propagate a request's end-to-end deadline into
+#: :class:`~repro.core.resilience.FaultPolicy` for the sweep itself, not
+#: just the boundaries around it.  ``fault_injector`` is the chaos
+#: harness's hook (:class:`repro.testing.faults.FaultInjector`) —
+#: testing only, never accepted over the analysis-service wire.
+#: ``checkpoint`` (the sweep journal directory,
+#: :mod:`repro.core.checkpoint`) is likewise server-controlled, never
+#: wire-reachable: a client must not pick filesystem paths on the
+#: service host.
+from repro.core.config import (  # noqa: E402
+    KNOB_KEYS,
+    RESILIENCE_KNOB_KEYS,
+    SWEEP_KNOB_KEYS,
+    AnalysisConfig,
 )
 
 
@@ -400,12 +397,7 @@ class DeltaAnalysis:
         if self._results is None:
             with self.engine._sweep_lock:
                 backend = self.engine.vector_backend(
-                    batch_size=self.knobs.get("batch_size"),
-                    prune=self.knobs.get("prune"),
-                    schedule=self.knobs.get("schedule"),
-                    cells=self.knobs.get("cells"),
-                    chunking=self.knobs.get("chunking"),
-                    rows=self.knobs.get("rows"),
+                    **{key: self.knobs.get(key) for key in SWEEP_KNOB_KEYS}
                 )
                 collected: dict = {}
                 backend.materialize(self.site_ids, self.packed, collected)
@@ -426,65 +418,35 @@ class DeltaAnalysis:
 
 
 def _normalize_knobs(knobs: Mapping) -> dict:
-    resolved = {key: None for key in KNOB_KEYS}
-    for key, value in knobs.items():
-        if key not in resolved:
-            raise AnalysisError(
-                f"unknown analysis knob {key!r}; choose from {KNOB_KEYS}"
-            )
-        resolved[key] = value
-    return resolved
+    # The config layer owns unknown-name rejection and value validation;
+    # a snapshot's knob record stays a plain dict (all keys present) so
+    # pickled DeltaAnalysis chains keep loading.
+    return AnalysisConfig.from_knobs(
+        **{k: v for k, v in knobs.items() if v is not None}
+    ).knobs()
 
 
 def _pack_backend(engine: EPPEngine, knobs: Mapping):
     """The backend object whose ``pack_sites`` runs the (re-)sweep."""
-    backend = knobs.get("backend")
-    jobs = knobs.get("jobs")
-    if backend is None:
-        backend = "sharded" if jobs is not None else default_backend()
-    if backend == "scalar":
+    from repro.core.backends import REGISTRY
+
+    config = AnalysisConfig.from_knobs(
+        **{k: v for k, v in knobs.items() if v is not None}
+    )
+    backend = config.effective_backend()
+    info = REGISTRY.get(backend)  # validates the name
+    if not info.supports_pack:
         raise AnalysisError(
             "snapshot/analyze_delta run the packed vectorized path; "
-            "backend='scalar' has no packed representation (use "
-            "engine.analyze(backend='scalar') for the per-site oracle)"
+            f"backend={backend!r} has no packed representation (use "
+            f"engine.analyze(backend={backend!r}) for the per-site oracle)"
         )
-    engine._resolve_backend(backend)  # validates name + NumPy availability
-    if backend == "sharded":
-        return engine.sharded_backend(
-            jobs=jobs,
-            batch_size=knobs.get("batch_size"),
-            prune=knobs.get("prune"),
-            schedule=knobs.get("schedule"),
-            cells=knobs.get("cells"),
-            chunking=knobs.get("chunking"),
-            rows=knobs.get("rows"),
-            retries=knobs.get("retries"),
-            shard_timeout=knobs.get("shard_timeout"),
-            on_failure=knobs.get("on_failure"),
-            deadline=knobs.get("deadline"),
-            fault_injector=knobs.get("fault_injector"),
-            checkpoint=knobs.get("checkpoint"),
-        )
-    if jobs is not None:
-        raise AnalysisError(
-            f"jobs= applies to the 'sharded' backend only, got backend={backend!r}"
-        )
-    requested = [key for key in RESILIENCE_KNOB_KEYS if knobs.get(key) is not None]
-    if requested:
-        # Mirror analyze()'s guard: a retry budget or deadline on the
-        # in-process path would be silently meaningless.
-        raise AnalysisError(
-            f"{'/'.join(requested)} apply to the 'sharded' backend only, "
-            f"got backend={backend!r}"
-        )
-    return engine.vector_backend(
-        batch_size=knobs.get("batch_size"),
-        prune=knobs.get("prune"),
-        schedule=knobs.get("schedule"),
-        cells=knobs.get("cells"),
-        chunking=knobs.get("chunking"),
-        rows=knobs.get("rows"),
-    )
+    engine._resolve_backend(backend)  # NumPy availability
+    # Mirror analyze()'s guard: a retry budget or deadline on the
+    # in-process path would be silently meaningless.
+    config.require_backend_support(backend)
+    with engine._sweep_lock:
+        return info.factory(engine, config)
 
 
 def _resolve_site_names(engine: EPPEngine, sites) -> tuple[list[str], bool]:

@@ -90,6 +90,7 @@ from dataclasses import dataclass
 
 from repro.core.resilience import Deadline, FaultPolicy, ShardOutcome
 from repro.errors import (
+    AnalysisConfigError,
     AnalysisError,
     RetryBudgetExceededError,
     ShardTimeoutError,
@@ -422,21 +423,30 @@ def _worker_backend():
     key, payload = _WORKER_PAYLOAD
     backend = _WORKER_BACKENDS.get(key)
     if backend is None:
+        from repro.core.config import AnalysisConfig
         from repro.core.epp_batch import BatchEPPBackend
 
-        (compiled, signal_probs, track_polarity, batch_size, prune,
-         cells, chunking, rows) = pickle.loads(payload)
+        data = pickle.loads(payload)
+        if isinstance(data, tuple):
+            # Tolerant-forward: a pool initialized by a pre-config
+            # parent ships the historical bare knob tuple.
+            (compiled, signal_probs, track_polarity, batch_size, prune,
+             cells, chunking, rows) = data
+            config = AnalysisConfig(
+                batch_size=batch_size, prune=prune, schedule="input",
+                cells=cells, chunking=chunking, rows=rows,
+            )
+        else:
+            compiled = data["compiled"]
+            signal_probs = data["signal_probs"]
+            track_polarity = data["track_polarity"]
+            config = AnalysisConfig.from_wire(data["config"])
         backend = BatchEPPBackend(
             compiled,
             signal_probs,
             track_polarity=track_polarity,
-            batch_size=batch_size,
             min_vector_work=0,
-            prune=prune,
-            schedule="input",
-            cells=cells,
-            chunking=chunking,
-            rows=rows,
+            **config.sweep_kwargs(),
         )
         _WORKER_BACKENDS[key] = backend
         _WORKER_STATS["plans_built"] += 1
@@ -594,6 +604,7 @@ class ShardedEPPEngine:
         compiled,
         signal_probs: Sequence[float],
         track_polarity: bool = True,
+        *,
         jobs: int | None = None,
         batch_size: int | None = None,
         min_process_work: int = _MIN_PROCESS_WORK,
@@ -613,33 +624,55 @@ class ShardedEPPEngine:
         deadline: float | None = None,
         fault_injector=None,
         checkpoint=None,
+        config: "AnalysisConfig | None" = None,
     ):
-        from repro.core.schedule import (
-            resolve_prune,
-            validate_cells,
-            validate_chunking,
-            validate_rows,
-            validate_schedule,
-        )
+        from repro.core.config import AnalysisConfig
 
-        if jobs is not None and int(jobs) < 1:
-            raise AnalysisError(f"jobs must be >= 1, got {jobs}")
-        if batch_size is not None and int(batch_size) < 1:
-            # Validate here, not just in the local backend's constructor:
-            # with a caller-supplied local_backend the bad width would
-            # otherwise ship straight into worker_batch_size and crash
-            # every worker opaquely on its first shard.
-            raise AnalysisError(f"batch_size must be >= 1, got {batch_size}")
+        # One validated config is the source of truth for every analysis
+        # knob (jobs/batch_size value checks and the unknown-knob guard
+        # included); the individual keyword parameters are the
+        # backward-compatible spelling and fold into one.  ``config=``
+        # plus individual knobs is ambiguous, so it is rejected naming
+        # the conflicting fields.
+        knob_params = {
+            "jobs": jobs, "batch_size": batch_size, "prune": prune,
+            "schedule": schedule, "cells": cells, "chunking": chunking,
+            "rows": rows, "retries": retries, "shard_timeout": shard_timeout,
+            "on_failure": on_failure, "deadline": deadline,
+            "fault_injector": fault_injector, "checkpoint": checkpoint,
+        }
+        if config is None:
+            config = AnalysisConfig.from_knobs(
+                backend="sharded",
+                **{k: v for k, v in knob_params.items() if v is not None},
+            )
+        else:
+            conflicting = sorted(
+                name for name, value in knob_params.items()
+                if value is not None
+            )
+            if conflicting:
+                raise AnalysisConfigError(
+                    "pass either config= or individual analysis knobs, "
+                    f"not both (got config= plus {conflicting})"
+                )
+        resolved = config.resolved()
+        #: The validated :class:`~repro.core.config.AnalysisConfig` this
+        #: driver runs under (sweep knobs resolved, ``None`` -> auto).
+        self.config = resolved
         self.compiled = compiled
-        self.jobs = int(jobs) if jobs is not None else default_jobs()
+        self.jobs = (
+            int(resolved.jobs) if resolved.jobs is not None else default_jobs()
+        )
+        batch_size = resolved.batch_size
         self.track_polarity = track_polarity
         self.min_process_work = min_process_work
         self.shards_per_worker = max(1, int(shards_per_worker))
-        self.prune = resolve_prune(prune)
-        self.schedule = validate_schedule(schedule)
-        self.cells = validate_cells(cells)
-        self.chunking = validate_chunking(chunking)
-        self.rows = validate_rows(rows)
+        self.prune = resolved.prune
+        self.schedule = resolved.schedule
+        self.cells = resolved.cells
+        self.chunking = resolved.chunking
+        self.rows = resolved.rows
         if transport is None:
             transport = default_transport()
         if transport not in TRANSPORTS:
@@ -648,27 +681,25 @@ class ShardedEPPEngine:
             )
         self.transport = transport
         if policy is None:
-            policy = FaultPolicy.from_knobs(
-                retries=retries,
-                shard_timeout=shard_timeout,
-                on_failure=on_failure,
-                deadline=deadline,
-            )
+            policy = FaultPolicy.from_config(resolved)
         elif any(
-            knob is not None
-            for knob in (retries, shard_timeout, on_failure, deadline)
+            getattr(resolved, knob) is not None
+            for knob in ("retries", "shard_timeout", "on_failure", "deadline")
         ):
             raise AnalysisError(
                 "pass either policy= or the individual resilience knobs "
                 "(retries/shard_timeout/on_failure/deadline), not both"
             )
         self.policy = policy
-        self.fault_injector = fault_injector
+        self.fault_injector = resolved.fault_injector
         #: Directory for the per-shard sweep journal
         #: (:mod:`repro.core.checkpoint`), or ``None`` to disable.  Each
         #: full-result sweep journals completed shards there and resumes
         #: from whatever a previous (possibly killed) process left.
-        self.checkpoint = None if checkpoint is None else os.fspath(checkpoint)
+        self.checkpoint = (
+            None if resolved.checkpoint is None
+            else os.fspath(resolved.checkpoint)
+        )
         #: Test hook threaded into :class:`ShardCheckpoint` — called as
         #: ``(shard_index, stored_count)`` after each shard file lands;
         #: the kill-9 chaos test dies here at a deterministic point.
@@ -715,12 +746,7 @@ class ShardedEPPEngine:
                 compiled,
                 signal_probs,
                 track_polarity=track_polarity,
-                batch_size=batch_size,
-                prune=prune,
-                schedule=schedule,
-                cells=cells,
-                chunking=chunking,
-                rows=rows,
+                **resolved.sweep_kwargs(),
             )
         self.local = local_backend
         self.batch_size = self.local.batch_size
@@ -774,20 +800,41 @@ class ShardedEPPEngine:
         """Whether worker processes have been spun up (guard introspection)."""
         return self._pool is not None
 
+    def _worker_config(self):
+        """The :class:`~repro.core.config.AnalysisConfig` worker backends
+        run under: the worker chunk width, the parent-resolved sweep
+        knobs, and ``schedule="input"`` — the parent's partitioner
+        already cone-clustered the site list, so workers must not
+        permute shards again."""
+        from repro.core.config import AnalysisConfig
+
+        return AnalysisConfig(
+            batch_size=self.worker_batch_size,
+            prune=self.prune,
+            schedule="input",
+            cells=self.cells,
+            chunking=self.chunking,
+            rows=self.rows,
+        )
+
     def payload(self) -> bytes:
-        """The once-pickled worker payload (cached across pool restarts)."""
+        """The once-pickled worker payload (cached across pool restarts).
+
+        Ships one wire-format :class:`~repro.core.config.AnalysisConfig`
+        instead of the historical bare knob tuple, so growing the knob
+        surface never re-threads this seam; :func:`_worker_backend`
+        still loads the old tuple shape (tolerant-forward), so a pool
+        initialized by an old parent keeps working.
+        """
         if self._payload is None:
             self._payload = pickle.dumps(
-                (
-                    self.compiled,
-                    self.local.sp,
-                    self.track_polarity,
-                    self.worker_batch_size,
-                    self.prune,
-                    self.cells,
-                    self.chunking,
-                    self.rows,
-                ),
+                {
+                    "format": 2,
+                    "compiled": self.compiled,
+                    "signal_probs": self.local.sp,
+                    "track_polarity": self.track_polarity,
+                    "config": self._worker_config().to_wire(),
+                },
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
         return self._payload
@@ -1178,13 +1225,8 @@ class ShardedEPPEngine:
                 self.compiled,
                 self.local.sp,
                 track_polarity=self.track_polarity,
-                batch_size=self.worker_batch_size,
                 min_vector_work=0,
-                prune=self.prune,
-                schedule="input",
-                cells=self.cells,
-                chunking=self.chunking,
-                rows=self.rows,
+                **self._worker_config().sweep_kwargs(),
             )
         return self._degraded_backend
 

@@ -164,6 +164,18 @@ class FaultPolicy:
             kwargs["deadline"] = float(deadline)
         return cls(**kwargs)
 
+    @classmethod
+    def from_config(cls, config) -> "FaultPolicy":
+        """:meth:`from_knobs` over an
+        :class:`~repro.core.config.AnalysisConfig` (duck-typed, so this
+        module stays import-light)."""
+        return cls.from_knobs(
+            retries=config.retries,
+            shard_timeout=config.shard_timeout,
+            on_failure=config.on_failure,
+            deadline=config.deadline,
+        )
+
     @property
     def max_attempts(self) -> int:
         """Total submissions allowed per shard (first try included)."""

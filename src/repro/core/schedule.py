@@ -53,7 +53,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.errors import AnalysisError
+from repro.errors import AnalysisConfigError
 from repro.netlist.circuit import CompiledCircuit
 
 __all__ = [
@@ -141,7 +141,7 @@ def validate_cells(cells: str | None) -> str:
     if cells is None:
         return "auto"
     if cells not in CELL_MODES:
-        raise AnalysisError(
+        raise AnalysisConfigError(
             f"unknown cells mode {cells!r}; choose from {CELL_MODES}"
         )
     return cells
@@ -152,7 +152,7 @@ def validate_chunking(chunking: str | None) -> str:
     if chunking is None:
         return "auto"
     if chunking not in CHUNKINGS:
-        raise AnalysisError(
+        raise AnalysisConfigError(
             f"unknown chunking {chunking!r}; choose from {CHUNKINGS}"
         )
     return chunking
@@ -163,7 +163,7 @@ def validate_rows(rows: str | None) -> str:
     if rows is None:
         return "auto"
     if rows not in ROW_MODES:
-        raise AnalysisError(
+        raise AnalysisConfigError(
             f"unknown rows mode {rows!r}; choose from {ROW_MODES}"
         )
     return rows
@@ -174,7 +174,7 @@ def validate_schedule(schedule: str | None) -> str:
     if schedule is None:
         return "auto"
     if schedule not in SCHEDULES:
-        raise AnalysisError(
+        raise AnalysisConfigError(
             f"unknown schedule {schedule!r}; choose from {SCHEDULES}"
         )
     return schedule

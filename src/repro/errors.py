@@ -167,6 +167,19 @@ class ConfigError(ReproError):
     """Invalid model or experiment configuration values."""
 
 
+class AnalysisConfigError(ConfigError, AnalysisError):
+    """Invalid analysis execution options (:mod:`repro.core.config`).
+
+    The unified knob layer rejects unknown names, bad values and
+    conflicting combinations at :class:`~repro.core.config.AnalysisConfig`
+    construction time.  Deliberately a subclass of *both*
+    :class:`ConfigError` (these are configuration mistakes — the CLI and
+    the server map them to terminal, caller-fixable errors) and
+    :class:`AnalysisError` (the historical type every analysis boundary
+    raised for the same mistakes), so code catching either keeps working.
+    """
+
+
 class ServerError(ReproError):
     """Base class for analysis-service failures (:mod:`repro.server`).
 

@@ -164,6 +164,21 @@ class Table2Config:
         if unknown:
             raise ConfigError(f"unknown Table 2 circuits: {unknown}")
 
+    def analysis_config(self):
+        """The roster's EPP knobs as one
+        :class:`~repro.core.config.AnalysisConfig` — the SysT column's
+        backend construction goes through the same typed option layer as
+        ``EPPEngine.analyze`` (``circuit_jobs`` stays here: roster-level
+        fan-out is a harness concern, not an analysis knob)."""
+        from repro.core.config import AnalysisConfig
+
+        return AnalysisConfig(
+            backend=self.backend,
+            jobs=self.jobs,
+            prune=self.prune,
+            schedule=self.schedule,
+        )
+
     @staticmethod
     def quick(circuits: Sequence[str] | None = None) -> "Table2Config":
         """Small circuits only by default — finishes in well under a minute."""
@@ -316,6 +331,7 @@ def run_table2_circuit(
         # its pool is warmed first so SysT reports the steady-state
         # amortized cost, not a one-off process spin-up.
         site_ids = [engine.compiled.index[site] for site in epp_sites]
+        analysis_config = config.analysis_config()
         if config.backend == "sharded":
             # The caller asked for sharded explicitly, so bypass the
             # crossover guard — the site *sample* sits below the threshold
@@ -323,16 +339,12 @@ def run_table2_circuit(
             # silently report vector timings under a sharded label.  The
             # pool is warmed first (workers forked and initialized) so the
             # timed block below measures steady-state sweeps.
-            backend = engine.sharded_backend(
-                jobs=config.jobs, prune=config.prune, schedule=config.schedule
-            )
+            backend = engine.sharded_backend(config=analysis_config)
             backend.min_process_work = 0
             backend.warm()
             cleanup = backend.close
         else:
-            backend = engine.vector_backend(
-                prune=config.prune, schedule=config.schedule
-            )
+            backend = engine.vector_backend(config=analysis_config)
             # Bypass the small-workload crossover: the site *sample* can
             # sit below min_vector_work on small rosters, and delegating
             # to the scalar kernel would silently report scalar timings

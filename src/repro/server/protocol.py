@@ -65,13 +65,12 @@ __all__ = [
 #: Ops a request may carry.
 OPS = ("ping", "stats", "analyze", "analyze_delta")
 
-#: Analysis knobs accepted over the wire — the JSON-able subset of
-#: :data:`repro.core.epp_delta.KNOB_KEYS` (``fault_injector`` is a local
-#: testing hook and is deliberately not reachable from a socket).
-WIRE_KNOB_KEYS = (
-    "backend", "batch_size", "jobs", "prune", "schedule", "cells",
-    "chunking", "rows", "retries", "shard_timeout", "on_failure",
-)
+#: Analysis knobs accepted over the wire — re-exported from
+#: :mod:`repro.core.config`, where field metadata marks the JSON-able
+#: subset (``fault_injector``/``checkpoint``/``deadline`` are local or
+#: per-request concerns and deliberately not knob-reachable from a
+#: socket; ``deadline`` has its own top-level request field).
+from repro.core.config import WIRE_KNOB_KEYS, AnalysisConfig  # noqa: E402
 
 #: Requests above this size are rejected before JSON parsing: a single
 #: client must not be able to balloon the server's heap with one line.
@@ -82,13 +81,22 @@ class Request:
     """A validated request (everything past :func:`parse_request`)."""
 
     __slots__ = (
-        "op", "bench", "circuit", "sites", "knobs", "deadline", "client",
-        "fit", "top", "coalesce", "edits", "idempotency",
+        "op", "bench", "circuit", "sites", "knobs", "config", "deadline",
+        "client", "fit", "top", "coalesce", "edits", "idempotency",
     )
 
     def __init__(self, **fields):
         for name in self.__slots__:
             setattr(self, name, fields.get(name))
+
+    @property
+    def analysis_config(self) -> AnalysisConfig:
+        """The request's knobs as one validated
+        :class:`~repro.core.config.AnalysisConfig` (built at parse time;
+        tests constructing a bare :class:`Request` get it lazily)."""
+        if self.config is None:
+            self.config = AnalysisConfig.from_wire(self.knobs or {})
+        return self.config
 
     @property
     def circuit_spec(self):
@@ -138,11 +146,11 @@ def parse_request(obj: dict) -> Request:
         knobs = {}
     if not isinstance(knobs, dict):
         raise ConfigError("'knobs' must be an object")
-    unknown = sorted(set(knobs) - set(WIRE_KNOB_KEYS))
-    if unknown:
-        raise ConfigError(
-            f"unknown analysis knob(s) {unknown}; choose from {WIRE_KNOB_KEYS}"
-        )
+    # One validation point for the whole knob surface: unknown names
+    # (strict — a caller mistake here, not version skew), bad values and
+    # conflicting combinations all raise AnalysisConfigError, which *is*
+    # a ConfigError on the wire taxonomy (terminal, non-retriable).
+    config = AnalysisConfig.from_wire(knobs, strict=True)
     deadline = obj.get("deadline")
     if deadline is not None:
         deadline = float(deadline)
@@ -172,6 +180,7 @@ def parse_request(obj: dict) -> Request:
         circuit=circuit,
         sites=sites,
         knobs=dict(knobs),
+        config=config,
         deadline=deadline,
         client=str(obj.get("client") or "anon"),
         fit=bool(obj.get("fit", False)),

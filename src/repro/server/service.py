@@ -56,6 +56,7 @@ import threading
 import time
 from collections import OrderedDict
 
+from repro.core.config import SHARDED_ONLY_KNOBS, AnalysisConfig
 from repro.core.resilience import Deadline
 from repro.errors import (
     ConfigError,
@@ -84,11 +85,10 @@ __all__ = ["AnalysisService", "CircuitBreaker"]
 _PRIORITY = {"analyze_delta": 0, "analyze": 1}
 
 #: Knobs that only the sharded backend accepts — stripped when a sweep
-#: degrades to the in-process vector backend.
-_SHARDED_ONLY = (
-    "jobs", "retries", "shard_timeout", "on_failure", "deadline",
-    "fault_injector", "checkpoint",
-)
+#: degrades to the in-process vector backend.  Derived from the config
+#: field metadata, so a new sharded-only knob is stripped here the day
+#: it exists.
+_SHARDED_ONLY = SHARDED_ONLY_KNOBS
 
 
 class CircuitBreaker:
@@ -323,13 +323,17 @@ class AnalysisService:
         from repro.server.protocol import Request
 
         for spec in self.warm:
-            req = Request(op="analyze", circuit=spec, bench=None, knobs={})
+            req = Request(
+                op="analyze", circuit=spec, bench=None, knobs={},
+                config=AnalysisConfig(),
+            )
             state = self._state_for(req)
             if self.jobs is not None:
                 with contextlib.suppress(Exception):
-                    backend = state.engine.sharded_backend(
-                        jobs=self.jobs, fault_injector=self.engine_faults
-                    )
+                    backend = state.engine.sharded_backend(config=AnalysisConfig(
+                        backend="sharded", jobs=self.jobs,
+                        fault_injector=self.engine_faults,
+                    ))
                     backend.warm(timeout=60.0)
 
     def _pending_path(self) -> str | None:
@@ -499,8 +503,11 @@ class AnalysisService:
     def _coalesce_key(self, req) -> str | None:
         if req.op != "analyze" or not req.coalesce:
             return None
+        # The knob identity is AnalysisConfig.digest() — canonical under
+        # field order and construction path, and WIRE_VERSION-stamped so
+        # a wire-format bump can never alias a pre-bump key.
         return digest_of(
-            "analyze", req.circuit_spec, sorted(req.knobs.items()),
+            "analyze", req.circuit_spec, req.analysis_config.digest(),
             req.sites, req.fit, req.top,
         )
 
@@ -515,7 +522,8 @@ class AnalysisService:
     def _request_digest(req) -> str:
         """What an idempotency key must stay bound to: the request body."""
         return digest_of(
-            "request", req.op, req.circuit_spec, sorted(req.knobs.items()),
+            "request", req.op, req.circuit_spec,
+            req.analysis_config.digest(),
             req.sites, req.fit, req.top, req.edits,
         )
 
@@ -843,7 +851,7 @@ class AnalysisService:
     def _run_analyze(self, req, state, deadline, index) -> dict:
         token = state.circuit.mutation_token
         result_key = digest_of(
-            "analyze", state.digest, sorted(req.knobs.items()),
+            "analyze", state.digest, req.analysis_config.digest(),
             req.sites, req.fit, req.top,
         )
         if self.faults is not None and self.faults.should(
